@@ -1,0 +1,54 @@
+//! Codec micro-benchmarks: compression and decompression throughput of
+//! the from-scratch LZ77 (`crunch-fast`) and LZ77+Huffman (`crunch-dense`)
+//! codecs per entropy class — the substrate behind the paper's lz4-vs-xz
+//! trade-off discussion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cc_compress::{Codec, CrunchDense, CrunchFast, EntropyClass, FsImage};
+
+const IMAGE_SIZE: usize = 256 * 1024;
+
+fn bench_compress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compress");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Bytes(IMAGE_SIZE as u64));
+    for class in EntropyClass::ALL {
+        let image = FsImage::generate(1, IMAGE_SIZE, class);
+        for (name, codec) in [
+            ("fast", &CrunchFast as &dyn Codec),
+            ("dense", &CrunchDense as &dyn Codec),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(name, class),
+                image.bytes(),
+                |b, data| b.iter(|| codec.compress(data)),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_decompress(c: &mut Criterion) {
+    let mut group = c.benchmark_group("decompress");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Bytes(IMAGE_SIZE as u64));
+    for class in EntropyClass::ALL {
+        let image = FsImage::generate(1, IMAGE_SIZE, class);
+        for (name, codec) in [
+            ("fast", &CrunchFast as &dyn Codec),
+            ("dense", &CrunchDense as &dyn Codec),
+        ] {
+            let frame = codec.compress(image.bytes());
+            group.bench_with_input(BenchmarkId::new(name, class), &frame, |b, frame| {
+                b.iter(|| codec.decompress(frame).expect("valid frame"))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_compress, bench_decompress);
+criterion_main!(benches);

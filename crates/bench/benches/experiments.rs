@@ -1,0 +1,29 @@
+//! One Criterion bench per paper table/figure: each measures regenerating
+//! the corresponding artifact at smoke scale. These are wall-clock
+//! regression guards for the experiment harness itself; the scientific
+//! output comes from `cargo run -p cc-experiments --release --bin expr`.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc_experiments::{all_experiments, Scale};
+
+fn bench_experiments(c: &mut Criterion) {
+    let scale = Scale::smoke();
+    let mut group = c.benchmark_group("experiments");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for experiment in all_experiments() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(experiment.id()),
+            &scale,
+            |b, scale| b.iter(|| experiment.run(scale)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_experiments);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! FFT micro-benchmarks: the transform and the dominant-period extraction
+//! the IceBreaker baseline runs per function.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cc_fft::{dominant_period, fft, Complex};
+
+fn bench_fft(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fft");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for log_n in [8u32, 10, 12] {
+        let n = 1usize << log_n;
+        group.throughput(Throughput::Elements(n as u64));
+        let data: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.37).sin(), 0.0))
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &data, |b, data| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                fft(&mut buf);
+                buf
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_dominant_period(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dominant_period");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(2));
+    for minutes in [120usize, 480, 1440] {
+        let signal: Vec<f64> = (0..minutes)
+            .map(|i| if i % 7 == 0 { 3.0 } else { 0.0 })
+            .collect();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(minutes),
+            &signal,
+            |b, signal| b.iter(|| dominant_period(signal)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_dominant_period);
+criterion_main!(benches);

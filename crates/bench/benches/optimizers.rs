@@ -1,0 +1,102 @@
+//! Optimizer comparison benchmarks: how long each optimizer takes to plan
+//! one CodeCrunch interval (the Fig. 3 / Fig. 12 decision-latency story).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use cc_opt::{
+    CoordinateDescent, GeneticAlgorithm, Objective, RandomSearch, SeparableObjective, Sre,
+};
+use cc_types::{Arch, FnChoice, SimDuration};
+
+/// A synthetic separable interval objective: quadratic bowls with
+/// per-function targets, plus a budget.
+struct Bowls {
+    targets: Vec<f64>,
+    budget_mins: f64,
+}
+
+impl Bowls {
+    fn new(n: usize) -> Bowls {
+        Bowls {
+            targets: (0..n).map(|i| 3.0 + (i % 13) as f64).collect(),
+            budget_mins: n as f64 * 8.0,
+        }
+    }
+}
+
+impl SeparableObjective for Bowls {
+    fn num_functions(&self) -> usize {
+        self.targets.len()
+    }
+    fn service_term(&self, idx: usize, c: &FnChoice) -> f64 {
+        let d = c.keep_alive.as_mins_f64() - self.targets[idx];
+        let arch_pen = if c.arch == Arch::X86 { 1.0 } else { 0.0 };
+        d * d + arch_pen
+    }
+    fn cost_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+        c.keep_alive.as_mins_f64()
+    }
+    fn budget(&self) -> Option<f64> {
+        Some(self.budget_mins)
+    }
+}
+
+impl Objective for Bowls {
+    fn num_functions(&self) -> usize {
+        self.targets.len()
+    }
+    fn evaluate(&self, solution: &[FnChoice]) -> f64 {
+        solution
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.service_term(i, c))
+            .sum::<f64>()
+            / solution.len().max(1) as f64
+    }
+    fn is_feasible(&self, solution: &[FnChoice]) -> bool {
+        solution
+            .iter()
+            .map(|c| c.keep_alive.as_mins_f64())
+            .sum::<f64>()
+            <= self.budget_mins
+    }
+}
+
+fn start(n: usize) -> Vec<FnChoice> {
+    vec![FnChoice::new(Arch::X86, false, SimDuration::from_mins(1)); n]
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("optimizers");
+    group.sample_size(20);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    for n in [32usize, 128] {
+        let bowls = Bowls::new(n);
+        group.bench_with_input(BenchmarkId::new("sre_separable", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut counts = vec![0u32; n];
+                Sre::scaled_to(n).optimize_separable(&bowls, start(n), &mut counts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("sre_generic", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut counts = vec![0u32; n];
+                Sre::scaled_to(n).optimize(&bowls, start(n), &mut counts)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("descent_full", n), &n, |b, &n| {
+            b.iter(|| CoordinateDescent::default().optimize(&bowls, start(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("genetic", n), &n, |b, &n| {
+            b.iter(|| GeneticAlgorithm::default().optimize(&bowls, start(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
+            b.iter(|| RandomSearch { samples: 200, seed: 1 }.optimize(&bowls, start(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Simulator throughput benchmarks: one full trace replay per policy —
+//! the end-to-end cost of regenerating a paper figure.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use bench::BenchScenario;
+use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
+use cc_sim::{FixedKeepAlive, Simulation};
+use codecrunch::CodeCrunch;
+
+fn bench_policies(c: &mut Criterion) {
+    let scenario = BenchScenario::new();
+    let mut group = c.benchmark_group("simulate_trace");
+    group.sample_size(20);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+
+    group.bench_function("fixed_keepalive", |b| {
+        b.iter(|| {
+            let mut policy = FixedKeepAlive::ten_minutes();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("sitw", |b| {
+        b.iter(|| {
+            let mut policy = SitW::new();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("faascache", |b| {
+        b.iter(|| {
+            let mut policy = FaasCache::new();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("icebreaker", |b| {
+        b.iter(|| {
+            let mut policy = IceBreaker::new();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("oracle", |b| {
+        b.iter(|| {
+            let mut policy = Oracle::new(&scenario.trace);
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("codecrunch", |b| {
+        b.iter(|| {
+            let mut policy = CodeCrunch::new();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Shared fixtures for the Criterion benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use cc_compress::CompressionModel;
+use cc_sim::ClusterConfig;
+use cc_trace::{SyntheticTrace, Trace};
+use cc_types::SimDuration;
+use cc_workload::{Catalog, Workload};
+
+/// A small but non-trivial benchmark scenario: enough functions and
+/// invocations that policy differences register, small enough that a
+/// Criterion iteration stays in the tens of milliseconds.
+pub struct BenchScenario {
+    /// The trace.
+    pub trace: Trace,
+    /// The resolved workload.
+    pub workload: Workload,
+    /// The cluster configuration.
+    pub config: ClusterConfig,
+}
+
+impl BenchScenario {
+    /// Builds the standard benchmark scenario.
+    pub fn new() -> BenchScenario {
+        let trace = SyntheticTrace::builder()
+            .functions(40)
+            .duration(SimDuration::from_mins(60))
+            .seed(11)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        BenchScenario {
+            trace,
+            workload,
+            config: ClusterConfig::small(2, 2),
+        }
+    }
+}
+
+impl Default for BenchScenario {
+    fn default() -> Self {
+        BenchScenario::new()
+    }
+}

@@ -1,0 +1,183 @@
+//! Bit-granular I/O used by the entropy coder.
+
+use crate::DecodeError;
+
+/// Writes bits most-significant-first into a byte buffer.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::BitWriter;
+///
+/// let mut w = BitWriter::new();
+/// w.write_bits(0b101, 3);
+/// w.write_bits(0b1, 1);
+/// let bytes = w.finish();
+/// assert_eq!(bytes, vec![0b1011_0000]);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits currently buffered in `acc` (0..8).
+    pending: u32,
+    acc: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `count` bits of `value`, most significant first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn write_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64, "cannot write more than 64 bits at once");
+        for i in (0..count).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            self.acc = (self.acc << 1) | bit;
+            self.pending += 1;
+            if self.pending == 8 {
+                self.bytes.push(self.acc);
+                self.acc = 0;
+                self.pending = 0;
+            }
+        }
+    }
+
+    /// Number of complete bytes written so far (excludes buffered bits).
+    pub fn byte_len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Flushes any buffered bits (zero-padded) and returns the bytes.
+    pub fn finish(mut self) -> Vec<u8> {
+        if self.pending > 0 {
+            self.acc <<= 8 - self.pending;
+            self.bytes.push(self.acc);
+        }
+        self.bytes
+    }
+}
+
+/// Reads bits most-significant-first from a byte slice.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::BitReader;
+///
+/// let mut r = BitReader::new(&[0b1011_0000]);
+/// assert_eq!(r.read_bits(3)?, 0b101);
+/// assert_eq!(r.read_bit()?, 1);
+/// # Ok::<(), cc_compress::DecodeError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    /// Next bit index (global, 0-based, MSB-first).
+    bit: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, bit: 0 }
+    }
+
+    /// Reads one bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] past the end of input.
+    pub fn read_bit(&mut self) -> Result<u8, DecodeError> {
+        let byte_idx = self.bit / 8;
+        let &byte = self
+            .bytes
+            .get(byte_idx)
+            .ok_or(DecodeError::Truncated { offset: byte_idx })?;
+        let shift = 7 - (self.bit % 8) as u32;
+        self.bit += 1;
+        Ok((byte >> shift) & 1)
+    }
+
+    /// Reads `count` bits (MSB-first) into the low bits of a `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] past the end of input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 64`.
+    pub fn read_bits(&mut self, count: u32) -> Result<u64, DecodeError> {
+        assert!(count <= 64, "cannot read more than 64 bits at once");
+        let mut value = 0u64;
+        for _ in 0..count {
+            value = (value << 1) | u64::from(self.read_bit()?);
+        }
+        Ok(value)
+    }
+
+    /// Number of bits consumed so far.
+    pub fn bits_read(&self) -> usize {
+        self.bit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn writer_pads_final_byte() {
+        let mut w = BitWriter::new();
+        w.write_bits(0b11, 2);
+        assert_eq!(w.finish(), vec![0b1100_0000]);
+    }
+
+    #[test]
+    fn empty_writer_is_empty() {
+        assert!(BitWriter::new().finish().is_empty());
+    }
+
+    #[test]
+    fn reader_errors_past_end() {
+        let mut r = BitReader::new(&[0xFF]);
+        assert_eq!(r.read_bits(8).unwrap(), 0xFF);
+        assert!(matches!(
+            r.read_bit(),
+            Err(DecodeError::Truncated { offset: 1 })
+        ));
+    }
+
+    #[test]
+    fn multi_byte_value() {
+        let mut w = BitWriter::new();
+        w.write_bits(0xABCD, 16);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(16).unwrap(), 0xABCD);
+        assert_eq!(r.bits_read(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_bit_runs(values in prop::collection::vec((0u64..u64::MAX, 1u32..=64), 0..50)) {
+            let mut w = BitWriter::new();
+            for &(v, c) in &values {
+                w.write_bits(v, c);
+            }
+            let bytes = w.finish();
+            let mut r = BitReader::new(&bytes);
+            for &(v, c) in &values {
+                let mask = if c == 64 { u64::MAX } else { (1u64 << c) - 1 };
+                prop_assert_eq!(r.read_bits(c).unwrap(), v & mask);
+            }
+        }
+    }
+}

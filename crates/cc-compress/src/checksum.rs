@@ -1,0 +1,65 @@
+//! FNV-1a checksums guarding frame integrity.
+//!
+//! The token-stream formats detect most *structural* corruption (bad
+//! magic, impossible offsets, truncation), but a bit-flip inside a literal
+//! run decodes "successfully" into wrong bytes. Both codecs therefore
+//! embed an FNV-1a 64 digest of the original data in their headers and
+//! verify it after decoding — a warm start from a corrupted image must
+//! fail loudly, not run corrupted code.
+
+/// FNV-1a 64-bit offset basis.
+const OFFSET_BASIS: u64 = 0xcbf29ce484222325;
+/// FNV-1a 64-bit prime.
+const PRIME: u64 = 0x100000001b3;
+
+/// Computes the FNV-1a 64-bit digest of `bytes`.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::fnv1a64;
+///
+/// assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+/// assert_ne!(fnv1a64(b"a"), fnv1a64(b"b"));
+/// ```
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = OFFSET_BASIS;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn order_sensitive() {
+        assert_ne!(fnv1a64(b"ab"), fnv1a64(b"ba"));
+    }
+
+    proptest! {
+        #[test]
+        fn single_bit_flips_change_the_digest(
+            data in prop::collection::vec(any::<u8>(), 1..256),
+            byte_idx in 0usize..256,
+            bit in 0u8..8,
+        ) {
+            let byte_idx = byte_idx % data.len();
+            let mut flipped = data.clone();
+            flipped[byte_idx] ^= 1 << bit;
+            prop_assert_ne!(fnv1a64(&data), fnv1a64(&flipped));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! `CrunchDense`: LZ77 tokens entropy-coded with canonical Huffman.
+//!
+//! Plays the role of the paper's `xz` alternative: a noticeably higher
+//! compression ratio than [`CrunchFast`], bought with slower (bit-granular)
+//! decompression — exactly the trade-off the paper rejects for the warm-pool
+//! use case because decompression sits on the critical path of a warm start.
+//!
+//! Frame layout:
+//!
+//! ```text
+//! magic "CCD1" | LEB128 inner length | 256 code-length bytes | Huffman bits
+//! ```
+//!
+//! where "inner" is a complete [`CrunchFast`] frame.
+
+use crate::fast::{read_varint, write_varint};
+use crate::huffman::{HuffmanDecoder, HuffmanEncoder};
+use crate::{BitReader, BitWriter, Codec, CrunchFast, DecodeError};
+
+/// Frame magic for the dense codec.
+const MAGIC: &[u8; 4] = b"CCD1";
+
+/// The higher-ratio codec: LZ77 parse followed by a canonical Huffman pass
+/// over the token stream.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::{Codec, CrunchDense, CrunchFast, EntropyClass, FsImage};
+///
+/// let image = FsImage::generate(1, 32 * 1024, EntropyClass::Text);
+/// let dense = CrunchDense.compress(image.bytes());
+/// let fast = CrunchFast.compress(image.bytes());
+/// assert!(dense.len() < fast.len(), "dense should out-compress fast");
+/// assert_eq!(CrunchDense.decompress(&dense)?, image.bytes());
+/// # Ok::<(), cc_compress::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CrunchDense;
+
+impl Codec for CrunchDense {
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let inner = CrunchFast.compress(input);
+        let mut freqs = [0u64; 256];
+        for &b in &inner {
+            freqs[b as usize] += 1;
+        }
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut writer = BitWriter::new();
+        for &b in &inner {
+            enc.encode(&mut writer, b);
+        }
+        let bits = writer.finish();
+
+        let mut out = Vec::with_capacity(bits.len() + 256 + 16);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, inner.len() as u64);
+        out.extend_from_slice(enc.code_lengths());
+        out.extend_from_slice(&bits);
+        out
+    }
+
+    fn decompress(&self, frame: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        if frame.len() < MAGIC.len() || &frame[..MAGIC.len()] != MAGIC {
+            return Err(if frame.len() < MAGIC.len() {
+                DecodeError::Truncated { offset: frame.len() }
+            } else {
+                DecodeError::BadHeader
+            });
+        }
+        let mut pos = MAGIC.len();
+        let (inner_len, consumed) = read_varint(frame, pos)?;
+        let inner_len = usize::try_from(inner_len).map_err(|_| DecodeError::BadHeader)?;
+        pos += consumed;
+
+        let lengths: &[u8] = frame
+            .get(pos..pos + 256)
+            .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+        let lengths: &[u8; 256] = lengths.try_into().expect("slice is 256 bytes");
+        pos += 256;
+        let dec = HuffmanDecoder::from_code_lengths(lengths)?;
+
+        let mut reader = BitReader::new(&frame[pos..]);
+        let mut inner = Vec::with_capacity(inner_len.min(1 << 20));
+        for _ in 0..inner_len {
+            inner.push(dec.decode(&mut reader)?);
+        }
+        CrunchFast.decompress(&inner)
+    }
+
+    fn name(&self) -> &'static str {
+        "crunch-dense"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip_text() {
+        let data = b"import numpy as np\n".repeat(200);
+        let frame = CrunchDense.compress(&data);
+        assert_eq!(CrunchDense.decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn roundtrip_empty() {
+        let frame = CrunchDense.compress(b"");
+        assert_eq!(CrunchDense.decompress(&frame).unwrap(), b"");
+    }
+
+    #[test]
+    fn dense_beats_fast_on_text() {
+        let img = crate::FsImage::generate(5, 64 * 1024, crate::EntropyClass::Text);
+        let dense = CrunchDense.compress(img.bytes()).len();
+        let fast = CrunchFast.compress(img.bytes()).len();
+        assert!(dense < fast, "dense {dense} >= fast {fast}");
+    }
+
+    #[test]
+    fn rejects_wrong_magic() {
+        let mut frame = CrunchDense.compress(b"hello world");
+        frame[0] = b'X';
+        assert_eq!(CrunchDense.decompress(&frame), Err(DecodeError::BadHeader));
+    }
+
+    #[test]
+    fn rejects_truncation_everywhere() {
+        let frame = CrunchDense.compress(&b"hello dense world ".repeat(30));
+        for cut in [1, 4, 6, 100, frame.len() - 1] {
+            assert!(
+                CrunchDense.decompress(&frame[..cut.min(frame.len() - 1)]).is_err(),
+                "cut at {cut} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn codec_names_differ() {
+        assert_ne!(CrunchDense.name(), CrunchFast.name());
+    }
+
+    #[test]
+    fn dense_corruption_is_detected_via_inner_checksum() {
+        // The dense frame wraps a complete CrunchFast frame, whose embedded
+        // FNV digest guards the payload end to end.
+        let data = b"integrity matters for warm starts ".repeat(20);
+        let frame = CrunchDense.compress(&data);
+        for i in (0..frame.len()).step_by(7) {
+            let mut corrupted = frame.clone();
+            corrupted[i] ^= 0x55;
+            match CrunchDense.decompress(&corrupted) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    assert_eq!(decoded, data, "undetected corruption at byte {i}")
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+            let frame = CrunchDense.compress(&data);
+            prop_assert_eq!(CrunchDense.decompress(&frame).unwrap(), data);
+        }
+
+        #[test]
+        fn decompress_never_panics(frame in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = CrunchDense.decompress(&frame);
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Decode error type.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while decoding a compressed frame.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::{Codec, CrunchFast, DecodeError};
+///
+/// let err = CrunchFast.decompress(&[0xFF]).unwrap_err();
+/// assert!(matches!(err, DecodeError::Truncated { .. }));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The frame ended before the declared content was fully decoded.
+    Truncated {
+        /// Byte offset in the frame at which more input was expected.
+        offset: usize,
+    },
+    /// A match token referenced data before the start of the output.
+    BadMatchOffset {
+        /// The (invalid) backwards offset.
+        offset: usize,
+        /// Output length at the moment the token was decoded.
+        produced: usize,
+    },
+    /// The frame header is malformed (bad magic or impossible lengths).
+    BadHeader,
+    /// Decoded output did not match the length declared in the header.
+    LengthMismatch {
+        /// Length declared in the header.
+        expected: usize,
+        /// Length actually produced.
+        actual: usize,
+    },
+    /// A Huffman code table in the frame is invalid.
+    BadCodeTable,
+    /// Decoded output did not match the checksum embedded in the frame.
+    ChecksumMismatch {
+        /// Digest declared in the frame header.
+        expected: u64,
+        /// Digest of the bytes actually decoded.
+        actual: u64,
+    },
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { offset } => {
+                write!(f, "compressed frame truncated at byte {offset}")
+            }
+            DecodeError::BadMatchOffset { offset, produced } => write!(
+                f,
+                "match offset {offset} exceeds {produced} bytes produced so far"
+            ),
+            DecodeError::BadHeader => write!(f, "malformed frame header"),
+            DecodeError::LengthMismatch { expected, actual } => write!(
+                f,
+                "declared length {expected} but decoded {actual} bytes"
+            ),
+            DecodeError::BadCodeTable => write!(f, "invalid entropy code table"),
+            DecodeError::ChecksumMismatch { expected, actual } => write!(
+                f,
+                "checksum mismatch: frame declares {expected:#018x}, decoded {actual:#018x}"
+            ),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DecodeError::BadMatchOffset {
+            offset: 10,
+            produced: 5,
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("10") && msg.contains("5"));
+        assert!(!DecodeError::BadHeader.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_bounds<T: Error + Send + Sync + 'static>() {}
+        assert_bounds::<DecodeError>();
+    }
+}

@@ -1,0 +1,492 @@
+//! `CrunchFast`: an LZ4-style byte-oriented LZ77 codec.
+//!
+//! The frame layout is:
+//!
+//! ```text
+//! magic "CCF1" | LEB128 original length | token stream
+//! ```
+//!
+//! and the token stream is a sequence of LZ4-style sequences:
+//!
+//! ```text
+//! token byte:  [ literal-run : 4 bits | match-len - 4 : 4 bits ]
+//! optional literal-run extension bytes (each 255 continues)
+//! literal bytes
+//! 2-byte little-endian match offset (absent for the terminal sequence)
+//! optional match-len extension bytes
+//! ```
+//!
+//! A nibble value of 15 signals that extension bytes follow: each `0xFF`
+//! extension byte adds 255 and the first non-`0xFF` byte terminates the
+//! run. Decoding stops when the declared original length has been produced,
+//! so the final sequence carries literals only.
+
+use crate::{fnv1a64, Codec, DecodeError};
+
+/// Frame magic for the fast codec.
+const MAGIC: &[u8; 4] = b"CCF1";
+/// Minimum match length worth encoding (below this, literals are cheaper).
+const MIN_MATCH: usize = 4;
+/// Maximum backwards offset representable in the 2-byte offset field.
+const MAX_OFFSET: usize = u16::MAX as usize;
+/// log2 of the match-finder hash table size.
+const HASH_BITS: u32 = 15;
+
+/// The LZ4-style codec: greedy hash-table match finding, byte-aligned
+/// output, decompression that is a straight memcpy loop.
+///
+/// Plays the role of the paper's `lz4` (fast decode, moderate ratio).
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::{Codec, CrunchFast};
+///
+/// let data = b"abcabcabcabcabcabc".to_vec();
+/// let frame = CrunchFast.compress(&data);
+/// assert_eq!(CrunchFast.decompress(&frame)?, data);
+/// # Ok::<(), cc_compress::DecodeError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CrunchFast;
+
+/// Writes `value` as a LEB128 varint.
+pub(crate) fn write_varint(out: &mut Vec<u8>, mut value: u64) {
+    loop {
+        let byte = (value & 0x7F) as u8;
+        value >>= 7;
+        if value == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+/// Reads a LEB128 varint, returning `(value, bytes_consumed)`.
+pub(crate) fn read_varint(input: &[u8], at: usize) -> Result<(u64, usize), DecodeError> {
+    let mut value = 0u64;
+    let mut shift = 0u32;
+    let mut pos = at;
+    loop {
+        let &byte = input
+            .get(pos)
+            .ok_or(DecodeError::Truncated { offset: pos })?;
+        if shift >= 63 && byte > 1 {
+            return Err(DecodeError::BadHeader);
+        }
+        value |= u64::from(byte & 0x7F) << shift;
+        pos += 1;
+        if byte & 0x80 == 0 {
+            return Ok((value, pos - at));
+        }
+        shift += 7;
+    }
+}
+
+fn hash4(bytes: &[u8]) -> usize {
+    let v = u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]);
+    (v.wrapping_mul(2654435761) >> (32 - HASH_BITS)) as usize
+}
+
+/// Appends a nibble-extended length: writes extension bytes for
+/// `value >= 15`.
+fn push_extended_len(out: &mut Vec<u8>, mut value: usize) {
+    // Caller has already packed min(value, 15) into the token nibble.
+    if value < 15 {
+        return;
+    }
+    value -= 15;
+    while value >= 255 {
+        out.push(0xFF);
+        value -= 255;
+    }
+    out.push(value as u8);
+}
+
+/// Reads a nibble-extended length given the 4-bit `nibble` already parsed.
+fn read_extended_len(
+    input: &[u8],
+    pos: &mut usize,
+    nibble: usize,
+) -> Result<usize, DecodeError> {
+    if nibble < 15 {
+        return Ok(nibble);
+    }
+    let mut len = 15usize;
+    loop {
+        let &byte = input
+            .get(*pos)
+            .ok_or(DecodeError::Truncated { offset: *pos })?;
+        *pos += 1;
+        len += byte as usize;
+        if byte != 0xFF {
+            return Ok(len);
+        }
+    }
+}
+
+/// One LZ77 sequence: a run of literals followed by an optional match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct Sequence {
+    /// Start of the literal run in the input.
+    pub literal_start: usize,
+    /// Length of the literal run.
+    pub literal_len: usize,
+    /// Backwards match offset (`0` means "no match": terminal sequence).
+    pub offset: usize,
+    /// Match length (`0` iff `offset == 0`).
+    pub match_len: usize,
+}
+
+/// Greedy LZ77 parse shared by both codecs.
+pub(crate) fn parse_sequences(input: &[u8]) -> Vec<Sequence> {
+    let n = input.len();
+    let mut sequences = Vec::new();
+    if n == 0 {
+        return sequences;
+    }
+    let mut table = vec![usize::MAX; 1 << HASH_BITS];
+    let mut anchor = 0usize; // start of the pending literal run
+    let mut i = 0usize;
+    // Last MIN_MATCH-1 bytes can never start a match.
+    while i + MIN_MATCH <= n {
+        let h = hash4(&input[i..]);
+        let candidate = table[h];
+        table[h] = i;
+        let found = candidate != usize::MAX
+            && i - candidate <= MAX_OFFSET
+            && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH];
+        if !found {
+            i += 1;
+            continue;
+        }
+        // Extend the match as far as it goes.
+        let mut len = MIN_MATCH;
+        while i + len < n && input[candidate + len] == input[i + len] {
+            len += 1;
+        }
+        sequences.push(Sequence {
+            literal_start: anchor,
+            literal_len: i - anchor,
+            offset: i - candidate,
+            match_len: len,
+        });
+        // Index a few positions inside the match so later data can refer
+        // back into it, then jump past it.
+        let end = i + len;
+        let mut j = i + 1;
+        while j + MIN_MATCH <= n && j < end {
+            table[hash4(&input[j..])] = j;
+            j += 2;
+        }
+        i = end;
+        anchor = end;
+    }
+    sequences.push(Sequence {
+        literal_start: anchor,
+        literal_len: n - anchor,
+        offset: 0,
+        match_len: 0,
+    });
+    sequences
+}
+
+impl Codec for CrunchFast {
+    fn compress(&self, input: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(input.len() / 2 + 16);
+        out.extend_from_slice(MAGIC);
+        write_varint(&mut out, input.len() as u64);
+        out.extend_from_slice(&fnv1a64(input).to_le_bytes());
+        for seq in parse_sequences(input) {
+            let lit_nibble = seq.literal_len.min(15);
+            let match_code = if seq.offset == 0 {
+                0
+            } else {
+                (seq.match_len - MIN_MATCH).min(15)
+            };
+            out.push(((lit_nibble << 4) | match_code) as u8);
+            push_extended_len(&mut out, seq.literal_len);
+            out.extend_from_slice(
+                &input[seq.literal_start..seq.literal_start + seq.literal_len],
+            );
+            if seq.offset != 0 {
+                out.extend_from_slice(&(seq.offset as u16).to_le_bytes());
+                push_extended_len(&mut out, seq.match_len - MIN_MATCH);
+            }
+        }
+        out
+    }
+
+    fn decompress(&self, frame: &[u8]) -> Result<Vec<u8>, DecodeError> {
+        if frame.len() < MAGIC.len() || &frame[..MAGIC.len()] != MAGIC {
+            return Err(if frame.len() < MAGIC.len() {
+                DecodeError::Truncated { offset: frame.len() }
+            } else {
+                DecodeError::BadHeader
+            });
+        }
+        let mut pos = MAGIC.len();
+        let (expected, consumed) = read_varint(frame, pos)?;
+        let expected = usize::try_from(expected).map_err(|_| DecodeError::BadHeader)?;
+        pos += consumed;
+        let digest_bytes = frame
+            .get(pos..pos + 8)
+            .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+        let declared_digest = u64::from_le_bytes(digest_bytes.try_into().expect("8 bytes"));
+        pos += 8;
+
+        // Cap the upfront reservation: `expected` is attacker-controlled and
+        // a hostile header must not trigger a huge allocation before the
+        // (truncated) body is even inspected.
+        let mut out = Vec::with_capacity(expected.min(1 << 20));
+        while out.len() < expected {
+            let &token = frame
+                .get(pos)
+                .ok_or(DecodeError::Truncated { offset: pos })?;
+            pos += 1;
+            let lit_len = read_extended_len(frame, &mut pos, (token >> 4) as usize)?;
+            let lits = frame
+                .get(pos..pos + lit_len)
+                .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+            out.extend_from_slice(lits);
+            pos += lit_len;
+            if out.len() >= expected {
+                break;
+            }
+            let off_bytes = frame
+                .get(pos..pos + 2)
+                .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+            let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
+            pos += 2;
+            let match_len =
+                read_extended_len(frame, &mut pos, (token & 0x0F) as usize)? + MIN_MATCH;
+            copy_match(&mut out, offset, match_len)?;
+        }
+        if out.len() != expected {
+            return Err(DecodeError::LengthMismatch {
+                expected,
+                actual: out.len(),
+            });
+        }
+        let actual_digest = fnv1a64(&out);
+        if actual_digest != declared_digest {
+            return Err(DecodeError::ChecksumMismatch {
+                expected: declared_digest,
+                actual: actual_digest,
+            });
+        }
+        Ok(out)
+    }
+
+    fn name(&self) -> &'static str {
+        "crunch-fast"
+    }
+}
+
+/// Copies an overlapping LZ77 match (`offset` may be less than `len`).
+pub(crate) fn copy_match(
+    out: &mut Vec<u8>,
+    offset: usize,
+    len: usize,
+) -> Result<(), DecodeError> {
+    if offset == 0 || offset > out.len() {
+        return Err(DecodeError::BadMatchOffset {
+            offset,
+            produced: out.len(),
+        });
+    }
+    let start = out.len() - offset;
+    for k in 0..len {
+        let byte = out[start + k];
+        out.push(byte);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let frame = CrunchFast.compress(data);
+        CrunchFast.decompress(&frame).expect("roundtrip decode")
+    }
+
+    #[test]
+    fn empty_input() {
+        assert_eq!(roundtrip(b""), b"");
+    }
+
+    #[test]
+    fn tiny_inputs_are_literals() {
+        for len in 1..=8 {
+            let data: Vec<u8> = (0..len as u8).collect();
+            assert_eq!(roundtrip(&data), data);
+        }
+    }
+
+    #[test]
+    fn repetitive_input_compresses() {
+        let data = b"serverless ".repeat(500);
+        let frame = CrunchFast.compress(&data);
+        assert!(
+            frame.len() < data.len() / 4,
+            "expected >4x on repetitive input, got {} -> {}",
+            data.len(),
+            frame.len()
+        );
+        assert_eq!(CrunchFast.decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn overlapping_match_rle() {
+        // Classic RLE case: offset 1, long match.
+        let data = vec![7u8; 10_000];
+        let frame = CrunchFast.compress(&data);
+        assert!(frame.len() < 100);
+        assert_eq!(CrunchFast.decompress(&frame).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input_survives() {
+        // A pseudo-random byte sequence with no 4-byte repeats.
+        let mut state = 0x12345678u32;
+        let data: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+                (state >> 24) as u8
+            })
+            .collect();
+        let frame = CrunchFast.compress(&data);
+        assert_eq!(CrunchFast.decompress(&frame).unwrap(), data);
+        // Expansion is bounded by the token overhead.
+        assert!(frame.len() < data.len() + data.len() / 32 + 32);
+    }
+
+    #[test]
+    fn long_literal_and_match_extensions() {
+        // >15 literals then a >19-byte match exercises both extension paths.
+        let mut data: Vec<u8> = (0u8..=255).collect();
+        data.extend(std::iter::repeat_n(42u8, 1000));
+        assert_eq!(roundtrip(&data), data);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(
+            CrunchFast.decompress(b"XXXX\x00"),
+            Err(DecodeError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn truncated_frames_never_return_wrong_data() {
+        // Truncation must either fail or — when only the terminal
+        // zero-literal token was cut — still decode to the exact original.
+        let data = b"hello world hello world hello".repeat(10);
+        let frame = CrunchFast.compress(&data);
+        for cut in 1..frame.len() {
+            match CrunchFast.decompress(&frame[..cut]) {
+                Err(_) => {}
+                Ok(decoded) => assert_eq!(decoded, data, "cut at {cut}"),
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_bad_match_offset() {
+        let mut frame = Vec::new();
+        frame.extend_from_slice(MAGIC);
+        write_varint(&mut frame, 10);
+        frame.extend_from_slice(&0u64.to_le_bytes()); // placeholder digest
+        // Token: 1 literal, match nibble 0 (match len 4), then offset 9 —
+        // but only 1 byte has been produced.
+        frame.push(0x10);
+        frame.push(b'a');
+        frame.extend_from_slice(&9u16.to_le_bytes());
+        assert!(matches!(
+            CrunchFast.decompress(&frame),
+            Err(DecodeError::BadMatchOffset { .. })
+        ));
+    }
+
+    #[test]
+    fn literal_corruption_fails_the_checksum() {
+        // Incompressible data: the frame body is one long literal run, so
+        // flipping a payload bit keeps the structure valid — only the
+        // checksum can catch it.
+        let mut state = 0x9E3779B9u32;
+        let data: Vec<u8> = (0..200)
+            .map(|_| {
+                state = state.wrapping_mul(747796405).wrapping_add(2891336453);
+                (state >> 24) as u8
+            })
+            .collect();
+        let mut frame = CrunchFast.compress(&data);
+        let corrupt_at = frame.len() - 10; // deep inside the literal run
+        frame[corrupt_at] ^= 0x01;
+        assert!(matches!(
+            CrunchFast.decompress(&frame),
+            Err(DecodeError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected() {
+        let data = b"the quick brown fox jumps over the lazy dog ".repeat(8);
+        let frame = CrunchFast.compress(&data);
+        for i in 0..frame.len() {
+            let mut corrupted = frame.clone();
+            corrupted[i] ^= 0xFF;
+            match CrunchFast.decompress(&corrupted) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    assert_eq!(decoded, data, "undetected corruption at byte {i}")
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn varint_roundtrip() {
+        for v in [0u64, 1, 127, 128, 300, u32::MAX as u64, u64::MAX] {
+            let mut buf = Vec::new();
+            write_varint(&mut buf, v);
+            let (back, used) = read_varint(&buf, 0).unwrap();
+            assert_eq!(back, v);
+            assert_eq!(used, buf.len());
+        }
+    }
+
+    #[test]
+    fn sequences_cover_input_exactly() {
+        let data = b"abcdefabcdefabcdefabcdef-XYZ";
+        let seqs = parse_sequences(data);
+        let total: usize = seqs.iter().map(|s| s.literal_len + s.match_len).sum();
+        assert_eq!(total, data.len());
+        assert_eq!(seqs.last().unwrap().offset, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn roundtrip_low_entropy(
+            alphabet in 1u8..8,
+            data in prop::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let data: Vec<u8> = data.into_iter().map(|b| b % alphabet).collect();
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn decompress_never_panics(frame in prop::collection::vec(any::<u8>(), 0..512)) {
+            let _ = CrunchFast.decompress(&frame);
+        }
+    }
+}

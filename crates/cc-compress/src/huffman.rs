@@ -1,0 +1,403 @@
+//! Canonical, length-limited Huffman coding.
+//!
+//! Code lengths are computed with the package-merge algorithm (exactly
+//! optimal under a maximum-length constraint), then assigned canonically so
+//! that a decoder can be reconstructed from the length table alone — the
+//! frame only ships 256 length bytes, not the codes.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_compress::huffman::{HuffmanDecoder, HuffmanEncoder};
+//! use cc_compress::{BitReader, BitWriter};
+//!
+//! let data = b"abracadabra";
+//! let mut freqs = [0u64; 256];
+//! for &b in data {
+//!     freqs[b as usize] += 1;
+//! }
+//! let enc = HuffmanEncoder::from_frequencies(&freqs);
+//! let mut w = BitWriter::new();
+//! for &b in data {
+//!     enc.encode(&mut w, b);
+//! }
+//! let bits = w.finish();
+//!
+//! let dec = HuffmanDecoder::from_code_lengths(enc.code_lengths())?;
+//! let mut r = BitReader::new(&bits);
+//! let decoded: Vec<u8> = (0..data.len())
+//!     .map(|_| dec.decode(&mut r))
+//!     .collect::<Result<_, _>>()?;
+//! assert_eq!(decoded, data);
+//! # Ok::<(), cc_compress::DecodeError>(())
+//! ```
+
+use crate::{BitReader, BitWriter, DecodeError};
+
+/// Maximum code length produced by the encoder and accepted by the decoder.
+///
+/// 15 bits matches DEFLATE's limit and is always sufficient for a 256-symbol
+/// alphabet (needs only ⌈log₂ 256⌉ = 8 in the worst flat case).
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Computes length-limited optimal code lengths via package-merge.
+///
+/// Returns one length per symbol; symbols with zero frequency get length 0.
+/// If exactly one symbol occurs it gets length 1 (a one-entry, incomplete
+/// but decodable code).
+pub fn package_merge_lengths(freqs: &[u64; 256]) -> [u8; 256] {
+    let mut lengths = [0u8; 256];
+    let active: Vec<(u16, u64)> = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &w)| w > 0)
+        .map(|(s, &w)| (s as u16, w))
+        .collect();
+    match active.len() {
+        0 => return lengths,
+        1 => {
+            lengths[active[0].0 as usize] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+
+    // Coins at each level: original symbols plus packages from the level
+    // below. After MAX_CODE_LEN rounds, the first 2(n-1) packages' symbol
+    // multiplicities are exactly the optimal lengths.
+    let mut sorted = active.clone();
+    sorted.sort_by_key(|&(s, w)| (w, s));
+    let mut prev: Vec<(u128, Vec<u16>)> = Vec::new();
+    for _ in 0..MAX_CODE_LEN {
+        let mut cur: Vec<(u128, Vec<u16>)> = sorted
+            .iter()
+            .map(|&(s, w)| (u128::from(w), vec![s]))
+            .collect();
+        for pair in prev.chunks_exact(2) {
+            let mut syms = pair[0].1.clone();
+            syms.extend_from_slice(&pair[1].1);
+            cur.push((pair[0].0 + pair[1].0, syms));
+        }
+        cur.sort_by_key(|a| a.0);
+        prev = cur;
+    }
+    for (_, syms) in prev.iter().take(2 * (active.len() - 1)) {
+        for &s in syms {
+            lengths[s as usize] += 1;
+        }
+    }
+    lengths
+}
+
+/// A canonical Huffman encoder over the byte alphabet.
+#[derive(Debug, Clone)]
+pub struct HuffmanEncoder {
+    /// `(code, length)` per symbol; length 0 means the symbol never occurs.
+    codes: Vec<(u32, u8)>,
+    lengths: [u8; 256],
+}
+
+impl HuffmanEncoder {
+    /// Builds an encoder from symbol frequencies.
+    ///
+    /// Symbols with zero frequency receive no code; attempting to encode one
+    /// panics (it cannot appear in data the frequencies were counted from).
+    pub fn from_frequencies(freqs: &[u64; 256]) -> Self {
+        let lengths = package_merge_lengths(freqs);
+        let codes = canonical_codes(&lengths);
+        HuffmanEncoder { codes, lengths }
+    }
+
+    /// The code-length table to embed in the frame header.
+    pub fn code_lengths(&self) -> &[u8; 256] {
+        &self.lengths
+    }
+
+    /// Appends the code for `symbol` to `writer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `symbol` had zero frequency when the encoder was built.
+    pub fn encode(&self, writer: &mut BitWriter, symbol: u8) {
+        let (code, len) = self.codes[symbol as usize];
+        assert!(len > 0, "symbol {symbol} has no code");
+        writer.write_bits(u64::from(code), u32::from(len));
+    }
+}
+
+/// Assigns canonical codes from a length table: symbols sorted by
+/// `(length, symbol)` receive consecutive codes.
+fn canonical_codes(lengths: &[u8; 256]) -> Vec<(u32, u8)> {
+    let mut order: Vec<u16> = (0u16..256).filter(|&s| lengths[s as usize] > 0).collect();
+    order.sort_by_key(|&s| (lengths[s as usize], s));
+    let mut codes = vec![(0u32, 0u8); 256];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &s in &order {
+        let len = lengths[s as usize];
+        code <<= len - prev_len;
+        codes[s as usize] = (code, len);
+        code += 1;
+        prev_len = len;
+    }
+    codes
+}
+
+/// A canonical Huffman decoder reconstructed from a code-length table.
+#[derive(Debug, Clone)]
+pub struct HuffmanDecoder {
+    /// `count[len]` = number of codes of each length (index 0 unused).
+    count: [u32; MAX_CODE_LEN as usize + 1],
+    /// `first_code[len]` = canonical code value of the first code at `len`.
+    first_code: [u32; MAX_CODE_LEN as usize + 1],
+    /// `first_index[len]` = index into `symbols` of that first code.
+    first_index: [u32; MAX_CODE_LEN as usize + 1],
+    /// Symbols sorted by `(length, symbol)`.
+    symbols: Vec<u8>,
+}
+
+impl HuffmanDecoder {
+    /// Reconstructs a decoder from the length table shipped in a frame.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::BadCodeTable`] if any length exceeds
+    /// [`MAX_CODE_LEN`], the table is empty, or the lengths oversubscribe
+    /// the code space (violate the Kraft inequality).
+    pub fn from_code_lengths(lengths: &[u8; 256]) -> Result<Self, DecodeError> {
+        let mut count = [0u32; MAX_CODE_LEN as usize + 1];
+        for &len in lengths.iter() {
+            if len > MAX_CODE_LEN {
+                return Err(DecodeError::BadCodeTable);
+            }
+            if len > 0 {
+                count[len as usize] += 1;
+            }
+        }
+        let total: u32 = count.iter().sum();
+        if total == 0 {
+            return Err(DecodeError::BadCodeTable);
+        }
+        // Kraft: Σ 2^(MAX-len) ≤ 2^MAX.
+        let mut kraft: u64 = 0;
+        for len in 1..=MAX_CODE_LEN as usize {
+            kraft += u64::from(count[len]) << (MAX_CODE_LEN as usize - len);
+        }
+        if kraft > 1u64 << MAX_CODE_LEN {
+            return Err(DecodeError::BadCodeTable);
+        }
+
+        let mut order: Vec<u16> = (0u16..256).filter(|&s| lengths[s as usize] > 0).collect();
+        order.sort_by_key(|&s| (lengths[s as usize], s));
+        let symbols: Vec<u8> = order.iter().map(|&s| s as u8).collect();
+
+        let mut first_code = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut first_index = [0u32; MAX_CODE_LEN as usize + 1];
+        let mut code = 0u32;
+        let mut index = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code <<= 1;
+            first_code[len] = code;
+            first_index[len] = index;
+            code += count[len];
+            index += count[len];
+        }
+        Ok(HuffmanDecoder {
+            count,
+            first_code,
+            first_index,
+            symbols,
+        })
+    }
+
+    /// Decodes one symbol from `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::Truncated`] if the input ends mid-code, or
+    /// [`DecodeError::BadCodeTable`] if the bits do not resolve to any code
+    /// (possible only for incomplete tables or corrupt data).
+    pub fn decode(&self, reader: &mut BitReader<'_>) -> Result<u8, DecodeError> {
+        let mut code = 0u32;
+        for len in 1..=MAX_CODE_LEN as usize {
+            code = (code << 1) | u32::from(reader.read_bit()?);
+            let offset = code.wrapping_sub(self.first_code[len]);
+            if offset < self.count[len] {
+                return Ok(self.symbols[(self.first_index[len] + offset) as usize]);
+            }
+        }
+        Err(DecodeError::BadCodeTable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn freqs_of(data: &[u8]) -> [u64; 256] {
+        let mut f = [0u64; 256];
+        for &b in data {
+            f[b as usize] += 1;
+        }
+        f
+    }
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let freqs = freqs_of(data);
+        let enc = HuffmanEncoder::from_frequencies(&freqs);
+        let mut w = BitWriter::new();
+        for &b in data {
+            enc.encode(&mut w, b);
+        }
+        let bits = w.finish();
+        let dec = HuffmanDecoder::from_code_lengths(enc.code_lengths()).unwrap();
+        let mut r = BitReader::new(&bits);
+        (0..data.len()).map(|_| dec.decode(&mut r).unwrap()).collect()
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let data = vec![b'x'; 100];
+        assert_eq!(roundtrip(&data), data);
+        let lengths = package_merge_lengths(&freqs_of(&data));
+        assert_eq!(lengths[b'x' as usize], 1);
+        assert_eq!(lengths.iter().filter(|&&l| l > 0).count(), 1);
+    }
+
+    #[test]
+    fn two_symbols_get_one_bit_each() {
+        let data = b"ababababab";
+        let lengths = package_merge_lengths(&freqs_of(data));
+        assert_eq!(lengths[b'a' as usize], 1);
+        assert_eq!(lengths[b'b' as usize], 1);
+    }
+
+    #[test]
+    fn skewed_frequencies_yield_short_codes_for_common_symbols() {
+        let mut freqs = [0u64; 256];
+        freqs[0] = 1000;
+        freqs[1] = 10;
+        freqs[2] = 10;
+        freqs[3] = 1;
+        let lengths = package_merge_lengths(&freqs);
+        assert!(lengths[0] < lengths[3]);
+        assert!(lengths[0] >= 1);
+    }
+
+    #[test]
+    fn lengths_respect_limit_under_fibonacci_pressure() {
+        // Fibonacci-like frequencies force maximal depth in unlimited
+        // Huffman; package-merge must clamp to MAX_CODE_LEN.
+        let mut freqs = [0u64; 256];
+        let (mut a, mut b) = (1u64, 1u64);
+        for slot in freqs.iter_mut().take(40) {
+            *slot = a;
+            let next = a.saturating_add(b);
+            a = b;
+            b = next;
+        }
+        let lengths = package_merge_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| l <= MAX_CODE_LEN));
+        // Kraft equality for a complete code.
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!((kraft - 1.0).abs() < 1e-9, "kraft = {kraft}");
+    }
+
+    #[test]
+    fn flat_256_alphabet_is_8_bits() {
+        let freqs = [1u64; 256];
+        let lengths = package_merge_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| l == 8));
+    }
+
+    #[test]
+    fn decoder_rejects_oversubscribed_table() {
+        let mut lengths = [0u8; 256];
+        lengths[0] = 1;
+        lengths[1] = 1;
+        lengths[2] = 1; // three 1-bit codes cannot exist
+        assert_eq!(
+            HuffmanDecoder::from_code_lengths(&lengths).unwrap_err(),
+            DecodeError::BadCodeTable
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_empty_table() {
+        assert_eq!(
+            HuffmanDecoder::from_code_lengths(&[0u8; 256]).unwrap_err(),
+            DecodeError::BadCodeTable
+        );
+    }
+
+    #[test]
+    fn decoder_rejects_overlong_lengths() {
+        let mut lengths = [0u8; 256];
+        lengths[0] = MAX_CODE_LEN + 1;
+        assert_eq!(
+            HuffmanDecoder::from_code_lengths(&lengths).unwrap_err(),
+            DecodeError::BadCodeTable
+        );
+    }
+
+    #[test]
+    fn decode_truncated_stream_errors() {
+        let data = b"hello huffman";
+        let enc = HuffmanEncoder::from_frequencies(&freqs_of(data));
+        let dec = HuffmanDecoder::from_code_lengths(enc.code_lengths()).unwrap();
+        let mut r = BitReader::new(&[]);
+        assert!(matches!(dec.decode(&mut r), Err(DecodeError::Truncated { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "has no code")]
+    fn encoding_unseen_symbol_panics() {
+        let enc = HuffmanEncoder::from_frequencies(&freqs_of(b"aaa"));
+        let mut w = BitWriter::new();
+        enc.encode(&mut w, b'z');
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 1..2048)) {
+            prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn encoded_size_beats_or_matches_flat_code(
+            data in prop::collection::vec(0u8..4, 64..2048),
+        ) {
+            // A 4-symbol alphabet needs ≤2 bits/symbol under Huffman.
+            let freqs = freqs_of(&data);
+            let enc = HuffmanEncoder::from_frequencies(&freqs);
+            let mut w = BitWriter::new();
+            for &b in &data {
+                enc.encode(&mut w, b);
+            }
+            let bits = w.finish();
+            prop_assert!(bits.len() <= data.len() / 4 + 2);
+        }
+
+        #[test]
+        fn lengths_always_form_prefix_code(data in prop::collection::vec(any::<u8>(), 1..512)) {
+            let lengths = package_merge_lengths(&freqs_of(&data));
+            let distinct = lengths.iter().filter(|&&l| l > 0).count();
+            let kraft: f64 = lengths
+                .iter()
+                .filter(|&&l| l > 0)
+                .map(|&l| 2f64.powi(-i32::from(l)))
+                .sum();
+            if distinct == 1 {
+                prop_assert!((kraft - 0.5).abs() < 1e-9);
+            } else {
+                prop_assert!((kraft - 1.0).abs() < 1e-9);
+            }
+            prop_assert!(lengths.iter().all(|&l| l <= MAX_CODE_LEN));
+        }
+    }
+}

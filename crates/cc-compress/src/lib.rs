@@ -1,0 +1,69 @@
+//! Function-image compression substrate for the CodeCrunch reproduction.
+//!
+//! The paper keeps warm serverless instances alive *compressed* (lz4 over
+//! the committed Docker image) so that more functions fit in the warm pool.
+//! This crate provides everything that idea needs, built from scratch:
+//!
+//! - [`CrunchFast`] — an LZ4-style byte-oriented LZ77 codec: greedy
+//!   hash-table match finding, token-stream format, very fast decode. This
+//!   plays the role of the paper's `lz4`.
+//! - [`CrunchDense`] — LZ77 tokens entropy-coded with a canonical
+//!   [`huffman`] coder: higher ratio, slower decode. This plays the role of
+//!   the paper's `xz` alternative.
+//! - [`FsImage`] — deterministic synthetic "function filesystem images"
+//!   with controllable entropy, standing in for committed Docker images.
+//! - [`CompressionModel`] — the analytic (ratio, compression-time,
+//!   decompression-time) model the simulator consumes, calibrated against
+//!   the real codecs and the paper's published statistics.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_compress::{Codec, CrunchFast};
+//!
+//! let image = b"fn handler(event) { return event.map(|x| x * 2); }".repeat(20);
+//! let compressed = CrunchFast.compress(&image);
+//! assert!(compressed.len() < image.len());
+//! let restored = CrunchFast.decompress(&compressed)?;
+//! assert_eq!(restored, image);
+//! # Ok::<(), cc_compress::DecodeError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bitio;
+mod checksum;
+mod dense;
+mod error;
+mod fast;
+pub mod huffman;
+mod image;
+mod model;
+
+pub use bitio::{BitReader, BitWriter};
+pub use checksum::fnv1a64;
+pub use dense::CrunchDense;
+pub use error::DecodeError;
+pub use fast::CrunchFast;
+pub use image::{EntropyClass, FsImage};
+pub use model::{measure_size_fractions, CodecKind, CompressionModel, CompressionProfile};
+
+/// A lossless byte-stream compressor.
+///
+/// Both codecs in this crate implement `Codec`; the simulator's
+/// [`CompressionModel`] is calibrated by running them on [`FsImage`]s.
+pub trait Codec {
+    /// Compresses `input` into a self-contained frame.
+    fn compress(&self, input: &[u8]) -> Vec<u8>;
+
+    /// Decompresses a frame produced by [`Codec::compress`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError`] if the frame is truncated or corrupt.
+    fn decompress(&self, frame: &[u8]) -> Result<Vec<u8>, DecodeError>;
+
+    /// Short human-readable codec name.
+    fn name(&self) -> &'static str;
+}

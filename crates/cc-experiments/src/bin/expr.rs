@@ -1,0 +1,99 @@
+//! Experiment runner.
+//!
+//! ```sh
+//! expr all                 # run every experiment at the standard scale
+//! expr fig7 fig12          # run specific experiments
+//! expr --smoke all         # run at the tiny CI scale
+//! expr --list              # list experiment ids
+//! expr --json DIR all      # additionally write results as JSON files
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cc_experiments::{all_experiments, experiment_by_id, Scale};
+
+fn main() -> ExitCode {
+    let mut scale = Scale::standard();
+    let mut json_dir: Option<PathBuf> = None;
+    let mut ids: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => scale = Scale::smoke(),
+            "--large" => scale = Scale::large(),
+            "--list" => {
+                for experiment in all_experiments() {
+                    println!("{:<16} {}", experiment.id(), experiment.title());
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--json" => match args.next() {
+                Some(dir) => json_dir = Some(PathBuf::from(dir)),
+                None => {
+                    eprintln!("--json requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                println!(
+                    "usage: expr [--smoke|--large] [--json DIR] [--list] <all | experiment ids...>"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => ids.push(other.to_owned()),
+        }
+    }
+    if ids.is_empty() {
+        eprintln!("no experiments requested; try `expr --list` or `expr all`");
+        return ExitCode::FAILURE;
+    }
+
+    let experiments: Vec<_> = if ids.iter().any(|i| i == "all") {
+        all_experiments()
+    } else {
+        let mut selected = Vec::new();
+        for id in &ids {
+            match experiment_by_id(id) {
+                Some(experiment) => selected.push(experiment),
+                None => {
+                    eprintln!("unknown experiment id {id:?}; try `expr --list`");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        selected
+    };
+
+    if let Some(dir) = &json_dir {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("cannot create {}: {e}", dir.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    for experiment in experiments {
+        let started = std::time::Instant::now();
+        let output = experiment.run(&scale);
+        output.print();
+        eprintln!("[{} finished in {:.1}s]\n", output.id, started.elapsed().as_secs_f64());
+        if let Some(dir) = &json_dir {
+            let path = dir.join(format!("{}.json", output.id));
+            match serde_json::to_vec_pretty(&output) {
+                Ok(bytes) => {
+                    if let Err(e) = fs::write(&path, bytes) {
+                        eprintln!("cannot write {}: {e}", path.display());
+                        return ExitCode::FAILURE;
+                    }
+                }
+                Err(e) => {
+                    eprintln!("cannot serialize {}: {e}", output.id);
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,81 @@
+//! Fig. 2: per-function performance affinity to x86 vs ARM.
+//!
+//! Paper result: ≈38% of functions run faster on ARM; the rest on x86.
+
+use serde_json::json;
+
+use cc_metrics::Cdf;
+use cc_types::Arch;
+use cc_workload::Catalog;
+
+use crate::common::{ExperimentOutput, Scale};
+use crate::Experiment;
+
+/// Fig. 2 experiment.
+pub struct Fig2;
+
+impl Experiment for Fig2 {
+    fn id(&self) -> &'static str {
+        "fig2"
+    }
+
+    fn title(&self) -> &'static str {
+        "fraction of functions faster on ARM and the ARM/x86 speedup distribution (Fig. 2)"
+    }
+
+    fn run(&self, _scale: &Scale) -> ExperimentOutput {
+        let catalog = Catalog::paper_catalog();
+        let ratios: Vec<f64> = catalog
+            .profiles()
+            .iter()
+            .map(|p| {
+                p.exec_time(Arch::Arm).as_secs_f64() / p.exec_time(Arch::X86).as_secs_f64()
+            })
+            .collect();
+        let cdf = Cdf::from_samples(ratios.clone());
+        let arm_faster = cdf.fraction_at_or_below(1.0 - 1e-12);
+
+        let mut fastest_on_arm: Vec<(&str, f64)> = catalog
+            .profiles()
+            .iter()
+            .filter(|p| p.arm_faster())
+            .map(|p| (p.name, 1.0 / p.arm_exec_ratio))
+            .collect();
+        fastest_on_arm.sort_by(|a, b| b.1.total_cmp(&a.1));
+
+        let mut lines = vec![
+            format!(
+                "{:.1}% of functions run faster on ARM (paper: ~38%)",
+                arm_faster * 100.0
+            ),
+            format!(
+                "ARM/x86 execution-time ratio quantiles: p25={:.2} p50={:.2} p75={:.2}",
+                cdf.quantile(0.25),
+                cdf.quantile(0.50),
+                cdf.quantile(0.75)
+            ),
+            "largest ARM speedups:".to_owned(),
+        ];
+        for (name, speedup) in fastest_on_arm.iter().take(5) {
+            lines.push(format!("  {name:<26} {speedup:.2}x"));
+        }
+
+        let data = json!({
+            "arm_over_x86_exec_ratios": ratios,
+            "arm_faster_fraction": arm_faster,
+        });
+        ExperimentOutput::new(self.id(), lines, data)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arm_faster_fraction_matches_paper() {
+        let out = Fig2.run(&Scale::smoke());
+        let f = out.data["arm_faster_fraction"].as_f64().unwrap();
+        assert!((f - 0.375).abs() < 0.01, "fraction {f}");
+    }
+}

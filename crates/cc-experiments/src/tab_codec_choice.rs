@@ -1,0 +1,108 @@
+//! §3.2: why CodeCrunch picks an lz4-class codec over an xz-class one.
+//!
+//! The paper argues that a compression-focused codec "can increase the
+//! decompression time, and hence, negate the benefit of warm starts". This
+//! experiment quantifies that: the same CodeCrunch run with the warm pool
+//! compressed by the fast codec (≈2.5× ratio, ≈0.35 s decode) versus the
+//! dense codec (≈3.3× ratio, ≈6 s decode at the paper's image sizes).
+
+use serde_json::json;
+
+use cc_compress::{CodecKind, CompressionModel};
+use cc_types::StartKind;
+use cc_workload::{Catalog, Workload};
+use codecrunch::CodeCrunch;
+
+use crate::common::{run_policy, sitw_budget_per_interval, ExperimentOutput, Scale};
+use crate::Experiment;
+
+/// Codec-choice experiment.
+pub struct TabCodecChoice;
+
+impl Experiment for TabCodecChoice {
+    fn id(&self) -> &'static str {
+        "tab_codec_choice"
+    }
+
+    fn title(&self) -> &'static str {
+        "lz4-class vs xz-class warm-pool compression (§3.2 codec-choice argument)"
+    }
+
+    fn run(&self, scale: &Scale) -> ExperimentOutput {
+        let trace = scale.trace();
+        let model = CompressionModel::paper_default();
+        let catalog = Catalog::paper_catalog();
+        let unlimited = scale.cluster();
+
+        let mut lines = vec![format!(
+            "{:<8} {:>12} {:>8} {:>18} {:>14}",
+            "codec", "service (s)", "warm %", "compressed starts", "mean decode (s)"
+        )];
+        let mut rows = Vec::new();
+        for codec in CodecKind::ALL {
+            let workload = Workload::from_trace_with_codec(&trace, &catalog, &model, codec);
+            let budget = sitw_budget_per_interval(&trace, &workload, &unlimited).scale(0.5);
+            let config = unlimited.clone().with_budget(budget);
+            let mut policy = CodeCrunch::new();
+            let report = run_policy(&mut policy, &config, &trace, &workload);
+            let compressed_starts = report.stats.breakdown(StartKind::WarmCompressed).count;
+            let decodes: Vec<f64> = report
+                .records
+                .iter()
+                .filter(|r| r.kind == StartKind::WarmCompressed)
+                .map(|r| r.start_penalty.as_secs_f64())
+                .collect();
+            let mean_decode = if decodes.is_empty() {
+                0.0
+            } else {
+                decodes.iter().sum::<f64>() / decodes.len() as f64
+            };
+            lines.push(format!(
+                "{:<8} {:>12.3} {:>7.1}% {:>18} {:>14.2}",
+                format!("{codec:?}"),
+                report.mean_service_time_secs(),
+                report.warm_fraction() * 100.0,
+                compressed_starts,
+                mean_decode
+            ));
+            rows.push(json!({
+                "codec": format!("{codec:?}"),
+                "mean_service_secs": report.mean_service_time_secs(),
+                "warm_fraction": report.warm_fraction(),
+                "compressed_starts": compressed_starts,
+                "mean_decode_secs": mean_decode,
+            }));
+        }
+        lines.push(
+            "(the dense codec's larger ratio buys more warm capacity, but its decode \
+             latency erodes — or erases — the warm-start advantage, which is why the \
+             paper selects lz4)"
+                .to_owned(),
+        );
+
+        ExperimentOutput::new(self.id(), lines, json!({ "rows": rows }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_codec_wins_on_service_time() {
+        let out = TabCodecChoice.run(&Scale::smoke());
+        let rows = out.data["rows"].as_array().unwrap();
+        let fast = rows[0]["mean_service_secs"].as_f64().unwrap();
+        let dense = rows[1]["mean_service_secs"].as_f64().unwrap();
+        assert!(
+            fast <= dense * 1.02,
+            "fast codec {fast}s should beat dense {dense}s"
+        );
+        // The dense codec's decode latency must actually show up.
+        let fast_decode = rows[0]["mean_decode_secs"].as_f64().unwrap();
+        let dense_decode = rows[1]["mean_decode_secs"].as_f64().unwrap();
+        if dense_decode > 0.0 && fast_decode > 0.0 {
+            assert!(dense_decode > fast_decode * 2.0);
+        }
+    }
+}

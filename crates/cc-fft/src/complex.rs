@@ -1,0 +1,169 @@
+//! A minimal complex-number type sufficient for FFT work.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Example
+///
+/// ```
+/// use cc_fft::Complex;
+///
+/// let i = Complex::new(0.0, 1.0);
+/// assert_eq!(i * i, Complex::new(-1.0, 0.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real component.
+    pub re: f64,
+    /// Imaginary component.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Zero.
+    pub const ZERO: Complex = Complex { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Complex = Complex { re: 1.0, im: 0.0 };
+
+    /// Creates a complex number from components.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// Creates a real number.
+    pub const fn from_real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// `e^(iθ)`: the unit-circle point at angle `theta`.
+    pub fn cis(theta: f64) -> Self {
+        Complex {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Complex {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Squared magnitude `re² + im²`.
+    pub fn norm_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Scales both components by a real factor.
+    pub fn scale(self, factor: f64) -> Complex {
+        Complex {
+            re: self.re * factor,
+            im: self.im * factor,
+        }
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, rhs: Complex) -> Complex {
+        Complex::new(self.re + rhs.re, self.im + rhs.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, rhs: Complex) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, rhs: Complex) -> Complex {
+        Complex::new(self.re - rhs.re, self.im - rhs.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, rhs: Complex) -> Complex {
+        Complex::new(
+            self.re * rhs.re - self.im * rhs.im,
+            self.re * rhs.im + self.im * rhs.re,
+        )
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Complex {
+        Complex::from_real(re)
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn field_axioms_spot_check() {
+        let a = Complex::new(1.0, 2.0);
+        let b = Complex::new(-3.0, 0.5);
+        assert!(close(a + b, b + a));
+        assert!(close(a * b, b * a));
+        assert!(close(a * Complex::ONE, a));
+        assert!(close(a + Complex::ZERO, a));
+        assert!(close(a + (-a), Complex::ZERO));
+    }
+
+    #[test]
+    fn conjugate_and_norm() {
+        let z = Complex::new(3.0, 4.0);
+        assert_eq!(z.abs(), 5.0);
+        assert_eq!(z.norm_sq(), 25.0);
+        assert!(close(z * z.conj(), Complex::from_real(25.0)));
+    }
+
+    #[test]
+    fn cis_is_on_unit_circle() {
+        for k in 0..16 {
+            let theta = k as f64 * std::f64::consts::PI / 8.0;
+            assert!((Complex::cis(theta).abs() - 1.0).abs() < 1e-12);
+        }
+        assert!(close(Complex::cis(0.0), Complex::ONE));
+    }
+
+    #[test]
+    fn display_signs() {
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2i");
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2i");
+    }
+}

@@ -1,0 +1,224 @@
+//! Iterative radix-2 Cooley–Tukey FFT.
+
+use std::f64::consts::PI;
+
+use crate::Complex;
+
+/// In-place forward FFT.
+///
+/// Computes `X[k] = Σ_n x[n]·e^(-2πi·kn/N)` for a power-of-two length.
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (zero-length is allowed).
+///
+/// # Example
+///
+/// ```
+/// use cc_fft::{fft, Complex};
+///
+/// let mut data = vec![Complex::ONE; 4];
+/// fft(&mut data);
+/// // A constant signal concentrates all energy in bin 0.
+/// assert!((data[0].re - 4.0).abs() < 1e-12);
+/// assert!(data[1].abs() < 1e-12);
+/// ```
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false);
+}
+
+/// In-place inverse FFT (includes the `1/N` normalization, so
+/// `ifft(fft(x)) == x`).
+///
+/// # Panics
+///
+/// Panics if `data.len()` is not a power of two (zero-length is allowed).
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len();
+    if n > 0 {
+        let scale = 1.0 / n as f64;
+        for v in data.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    assert!(n.is_power_of_two(), "FFT length {n} must be a power of two");
+
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = (i as u64).reverse_bits() >> (64 - bits) as u64;
+        let j = j as usize;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+
+    // Butterfly stages.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let angle = sign * 2.0 * PI / len as f64;
+        let w_len = Complex::cis(angle);
+        for chunk in data.chunks_exact_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for k in 0..half {
+                let u = chunk[k];
+                let v = chunk[k + half] * w;
+                chunk[k] = u + v;
+                chunk[k + half] = u - v;
+                w = w * w_len;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive `O(n²)` DFT used as a reference implementation in tests and for
+/// non-power-of-two lengths.
+///
+/// Allocates and returns the spectrum rather than transforming in place.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::ZERO;
+            for (i, &x) in data.iter().enumerate() {
+                let theta = -2.0 * PI * (k * i) as f64 / n as f64;
+                acc += x * Complex::cis(theta);
+            }
+            acc
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            assert!((*x - *y).abs() < tol, "bin {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let data: Vec<Complex> = (0..32)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 0.3).cos()))
+            .collect();
+        let expected = dft_naive(&data);
+        let mut actual = data.clone();
+        fft(&mut actual);
+        assert_close(&actual, &expected, 1e-9);
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut data = vec![Complex::ZERO; 16];
+        data[0] = Complex::ONE;
+        fft(&mut data);
+        for bin in &data {
+            assert!((bin.abs() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn single_tone_lands_in_one_bin() {
+        let n = 64;
+        let k0 = 5;
+        let mut data: Vec<Complex> = (0..n)
+            .map(|i| Complex::cis(2.0 * PI * (k0 * i) as f64 / n as f64))
+            .collect();
+        fft(&mut data);
+        for (k, bin) in data.iter().enumerate() {
+            if k == k0 {
+                assert!((bin.abs() - n as f64).abs() < 1e-9);
+            } else {
+                assert!(bin.abs() < 1e-9, "leakage at bin {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_are_noops() {
+        let mut empty: Vec<Complex> = vec![];
+        fft(&mut empty);
+        ifft(&mut empty);
+        let mut one = vec![Complex::new(3.0, -1.0)];
+        fft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -1.0));
+        ifft(&mut one);
+        assert_eq!(one[0], Complex::new(3.0, -1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let mut data = vec![Complex::ZERO; 12];
+        fft(&mut data);
+    }
+
+    #[test]
+    fn parseval_energy_conservation() {
+        let data: Vec<Complex> = (0..128)
+            .map(|i| Complex::new(((i * 37) % 11) as f64 - 5.0, 0.0))
+            .collect();
+        let time_energy: f64 = data.iter().map(|z| z.norm_sq()).sum();
+        let mut spec = data.clone();
+        fft(&mut spec);
+        let freq_energy: f64 = spec.iter().map(|z| z.norm_sq()).sum::<f64>() / 128.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6 * time_energy.max(1.0));
+    }
+
+    proptest! {
+        #[test]
+        fn ifft_inverts_fft(
+            values in prop::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 1..=128),
+        ) {
+            // Round length down to a power of two.
+            let n = values.len().next_power_of_two() / 2;
+            prop_assume!(n >= 1);
+            let original: Vec<Complex> =
+                values[..n].iter().map(|&(re, im)| Complex::new(re, im)).collect();
+            let mut data = original.clone();
+            fft(&mut data);
+            ifft(&mut data);
+            for (a, b) in data.iter().zip(&original) {
+                prop_assert!((*a - *b).abs() < 1e-8);
+            }
+        }
+
+        #[test]
+        fn fft_is_linear(
+            pairs in prop::collection::vec((-100f64..100.0, -100f64..100.0), 16),
+            alpha in -10f64..10.0,
+        ) {
+            let x: Vec<Complex> = pairs.iter().map(|&(a, _)| Complex::from_real(a)).collect();
+            let y: Vec<Complex> = pairs.iter().map(|&(_, b)| Complex::from_real(b)).collect();
+            let combined: Vec<Complex> = x
+                .iter()
+                .zip(&y)
+                .map(|(&a, &b)| a.scale(alpha) + b)
+                .collect();
+
+            let (mut fx, mut fy, mut fc) = (x.clone(), y.clone(), combined.clone());
+            fft(&mut fx);
+            fft(&mut fy);
+            fft(&mut fc);
+            for ((a, b), c) in fx.iter().zip(&fy).zip(&fc) {
+                prop_assert!((a.scale(alpha) + *b - *c).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Empirical cumulative distribution functions.
+
+use serde::{Deserialize, Serialize};
+
+/// An empirical CDF over a finite sample set.
+///
+/// Construction sorts the samples once; evaluation and plotting are then
+/// `O(log n)` / `O(n)` respectively. Used for the paper's CDF figures
+/// (service-time CDF in Fig. 7(b), decompression-to-cold-start ratio in
+/// Fig. 1(c), ARM speedup in Fig. 2).
+///
+/// # Example
+///
+/// ```
+/// use cc_metrics::Cdf;
+///
+/// let cdf = Cdf::from_samples(vec![1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
+/// assert_eq!(cdf.quantile(0.5), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Cdf {
+    sorted: Vec<f64>,
+}
+
+impl Cdf {
+    /// Builds a CDF from unsorted samples. Non-finite samples are dropped.
+    pub fn from_samples(mut samples: Vec<f64>) -> Self {
+        samples.retain(|v| v.is_finite());
+        samples.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        Cdf { sorted: samples }
+    }
+
+    /// Number of samples backing the CDF.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Returns whether the CDF has no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// Fraction of samples `≤ x`, in `[0, 1]`. Returns `0.0` if empty.
+    pub fn fraction_at_or_below(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let idx = self.sorted.partition_point(|&v| v <= x);
+        idx as f64 / self.sorted.len() as f64
+    }
+
+    /// The smallest sample `v` such that at least a fraction `q` of samples
+    /// are `≤ v` (nearest-rank quantile), `q ∈ [0, 1]`.
+    ///
+    /// Returns `0.0` if empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]` or NaN.
+    pub fn quantile(&self, q: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        let n = self.sorted.len();
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        self.sorted[rank - 1]
+    }
+
+    /// Produces `points` evenly spaced `(value, fraction)` pairs suitable
+    /// for plotting, covering quantiles `1/points ..= 1`.
+    ///
+    /// Returns an empty vector if the CDF is empty or `points == 0`.
+    pub fn plot_points(&self, points: usize) -> Vec<(f64, f64)> {
+        if self.sorted.is_empty() || points == 0 {
+            return Vec::new();
+        }
+        (1..=points)
+            .map(|i| {
+                let q = i as f64 / points as f64;
+                (self.quantile(q), q)
+            })
+            .collect()
+    }
+
+    /// Access to the sorted sample set.
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+}
+
+impl FromIterator<f64> for Cdf {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Cdf {
+        Cdf::from_samples(iter.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_cdf() {
+        let cdf = Cdf::from_samples(vec![]);
+        assert!(cdf.is_empty());
+        assert_eq!(cdf.fraction_at_or_below(1.0), 0.0);
+        assert_eq!(cdf.quantile(0.5), 0.0);
+        assert!(cdf.plot_points(10).is_empty());
+    }
+
+    #[test]
+    fn fraction_counts_inclusive() {
+        let cdf = Cdf::from_samples(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(cdf.fraction_at_or_below(0.5), 0.0);
+        assert_eq!(cdf.fraction_at_or_below(2.0), 0.75);
+        assert_eq!(cdf.fraction_at_or_below(10.0), 1.0);
+    }
+
+    #[test]
+    fn quantile_boundaries() {
+        let cdf = Cdf::from_samples(vec![10.0, 20.0, 30.0, 40.0]);
+        assert_eq!(cdf.quantile(0.0), 10.0);
+        assert_eq!(cdf.quantile(0.25), 10.0);
+        assert_eq!(cdf.quantile(0.26), 20.0);
+        assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn drops_non_finite() {
+        let cdf = Cdf::from_samples(vec![f64::NAN, 1.0, f64::NEG_INFINITY]);
+        assert_eq!(cdf.len(), 1);
+    }
+
+    #[test]
+    fn plot_points_end_at_max() {
+        let cdf: Cdf = (1..=100).map(|v| v as f64).collect();
+        let pts = cdf.plot_points(4);
+        assert_eq!(pts, vec![(25.0, 0.25), (50.0, 0.5), (75.0, 0.75), (100.0, 1.0)]);
+    }
+
+    proptest! {
+        #[test]
+        fn quantile_and_fraction_are_adjoint(
+            values in prop::collection::vec(0.0f64..1e6, 1..100),
+            q in 0.01f64..1.0,
+        ) {
+            let cdf = Cdf::from_samples(values);
+            let v = cdf.quantile(q);
+            // At least q of the mass sits at or below the q-quantile.
+            prop_assert!(cdf.fraction_at_or_below(v) + 1e-12 >= q);
+        }
+
+        #[test]
+        fn fraction_is_monotone(values in prop::collection::vec(-1e6f64..1e6, 1..100)) {
+            let cdf = Cdf::from_samples(values);
+            let xs = [-1e7, -10.0, 0.0, 10.0, 1e7];
+            for w in xs.windows(2) {
+                prop_assert!(cdf.fraction_at_or_below(w[0]) <= cdf.fraction_at_or_below(w[1]));
+            }
+        }
+    }
+}

@@ -1,0 +1,252 @@
+//! The P² streaming quantile estimator (Jain & Chlamtac, 1985).
+//!
+//! [`Summary`](crate::Summary) keeps every sample for exact percentiles,
+//! which is the right trade-off at experiment scale. For `--large` runs
+//! (millions of invocations × many policies) a constant-memory estimate is
+//! preferable: P² maintains five markers per tracked quantile and adjusts
+//! them with piecewise-parabolic interpolation as observations stream in.
+
+use serde::{Deserialize, Serialize};
+
+/// A constant-memory streaming estimator of one quantile.
+///
+/// # Example
+///
+/// ```
+/// use cc_metrics::P2Quantile;
+///
+/// let mut p95 = P2Quantile::new(0.95);
+/// for i in 0..10_000 {
+///     // Uniform over [0, 1): the exact p95 is 0.95.
+///     p95.observe((i % 1000) as f64 / 1000.0);
+/// }
+/// let estimate = p95.estimate().unwrap();
+/// assert!((estimate - 0.95).abs() < 0.01, "estimate {estimate}");
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    quantile: f64,
+    /// Marker heights (estimates of the 5 tracked quantile positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    /// Observations seen so far.
+    count: usize,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q ∈ (0, 1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> P2Quantile {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0, 1)");
+        P2Quantile {
+            quantile: q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    pub fn quantile(&self) -> f64 {
+        self.quantile
+    }
+
+    /// Number of observations so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Feeds one observation. Non-finite values are ignored.
+    pub fn observe(&mut self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        if self.count < 5 {
+            self.heights[self.count] = value;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+
+        // Locate the cell containing the observation and clamp extremes.
+        let k = if value < self.heights[0] {
+            self.heights[0] = value;
+            0
+        } else if value >= self.heights[4] {
+            self.heights[4] = value;
+            3
+        } else {
+            let mut cell = 0;
+            for i in 0..4 {
+                if value >= self.heights[i] && value < self.heights[i + 1] {
+                    cell = i;
+                    break;
+                }
+            }
+            cell
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+        self.count += 1;
+
+        // Adjust the three interior markers.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let step = d.signum();
+                let candidate = self.parabolic(i, step);
+                self.heights[i] = if self.heights[i - 1] < candidate
+                    && candidate < self.heights[i + 1]
+                {
+                    candidate
+                } else {
+                    self.linear(i, step)
+                };
+                self.positions[i] += step;
+            }
+        }
+    }
+
+    /// The current estimate, or `None` before five observations.
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.count < 5 {
+            // Fall back to a nearest-rank estimate over the few samples.
+            let mut sorted = self.heights[..self.count].to_vec();
+            sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
+            let rank = ((self.quantile * self.count as f64).ceil() as usize)
+                .clamp(1, self.count);
+            return Some(sorted[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let q = &self.heights;
+        let n = &self.positions;
+        q[i] + d / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + d) * (q[i + 1] - q[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - d) * (q[i] - q[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = if d > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_estimator() {
+        let p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        assert_eq!(p.count(), 0);
+        assert_eq!(p.quantile(), 0.5);
+    }
+
+    #[test]
+    fn tiny_streams_fall_back_to_rank() {
+        let mut p = P2Quantile::new(0.5);
+        p.observe(3.0);
+        p.observe(1.0);
+        p.observe(2.0);
+        assert_eq!(p.estimate(), Some(2.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        // Deterministic LCG permutation of [0, 1).
+        let mut state = 12345u64;
+        for _ in 0..50_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            p.observe((state >> 11) as f64 / (1u64 << 53) as f64);
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median estimate {est}");
+    }
+
+    #[test]
+    fn tail_quantile_of_skewed_stream() {
+        // Exponential-ish tail: p99 of exp(1) is ln(100) ≈ 4.605.
+        let mut p = P2Quantile::new(0.99);
+        let mut state = 777u64;
+        for _ in 0..200_000 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let u = ((state >> 11) as f64 / (1u64 << 53) as f64).max(1e-12);
+            p.observe(-u.ln());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 4.605).abs() < 0.35, "p99 estimate {est}");
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut p = P2Quantile::new(0.5);
+        p.observe(f64::NAN);
+        p.observe(f64::INFINITY);
+        assert_eq!(p.count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0, 1)")]
+    fn rejects_degenerate_quantile() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_stays_within_observed_range(
+            values in prop::collection::vec(-1e6f64..1e6, 5..500),
+            q in 0.05f64..0.95,
+        ) {
+            let mut p = P2Quantile::new(q);
+            for &v in &values {
+                p.observe(v);
+            }
+            let est = p.estimate().unwrap();
+            let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
+            let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "{est} outside [{lo}, {hi}]");
+        }
+
+        #[test]
+        fn tracks_exact_quantile_on_large_uniform_streams(q in 0.1f64..0.9) {
+            let mut p = P2Quantile::new(q);
+            let mut state = 4242u64;
+            for _ in 0..30_000 {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                p.observe((state >> 11) as f64 / (1u64 << 53) as f64);
+            }
+            let est = p.estimate().unwrap();
+            prop_assert!((est - q).abs() < 0.03, "estimate {est} for quantile {q}");
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Per-interval time-series accumulation.
+
+use serde::{Deserialize, Serialize};
+
+use cc_types::{SimDuration, SimTime};
+
+/// A time series bucketed into fixed-width intervals of simulated time.
+///
+/// Each bucket accumulates a sum and a count, so the series can report
+/// either totals (e.g. invocations per minute) or means (e.g. mean service
+/// time per minute). Buckets are created on demand; gaps are reported as
+/// zero-count buckets when iterating a range.
+///
+/// # Example
+///
+/// ```
+/// use cc_metrics::TimeSeries;
+/// use cc_types::{SimDuration, SimTime};
+///
+/// let mut s = TimeSeries::new(SimDuration::from_mins(1));
+/// s.record(SimTime::from_micros(10), 2.0);
+/// s.record(SimTime::from_micros(20), 4.0);
+/// assert_eq!(s.bucket_sum(0), 6.0);
+/// assert_eq!(s.bucket_mean(0), Some(3.0));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    interval: SimDuration,
+    sums: Vec<f64>,
+    counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series with the given bucket width.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn new(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "bucket interval must be non-zero");
+        TimeSeries {
+            interval,
+            sums: Vec::new(),
+            counts: Vec::new(),
+        }
+    }
+
+    /// The bucket width.
+    pub fn interval(&self) -> SimDuration {
+        self.interval
+    }
+
+    /// Records an observation at simulated time `at`.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let idx = at.interval_index(self.interval) as usize;
+        if idx >= self.sums.len() {
+            self.sums.resize(idx + 1, 0.0);
+            self.counts.resize(idx + 1, 0);
+        }
+        self.sums[idx] += value;
+        self.counts[idx] += 1;
+    }
+
+    /// Number of buckets touched so far (index of the last non-empty bucket
+    /// plus one).
+    pub fn len(&self) -> usize {
+        self.sums.len()
+    }
+
+    /// Returns whether no observations have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.sums.is_empty()
+    }
+
+    /// Sum of observations in bucket `idx` (zero if out of range).
+    pub fn bucket_sum(&self, idx: usize) -> f64 {
+        self.sums.get(idx).copied().unwrap_or(0.0)
+    }
+
+    /// Count of observations in bucket `idx` (zero if out of range).
+    pub fn bucket_count(&self, idx: usize) -> u64 {
+        self.counts.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Mean of observations in bucket `idx`, or `None` if the bucket is
+    /// empty.
+    pub fn bucket_mean(&self, idx: usize) -> Option<f64> {
+        let count = self.bucket_count(idx);
+        (count > 0).then(|| self.bucket_sum(idx) / count as f64)
+    }
+
+    /// All bucket sums, dense from bucket 0 through the last touched bucket.
+    pub fn sums(&self) -> &[f64] {
+        &self.sums
+    }
+
+    /// All bucket counts, dense from bucket 0.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Per-bucket means, with empty buckets reported as `0.0`.
+    pub fn means(&self) -> Vec<f64> {
+        (0..self.len())
+            .map(|i| self.bucket_mean(i).unwrap_or(0.0))
+            .collect()
+    }
+
+    /// Element-wise ratio of this series' sums over `denom`'s sums —
+    /// e.g. warm starts / invocations per minute. Empty denominators yield
+    /// `0.0`. The result has the length of the longer series.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two series have different bucket widths.
+    pub fn ratio_of_sums(&self, denom: &TimeSeries) -> Vec<f64> {
+        assert_eq!(
+            self.interval, denom.interval,
+            "series must share a bucket width"
+        );
+        let len = self.len().max(denom.len());
+        (0..len)
+            .map(|i| {
+                let d = denom.bucket_sum(i);
+                if d == 0.0 {
+                    0.0
+                } else {
+                    self.bucket_sum(i) / d
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn minutes() -> SimDuration {
+        SimDuration::from_mins(1)
+    }
+
+    #[test]
+    fn records_into_correct_bucket() {
+        let mut s = TimeSeries::new(minutes());
+        s.record(SimTime::from_micros(0), 1.0);
+        s.record(SimTime::ZERO + SimDuration::from_mins(2), 5.0);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bucket_sum(0), 1.0);
+        assert_eq!(s.bucket_sum(1), 0.0);
+        assert_eq!(s.bucket_sum(2), 5.0);
+        assert_eq!(s.bucket_count(1), 0);
+        assert_eq!(s.bucket_mean(1), None);
+    }
+
+    #[test]
+    fn means_fill_gaps_with_zero() {
+        let mut s = TimeSeries::new(minutes());
+        s.record(SimTime::ZERO, 2.0);
+        s.record(SimTime::ZERO, 4.0);
+        s.record(SimTime::ZERO + SimDuration::from_mins(2), 6.0);
+        assert_eq!(s.means(), vec![3.0, 0.0, 6.0]);
+    }
+
+    #[test]
+    fn ratio_of_sums_handles_gaps() {
+        let mut warm = TimeSeries::new(minutes());
+        let mut total = TimeSeries::new(minutes());
+        total.record(SimTime::ZERO, 1.0);
+        total.record(SimTime::ZERO, 1.0);
+        warm.record(SimTime::ZERO, 1.0);
+        total.record(SimTime::ZERO + SimDuration::from_mins(1), 1.0);
+        let ratio = warm.ratio_of_sums(&total);
+        assert_eq!(ratio, vec![0.5, 0.0]);
+    }
+
+    #[test]
+    fn ignores_non_finite() {
+        let mut s = TimeSeries::new(minutes());
+        s.record(SimTime::ZERO, f64::NAN);
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "bucket interval must be non-zero")]
+    fn zero_interval_rejected() {
+        let _ = TimeSeries::new(SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "series must share a bucket width")]
+    fn mismatched_intervals_rejected() {
+        let a = TimeSeries::new(SimDuration::from_mins(1));
+        let b = TimeSeries::new(SimDuration::from_mins(2));
+        let _ = a.ratio_of_sums(&b);
+    }
+}

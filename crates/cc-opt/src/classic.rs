@@ -1,0 +1,457 @@
+//! Classical optimizers: coordinate (gradient) descent, Newton-like
+//! descent, random search, and brute force.
+
+use cc_types::{Arch, FnChoice, SimDuration, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{Objective, OptOutcome};
+
+/// Steepest-descent over the discrete choice lattice — the paper's
+/// "gradient descent" baseline and also the inner optimizer of SRE's
+/// sub-problems.
+///
+/// Each round evaluates every single-choice neighbor of the current
+/// solution (restricted to `active` functions if set), takes the best
+/// feasible improvement, and applies the paper's tie-break: among
+/// candidates within 10% of the best cost, prefer the one with the lowest
+/// keep-alive memory.
+#[derive(Debug, Clone)]
+pub struct CoordinateDescent {
+    /// Maximum descent rounds.
+    pub max_rounds: usize,
+    /// Hard cap on objective evaluations.
+    pub eval_budget: u64,
+}
+
+impl Default for CoordinateDescent {
+    fn default() -> Self {
+        CoordinateDescent {
+            max_rounds: 64,
+            eval_budget: 100_000,
+        }
+    }
+}
+
+impl CoordinateDescent {
+    /// Optimizes starting from `start` over all functions.
+    pub fn optimize(&self, objective: &dyn Objective, start: Vec<FnChoice>) -> OptOutcome {
+        let active: Vec<usize> = (0..start.len()).collect();
+        self.optimize_subset(objective, start, &active)
+    }
+
+    /// Optimizes only the `active` function indices, holding others fixed
+    /// (SRE's sub-problem step).
+    pub fn optimize_subset(
+        &self,
+        objective: &dyn Objective,
+        start: Vec<FnChoice>,
+        active: &[usize],
+    ) -> OptOutcome {
+        assert_eq!(
+            start.len(),
+            objective.num_functions(),
+            "solution length must match the objective"
+        );
+        let mut current = start;
+        let mut current_cost = objective.evaluate(&current);
+        let mut evaluations = 1u64;
+
+        // Gauss–Seidel sweeps: each round visits every active coordinate
+        // and immediately applies its best improving move, so a window can
+        // grow by one step per coordinate per round rather than one step
+        // per round globally.
+        'rounds: for _ in 0..self.max_rounds {
+            let mut improved = false;
+            for &idx in active {
+                // Best improving feasible neighbor of this coordinate, with
+                // the paper's tie-break: among moves within 10% of the
+                // best, take the one minimizing keep-alive memory.
+                let mut candidates: Vec<(f64, f64, FnChoice)> = Vec::new();
+                for neighbor in current[idx].neighbors() {
+                    if evaluations >= self.eval_budget {
+                        break 'rounds;
+                    }
+                    let old = current[idx];
+                    current[idx] = neighbor;
+                    evaluations += 1;
+                    if objective.is_feasible(&current) {
+                        let cost = objective.evaluate(&current);
+                        if cost < current_cost {
+                            candidates.push((cost, objective.memory_cost(&current), neighbor));
+                        }
+                    }
+                    current[idx] = old;
+                }
+                let Some(best_cost) = candidates
+                    .iter()
+                    .map(|&(c, _, _)| c)
+                    .min_by(f64::total_cmp)
+                else {
+                    continue;
+                };
+                let threshold = best_cost + 0.1 * best_cost.abs();
+                let (_, _, choice) = candidates
+                    .into_iter()
+                    .filter(|&(c, _, _)| c <= threshold)
+                    .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.total_cmp(&b.0)))
+                    .expect("best candidate satisfies its own threshold");
+                current[idx] = choice;
+                current_cost = objective.evaluate(&current);
+                evaluations += 1;
+                improved = true;
+            }
+            if !improved {
+                break;
+            }
+        }
+        OptOutcome {
+            solution: current,
+            cost: current_cost,
+            evaluations,
+        }
+    }
+}
+
+/// A Newton-flavored descent: uses first and second differences along the
+/// keep-alive axis to jump multiple steps at once, plus plain flips for the
+/// binary dimensions.
+///
+/// On the paper's rugged discrete space the quadratic model misleads —
+/// which is the point of including it in the Fig. 3 comparison.
+#[derive(Debug, Clone)]
+pub struct NewtonDescent {
+    /// Maximum descent rounds.
+    pub max_rounds: usize,
+    /// Hard cap on objective evaluations.
+    pub eval_budget: u64,
+}
+
+impl Default for NewtonDescent {
+    fn default() -> Self {
+        NewtonDescent {
+            max_rounds: 32,
+            eval_budget: 100_000,
+        }
+    }
+}
+
+impl NewtonDescent {
+    /// Optimizes starting from `start`.
+    pub fn optimize(&self, objective: &dyn Objective, start: Vec<FnChoice>) -> OptOutcome {
+        let mut current = start;
+        let mut current_cost = objective.evaluate(&current);
+        let mut evaluations = 1u64;
+
+        'outer: for _ in 0..self.max_rounds {
+            let mut improved = false;
+            for idx in 0..current.len() {
+                if evaluations >= self.eval_budget {
+                    break 'outer;
+                }
+                // Newton step along keep-alive using central differences.
+                let base = current[idx];
+                let step = KEEP_ALIVE_STEP;
+                let up = FnChoice {
+                    keep_alive: (base.keep_alive + step).min(KEEP_ALIVE_MAX),
+                    ..base
+                };
+                let down = FnChoice {
+                    keep_alive: base.keep_alive.saturating_sub(step),
+                    ..base
+                };
+                let f0 = current_cost;
+                current[idx] = up;
+                let fup = objective.evaluate(&current);
+                current[idx] = down;
+                let fdown = objective.evaluate(&current);
+                current[idx] = base;
+                evaluations += 2;
+
+                let grad = (fup - fdown) / 2.0;
+                let hess = fup - 2.0 * f0 + fdown;
+                if grad.abs() > 1e-12 {
+                    let steps = if hess > 1e-12 {
+                        (-(grad / hess)).round()
+                    } else {
+                        -grad.signum() * 4.0
+                    };
+                    let steps = steps.clamp(-60.0, 60.0);
+                    if steps != 0.0 {
+                        let mins = base.keep_alive.as_mins_f64() + steps;
+                        let target = SimDuration::from_mins(mins.clamp(0.0, 60.0) as u64);
+                        let candidate = FnChoice {
+                            keep_alive: target,
+                            ..base
+                        };
+                        current[idx] = candidate;
+                        evaluations += 1;
+                        if objective.is_feasible(&current) {
+                            let cost = objective.evaluate(&current);
+                            if cost < current_cost {
+                                current_cost = cost;
+                                improved = true;
+                                continue;
+                            }
+                        }
+                        current[idx] = base;
+                    }
+                }
+
+                // Binary dimensions: plain flips.
+                for flip in [
+                    FnChoice {
+                        compress: !base.compress,
+                        ..base
+                    },
+                    FnChoice {
+                        arch: base.arch.other(),
+                        ..base
+                    },
+                ] {
+                    current[idx] = flip;
+                    evaluations += 1;
+                    if objective.is_feasible(&current) {
+                        let cost = objective.evaluate(&current);
+                        if cost < current_cost {
+                            current_cost = cost;
+                            improved = true;
+                            break;
+                        }
+                    }
+                    current[idx] = base;
+                }
+            }
+            if !improved {
+                break;
+            }
+        }
+        OptOutcome {
+            solution: current,
+            cost: current_cost,
+            evaluations,
+        }
+    }
+}
+
+/// Uniform random feasible sampling — the floor any real optimizer must
+/// beat.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    /// Number of samples to draw.
+    pub samples: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl RandomSearch {
+    /// Draws `samples` random solutions and keeps the best feasible one
+    /// (falling back to `start` if none are feasible).
+    pub fn optimize(&self, objective: &dyn Objective, start: Vec<FnChoice>) -> OptOutcome {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best = start;
+        let mut best_cost = objective.evaluate(&best);
+        let mut evaluations = 1u64;
+        for _ in 0..self.samples {
+            let candidate: Vec<FnChoice> = (0..objective.num_functions())
+                .map(|_| random_choice(&mut rng))
+                .collect();
+            evaluations += 1;
+            if objective.is_feasible(&candidate) {
+                let cost = objective.evaluate(&candidate);
+                if cost < best_cost {
+                    best_cost = cost;
+                    best = candidate;
+                }
+            }
+        }
+        OptOutcome {
+            solution: best,
+            cost: best_cost,
+            evaluations,
+        }
+    }
+}
+
+/// Draws a uniformly random choice tuple.
+pub(crate) fn random_choice(rng: &mut StdRng) -> FnChoice {
+    FnChoice::new(
+        Arch::from_bit(rng.gen_range(0..2)),
+        rng.gen_bool(0.5),
+        SimDuration::from_mins(rng.gen_range(0..=60)),
+    )
+}
+
+/// Exact enumeration over a restricted keep-alive menu — Fig. 3's Oracle.
+///
+/// The space is `(2 × 2 × keep_alive_options.len())^N`; callers are
+/// responsible for keeping `N` tiny.
+///
+/// # Panics
+///
+/// Panics if the space exceeds 20 million points (a brute force that large
+/// is a bug, not an experiment).
+pub fn brute_force(
+    objective: &dyn Objective,
+    keep_alive_options: &[SimDuration],
+) -> OptOutcome {
+    let n = objective.num_functions();
+    let per_fn = 4 * keep_alive_options.len() as u128;
+    let total = per_fn.checked_pow(n as u32).unwrap_or(u128::MAX);
+    assert!(
+        total <= 20_000_000,
+        "brute force space {total} too large for exact search"
+    );
+
+    let mut best: Option<(f64, Vec<FnChoice>)> = None;
+    let mut evaluations = 0u64;
+    let mut indices = vec![0usize; n];
+    let options: Vec<FnChoice> = keep_alive_options
+        .iter()
+        .flat_map(|&ka| {
+            [
+                FnChoice::new(Arch::X86, false, ka),
+                FnChoice::new(Arch::X86, true, ka),
+                FnChoice::new(Arch::Arm, false, ka),
+                FnChoice::new(Arch::Arm, true, ka),
+            ]
+        })
+        .collect();
+
+    loop {
+        let candidate: Vec<FnChoice> = indices.iter().map(|&i| options[i]).collect();
+        evaluations += 1;
+        if objective.is_feasible(&candidate) {
+            let cost = objective.evaluate(&candidate);
+            if best.as_ref().is_none_or(|(b, _)| cost < *b) {
+                best = Some((cost, candidate));
+            }
+        }
+        // Odometer increment.
+        let mut digit = 0;
+        loop {
+            if digit == n {
+                let (cost, solution) = best.expect("at least one feasible point evaluated");
+                return OptOutcome {
+                    solution,
+                    cost,
+                    evaluations,
+                };
+            }
+            indices[digit] += 1;
+            if indices[digit] < options.len() {
+                break;
+            }
+            indices[digit] = 0;
+            digit += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::testing::{optimum, Bowl};
+
+    fn bowl(n: usize) -> Bowl {
+        Bowl {
+            n,
+            target_mins: 7.0,
+            max_total_mins: None,
+        }
+    }
+
+    #[test]
+    fn coordinate_descent_finds_bowl_optimum() {
+        let b = bowl(5);
+        let start = vec![FnChoice::production_default(); 5];
+        let out = CoordinateDescent::default().optimize(&b, start);
+        assert_eq!(out.cost, 0.0, "solution {:?}", out.solution);
+        assert_eq!(out.solution, optimum(&b));
+    }
+
+    #[test]
+    fn coordinate_descent_respects_budget_constraint() {
+        let b = Bowl {
+            n: 4,
+            target_mins: 30.0,
+            max_total_mins: Some(60.0),
+        };
+        let start = vec![FnChoice::drop_now(Arch::X86); 4];
+        let out = CoordinateDescent::default().optimize(&b, start);
+        assert!(b.is_feasible(&out.solution));
+        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
+        assert!(total <= 60.0);
+    }
+
+    #[test]
+    fn coordinate_descent_subset_freezes_inactive() {
+        let b = bowl(4);
+        let start = vec![FnChoice::production_default(); 4];
+        let out = CoordinateDescent::default().optimize_subset(&b, start.clone(), &[0, 1]);
+        assert_eq!(out.solution[2], start[2]);
+        assert_eq!(out.solution[3], start[3]);
+        assert_ne!(out.solution[0], start[0]);
+    }
+
+    #[test]
+    fn newton_descent_improves() {
+        let b = bowl(4);
+        let start = vec![FnChoice::new(Arch::X86, false, SimDuration::from_mins(40)); 4];
+        let start_cost = b.evaluate(&start);
+        let out = NewtonDescent::default().optimize(&b, start);
+        assert!(out.cost < start_cost, "{} !< {start_cost}", out.cost);
+        // The quadratic model along keep-alive should land each function on
+        // the target.
+        for c in &out.solution {
+            assert_eq!(c.keep_alive, SimDuration::from_mins(7));
+        }
+    }
+
+    #[test]
+    fn random_search_improves_over_bad_start() {
+        let b = bowl(2);
+        let start = vec![FnChoice::new(Arch::X86, false, SimDuration::from_mins(60)); 2];
+        let start_cost = b.evaluate(&start);
+        let out = RandomSearch { samples: 500, seed: 1 }.optimize(&b, start);
+        assert!(out.cost < start_cost);
+    }
+
+    #[test]
+    fn brute_force_is_exact() {
+        let b = Bowl {
+            n: 2,
+            target_mins: 10.0,
+            max_total_mins: None,
+        };
+        let menu = [0u64, 5, 10, 20].map(SimDuration::from_mins);
+        let out = brute_force(&b, &menu);
+        assert_eq!(out.cost, 0.0);
+        for c in &out.solution {
+            assert_eq!(c.keep_alive, SimDuration::from_mins(10));
+            assert_eq!(c.arch, Arch::Arm);
+            assert!(c.compress);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too large")]
+    fn brute_force_rejects_huge_spaces() {
+        let b = bowl(20);
+        let menu: Vec<SimDuration> = (0..=60).map(SimDuration::from_mins).collect();
+        let _ = brute_force(&b, &menu);
+    }
+
+    #[test]
+    fn eval_budget_is_respected() {
+        let b = bowl(50);
+        let start = vec![FnChoice::production_default(); 50];
+        let out = CoordinateDescent {
+            max_rounds: 1000,
+            eval_budget: 300,
+        }
+        .optimize(&b, start);
+        assert!(out.evaluations <= 302, "{}", out.evaluations);
+    }
+}

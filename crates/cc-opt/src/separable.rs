@@ -1,0 +1,311 @@
+//! The separable fast path: O(1)-per-move descent for objectives that are
+//! sums of per-function terms.
+//!
+//! CodeCrunch's interval objective is exactly that shape — mean predicted
+//! service plus a budget constraint that is a sum of per-function
+//! keep-alive costs — so a descent move touching one function can be
+//! scored by a term delta instead of re-summing all `N` functions. This is
+//! what keeps CodeCrunch's decision overhead flat as the function
+//! population grows (the paper's §5 overhead claim).
+
+use cc_types::FnChoice;
+
+use crate::{CoordinateDescent, Objective, OptOutcome};
+
+/// An objective decomposable into independent per-function terms.
+///
+/// The induced joint objective is `Σ service_term / N` subject to
+/// `Σ cost_term ≤ budget` and per-choice validity; `Σ memory_term` feeds
+/// the paper's 10% tie-break. [`SeparableView`] adapts any implementor to
+/// the general [`Objective`] interface for the generic optimizers.
+pub trait SeparableObjective: Sync {
+    /// Number of functions.
+    fn num_functions(&self) -> usize;
+
+    /// Predicted service contribution (seconds) of one choice, including
+    /// any per-function penalties (e.g. SLA).
+    fn service_term(&self, idx: usize, choice: &FnChoice) -> f64;
+
+    /// Keep-alive cost contribution of one choice, in budget units.
+    fn cost_term(&self, idx: usize, choice: &FnChoice) -> f64;
+
+    /// Keep-alive memory contribution used by the tie-break.
+    fn memory_term(&self, idx: usize, choice: &FnChoice) -> f64 {
+        let _ = (idx, choice);
+        0.0
+    }
+
+    /// Whether a choice is permitted for this function at all
+    /// (architecture restrictions, compression bans).
+    fn allowed(&self, idx: usize, choice: &FnChoice) -> bool {
+        let _ = (idx, choice);
+        true
+    }
+
+    /// The total budget in the same units as [`SeparableObjective::cost_term`];
+    /// `None` = unlimited.
+    fn budget(&self) -> Option<f64> {
+        None
+    }
+}
+
+/// Adapter exposing a [`SeparableObjective`] through the general
+/// [`Objective`] interface (O(n) per evaluation — use the separable
+/// descent for hot paths).
+pub struct SeparableView<'a, T: ?Sized>(pub &'a T);
+
+impl<T: SeparableObjective + ?Sized> Objective for SeparableView<'_, T> {
+    fn num_functions(&self) -> usize {
+        self.0.num_functions()
+    }
+
+    fn evaluate(&self, solution: &[FnChoice]) -> f64 {
+        if solution.is_empty() {
+            return 0.0;
+        }
+        let total: f64 = solution
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.0.service_term(i, c))
+            .sum();
+        total / solution.len() as f64
+    }
+
+    fn is_feasible(&self, solution: &[FnChoice]) -> bool {
+        if solution
+            .iter()
+            .enumerate()
+            .any(|(i, c)| !self.0.allowed(i, c))
+        {
+            return false;
+        }
+        match self.0.budget() {
+            None => true,
+            Some(budget) => {
+                let cost: f64 = solution
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| self.0.cost_term(i, c))
+                    .sum();
+                cost <= budget
+            }
+        }
+    }
+
+    fn memory_cost(&self, solution: &[FnChoice]) -> f64 {
+        solution
+            .iter()
+            .enumerate()
+            .map(|(i, c)| self.0.memory_term(i, c))
+            .sum()
+    }
+}
+
+impl CoordinateDescent {
+    /// [`CoordinateDescent::optimize_subset`] specialized for separable
+    /// objectives: every neighbor is scored with an O(1) term delta, so a
+    /// sweep over `k` active functions costs `O(k)` instead of `O(k·N)`.
+    ///
+    /// Moves must keep the running cost within budget — or strictly reduce
+    /// it, so descent can climb back out of an infeasible start.
+    pub fn optimize_separable_subset<T: SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        active: &[usize],
+    ) -> OptOutcome {
+        let n = objective.num_functions();
+        assert_eq!(start.len(), n, "solution length must match the objective");
+        let mut current = start;
+        let mut service: Vec<f64> = current
+            .iter()
+            .enumerate()
+            .map(|(i, c)| objective.service_term(i, c))
+            .collect();
+        let mut cost: Vec<f64> = current
+            .iter()
+            .enumerate()
+            .map(|(i, c)| objective.cost_term(i, c))
+            .collect();
+        let mut service_sum: f64 = service.iter().sum();
+        let mut cost_sum: f64 = cost.iter().sum();
+        let budget = objective.budget();
+        let mut evaluations = (n as u64).max(1);
+
+        'rounds: for _ in 0..self.max_rounds {
+            let mut improved = false;
+            for &idx in active {
+                // (service_sum', cost', mem_delta, choice)
+                let mut candidates: Vec<(f64, f64, f64, FnChoice)> = Vec::new();
+                let current_mem = objective.memory_term(idx, &current[idx]);
+                for neighbor in current[idx].neighbors() {
+                    if evaluations >= self.eval_budget {
+                        break 'rounds;
+                    }
+                    evaluations += 1;
+                    if !objective.allowed(idx, &neighbor) {
+                        continue;
+                    }
+                    let new_cost = objective.cost_term(idx, &neighbor);
+                    let new_cost_sum = cost_sum - cost[idx] + new_cost;
+                    let feasible = match budget {
+                        None => true,
+                        Some(b) => new_cost_sum <= b || new_cost_sum < cost_sum,
+                    };
+                    if !feasible {
+                        continue;
+                    }
+                    let new_service_sum =
+                        service_sum - service[idx] + objective.service_term(idx, &neighbor);
+                    if new_service_sum < service_sum {
+                        let mem_delta = objective.memory_term(idx, &neighbor) - current_mem;
+                        candidates.push((new_service_sum, new_cost, mem_delta, neighbor));
+                    }
+                }
+                let Some(best) = candidates
+                    .iter()
+                    .map(|&(s, _, _, _)| s)
+                    .min_by(f64::total_cmp)
+                else {
+                    continue;
+                };
+                let threshold = best + 0.1 * best.abs();
+                let (new_service_sum, new_cost, _, choice) = candidates
+                    .into_iter()
+                    .filter(|&(s, _, _, _)| s <= threshold)
+                    .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.total_cmp(&b.0)))
+                    .expect("best candidate satisfies its own threshold");
+                cost_sum = cost_sum - cost[idx] + new_cost;
+                cost[idx] = new_cost;
+                service_sum = new_service_sum;
+                service[idx] = objective.service_term(idx, &choice);
+                current[idx] = choice;
+                improved = true;
+            }
+            if !improved {
+                break;
+            }
+        }
+        let cost = if n == 0 { 0.0 } else { service_sum / n as f64 };
+        OptOutcome {
+            solution: current,
+            cost,
+            evaluations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{Arch, SimDuration};
+
+    /// Separable twin of the test bowl.
+    struct SepBowl {
+        n: usize,
+        target_mins: f64,
+        budget_mins: Option<f64>,
+    }
+
+    impl SeparableObjective for SepBowl {
+        fn num_functions(&self) -> usize {
+            self.n
+        }
+        fn service_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+            let d = c.keep_alive.as_mins_f64() - self.target_mins;
+            let arch_pen = if c.arch == Arch::X86 { 3.0 } else { 0.0 };
+            let comp_pen = if c.compress { 0.0 } else { 2.0 };
+            d * d + arch_pen + comp_pen
+        }
+        fn cost_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+            c.keep_alive.as_mins_f64()
+        }
+        fn memory_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+            c.keep_alive.as_mins_f64()
+        }
+        fn budget(&self) -> Option<f64> {
+            self.budget_mins
+        }
+    }
+
+    #[test]
+    fn separable_descent_matches_generic_descent() {
+        let bowl = SepBowl {
+            n: 6,
+            target_mins: 7.0,
+            budget_mins: None,
+        };
+        let start = vec![FnChoice::production_default(); 6];
+        let active: Vec<usize> = (0..6).collect();
+        let fast = CoordinateDescent::default().optimize_separable_subset(
+            &bowl,
+            start.clone(),
+            &active,
+        );
+        let view = SeparableView(&bowl);
+        let generic = CoordinateDescent::default().optimize_subset(&view, start, &active);
+        assert_eq!(fast.solution, generic.solution);
+        assert!((fast.cost * 6.0 - generic.cost * 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn separable_descent_respects_budget() {
+        let bowl = SepBowl {
+            n: 4,
+            target_mins: 30.0,
+            budget_mins: Some(60.0),
+        };
+        let start = vec![FnChoice::drop_now(Arch::X86); 4];
+        let active: Vec<usize> = (0..4).collect();
+        let out =
+            CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
+        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
+        assert!(total <= 60.0 + 1e-9, "budget violated: {total}");
+    }
+
+    #[test]
+    fn separable_descent_escapes_infeasible_start() {
+        let bowl = SepBowl {
+            n: 2,
+            target_mins: 5.0,
+            budget_mins: Some(10.0),
+        };
+        // Start over budget: 2 × 60 = 120 minutes.
+        let start = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(60)); 2];
+        let active = [0usize, 1];
+        let out =
+            CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
+        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
+        assert!(total <= 10.0 + 1e-9, "should have descended into budget: {total}");
+    }
+
+    #[test]
+    fn view_adapter_agrees_with_terms() {
+        let bowl = SepBowl {
+            n: 3,
+            target_mins: 7.0,
+            budget_mins: Some(15.0),
+        };
+        let view = SeparableView(&bowl);
+        let sol = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(7)); 3];
+        assert_eq!(view.evaluate(&sol), 0.0);
+        assert!(!view.is_feasible(&sol), "21 minutes exceeds the 15-minute budget");
+        assert_eq!(view.memory_cost(&sol), 21.0);
+    }
+
+    #[test]
+    fn empty_active_set_is_a_noop() {
+        let bowl = SepBowl {
+            n: 3,
+            target_mins: 7.0,
+            budget_mins: None,
+        };
+        let start = vec![FnChoice::production_default(); 3];
+        let out = CoordinateDescent::default().optimize_separable_subset(
+            &bowl,
+            start.clone(),
+            &[],
+        );
+        assert_eq!(out.solution, start);
+    }
+}

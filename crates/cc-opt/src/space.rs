@@ -1,0 +1,202 @@
+//! Choice-space utilities: size accounting, sub-problem sampling, and
+//! solution recombination.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use cc_types::{Arch, FnChoice, SimDuration, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
+
+/// Size of the joint choice space for `n` functions: each function
+/// contributes 2 (compression) × 2 (processor) × 61 (keep-alive minutes
+/// 0..=60) options — the quantity plotted in the paper's Fig. 3(a).
+///
+/// Saturates at `u128::MAX`.
+pub fn search_space_size(n: usize) -> u128 {
+    let per_fn: u128 =
+        2 * 2 * (KEEP_ALIVE_MAX.as_micros() / KEEP_ALIVE_STEP.as_micros() + 1) as u128;
+    let mut total: u128 = 1;
+    for _ in 0..n {
+        total = total.saturating_mul(per_fn);
+    }
+    total
+}
+
+/// Samples disjoint sub-problems for one SRE round.
+///
+/// Each of the `num_subproblems` groups receives up to
+/// `funcs_per_subproblem` function indices, drawn without replacement with
+/// probability inversely proportional to how often each function has been
+/// optimized before (`opt_counts`) — the paper's fairness mechanism: rarely
+/// optimized functions are more likely to be selected.
+pub fn sample_subproblems(
+    rng: &mut StdRng,
+    opt_counts: &[u32],
+    num_subproblems: usize,
+    funcs_per_subproblem: usize,
+) -> Vec<Vec<usize>> {
+    let n = opt_counts.len();
+    let mut weights: Vec<f64> = opt_counts.iter().map(|&c| 1.0 / (1.0 + c as f64)).collect();
+    let mut groups = Vec::with_capacity(num_subproblems);
+    let mut remaining = n;
+    for _ in 0..num_subproblems {
+        let mut group = Vec::with_capacity(funcs_per_subproblem);
+        for _ in 0..funcs_per_subproblem {
+            if remaining == 0 {
+                break;
+            }
+            let total: f64 = weights.iter().sum();
+            if total <= 0.0 {
+                break;
+            }
+            let mut draw = rng.gen::<f64>() * total;
+            let mut chosen = None;
+            for (idx, &w) in weights.iter().enumerate() {
+                if w <= 0.0 {
+                    continue;
+                }
+                draw -= w;
+                if draw <= 0.0 {
+                    chosen = Some(idx);
+                    break;
+                }
+            }
+            let idx = chosen.unwrap_or_else(|| {
+                weights
+                    .iter()
+                    .rposition(|&w| w > 0.0)
+                    .expect("total > 0 implies a positive weight")
+            });
+            group.push(idx);
+            weights[idx] = 0.0;
+            remaining -= 1;
+        }
+        if !group.is_empty() {
+            groups.push(group);
+        }
+    }
+    groups
+}
+
+/// Recombines the per-round solutions into SRE's final answer: the paper
+/// takes "the mean of all the `P_num` optimization solutions". Keep-alive
+/// times average arithmetically; the binary dimensions take a majority
+/// vote (ties resolve to the last round's value, the freshest optimum).
+///
+/// # Panics
+///
+/// Panics if `rounds` is empty or the rounds disagree on length.
+pub fn combine_solutions(rounds: &[Vec<FnChoice>]) -> Vec<FnChoice> {
+    assert!(!rounds.is_empty(), "need at least one round to combine");
+    let n = rounds[0].len();
+    for r in rounds {
+        assert_eq!(r.len(), n, "rounds must agree on the function count");
+    }
+    (0..n)
+        .map(|i| {
+            let mean_mins = rounds
+                .iter()
+                .map(|r| r[i].keep_alive.as_mins_f64())
+                .sum::<f64>()
+                / rounds.len() as f64;
+            let compress_votes = rounds.iter().filter(|r| r[i].compress).count() * 2;
+            let arm_votes = rounds.iter().filter(|r| r[i].arch == Arch::Arm).count() * 2;
+            let last = rounds.last().expect("non-empty")[i];
+            let compress = match compress_votes.cmp(&rounds.len()) {
+                std::cmp::Ordering::Greater => true,
+                std::cmp::Ordering::Less => false,
+                std::cmp::Ordering::Equal => last.compress,
+            };
+            let arch = match arm_votes.cmp(&rounds.len()) {
+                std::cmp::Ordering::Greater => Arch::Arm,
+                std::cmp::Ordering::Less => Arch::X86,
+                std::cmp::Ordering::Equal => last.arch,
+            };
+            FnChoice::new(
+                arch,
+                compress,
+                SimDuration::from_secs_f64(mean_mins * 60.0),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn space_size_matches_paper_scale() {
+        assert_eq!(search_space_size(0), 1);
+        assert_eq!(search_space_size(1), 244);
+        assert_eq!(search_space_size(2), 244 * 244);
+        // Thousands of functions: astronomically large (saturates).
+        assert_eq!(search_space_size(100_000), u128::MAX);
+    }
+
+    #[test]
+    fn subproblems_are_disjoint() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = vec![0u32; 20];
+        let groups = sample_subproblems(&mut rng, &counts, 4, 3);
+        let mut seen = std::collections::HashSet::new();
+        for g in &groups {
+            for &i in g {
+                assert!(seen.insert(i), "index {i} sampled twice");
+                assert!(i < 20);
+            }
+        }
+        assert_eq!(seen.len(), 12);
+    }
+
+    #[test]
+    fn sampling_favors_rarely_optimized() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Function 0 never optimized, the rest heavily optimized.
+        let mut counts = vec![1000u32; 50];
+        counts[0] = 0;
+        let mut hits = 0;
+        for _ in 0..100 {
+            let groups = sample_subproblems(&mut rng, &counts, 1, 1);
+            if groups[0][0] == 0 {
+                hits += 1;
+            }
+        }
+        assert!(hits > 80, "function 0 selected only {hits}/100 times");
+    }
+
+    #[test]
+    fn sampling_handles_small_populations() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = vec![0u32; 2];
+        let groups = sample_subproblems(&mut rng, &counts, 5, 3);
+        let total: usize = groups.iter().map(Vec::len).sum();
+        assert_eq!(total, 2, "cannot sample more than exists");
+    }
+
+    #[test]
+    fn combine_averages_and_votes() {
+        let a = vec![FnChoice::new(Arch::X86, true, SimDuration::from_mins(10))];
+        let b = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(20))];
+        let c = vec![FnChoice::new(Arch::Arm, false, SimDuration::from_mins(30))];
+        let combined = combine_solutions(&[a, b, c]);
+        assert_eq!(combined[0].keep_alive, SimDuration::from_mins(20));
+        assert!(combined[0].compress, "2/3 voted compress");
+        assert_eq!(combined[0].arch, Arch::Arm, "2/3 voted ARM");
+    }
+
+    #[test]
+    fn combine_tie_takes_last_round() {
+        let a = vec![FnChoice::new(Arch::X86, false, SimDuration::from_mins(0))];
+        let b = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(0))];
+        let combined = combine_solutions(&[a, b]);
+        assert_eq!(combined[0].arch, Arch::Arm);
+        assert!(combined[0].compress);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one round")]
+    fn combine_rejects_empty() {
+        let _ = combine_solutions(&[]);
+    }
+}

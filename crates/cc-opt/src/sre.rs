@@ -1,0 +1,342 @@
+//! Sequential Random Embedding — the paper's optimizer.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use cc_types::FnChoice;
+
+use crate::space::{combine_solutions, sample_subproblems};
+use crate::{CoordinateDescent, Objective, OptOutcome};
+
+/// Sequential Random Embedding over the choice space.
+///
+/// Per round, SRE samples disjoint low-dimensional sub-problems
+/// (probabilistically favoring rarely-optimized functions), runs the inner
+/// coordinate descent on each **in parallel**, and splices the sub-problem
+/// optima back into the working solution. After `rounds` rounds, the final
+/// answer is the per-dimension mean/majority of the round solutions — or
+/// the best single round if the combination turns out infeasible or worse.
+///
+/// The per-round dimensionality (`num_subproblems × funcs_per_subproblem ×
+/// 3 × rounds`) is kept roughly 10× below the full `3N`, per the paper.
+///
+/// # Example
+///
+/// ```
+/// use cc_opt::{Objective, Sre};
+/// use cc_types::{Arch, FnChoice};
+///
+/// struct PreferArm;
+/// impl Objective for PreferArm {
+///     fn num_functions(&self) -> usize {
+///         12
+///     }
+///     fn evaluate(&self, s: &[FnChoice]) -> f64 {
+///         s.iter().filter(|c| c.arch == Arch::X86).count() as f64
+///     }
+/// }
+///
+/// let mut counts = vec![0u32; 12];
+/// let start = vec![FnChoice::production_default(); 12];
+/// let out = Sre::scaled_to(12).optimize(&PreferArm, start, &mut counts);
+/// // Three rounds of 2-function sub-problems move ~6 functions to ARM.
+/// assert!(out.cost <= 7.0, "sub-problem optima spliced in, got {}", out.cost);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Sre {
+    /// Functions per sub-problem (`D_SRE / 3` in the paper's notation).
+    pub funcs_per_subproblem: usize,
+    /// Sub-problems per round (`N_SRE`).
+    pub num_subproblems: usize,
+    /// Optimization rounds (`P_num`).
+    pub rounds: usize,
+    /// RNG seed for sub-problem sampling.
+    pub seed: u64,
+    /// Inner sub-problem optimizer.
+    pub inner: CoordinateDescent,
+    /// Run sub-problems on parallel threads (deterministic either way).
+    pub parallel: bool,
+}
+
+impl Sre {
+    /// Scales the SRE parameters to `n` functions the way the paper
+    /// describes: sub-problem count and size grow with `n`. Each round
+    /// samples roughly a third of the functions into sub-problems of at
+    /// most a dozen, so across the three rounds most functions are
+    /// revisited while every individual search stays low-dimensional —
+    /// the joint spaces actually searched are exponentially smaller than
+    /// the full `244^n` space.
+    pub fn scaled_to(n: usize) -> Sre {
+        let funcs_per_subproblem = n.div_ceil(24).clamp(2, 12);
+        let num_subproblems = n.div_ceil(3 * funcs_per_subproblem).clamp(1, 16);
+        Sre {
+            funcs_per_subproblem,
+            num_subproblems,
+            rounds: 3,
+            seed: 0,
+            inner: CoordinateDescent {
+                max_rounds: 16,
+                eval_budget: 4_000,
+            },
+            parallel: true,
+        }
+    }
+
+    /// Returns a copy with a different sampling seed.
+    pub fn with_seed(mut self, seed: u64) -> Sre {
+        self.seed = seed;
+        self
+    }
+
+    /// Optimizes starting from `start`.
+    ///
+    /// `opt_counts[i]` is how many times function `i` has been optimized in
+    /// past rounds/intervals; SRE samples inversely to it and increments it
+    /// for every function it optimizes (the caller persists it across
+    /// intervals).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start` or `opt_counts` disagree with the objective size.
+    pub fn optimize(
+        &self,
+        objective: &dyn Objective,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+    ) -> OptOutcome {
+        let inner = self.inner.clone();
+        self.run_rounds(objective, start, opt_counts, &move |s, group| {
+            inner.optimize_subset(objective, s, group)
+        })
+    }
+
+    /// [`Sre::optimize`] specialized for [separable
+    /// objectives](crate::SeparableObjective): the inner descent scores
+    /// moves in O(1) via term deltas, keeping SRE's total cost linear in
+    /// the number of invoked functions.
+    pub fn optimize_separable<T: crate::SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+    ) -> OptOutcome {
+        let view = crate::SeparableView(objective);
+        let inner = self.inner.clone();
+        self.run_rounds(&view, start, opt_counts, &move |s, group| {
+            inner.optimize_separable_subset(objective, s, group)
+        })
+    }
+
+    /// Shared SRE machinery, parameterized over the sub-problem optimizer.
+    fn run_rounds(
+        &self,
+        objective: &dyn Objective,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+        optimize_subset: &(dyn Fn(Vec<FnChoice>, &[usize]) -> OptOutcome + Sync),
+    ) -> OptOutcome {
+        let n = objective.num_functions();
+        assert_eq!(start.len(), n, "start length must match objective");
+        assert_eq!(opt_counts.len(), n, "opt_counts length must match objective");
+        if n == 0 {
+            return OptOutcome {
+                solution: start,
+                cost: 0.0,
+                evaluations: 0,
+            };
+        }
+
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut current = start;
+        let mut evaluations = 0u64;
+        let mut round_solutions: Vec<Vec<FnChoice>> = Vec::with_capacity(self.rounds);
+
+        for _ in 0..self.rounds {
+            let groups = sample_subproblems(
+                &mut rng,
+                opt_counts,
+                self.num_subproblems,
+                self.funcs_per_subproblem,
+            );
+            let outcomes: Vec<OptOutcome> = if self.parallel && groups.len() > 1 {
+                let current_ref = &current;
+                crossbeam::scope(|scope| {
+                    let handles: Vec<_> = groups
+                        .iter()
+                        .map(|group| {
+                            scope.spawn(move |_| optimize_subset(current_ref.clone(), group))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sub-problem thread panicked"))
+                        .collect()
+                })
+                .expect("crossbeam scope")
+            } else {
+                groups
+                    .iter()
+                    .map(|group| optimize_subset(current.clone(), group))
+                    .collect()
+            };
+
+            // Splice each sub-problem's optimized choices back in (groups
+            // are disjoint, so order does not matter).
+            let mut touched: Vec<usize> = Vec::new();
+            for (group, outcome) in groups.iter().zip(&outcomes) {
+                evaluations += outcome.evaluations;
+                for &idx in group {
+                    current[idx] = outcome.solution[idx];
+                    opt_counts[idx] += 1;
+                    touched.push(idx);
+                }
+            }
+            // The sub-problems ran in parallel against the same budget
+            // headroom, so the spliced solution can jointly overspend even
+            // though each piece was feasible. Repair by scaling the
+            // just-optimized keep-alive windows down until feasible.
+            evaluations += 1;
+            if !objective.is_feasible(&current) {
+                for _ in 0..24 {
+                    for &idx in &touched {
+                        current[idx].keep_alive = current[idx].keep_alive.scale(0.8);
+                    }
+                    evaluations += 1;
+                    if objective.is_feasible(&current) {
+                        break;
+                    }
+                }
+                if !objective.is_feasible(&current) {
+                    for &idx in &touched {
+                        current[idx].keep_alive = cc_types::SimDuration::ZERO;
+                    }
+                }
+            }
+            round_solutions.push(current.clone());
+        }
+
+        // Final answer: the mean of the round solutions — unless it is
+        // infeasible or worse than the best round, in which case that
+        // round wins.
+        let combined = combine_solutions(&round_solutions);
+        evaluations += 1;
+        let combined_cost = if objective.is_feasible(&combined) {
+            objective.evaluate(&combined)
+        } else {
+            f64::INFINITY
+        };
+        let (best_round_cost, best_round) = round_solutions
+            .into_iter()
+            .map(|s| {
+                evaluations += 1;
+                (objective.evaluate(&s), s)
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0))
+            .expect("at least one round ran");
+
+        if combined_cost <= best_round_cost {
+            OptOutcome {
+                solution: combined,
+                cost: combined_cost,
+                evaluations,
+            }
+        } else {
+            OptOutcome {
+                solution: best_round,
+                cost: best_round_cost,
+                evaluations,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::objective::testing::Bowl;
+
+    fn bowl(n: usize) -> Bowl {
+        Bowl {
+            n,
+            target_mins: 7.0,
+            max_total_mins: None,
+        }
+    }
+
+    #[test]
+    fn sre_improves_over_start() {
+        let b = bowl(40);
+        let start = vec![FnChoice::production_default(); 40];
+        let start_cost = b.evaluate(&start);
+        let mut counts = vec![0u32; 40];
+        let out = Sre::scaled_to(40).optimize(&b, start, &mut counts);
+        assert!(out.cost < start_cost, "{} !< {start_cost}", out.cost);
+        // The functions SRE touched were counted.
+        assert!(counts.iter().any(|&c| c > 0));
+    }
+
+    #[test]
+    fn sre_is_deterministic() {
+        let b = bowl(20);
+        let start = vec![FnChoice::production_default(); 20];
+        let a = Sre::scaled_to(20).optimize(&b, start.clone(), &mut [0; 20]);
+        let c = Sre::scaled_to(20).optimize(&b, start, &mut [0; 20]);
+        assert_eq!(a.solution, c.solution);
+        assert_eq!(a.cost, c.cost);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let b = bowl(30);
+        let start = vec![FnChoice::production_default(); 30];
+        let mut parallel = Sre::scaled_to(30);
+        parallel.num_subproblems = 4;
+        let mut serial = parallel.clone();
+        serial.parallel = false;
+        let pa = parallel.optimize(&b, start.clone(), &mut [0; 30]);
+        let se = serial.optimize(&b, start, &mut [0; 30]);
+        assert_eq!(pa.solution, se.solution);
+    }
+
+    #[test]
+    fn sre_subproblems_stay_low_dimensional() {
+        let n = 100;
+        let b = bowl(n);
+        let start = vec![FnChoice::production_default(); n];
+        let sre = Sre::scaled_to(n);
+        // Each sub-problem search space stays tiny relative to the joint
+        // space (244^12 vs 244^100), and total work per interval is linear
+        // in n rather than exponential.
+        assert!(sre.funcs_per_subproblem <= 12);
+        let per_round = sre.num_subproblems * sre.funcs_per_subproblem * 3;
+        assert!(
+            per_round * sre.rounds <= 4 * n,
+            "per-interval dimension visits {} should stay linear in n",
+            per_round * sre.rounds
+        );
+        let mut counts = vec![0u32; n];
+        let out = sre.optimize(&b, start.clone(), &mut counts);
+        assert!(out.cost < b.evaluate(&start));
+    }
+
+    #[test]
+    fn sre_respects_budget_feasibility() {
+        let b = Bowl {
+            n: 12,
+            target_mins: 40.0,
+            max_total_mins: Some(120.0),
+        };
+        let start = vec![FnChoice::drop_now(cc_types::Arch::X86); 12];
+        let mut counts = vec![0u32; 12];
+        let out = Sre::scaled_to(12).optimize(&b, start, &mut counts);
+        assert!(b.is_feasible(&out.solution));
+    }
+
+    #[test]
+    fn empty_objective_is_a_noop() {
+        let b = bowl(0);
+        let out = Sre::scaled_to(1).optimize(&b, vec![], &mut []);
+        assert!(out.solution.is_empty());
+        assert_eq!(out.evaluations, 0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Idle-time histograms shared by history-driven policies.
+
+use cc_types::SimTime;
+
+/// Number of one-minute bins (idle times at or above an hour share the last
+/// bin — they exceed the platform's keep-alive bound anyway).
+const BINS: usize = 61;
+
+/// A per-function histogram of idle times (gaps between consecutive
+/// invocations), in one-minute bins — the core data structure of the SitW
+/// hybrid histogram policy.
+///
+/// # Example
+///
+/// ```
+/// use cc_policies::GapHistogram;
+/// use cc_types::{SimDuration, SimTime};
+///
+/// let mut h = GapHistogram::new();
+/// let mut t = SimTime::ZERO;
+/// for _ in 0..20 {
+///     h.record(t);
+///     t += SimDuration::from_mins(5);
+/// }
+/// // Gaps of exactly 5 minutes land in bin 5, whose upper edge is 6.
+/// assert_eq!(h.percentile_minutes(99.0), Some(6));
+/// assert!(h.is_patterned());
+/// ```
+#[derive(Debug, Clone)]
+pub struct GapHistogram {
+    bins: [u32; BINS],
+    count: u32,
+    sum_mins: f64,
+    sum_sq_mins: f64,
+    last_arrival: Option<SimTime>,
+}
+
+impl GapHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> GapHistogram {
+        GapHistogram {
+            bins: [0; BINS],
+            count: 0,
+            sum_mins: 0.0,
+            sum_sq_mins: 0.0,
+            last_arrival: None,
+        }
+    }
+
+    /// Records an invocation arrival; the gap since the previous arrival
+    /// (if any) enters the histogram.
+    pub fn record(&mut self, now: SimTime) {
+        if let Some(last) = self.last_arrival {
+            let gap_mins = now.saturating_since(last).as_mins_f64();
+            let bin = (gap_mins.floor() as usize).min(BINS - 1);
+            self.bins[bin] += 1;
+            self.count += 1;
+            self.sum_mins += gap_mins;
+            self.sum_sq_mins += gap_mins * gap_mins;
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// Number of recorded gaps.
+    pub fn gap_count(&self) -> u32 {
+        self.count
+    }
+
+    /// Time of the most recent arrival.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// Mean gap in minutes (`None` before any gap).
+    pub fn mean_minutes(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum_mins / self.count as f64)
+    }
+
+    /// Coefficient of variation of the gaps (`None` before two gaps).
+    pub fn coefficient_of_variation(&self) -> Option<f64> {
+        if self.count < 2 {
+            return None;
+        }
+        let mean = self.sum_mins / self.count as f64;
+        if mean <= 0.0 {
+            return Some(0.0);
+        }
+        let var = (self.sum_sq_mins / self.count as f64 - mean * mean).max(0.0);
+        Some(var.sqrt() / mean)
+    }
+
+    /// The `p`-th percentile of the gap distribution in whole minutes
+    /// (upper edge of the bin), or `None` before any gap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 100]`.
+    pub fn percentile_minutes(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=100.0).contains(&p), "percentile must be in [0, 100]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (p / 100.0 * self.count as f64).ceil().max(1.0) as u32;
+        let mut seen = 0u32;
+        for (bin, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                // Upper edge of the bin: a gap in bin k lies in [k, k+1).
+                return Some(bin as u64 + 1);
+            }
+        }
+        Some(BINS as u64)
+    }
+
+    /// SitW's "representative pattern" test: enough history and gaps
+    /// concentrated enough that the histogram predicts usefully.
+    pub fn is_patterned(&self) -> bool {
+        self.count >= 4
+            && self
+                .coefficient_of_variation()
+                .is_some_and(|cv| cv < 2.0)
+    }
+}
+
+impl Default for GapHistogram {
+    fn default() -> Self {
+        GapHistogram::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::SimDuration;
+
+    fn at(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = GapHistogram::new();
+        assert_eq!(h.gap_count(), 0);
+        assert_eq!(h.percentile_minutes(99.0), None);
+        assert_eq!(h.mean_minutes(), None);
+        assert!(!h.is_patterned());
+    }
+
+    #[test]
+    fn first_arrival_creates_no_gap() {
+        let mut h = GapHistogram::new();
+        h.record(at(3));
+        assert_eq!(h.gap_count(), 0);
+        assert_eq!(h.last_arrival(), Some(at(3)));
+    }
+
+    #[test]
+    fn regular_gaps_are_patterned() {
+        let mut h = GapHistogram::new();
+        for i in 0..10 {
+            h.record(at(i * 7));
+        }
+        assert_eq!(h.gap_count(), 9);
+        assert!(h.is_patterned());
+        assert_eq!(h.percentile_minutes(50.0), Some(8));
+        assert_eq!(h.mean_minutes(), Some(7.0));
+        assert_eq!(h.coefficient_of_variation(), Some(0.0));
+    }
+
+    #[test]
+    fn percentiles_walk_the_distribution() {
+        let mut h = GapHistogram::new();
+        // Gaps: 1, 1, 1, 10 minutes.
+        for &m in &[0u64, 1, 2, 3, 13] {
+            h.record(at(m));
+        }
+        assert_eq!(h.percentile_minutes(50.0), Some(2));
+        assert_eq!(h.percentile_minutes(100.0), Some(11));
+    }
+
+    #[test]
+    fn huge_gaps_clamp_to_last_bin() {
+        let mut h = GapHistogram::new();
+        h.record(at(0));
+        h.record(at(500));
+        assert_eq!(h.percentile_minutes(100.0), Some(61));
+    }
+
+    #[test]
+    fn erratic_gaps_are_not_patterned() {
+        let mut h = GapHistogram::new();
+        // Wildly varying gaps: 1, 59, 1, 59...
+        let mut t = 0;
+        for i in 0..10 {
+            t += if i % 2 == 0 { 1 } else { 59 };
+            h.record(at(t));
+        }
+        let cv = h.coefficient_of_variation().unwrap();
+        assert!(cv > 0.8, "cv {cv}");
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile must be in [0, 100]")]
+    fn rejects_bad_percentile() {
+        let _ = GapHistogram::new().percentile_minutes(150.0);
+    }
+}

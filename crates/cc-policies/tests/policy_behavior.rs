@@ -1,0 +1,165 @@
+//! Behavioral tests of the baseline policies on hand-crafted traces.
+
+use cc_compress::CompressionModel;
+use cc_sim::{ClusterConfig, FixedKeepAlive, Simulation};
+use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
+use cc_trace::{Trace, TraceFunction};
+use cc_types::{
+    Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind,
+};
+use cc_workload::{Catalog, Workload};
+
+fn periodic_trace(functions: &[(u64, u32, u64)], minutes: u64) -> Trace {
+    // functions: (exec_ms, mem_mb, period_mins)
+    let mut fns = Vec::new();
+    let mut invocations = Vec::new();
+    for (i, &(exec_ms, mem, period)) in functions.iter().enumerate() {
+        let id = FunctionId::new(i as u32);
+        fns.push(TraceFunction::new(
+            id,
+            SimDuration::from_millis(exec_ms),
+            MemoryMb::new(mem),
+        ));
+        let mut t = 0;
+        while t < minutes {
+            invocations.push(Invocation::new(
+                id,
+                SimTime::ZERO + SimDuration::from_mins(t),
+            ));
+            t += period;
+        }
+    }
+    Trace::new(fns, invocations).expect("valid trace")
+}
+
+fn workload(trace: &Trace) -> Workload {
+    Workload::from_trace(
+        trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    )
+}
+
+#[test]
+fn sitw_prewarms_long_period_functions_instead_of_holding_them() {
+    // A 20-minute-period function: SitW's histogram head exceeds its
+    // pre-warm threshold, so it should release the instance and pre-warm
+    // near the head — landing warm starts at a fraction of the
+    // hold-everything cost.
+    let trace = periodic_trace(&[(2_000, 256, 20)], 300);
+    let w = workload(&trace);
+    let config = ClusterConfig::small(1, 1);
+
+    let mut sitw = SitW::new();
+    let r_sitw = Simulation::new(config.clone(), &trace, &w).run(&mut sitw);
+    let mut hold = FixedKeepAlive::new(SimDuration::from_mins(21), false);
+    let r_hold = Simulation::new(config, &trace, &w).run(&mut hold);
+
+    // Warm fractions comparable once the histogram has data…
+    assert!(
+        r_sitw.warm_fraction() >= r_hold.warm_fraction() - 0.35,
+        "sitw warm {} vs hold {}",
+        r_sitw.warm_fraction(),
+        r_hold.warm_fraction()
+    );
+    // …at a fraction of the keep-alive spend.
+    assert!(
+        r_sitw.keep_alive_spend < r_hold.keep_alive_spend.scale(0.8),
+        "sitw spend {} not below holding spend {}",
+        r_sitw.keep_alive_spend,
+        r_hold.keep_alive_spend
+    );
+}
+
+#[test]
+fn faascache_keeps_hot_functions_over_cold_ones() {
+    // One hot function (every 2 min) and five lukewarm ones (every 11 min),
+    // under a warm cap that fits only a few instances: greedy-dual must
+    // privilege the hot one.
+    let trace = periodic_trace(
+        &[
+            (1_000, 1_800, 2),
+            (1_000, 1_800, 11),
+            (1_000, 1_800, 11),
+            (1_000, 1_800, 11),
+            (1_000, 1_800, 11),
+            (1_000, 1_800, 11),
+        ],
+        240,
+    );
+    let w = workload(&trace);
+    let config = ClusterConfig::small(1, 1).with_warm_memory_fraction(0.12);
+    let mut policy = FaasCache::new();
+    let report = Simulation::new(config, &trace, &w).run(&mut policy);
+
+    let warm_of = |f: u32| {
+        let recs: Vec<_> = report
+            .records
+            .iter()
+            .filter(|r| r.function == FunctionId::new(f))
+            .collect();
+        recs.iter().filter(|r| r.kind.is_warm()).count() as f64 / recs.len() as f64
+    };
+    let hot = warm_of(0);
+    let lukewarm: f64 = (1..6).map(warm_of).sum::<f64>() / 5.0;
+    assert!(
+        hot > lukewarm,
+        "hot function warm {hot} should beat lukewarm mean {lukewarm}"
+    );
+    assert!(hot > 0.8, "hot function should be almost always warm: {hot}");
+}
+
+#[test]
+fn icebreaker_prewarms_detected_periods() {
+    // Strong 10-minute periodicity over four hours gives the FFT plenty of
+    // signal; IceBreaker should beat a no-keep-alive strawman massively.
+    let trace = periodic_trace(&[(2_000, 256, 10), (2_000, 256, 10)], 240);
+    let w = workload(&trace);
+    let config = ClusterConfig::small(1, 1);
+    let mut ice = IceBreaker::new();
+    let r_ice = Simulation::new(config.clone(), &trace, &w).run(&mut ice);
+    let mut none = FixedKeepAlive::new(SimDuration::ZERO, false);
+    let r_none = Simulation::new(config, &trace, &w).run(&mut none);
+    assert_eq!(r_none.warm_fraction(), 0.0);
+    assert!(
+        r_ice.warm_fraction() > 0.5,
+        "icebreaker warm {} too low on a clean periodic trace",
+        r_ice.warm_fraction()
+    );
+}
+
+#[test]
+fn oracle_spends_nearly_nothing_on_never_again_functions() {
+    // Every function is invoked exactly once: the oracle must not keep
+    // anything alive.
+    let trace = periodic_trace(&[(1_000, 256, 1_000), (1_000, 256, 1_000)], 60);
+    let w = workload(&trace);
+    let mut oracle = Oracle::new(&trace);
+    let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut oracle);
+    assert_eq!(report.keep_alive_spend, Cost::ZERO);
+    assert_eq!(report.warm_fraction(), 0.0);
+}
+
+#[test]
+fn enhanced_wrapper_only_compresses_favorable_functions() {
+    // Under pressure, the Enhanced wrapper compresses — but only functions
+    // whose decompression beats their cold start on the executing arch.
+    let trace = periodic_trace(
+        &[(3_400, 640, 3), (900, 256, 3), (3_400, 640, 4), (900, 256, 4)],
+        180,
+    );
+    let w = workload(&trace);
+    let config = ClusterConfig::small(1, 1).with_warm_memory_fraction(0.08);
+    let mut policy = Enhanced::new(FixedKeepAlive::ten_minutes()).with_pressure_threshold(0.0);
+    let report = Simulation::new(config, &trace, &w).run(&mut policy);
+    for r in &report.records {
+        if r.kind == StartKind::WarmCompressed {
+            assert!(
+                w.spec(r.function).compression_favorable(r.arch),
+                "{} compressed despite being unfavorable",
+                r.function
+            );
+        }
+    }
+    assert!(report.compression_events > 0, "favorable functions exist; some must compress");
+}

@@ -1,0 +1,208 @@
+//! Cluster configuration.
+
+use serde::{Deserialize, Serialize};
+
+use cc_types::{Arch, Cost, CostRate, MemoryMb, SimDuration};
+
+/// Which container runtime the workers use.
+///
+/// The paper compares Docker containers against Firecracker microVMs (§5):
+/// Firecracker's lighter sandbox shaves a fixed slice off every cold start
+/// but changes nothing else, so compression keeps paying off.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RuntimeKind {
+    /// Docker containers (the paper's default).
+    Docker,
+    /// Firecracker microVMs: faster instance startup.
+    Firecracker,
+}
+
+impl RuntimeKind {
+    /// Multiplier applied to cold-start times (Firecracker starts instances
+    /// faster; the image-dependent part still dominates).
+    pub fn cold_start_scale(self) -> f64 {
+        match self {
+            RuntimeKind::Docker => 1.0,
+            RuntimeKind::Firecracker => 0.90,
+        }
+    }
+}
+
+/// Static description of the simulated cluster.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::ClusterConfig;
+/// use cc_types::Arch;
+///
+/// let config = ClusterConfig::paper_cluster();
+/// assert_eq!(config.nodes_of(Arch::X86), 13);
+/// assert_eq!(config.nodes_of(Arch::Arm), 18);
+/// assert_eq!(config.total_nodes(), 31);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Number of x86 worker nodes.
+    pub x86_nodes: u32,
+    /// Number of ARM worker nodes.
+    pub arm_nodes: u32,
+    /// Cores per node (both types have 8 in the paper).
+    pub cores_per_node: u32,
+    /// Memory per node (both types have 32 GiB in the paper).
+    pub memory_per_node: MemoryMb,
+    /// Keep-alive cost rate on x86 nodes.
+    pub x86_rate: CostRate,
+    /// Keep-alive cost rate on ARM nodes.
+    pub arm_rate: CostRate,
+    /// Container runtime used by the workers.
+    pub runtime: RuntimeKind,
+    /// Keep-alive budget accrued per optimization interval. `None` means
+    /// unlimited (used to measure a baseline's natural spend).
+    pub budget_per_interval: Option<Cost>,
+    /// Length of the optimization interval (1 minute in the paper).
+    pub interval: SimDuration,
+    /// Fraction of each node's memory that warm instances may occupy
+    /// (the motivation experiments reserve 10%; the paper's main setup
+    /// lets the warm pool use whatever execution does not).
+    pub warm_memory_fraction: f64,
+}
+
+impl ClusterConfig {
+    /// The paper's cluster: 13 x86 + 18 ARM nodes (equal capital cost),
+    /// 8 cores / 32 GiB each, m5/t4g pricing, Docker, unlimited budget,
+    /// 1-minute intervals.
+    pub fn paper_cluster() -> ClusterConfig {
+        ClusterConfig {
+            x86_nodes: 13,
+            arm_nodes: 18,
+            cores_per_node: 8,
+            memory_per_node: MemoryMb::from_gb(32),
+            x86_rate: CostRate::paper_rate(Arch::X86),
+            arm_rate: CostRate::paper_rate(Arch::Arm),
+            runtime: RuntimeKind::Docker,
+            budget_per_interval: None,
+            interval: SimDuration::from_mins(1),
+            warm_memory_fraction: 1.0,
+        }
+    }
+
+    /// A smaller cluster for tests and quick experiments.
+    pub fn small(x86_nodes: u32, arm_nodes: u32) -> ClusterConfig {
+        ClusterConfig {
+            x86_nodes,
+            arm_nodes,
+            ..ClusterConfig::paper_cluster()
+        }
+    }
+
+    /// Returns a copy with a per-interval keep-alive budget.
+    pub fn with_budget(mut self, budget_per_interval: Cost) -> ClusterConfig {
+        self.budget_per_interval = Some(budget_per_interval);
+        self
+    }
+
+    /// Returns a copy using the given runtime.
+    pub fn with_runtime(mut self, runtime: RuntimeKind) -> ClusterConfig {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Returns a copy capping warm-pool memory at `fraction` of each node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `fraction` is outside `(0, 1]`.
+    pub fn with_warm_memory_fraction(mut self, fraction: f64) -> ClusterConfig {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "warm memory fraction must be in (0, 1]"
+        );
+        self.warm_memory_fraction = fraction;
+        self
+    }
+
+    /// The warm-pool memory cap per node.
+    pub fn warm_memory_cap(&self) -> MemoryMb {
+        self.memory_per_node.scale(self.warm_memory_fraction)
+    }
+
+    /// Returns a copy with both architectures priced identically (the
+    /// paper's equal-pricing sensitivity study).
+    pub fn with_equal_pricing(mut self) -> ClusterConfig {
+        self.arm_rate = self.x86_rate;
+        self
+    }
+
+    /// Node count for one architecture.
+    pub fn nodes_of(&self, arch: Arch) -> u32 {
+        match arch {
+            Arch::X86 => self.x86_nodes,
+            Arch::Arm => self.arm_nodes,
+        }
+    }
+
+    /// Total node count.
+    pub fn total_nodes(&self) -> u32 {
+        self.x86_nodes + self.arm_nodes
+    }
+
+    /// Keep-alive cost rate for one architecture.
+    pub fn rate(&self, arch: Arch) -> CostRate {
+        match arch {
+            Arch::X86 => self.x86_rate,
+            Arch::Arm => self.arm_rate,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cluster has no nodes, no cores, no memory, or a
+    /// zero-length interval.
+    pub fn validate(&self) {
+        assert!(self.total_nodes() > 0, "cluster must have at least one node");
+        assert!(self.cores_per_node > 0, "nodes must have cores");
+        assert!(!self.memory_per_node.is_zero(), "nodes must have memory");
+        assert!(!self.interval.is_zero(), "interval must be non-zero");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_cluster_shape() {
+        let c = ClusterConfig::paper_cluster();
+        c.validate();
+        assert_eq!(c.total_nodes(), 31);
+        assert!(c.rate(Arch::Arm) < c.rate(Arch::X86));
+        assert_eq!(c.interval, SimDuration::from_mins(1));
+        assert!(c.budget_per_interval.is_none());
+    }
+
+    #[test]
+    fn equal_pricing_equalizes_rates() {
+        let c = ClusterConfig::paper_cluster().with_equal_pricing();
+        assert_eq!(c.rate(Arch::Arm), c.rate(Arch::X86));
+    }
+
+    #[test]
+    fn firecracker_reduces_cold_start() {
+        assert!(RuntimeKind::Firecracker.cold_start_scale() < RuntimeKind::Docker.cold_start_scale());
+    }
+
+    #[test]
+    fn with_budget_sets_budget() {
+        let c = ClusterConfig::paper_cluster().with_budget(Cost::from_dollars(0.01));
+        assert_eq!(c.budget_per_interval, Some(Cost::from_dollars(0.01)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn rejects_empty_cluster() {
+        ClusterConfig::small(0, 0).validate();
+    }
+}

@@ -1,0 +1,216 @@
+//! The keep-alive budget ledger — the paper's "budget creditor".
+
+use cc_types::{Cost, SimDuration, SimTime};
+
+/// Tracks the keep-alive budget: credit accrues at a fixed rate per
+/// interval, keep-alive decisions reserve from it, and early reuse or
+/// eviction refunds the unused tail.
+///
+/// Budget saved during quiet periods therefore *accumulates* and can be
+/// spent during load peaks — the mechanism behind the paper's Fig. 10(b).
+///
+/// An unlimited ledger (no budget configured) grants every reservation and
+/// only tracks spend, which is how the baseline's natural expenditure is
+/// measured before being used as CodeCrunch's budget.
+///
+/// # Example
+///
+/// ```
+/// use cc_sim::BudgetLedger;
+/// use cc_types::{Cost, SimDuration, SimTime};
+///
+/// let mut ledger = BudgetLedger::budgeted(Cost::from_picodollars(100), SimDuration::from_mins(1));
+/// // Two minutes in, intervals 0, 1, and 2 have all started accruing.
+/// let granted = ledger.reserve(SimTime::ZERO + SimDuration::from_mins(2), Cost::from_picodollars(500));
+/// assert_eq!(granted, Cost::from_picodollars(300));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BudgetLedger {
+    /// Credit granted per interval; `None` = unlimited.
+    rate_per_interval: Option<Cost>,
+    interval: SimDuration,
+    /// Whole intervals already credited.
+    credited_intervals: u64,
+    /// Available (unspent) credit.
+    balance: Cost,
+    /// Net spend so far (reservations minus refunds).
+    spent: Cost,
+}
+
+impl BudgetLedger {
+    /// Creates an unlimited ledger that only tracks spend.
+    pub fn unlimited(interval: SimDuration) -> BudgetLedger {
+        BudgetLedger {
+            rate_per_interval: None,
+            interval,
+            credited_intervals: 0,
+            balance: Cost::ZERO,
+            spent: Cost::ZERO,
+        }
+    }
+
+    /// Creates a budgeted ledger accruing `rate_per_interval` each
+    /// `interval`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn budgeted(rate_per_interval: Cost, interval: SimDuration) -> BudgetLedger {
+        assert!(!interval.is_zero(), "interval must be non-zero");
+        BudgetLedger {
+            rate_per_interval: Some(rate_per_interval),
+            interval,
+            credited_intervals: 0,
+            balance: Cost::ZERO,
+            spent: Cost::ZERO,
+        }
+    }
+
+    /// Whether the ledger enforces a budget.
+    pub fn is_budgeted(&self) -> bool {
+        self.rate_per_interval.is_some()
+    }
+
+    /// Credits all intervals that have fully elapsed by `now`.
+    ///
+    /// Idempotent: crediting the same instant twice adds nothing.
+    pub fn accrue(&mut self, now: SimTime) {
+        let Some(rate) = self.rate_per_interval else {
+            return;
+        };
+        // Interval k's credit becomes available at its start, so the credit
+        // for `now` covers intervals 0 ..= floor(now/interval).
+        let due = now.interval_index(self.interval) + 1;
+        if due > self.credited_intervals {
+            let missing = due - self.credited_intervals;
+            self.balance = self.balance.saturating_add(rate * missing);
+            self.credited_intervals = due;
+        }
+    }
+
+    /// Reserves up to `requested` from the available credit, returning the
+    /// granted amount (equal to `requested` when unlimited).
+    pub fn reserve(&mut self, now: SimTime, requested: Cost) -> Cost {
+        self.accrue(now);
+        let granted = match self.rate_per_interval {
+            None => requested,
+            Some(_) => requested.min(self.balance),
+        };
+        if self.rate_per_interval.is_some() {
+            self.balance -= granted;
+        }
+        self.spent = self.spent.saturating_add(granted);
+        granted
+    }
+
+    /// Refunds an unused reservation tail (early reuse or eviction).
+    pub fn refund(&mut self, amount: Cost) {
+        if self.rate_per_interval.is_some() {
+            self.balance = self.balance.saturating_add(amount);
+        }
+        self.spent = self.spent.saturating_sub(amount);
+    }
+
+    /// Currently available credit (zero when unlimited — unlimited ledgers
+    /// have no meaningful balance).
+    pub fn balance(&self) -> Cost {
+        self.balance
+    }
+
+    /// Net spend so far.
+    pub fn spent(&self) -> Cost {
+        self.spent
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn minute() -> SimDuration {
+        SimDuration::from_mins(1)
+    }
+
+    fn at_min(m: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(m)
+    }
+
+    #[test]
+    fn unlimited_grants_everything() {
+        let mut l = BudgetLedger::unlimited(minute());
+        assert!(!l.is_budgeted());
+        let granted = l.reserve(at_min(0), Cost::from_picodollars(1_000_000));
+        assert_eq!(granted, Cost::from_picodollars(1_000_000));
+        assert_eq!(l.spent(), granted);
+    }
+
+    #[test]
+    fn credit_accrues_per_interval() {
+        let mut l = BudgetLedger::budgeted(Cost::from_picodollars(100), minute());
+        l.accrue(at_min(0));
+        assert_eq!(l.balance(), Cost::from_picodollars(100));
+        l.accrue(at_min(5));
+        assert_eq!(l.balance(), Cost::from_picodollars(600));
+        // Idempotent.
+        l.accrue(at_min(5));
+        assert_eq!(l.balance(), Cost::from_picodollars(600));
+    }
+
+    #[test]
+    fn reservation_is_capped_by_balance() {
+        let mut l = BudgetLedger::budgeted(Cost::from_picodollars(100), minute());
+        let granted = l.reserve(at_min(0), Cost::from_picodollars(250));
+        assert_eq!(granted, Cost::from_picodollars(100));
+        assert_eq!(l.balance(), Cost::ZERO);
+        // Credit saved across quiet intervals can be spent later (the
+        // creditor behaviour).
+        let granted = l.reserve(at_min(9), Cost::from_picodollars(10_000));
+        assert_eq!(granted, Cost::from_picodollars(900));
+    }
+
+    #[test]
+    fn refund_restores_balance_and_reduces_spend() {
+        let mut l = BudgetLedger::budgeted(Cost::from_picodollars(100), minute());
+        let granted = l.reserve(at_min(0), Cost::from_picodollars(80));
+        assert_eq!(granted, Cost::from_picodollars(80));
+        l.refund(Cost::from_picodollars(30));
+        assert_eq!(l.balance(), Cost::from_picodollars(50));
+        assert_eq!(l.spent(), Cost::from_picodollars(50));
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn rejects_zero_interval() {
+        let _ = BudgetLedger::budgeted(Cost::ZERO, SimDuration::ZERO);
+    }
+
+    proptest! {
+        #[test]
+        fn budgeted_never_overspends(
+            ops in prop::collection::vec((0u64..120, 0u64..1_000), 1..50),
+        ) {
+            let rate = Cost::from_picodollars(100);
+            let mut l = BudgetLedger::budgeted(rate, minute());
+            let mut max_minute = 0u64;
+            for &(minute_at, amount) in &ops {
+                max_minute = max_minute.max(minute_at);
+                let _ = l.reserve(at_min(minute_at), Cost::from_picodollars(amount));
+                // Spend can never exceed the credit accrued through the
+                // latest instant touched.
+                let max_credit = rate * (max_minute + 1);
+                prop_assert!(l.spent() <= max_credit);
+            }
+        }
+
+        #[test]
+        fn reserve_then_full_refund_is_neutral(amount in 0u64..10_000) {
+            let mut l = BudgetLedger::budgeted(Cost::from_picodollars(5_000), minute());
+            let granted = l.reserve(at_min(0), Cost::from_picodollars(amount));
+            let before = l.balance() + granted;
+            l.refund(granted);
+            prop_assert_eq!(l.balance(), before);
+            prop_assert_eq!(l.spent(), Cost::ZERO);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Output of one simulation run.
+
+use cc_metrics::ServiceStats;
+use cc_types::{Cost, ServiceRecord};
+
+/// Everything measured during one simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Name of the policy that produced this run.
+    pub policy: String,
+    /// Aggregated service-time statistics.
+    pub stats: ServiceStats,
+    /// Raw per-invocation records (for CDFs and custom analyses).
+    pub records: Vec<ServiceRecord>,
+    /// Total keep-alive expenditure (reservations minus refunds).
+    pub keep_alive_spend: Cost,
+    /// Keep-alive spend per interval, in dollars (can dip negative when an
+    /// interval's refunds exceed its reservations).
+    pub spend_per_interval: Vec<f64>,
+    /// Warm instances alive at each interval tick.
+    pub warm_pool_series: Vec<f64>,
+    /// Compressed warm instances alive at each interval tick.
+    pub compressed_series: Vec<f64>,
+    /// Times an instance was stored compressed on entering the pool.
+    pub compression_events: u64,
+    /// Compression events per interval (where in time compression happens —
+    /// the paper's Fig. 11 signal).
+    pub compression_events_per_interval: Vec<f64>,
+    /// Fraction of execution cores busy at each interval tick.
+    pub utilization_series: Vec<f64>,
+    /// Warm instances dropped to make room for others.
+    pub evictions: u64,
+    /// Pre-warm commands dropped for lack of capacity.
+    pub dropped_prewarms: u64,
+    /// Wall-clock time spent inside policy callbacks (decision overhead).
+    pub decision_time: std::time::Duration,
+}
+
+impl SimReport {
+    /// Mean service time in seconds — the paper's headline number.
+    pub fn mean_service_time_secs(&self) -> f64 {
+        self.stats.mean_service_time_secs()
+    }
+
+    /// Warm-start fraction over the whole run.
+    pub fn warm_fraction(&self) -> f64 {
+        self.stats.warm_fraction()
+    }
+
+    /// Decision overhead as a fraction of total simulated service time.
+    pub fn decision_overhead_fraction(&self) -> f64 {
+        let total_service: f64 = self
+            .records
+            .iter()
+            .map(|r| r.service_time().as_secs_f64())
+            .sum();
+        if total_service == 0.0 {
+            return 0.0;
+        }
+        self.decision_time.as_secs_f64() / total_service
+    }
+}

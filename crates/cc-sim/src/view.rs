@@ -1,0 +1,104 @@
+//! Read-only view of cluster state handed to policies.
+
+use std::collections::HashMap;
+
+use cc_types::{Arch, FunctionId, MemoryMb, SimTime};
+use cc_workload::{FunctionSpec, Workload};
+
+use crate::node::{NodeState, WarmId, WarmInstance};
+use crate::{BudgetLedger, ClusterConfig};
+
+/// A read-only snapshot of the cluster offered to policy callbacks.
+///
+/// Everything a policy may legitimately observe is here: the clock, node
+/// states, warm-pool contents, the budget ledger, the resolved function
+/// specs, and the current queueing pressure. Policies must not (and cannot)
+/// see the future of the trace — except [`Oracle`](https://docs.rs/cc-policies),
+/// which captures the trace at construction instead.
+pub struct ClusterView<'a> {
+    /// Current simulated time.
+    pub now: SimTime,
+    /// Static cluster configuration.
+    pub config: &'a ClusterConfig,
+    /// All node states.
+    pub nodes: &'a [NodeState],
+    /// All warm instances, by id.
+    pub instances: &'a HashMap<WarmId, WarmInstance>,
+    /// Warm-instance ids per function.
+    pub by_function: &'a HashMap<FunctionId, Vec<WarmId>>,
+    /// The budget ledger.
+    pub ledger: &'a BudgetLedger,
+    /// Resolved per-function specs.
+    pub workload: &'a Workload,
+    /// Number of invocations waiting for capacity.
+    pub pending: usize,
+}
+
+impl ClusterView<'_> {
+    /// The spec of one function.
+    pub fn spec(&self, function: FunctionId) -> &FunctionSpec {
+        self.workload.spec(function)
+    }
+
+    /// Warm instances currently alive for `function`.
+    pub fn warm_instances_of(&self, function: FunctionId) -> Vec<&WarmInstance> {
+        self.by_function
+            .get(&function)
+            .into_iter()
+            .flatten()
+            .filter_map(|id| self.instances.get(id))
+            .collect()
+    }
+
+    /// Whether `function` has any warm instance.
+    pub fn is_warm(&self, function: FunctionId) -> bool {
+        self.by_function
+            .get(&function)
+            .is_some_and(|v| !v.is_empty())
+    }
+
+    /// Total free cores on nodes of `arch`.
+    pub fn free_cores(&self, arch: Arch) -> u32 {
+        self.nodes
+            .iter()
+            .filter(|n| n.arch == arch)
+            .map(NodeState::free_cores)
+            .sum()
+    }
+
+    /// Total free memory on nodes of `arch`.
+    pub fn free_memory(&self, arch: Arch) -> MemoryMb {
+        self.nodes
+            .iter()
+            .filter(|n| n.arch == arch)
+            .map(NodeState::free_memory)
+            .sum()
+    }
+
+    /// Total memory held by warm instances across the cluster.
+    pub fn total_warm_memory(&self) -> MemoryMb {
+        self.nodes.iter().map(|n| n.warm_memory).sum()
+    }
+
+    /// Number of warm instances across the cluster.
+    pub fn warm_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Number of warm instances stored compressed.
+    pub fn compressed_count(&self) -> usize {
+        self.instances.values().filter(|i| i.compressed).count()
+    }
+
+    /// Fraction of all execution cores currently busy, in `[0, 1]` — the
+    /// load signal policies use to detect peaks.
+    pub fn busy_core_fraction(&self) -> f64 {
+        let total: u32 = self.nodes.iter().map(|n| n.cores).sum();
+        let busy: u32 = self.nodes.iter().map(|n| n.busy_cores).sum();
+        if total == 0 {
+            0.0
+        } else {
+            busy as f64 / total as f64
+        }
+    }
+}

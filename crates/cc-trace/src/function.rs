@@ -1,0 +1,64 @@
+//! Per-function trace metadata.
+
+use serde::{Deserialize, Serialize};
+
+use cc_types::{FunctionId, MemoryMb, SimDuration};
+
+/// The per-function metadata a trace carries, mirroring the Azure Functions
+/// dataset schema: an identifier, the function's average execution duration,
+/// and its allocated memory.
+///
+/// The workload catalog ([`cc-workload`](https://docs.rs/cc-workload))
+/// matches each `TraceFunction` to the nearest benchmark profile by
+/// execution time and memory, exactly as the paper does ("we use these
+/// values to find the nearest matching function from our benchmark pool").
+///
+/// # Example
+///
+/// ```
+/// use cc_trace::TraceFunction;
+/// use cc_types::{FunctionId, MemoryMb, SimDuration};
+///
+/// let f = TraceFunction::new(
+///     FunctionId::new(0),
+///     SimDuration::from_secs(3),
+///     MemoryMb::new(256),
+/// );
+/// assert_eq!(f.memory.as_mb(), 256);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TraceFunction {
+    /// Dense function identifier.
+    pub id: FunctionId,
+    /// Average execution duration reported by the trace.
+    pub mean_exec: SimDuration,
+    /// Allocated memory reported by the trace.
+    pub memory: MemoryMb,
+}
+
+impl TraceFunction {
+    /// Creates a function metadata record.
+    pub const fn new(id: FunctionId, mean_exec: SimDuration, memory: MemoryMb) -> Self {
+        TraceFunction {
+            id,
+            mean_exec,
+            memory,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction() {
+        let f = TraceFunction::new(
+            FunctionId::new(5),
+            SimDuration::from_millis(1500),
+            MemoryMb::new(128),
+        );
+        assert_eq!(f.id.index(), 5);
+        assert_eq!(f.mean_exec.as_millis(), 1500);
+    }
+}

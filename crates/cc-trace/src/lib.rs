@@ -1,0 +1,46 @@
+//! Serverless invocation traces for the CodeCrunch reproduction.
+//!
+//! The paper drives its cluster with the production Microsoft Azure
+//! Functions trace (two weeks, >200k functions, per-minute invocation
+//! counts). That trace is not redistributable here, so this crate provides
+//! the closest synthetic equivalent plus I/O for the real schema:
+//!
+//! - [`Trace`] — the in-memory model: a function table and a time-sorted
+//!   invocation stream.
+//! - [`SyntheticTrace`] — a seeded generator reproducing the invocation
+//!   classes the Serverless-in-the-Wild characterization reports (periodic,
+//!   multi-periodic, Poisson, bursty on/off, rare) under a diurnal load
+//!   envelope with configurable peak periods.
+//! - [`azure`] — reader/writer for the Azure per-minute-counts CSV schema,
+//!   so a user with access to the real dataset can drop it in.
+//! - [`Perturbation`] — burst injection and input-change events for the
+//!   paper's Fig. 15 robustness experiment.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_trace::SyntheticTrace;
+//! use cc_types::SimDuration;
+//!
+//! let trace = SyntheticTrace::builder()
+//!     .functions(50)
+//!     .duration(SimDuration::from_mins(60))
+//!     .seed(7)
+//!     .build();
+//! assert_eq!(trace.functions().len(), 50);
+//! assert!(!trace.invocations().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod azure;
+mod function;
+mod perturb;
+mod synth;
+mod trace;
+
+pub use function::TraceFunction;
+pub use perturb::Perturbation;
+pub use synth::{Pattern, PatternMix, SyntheticTrace, SyntheticTraceBuilder};
+pub use trace::{Trace, TraceError};

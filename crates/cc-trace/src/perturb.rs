@@ -1,0 +1,170 @@
+//! Trace perturbations for the robustness experiment (paper Fig. 15).
+//!
+//! The paper's Fig. 15 changes function inputs and injects a load burst at
+//! points CodeCrunch is *not* informed of, and checks that it adapts. A
+//! [`Perturbation`] either adds invocations (a burst) or scales execution
+//! times from some instant onward (an input change); the simulator applies
+//! execution-time shifts, burst injection rewrites the trace itself.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use cc_types::{Invocation, SimDuration, SimTime};
+
+use crate::Trace;
+
+/// An unannounced change applied to a running workload.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Perturbation {
+    /// From `at` onward, execution times are multiplied by `factor`
+    /// (inputs changed; the paper scales them up).
+    InputChange {
+        /// When the inputs change.
+        at: SimTime,
+        /// Execution-time multiplier (must be positive).
+        factor: f64,
+    },
+    /// During `[at, at + duration)`, extra invocations arrive, multiplying
+    /// the background load by roughly `factor`.
+    Burst {
+        /// Burst window start.
+        at: SimTime,
+        /// Burst window length.
+        duration: SimDuration,
+        /// Load multiplier (≥ 1).
+        factor: f64,
+    },
+}
+
+impl Perturbation {
+    /// Returns the execution-time multiplier in force at `now` (1.0 if this
+    /// perturbation does not affect execution times or has not started).
+    pub fn exec_factor_at(&self, now: SimTime) -> f64 {
+        match *self {
+            Perturbation::InputChange { at, factor } if now >= at => factor,
+            _ => 1.0,
+        }
+    }
+
+    /// Applies a [`Perturbation::Burst`] to a trace by injecting extra
+    /// invocations of existing functions, sampled uniformly, spread evenly
+    /// over the burst window. Returns the rewritten trace.
+    ///
+    /// Non-burst perturbations return the trace unchanged (they act inside
+    /// the simulator instead).
+    pub fn apply_to_trace(&self, trace: Trace, seed: u64) -> Trace {
+        let Perturbation::Burst { at, duration, factor } = *self else {
+            return trace;
+        };
+        if trace.functions().is_empty() || duration.is_zero() || factor <= 1.0 {
+            return trace;
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (functions, mut invocations) = trace.into_parts();
+
+        // Estimate background arrivals inside the window, then add
+        // (factor - 1)× as many extras.
+        let end = at + duration;
+        let background = invocations
+            .iter()
+            .filter(|inv| inv.arrival >= at && inv.arrival < end)
+            .count();
+        let extras = ((factor - 1.0) * background.max(1) as f64).round() as usize;
+        for _ in 0..extras {
+            let func = functions[rng.gen_range(0..functions.len())].id;
+            let offset = SimDuration::from_micros(rng.gen_range(0..duration.as_micros().max(1)));
+            invocations.push(Invocation::new(func, at + offset));
+        }
+        Trace::new(functions, invocations).expect("perturbed trace stays valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SyntheticTrace;
+
+    fn base() -> Trace {
+        SyntheticTrace::builder()
+            .functions(20)
+            .duration(SimDuration::from_mins(120))
+            .seed(9)
+            .build()
+    }
+
+    #[test]
+    fn input_change_factor_switches_at_boundary() {
+        let p = Perturbation::InputChange {
+            at: SimTime::from_micros(100),
+            factor: 1.5,
+        };
+        assert_eq!(p.exec_factor_at(SimTime::from_micros(99)), 1.0);
+        assert_eq!(p.exec_factor_at(SimTime::from_micros(100)), 1.5);
+        assert_eq!(p.exec_factor_at(SimTime::from_micros(500)), 1.5);
+    }
+
+    #[test]
+    fn burst_has_no_exec_factor() {
+        let p = Perturbation::Burst {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_mins(5),
+            factor: 3.0,
+        };
+        assert_eq!(p.exec_factor_at(SimTime::from_micros(1)), 1.0);
+    }
+
+    #[test]
+    fn burst_injects_load() {
+        let trace = base();
+        let window_start = SimTime::ZERO + SimDuration::from_mins(30);
+        let window = SimDuration::from_mins(10);
+        let before = trace
+            .invocations()
+            .iter()
+            .filter(|i| i.arrival >= window_start && i.arrival < window_start + window)
+            .count();
+        let p = Perturbation::Burst {
+            at: window_start,
+            duration: window,
+            factor: 3.0,
+        };
+        let bursted = p.apply_to_trace(trace, 1);
+        let after = bursted
+            .invocations()
+            .iter()
+            .filter(|i| i.arrival >= window_start && i.arrival < window_start + window)
+            .count();
+        assert!(
+            after as f64 >= before as f64 * 2.5,
+            "burst {before} -> {after} too small"
+        );
+    }
+
+    #[test]
+    fn input_change_leaves_trace_unchanged() {
+        let trace = base();
+        let p = Perturbation::InputChange {
+            at: SimTime::ZERO,
+            factor: 2.0,
+        };
+        assert_eq!(p.apply_to_trace(trace.clone(), 0), trace);
+    }
+
+    #[test]
+    fn trivial_bursts_are_noops() {
+        let trace = base();
+        let p = Perturbation::Burst {
+            at: SimTime::ZERO,
+            duration: SimDuration::ZERO,
+            factor: 5.0,
+        };
+        assert_eq!(p.apply_to_trace(trace.clone(), 0), trace);
+        let p = Perturbation::Burst {
+            at: SimTime::ZERO,
+            duration: SimDuration::from_mins(1),
+            factor: 1.0,
+        };
+        assert_eq!(p.apply_to_trace(trace.clone(), 0), trace);
+    }
+}

@@ -1,0 +1,644 @@
+//! Synthetic production-like trace generation.
+//!
+//! The generator reproduces the invocation structure the
+//! Serverless-in-the-Wild characterization reports for the Azure trace:
+//! most functions are periodic (often with several interleaved periods or
+//! drifting phase), a large minority are Poisson-like, some are bursty
+//! on/off, and a tail is invoked rarely. A diurnal envelope plus explicit
+//! peak windows create the "periods of high invocation load" where the
+//! paper's compression benefit concentrates.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rand_distr::{Distribution, Exp, LogNormal, Normal};
+
+use cc_types::{FunctionId, Invocation, MemoryMb, SimDuration, SimTime};
+
+use crate::{Trace, TraceFunction};
+
+/// The invocation pattern class of one synthetic function.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pattern {
+    /// Fixed period with fractional Gaussian jitter.
+    Periodic {
+        /// Base period between invocations.
+        period: SimDuration,
+        /// Jitter as a fraction of the period (σ of the Gaussian).
+        jitter: f64,
+    },
+    /// Alternating periods (the "multiple periodic frequencies" case that
+    /// makes prediction hard); switches period every few invocations.
+    MultiPeriodic {
+        /// The set of periods cycled through.
+        periods: Vec<SimDuration>,
+    },
+    /// Memoryless arrivals with the given mean gap.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+    },
+    /// On/off phases: Poisson arrivals during `on`, silence during `off`.
+    Bursty {
+        /// Length of the active phase.
+        on: SimDuration,
+        /// Length of the silent phase.
+        off: SimDuration,
+        /// Mean gap between invocations while active.
+        gap_on: SimDuration,
+    },
+    /// Invoked rarely (mean gap typically above the 60-minute keep-alive
+    /// bound, so keeping these alive is never worthwhile).
+    Rare {
+        /// Mean inter-arrival gap.
+        mean_gap: SimDuration,
+    },
+}
+
+/// Mixing weights over the pattern classes.
+///
+/// Weights need not sum to one; they are normalized at sampling time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PatternMix {
+    /// Weight of [`Pattern::Periodic`].
+    pub periodic: f64,
+    /// Weight of [`Pattern::MultiPeriodic`].
+    pub multi_periodic: f64,
+    /// Weight of [`Pattern::Poisson`].
+    pub poisson: f64,
+    /// Weight of [`Pattern::Bursty`].
+    pub bursty: f64,
+    /// Weight of [`Pattern::Rare`].
+    pub rare: f64,
+}
+
+impl PatternMix {
+    /// The default mix, approximating the Azure-trace characterization.
+    pub fn azure_like() -> Self {
+        PatternMix {
+            periodic: 0.35,
+            multi_periodic: 0.15,
+            poisson: 0.30,
+            bursty: 0.15,
+            rare: 0.05,
+        }
+    }
+
+    fn total(&self) -> f64 {
+        self.periodic + self.multi_periodic + self.poisson + self.bursty + self.rare
+    }
+}
+
+impl Default for PatternMix {
+    fn default() -> Self {
+        PatternMix::azure_like()
+    }
+}
+
+/// A global load peak: a window of the trace during which every function
+/// receives extra Poisson invocations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Peak {
+    /// Window start as a fraction of the trace duration.
+    start_frac: f64,
+    /// Window length as a fraction of the trace duration.
+    len_frac: f64,
+    /// Load multiplier during the window (1.0 = no extra load).
+    multiplier: f64,
+}
+
+/// Namespace type for synthetic trace generation; see
+/// [`SyntheticTrace::builder`].
+#[derive(Debug, Clone, Copy)]
+pub struct SyntheticTrace;
+
+impl SyntheticTrace {
+    /// Starts configuring a synthetic trace.
+    pub fn builder() -> SyntheticTraceBuilder {
+        SyntheticTraceBuilder::default()
+    }
+}
+
+/// Builder for synthetic traces.
+///
+/// # Example
+///
+/// ```
+/// use cc_trace::SyntheticTrace;
+/// use cc_types::SimDuration;
+///
+/// let trace = SyntheticTrace::builder()
+///     .functions(20)
+///     .duration(SimDuration::from_mins(120))
+///     .seed(42)
+///     .build();
+/// // Deterministic: the same seed gives the same trace.
+/// let again = SyntheticTrace::builder()
+///     .functions(20)
+///     .duration(SimDuration::from_mins(120))
+///     .seed(42)
+///     .build();
+/// assert_eq!(trace, again);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SyntheticTraceBuilder {
+    functions: usize,
+    duration: SimDuration,
+    seed: u64,
+    mix: PatternMix,
+    peaks: Vec<Peak>,
+    mean_gap_median: SimDuration,
+    exec_median: SimDuration,
+    memory_median: MemoryMb,
+    /// Zipf exponent skewing per-function popularity (0 = uniform rates,
+    /// the default; ~1 matches production FaaS popularity skew).
+    zipf_exponent: f64,
+    /// Peak-to-trough ratio of a sinusoidal day/night load envelope applied
+    /// to Poisson-class arrival rates (1.0 = flat, the default).
+    diurnal_amplitude: f64,
+}
+
+impl Default for SyntheticTraceBuilder {
+    fn default() -> Self {
+        SyntheticTraceBuilder {
+            functions: 100,
+            duration: SimDuration::from_mins(24 * 60),
+            seed: 0,
+            mix: PatternMix::azure_like(),
+            // Three load peaks like the paper's Fig. 11 shading.
+            peaks: vec![
+                Peak { start_frac: 0.18, len_frac: 0.08, multiplier: 3.0 },
+                Peak { start_frac: 0.48, len_frac: 0.08, multiplier: 3.5 },
+                Peak { start_frac: 0.78, len_frac: 0.08, multiplier: 3.0 },
+            ],
+            mean_gap_median: SimDuration::from_mins(5),
+            exec_median: SimDuration::from_millis(2_500),
+            memory_median: MemoryMb::new(300),
+            zipf_exponent: 0.0,
+            diurnal_amplitude: 1.0,
+        }
+    }
+}
+
+impl SyntheticTraceBuilder {
+    /// Sets the number of unique functions.
+    pub fn functions(&mut self, n: usize) -> &mut Self {
+        self.functions = n;
+        self
+    }
+
+    /// Sets the trace duration.
+    pub fn duration(&mut self, duration: SimDuration) -> &mut Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Sets the RNG seed (same seed ⇒ identical trace).
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the pattern-class mix.
+    pub fn pattern_mix(&mut self, mix: PatternMix) -> &mut Self {
+        self.mix = mix;
+        self
+    }
+
+    /// Removes all global load peaks (flat background load).
+    pub fn without_peaks(&mut self) -> &mut Self {
+        self.peaks.clear();
+        self
+    }
+
+    /// Adds a global load peak window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fractions leave `[0, 1]` or the multiplier is < 1.
+    pub fn peak(&mut self, start_frac: f64, len_frac: f64, multiplier: f64) -> &mut Self {
+        assert!((0.0..=1.0).contains(&start_frac), "start_frac out of range");
+        assert!((0.0..=1.0).contains(&len_frac), "len_frac out of range");
+        assert!(multiplier >= 1.0, "multiplier must be >= 1");
+        self.peaks.push(Peak {
+            start_frac,
+            len_frac,
+            multiplier,
+        });
+        self
+    }
+
+    /// Sets the median of the per-function mean inter-arrival gap.
+    pub fn mean_gap_median(&mut self, gap: SimDuration) -> &mut Self {
+        self.mean_gap_median = gap;
+        self
+    }
+
+    /// Sets the median execution duration reported in the function table.
+    pub fn exec_median(&mut self, exec: SimDuration) -> &mut Self {
+        self.exec_median = exec;
+        self
+    }
+
+    /// Skews per-function invocation rates by a Zipf law: function `i`'s
+    /// mean gap is scaled by `(i + 1)^exponent`, so a handful of functions
+    /// dominate the invocation volume the way production FaaS traces do.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exponent` is negative.
+    pub fn zipf_popularity(&mut self, exponent: f64) -> &mut Self {
+        assert!(exponent >= 0.0, "Zipf exponent must be non-negative");
+        self.zipf_exponent = exponent;
+        self
+    }
+
+    /// Applies a sinusoidal day/night envelope to Poisson-class arrivals:
+    /// the rate swings between `1/ratio` and `ratio` of its base over one
+    /// full cycle spanning the trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1`.
+    pub fn diurnal(&mut self, ratio: f64) -> &mut Self {
+        assert!(ratio >= 1.0, "diurnal ratio must be >= 1");
+        self.diurnal_amplitude = ratio;
+        self
+    }
+
+    /// Generates the trace.
+    pub fn build(&self) -> Trace {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut functions = Vec::with_capacity(self.functions);
+        let mut invocations = Vec::new();
+
+        let exec_dist = log_normal(self.exec_median.as_secs_f64(), 1.1);
+        let mem_dist = log_normal(self.memory_median.as_mb() as f64, 0.8);
+        let gap_dist = log_normal(self.mean_gap_median.as_secs_f64(), 1.2);
+
+        for i in 0..self.functions {
+            let id = FunctionId::new(i as u32);
+            let exec_secs = exec_dist.sample(&mut rng).clamp(0.05, 300.0);
+            let mem_mb = mem_dist.sample(&mut rng).clamp(64.0, 4096.0) as u32;
+            functions.push(TraceFunction::new(
+                id,
+                SimDuration::from_secs_f64(exec_secs),
+                MemoryMb::new(mem_mb),
+            ));
+
+            // Zipf popularity: early ids invoke densely, the tail rarely.
+            let zipf_scale = ((i + 1) as f64).powf(self.zipf_exponent);
+            let mean_gap_secs =
+                (gap_dist.sample(&mut rng) * zipf_scale).clamp(10.0, 7_200.0);
+            let pattern = self.sample_pattern(&mut rng, mean_gap_secs);
+            self.generate_arrivals(&mut rng, id, &pattern, &mut invocations);
+            self.inject_peak_arrivals(&mut rng, id, mean_gap_secs, &mut invocations);
+        }
+
+        Trace::new(functions, invocations).expect("generator produces valid traces")
+    }
+
+    fn sample_pattern(&self, rng: &mut StdRng, mean_gap_secs: f64) -> Pattern {
+        let total = self.mix.total();
+        assert!(total > 0.0, "pattern mix must have positive total weight");
+        let mut pick = rng.gen::<f64>() * total;
+        let gap = SimDuration::from_secs_f64(mean_gap_secs);
+
+        pick -= self.mix.periodic;
+        if pick < 0.0 {
+            return Pattern::Periodic {
+                period: gap,
+                jitter: rng.gen_range(0.01..0.15),
+            };
+        }
+        pick -= self.mix.multi_periodic;
+        if pick < 0.0 {
+            let count = rng.gen_range(2..=3);
+            let periods = (0..count)
+                .map(|_| gap.scale(rng.gen_range(0.5..2.0)).max(SimDuration::from_secs(5)))
+                .collect();
+            return Pattern::MultiPeriodic { periods };
+        }
+        pick -= self.mix.poisson;
+        if pick < 0.0 {
+            return Pattern::Poisson { mean_gap: gap };
+        }
+        pick -= self.mix.bursty;
+        if pick < 0.0 {
+            return Pattern::Bursty {
+                on: gap.scale(rng.gen_range(3.0..10.0)),
+                off: gap.scale(rng.gen_range(5.0..20.0)),
+                gap_on: gap.scale(rng.gen_range(0.05..0.3)).max(SimDuration::from_secs(1)),
+            };
+        }
+        Pattern::Rare {
+            mean_gap: SimDuration::from_secs_f64((mean_gap_secs * 20.0).max(4_500.0)),
+        }
+    }
+
+    fn generate_arrivals(
+        &self,
+        rng: &mut StdRng,
+        id: FunctionId,
+        pattern: &Pattern,
+        out: &mut Vec<Invocation>,
+    ) {
+        let horizon = self.duration.as_secs_f64();
+        match pattern {
+            Pattern::Periodic { period, jitter } => {
+                let p = period.as_secs_f64().max(1.0);
+                let noise = Normal::new(0.0, p * jitter).expect("finite jitter");
+                let mut t = rng.gen_range(0.0..p);
+                while t < horizon {
+                    let jittered = (t + noise.sample(rng)).max(0.0);
+                    if jittered < horizon {
+                        out.push(at(id, jittered));
+                    }
+                    t += p;
+                }
+            }
+            Pattern::MultiPeriodic { periods } => {
+                let mut t = rng.gen_range(0.0..periods[0].as_secs_f64().max(1.0));
+                let mut idx = 0usize;
+                let mut remaining_in_phase = rng.gen_range(3..10);
+                while t < horizon {
+                    out.push(at(id, t));
+                    t += periods[idx].as_secs_f64().max(1.0);
+                    remaining_in_phase -= 1;
+                    if remaining_in_phase == 0 {
+                        idx = (idx + 1) % periods.len();
+                        remaining_in_phase = rng.gen_range(3..10);
+                    }
+                }
+            }
+            Pattern::Poisson { mean_gap } | Pattern::Rare { mean_gap } => {
+                let rate = 1.0 / mean_gap.as_secs_f64().max(1.0);
+                if self.diurnal_amplitude > 1.0 {
+                    // Non-homogeneous Poisson via thinning: sample at the
+                    // envelope's maximum rate and accept proportionally to
+                    // the instantaneous day/night level.
+                    let amplitude = self.diurnal_amplitude;
+                    let exp = Exp::new(rate * amplitude).expect("positive rate");
+                    let mut t = exp.sample(rng);
+                    while t < horizon {
+                        let phase = 2.0 * std::f64::consts::PI * t / horizon.max(1.0);
+                        let envelope = amplitude.powf(phase.sin());
+                        if rng.gen::<f64>() < envelope / amplitude {
+                            out.push(at(id, t));
+                        }
+                        t += exp.sample(rng);
+                    }
+                } else {
+                    let exp = Exp::new(rate).expect("positive rate");
+                    let mut t = exp.sample(rng);
+                    while t < horizon {
+                        out.push(at(id, t));
+                        t += exp.sample(rng);
+                    }
+                }
+            }
+            Pattern::Bursty { on, off, gap_on } => {
+                let cycle = on.as_secs_f64() + off.as_secs_f64();
+                let rate = 1.0 / gap_on.as_secs_f64().max(0.5);
+                let exp = Exp::new(rate).expect("positive rate");
+                let phase_start = rng.gen_range(0.0..cycle.max(1.0));
+                // Walk on-phases across the horizon, starting at a random
+                // phase so functions' bursts do not align.
+                let mut window_start = -phase_start;
+                while window_start < horizon {
+                    let on_end = window_start + on.as_secs_f64();
+                    let mut t = window_start.max(0.0) + exp.sample(rng);
+                    while t < on_end.min(horizon) {
+                        if t >= 0.0 {
+                            out.push(at(id, t));
+                        }
+                        t += exp.sample(rng);
+                    }
+                    window_start += cycle.max(1.0);
+                }
+            }
+        }
+    }
+
+    /// Adds extra Poisson arrivals during global peak windows, creating the
+    /// high-memory-pressure periods the paper studies.
+    fn inject_peak_arrivals(
+        &self,
+        rng: &mut StdRng,
+        id: FunctionId,
+        mean_gap_secs: f64,
+        out: &mut Vec<Invocation>,
+    ) {
+        let horizon = self.duration.as_secs_f64();
+        for peak in &self.peaks {
+            let extra_rate = (peak.multiplier - 1.0) / mean_gap_secs.max(10.0);
+            if extra_rate <= 0.0 {
+                continue;
+            }
+            let start = peak.start_frac * horizon;
+            let end = (peak.start_frac + peak.len_frac) * horizon;
+            let exp = Exp::new(extra_rate).expect("positive rate");
+            let mut t = start + exp.sample(rng);
+            while t < end.min(horizon) {
+                out.push(at(id, t));
+                t += exp.sample(rng);
+            }
+        }
+    }
+}
+
+fn at(id: FunctionId, secs: f64) -> Invocation {
+    Invocation::new(id, SimTime::ZERO + SimDuration::from_secs_f64(secs))
+}
+
+/// A log-normal distribution parameterized by its median and log-σ.
+fn log_normal(median: f64, sigma: f64) -> LogNormal<f64> {
+    LogNormal::new(median.max(1e-9).ln(), sigma).expect("valid log-normal")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_trace(seed: u64) -> Trace {
+        SyntheticTrace::builder()
+            .functions(30)
+            .duration(SimDuration::from_mins(180))
+            .seed(seed)
+            .build()
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(small_trace(1), small_trace(1));
+        assert_ne!(small_trace(1), small_trace(2));
+    }
+
+    #[test]
+    fn respects_function_count_and_duration() {
+        let t = small_trace(3);
+        assert_eq!(t.functions().len(), 30);
+        assert!(t.duration() <= SimDuration::from_mins(180));
+        assert!(!t.invocations().is_empty());
+    }
+
+    #[test]
+    fn invocations_are_sorted() {
+        let t = small_trace(4);
+        let mut prev = SimTime::ZERO;
+        for inv in t.invocations() {
+            assert!(inv.arrival >= prev);
+            prev = inv.arrival;
+        }
+    }
+
+    #[test]
+    fn peaks_raise_load() {
+        let mut b = SyntheticTrace::builder();
+        b.functions(100)
+            .duration(SimDuration::from_mins(300))
+            .seed(5)
+            .without_peaks()
+            .peak(0.5, 0.1, 6.0);
+        let t = b.build();
+        let load = t.load_per_minute();
+        let n = load.len();
+        // Compare mean load inside the window [0.5, 0.6] to the background.
+        let window: Vec<usize> = (n / 2..(n * 6 / 10).min(n)).collect();
+        let in_peak: f64 =
+            window.iter().map(|&i| load[i] as f64).sum::<f64>() / window.len() as f64;
+        let outside: f64 = (0..n / 4).map(|i| load[i] as f64).sum::<f64>() / (n / 4) as f64;
+        assert!(
+            in_peak > outside * 2.0,
+            "peak load {in_peak} not >> background {outside}"
+        );
+    }
+
+    #[test]
+    fn exec_and_memory_are_in_range() {
+        let t = small_trace(6);
+        for f in t.functions() {
+            assert!(f.mean_exec >= SimDuration::from_millis(50));
+            assert!(f.mean_exec <= SimDuration::from_secs(300));
+            assert!(f.memory.as_mb() >= 64 && f.memory.as_mb() <= 4096);
+        }
+    }
+
+    #[test]
+    fn pattern_mix_total_normalizes() {
+        let mix = PatternMix {
+            periodic: 2.0,
+            multi_periodic: 0.0,
+            poisson: 0.0,
+            bursty: 0.0,
+            rare: 0.0,
+        };
+        let mut b = SyntheticTrace::builder();
+        b.functions(10)
+            .duration(SimDuration::from_mins(60))
+            .seed(7)
+            .pattern_mix(mix)
+            .without_peaks();
+        let t = b.build();
+        // All functions periodic: every function with >= 3 invocations has a
+        // low coefficient of variation in its gaps.
+        for f in t.functions() {
+            let times: Vec<f64> = t
+                .invocations()
+                .iter()
+                .filter(|i| i.function == f.id)
+                .map(|i| i.arrival.as_secs_f64())
+                .collect();
+            if times.len() < 4 {
+                continue;
+            }
+            let gaps: Vec<f64> = times.windows(2).map(|w| w[1] - w[0]).collect();
+            let mean = gaps.iter().sum::<f64>() / gaps.len() as f64;
+            let var = gaps.iter().map(|g| (g - mean) * (g - mean)).sum::<f64>()
+                / gaps.len() as f64;
+            let cv = var.sqrt() / mean;
+            assert!(cv < 0.5, "periodic function {} has cv {cv}", f.id);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "multiplier must be >= 1")]
+    fn rejects_sub_unit_multiplier() {
+        SyntheticTrace::builder().peak(0.1, 0.1, 0.5);
+    }
+
+    #[test]
+    fn zipf_skews_popularity() {
+        let build = |exponent: f64| {
+            let mut b = SyntheticTrace::builder();
+            b.functions(50)
+                .duration(SimDuration::from_mins(600))
+                .seed(77)
+                .without_peaks()
+                .zipf_popularity(exponent);
+            b.build()
+        };
+        let skewed = build(1.0);
+        let mut counts = vec![0u64; 50];
+        for inv in skewed.invocations() {
+            counts[inv.function.index()] += 1;
+        }
+        // The top-10 functions should dominate the volume under Zipf(1).
+        let head: u64 = counts[..10].iter().sum();
+        let total: u64 = counts.iter().sum();
+        assert!(
+            head as f64 / total as f64 > 0.5,
+            "head share {} too small",
+            head as f64 / total as f64
+        );
+        // Uniform popularity has a much flatter head.
+        let flat = build(0.0);
+        let mut flat_counts = vec![0u64; 50];
+        for inv in flat.invocations() {
+            flat_counts[inv.function.index()] += 1;
+        }
+        let flat_head: u64 = flat_counts[..10].iter().sum();
+        let flat_total: u64 = flat_counts.iter().sum();
+        assert!(head as f64 / total as f64 > flat_head as f64 / flat_total as f64);
+    }
+
+    #[test]
+    fn diurnal_envelope_modulates_load() {
+        let mix = PatternMix {
+            periodic: 0.0,
+            multi_periodic: 0.0,
+            poisson: 1.0,
+            bursty: 0.0,
+            rare: 0.0,
+        };
+        let mut b = SyntheticTrace::builder();
+        b.functions(80)
+            .duration(SimDuration::from_mins(480))
+            .seed(78)
+            .pattern_mix(mix)
+            .without_peaks()
+            .diurnal(3.0);
+        let t = b.build();
+        let load = t.load_per_minute();
+        // The sinusoidal envelope peaks in the first half (sin > 0) and
+        // troughs in the second: compare quarter 1 vs quarter 3.
+        let q = load.len() / 4;
+        let peak: u32 = load[..q].iter().sum();
+        let trough: u32 = load[2 * q..3 * q].iter().sum();
+        assert!(
+            peak as f64 > trough as f64 * 1.5,
+            "peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "diurnal ratio must be >= 1")]
+    fn rejects_sub_unit_diurnal() {
+        SyntheticTrace::builder().diurnal(0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "Zipf exponent must be non-negative")]
+    fn rejects_negative_zipf() {
+        SyntheticTrace::builder().zipf_popularity(-1.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The in-memory trace model.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use cc_types::{FunctionId, Invocation, SimDuration, SimTime};
+
+use crate::TraceFunction;
+
+/// An error constructing or manipulating a [`Trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Function ids in the function table are not dense `0..n`.
+    NonDenseFunctionIds {
+        /// The index at which the id did not match.
+        index: usize,
+    },
+    /// An invocation references a function not present in the table.
+    UnknownFunction {
+        /// The offending function id.
+        id: FunctionId,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::NonDenseFunctionIds { index } => {
+                write!(f, "function table entry {index} does not have id {index}")
+            }
+            TraceError::UnknownFunction { id } => {
+                write!(f, "invocation references unknown function {id}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// A complete invocation trace: the function table plus a time-sorted
+/// stream of invocations.
+///
+/// Invariants (enforced at construction):
+/// - function ids are dense `0..n` and index the table,
+/// - every invocation references a known function,
+/// - invocations are sorted by arrival time (stable for ties).
+///
+/// # Example
+///
+/// ```
+/// use cc_trace::{Trace, TraceFunction};
+/// use cc_types::{FunctionId, Invocation, MemoryMb, SimDuration, SimTime};
+///
+/// let f = TraceFunction::new(FunctionId::new(0), SimDuration::from_secs(1), MemoryMb::new(128));
+/// let trace = Trace::new(
+///     vec![f],
+///     vec![Invocation::new(FunctionId::new(0), SimTime::from_micros(5))],
+/// )?;
+/// assert_eq!(trace.invocations().len(), 1);
+/// # Ok::<(), cc_trace::TraceError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    functions: Vec<TraceFunction>,
+    invocations: Vec<Invocation>,
+}
+
+impl Trace {
+    /// Builds a trace, validating invariants and sorting invocations by
+    /// arrival.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError`] if function ids are not dense or an invocation
+    /// references an unknown function.
+    pub fn new(
+        functions: Vec<TraceFunction>,
+        mut invocations: Vec<Invocation>,
+    ) -> Result<Self, TraceError> {
+        for (index, f) in functions.iter().enumerate() {
+            if f.id.index() != index {
+                return Err(TraceError::NonDenseFunctionIds { index });
+            }
+        }
+        for inv in &invocations {
+            if inv.function.index() >= functions.len() {
+                return Err(TraceError::UnknownFunction { id: inv.function });
+            }
+        }
+        invocations.sort_by_key(|inv| inv.arrival);
+        Ok(Trace {
+            functions,
+            invocations,
+        })
+    }
+
+    /// The function table, indexed by [`FunctionId::index`].
+    pub fn functions(&self) -> &[TraceFunction] {
+        &self.functions
+    }
+
+    /// Metadata for one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this trace.
+    pub fn function(&self, id: FunctionId) -> &TraceFunction {
+        &self.functions[id.index()]
+    }
+
+    /// The invocation stream, sorted by arrival time.
+    pub fn invocations(&self) -> &[Invocation] {
+        &self.invocations
+    }
+
+    /// Arrival time of the last invocation (the trace's logical length).
+    /// Zero for an empty trace.
+    pub fn duration(&self) -> SimDuration {
+        self.invocations
+            .last()
+            .map(|inv| inv.arrival.saturating_since(SimTime::ZERO))
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total invocations per minute across all functions — the load curve
+    /// the paper's shaded "high invocation load" regions come from.
+    pub fn load_per_minute(&self) -> Vec<u32> {
+        let minute = SimDuration::from_mins(1);
+        let mut counts = Vec::new();
+        for inv in &self.invocations {
+            let idx = inv.arrival.interval_index(minute) as usize;
+            if idx >= counts.len() {
+                counts.resize(idx + 1, 0);
+            }
+            counts[idx] += 1;
+        }
+        counts
+    }
+
+    /// Per-minute invocation counts for one function (the signal IceBreaker
+    /// feeds its FFT).
+    ///
+    /// The result is dense over the whole trace duration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this trace.
+    pub fn per_minute_counts(&self, id: FunctionId) -> Vec<f64> {
+        assert!(id.index() < self.functions.len(), "unknown function {id}");
+        let minute = SimDuration::from_mins(1);
+        let total_minutes = self.duration().as_micros() / minute.as_micros() + 1;
+        let mut counts = vec![0.0; total_minutes as usize];
+        for inv in &self.invocations {
+            if inv.function == id {
+                counts[inv.arrival.interval_index(minute) as usize] += 1.0;
+            }
+        }
+        counts
+    }
+
+    /// Decomposes into `(functions, invocations)`.
+    pub fn into_parts(self) -> (Vec<TraceFunction>, Vec<Invocation>) {
+        (self.functions, self.invocations)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::MemoryMb;
+
+    fn func(i: u32) -> TraceFunction {
+        TraceFunction::new(
+            FunctionId::new(i),
+            SimDuration::from_secs(1),
+            MemoryMb::new(128),
+        )
+    }
+
+    fn inv(f: u32, micros: u64) -> Invocation {
+        Invocation::new(FunctionId::new(f), SimTime::from_micros(micros))
+    }
+
+    #[test]
+    fn sorts_invocations() {
+        let t = Trace::new(vec![func(0)], vec![inv(0, 50), inv(0, 10), inv(0, 30)]).unwrap();
+        let arrivals: Vec<u64> = t.invocations().iter().map(|i| i.arrival.as_micros()).collect();
+        assert_eq!(arrivals, vec![10, 30, 50]);
+    }
+
+    #[test]
+    fn rejects_unknown_function() {
+        let err = Trace::new(vec![func(0)], vec![inv(3, 0)]).unwrap_err();
+        assert_eq!(
+            err,
+            TraceError::UnknownFunction {
+                id: FunctionId::new(3)
+            }
+        );
+        assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn rejects_non_dense_ids() {
+        let err = Trace::new(vec![func(1)], vec![]).unwrap_err();
+        assert_eq!(err, TraceError::NonDenseFunctionIds { index: 0 });
+    }
+
+    #[test]
+    fn empty_trace_is_valid() {
+        let t = Trace::new(vec![], vec![]).unwrap();
+        assert_eq!(t.duration(), SimDuration::ZERO);
+        assert!(t.load_per_minute().is_empty());
+    }
+
+    #[test]
+    fn load_per_minute_buckets() {
+        let m = 60_000_000u64;
+        let t = Trace::new(
+            vec![func(0), func(1)],
+            vec![inv(0, 0), inv(1, 10), inv(0, 2 * m + 1)],
+        )
+        .unwrap();
+        assert_eq!(t.load_per_minute(), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn per_minute_counts_are_dense() {
+        let m = 60_000_000u64;
+        let t = Trace::new(
+            vec![func(0), func(1)],
+            vec![inv(0, 0), inv(0, 3 * m), inv(1, 5 * m)],
+        )
+        .unwrap();
+        let counts = t.per_minute_counts(FunctionId::new(0));
+        assert_eq!(counts, vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn function_lookup() {
+        let t = Trace::new(vec![func(0), func(1)], vec![]).unwrap();
+        assert_eq!(t.function(FunctionId::new(1)).id.index(), 1);
+        assert_eq!(t.functions().len(), 2);
+    }
+}

@@ -1,0 +1,105 @@
+//! Processor architecture of a worker node.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// The processor architecture of a worker node (the paper's `T` dimension).
+///
+/// Amazon Lambda offers both x86 and ARM (Graviton) execution; functions have
+/// a natural performance affinity to one or the other, while ARM capacity is
+/// cheaper to reserve, so the keep-alive cost rate differs per architecture.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::Arch;
+///
+/// assert_eq!(Arch::X86.other(), Arch::Arm);
+/// assert_eq!(Arch::ALL.len(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Arch {
+    /// An x86-64 node (paper: Amazon EC2 `m5`, $0.384/hour).
+    X86,
+    /// An ARM (aarch64) node (paper: Amazon EC2 `t4g`, $0.2688/hour).
+    Arm,
+}
+
+impl Arch {
+    /// Both architectures, in a stable order (x86 first, matching the
+    /// paper's `T_i = 0` encoding for x86).
+    pub const ALL: [Arch; 2] = [Arch::X86, Arch::Arm];
+
+    /// Returns the opposite architecture.
+    pub const fn other(self) -> Arch {
+        match self {
+            Arch::X86 => Arch::Arm,
+            Arch::Arm => Arch::X86,
+        }
+    }
+
+    /// Returns the paper's binary encoding: `0` for x86, `1` for ARM.
+    pub const fn bit(self) -> u8 {
+        match self {
+            Arch::X86 => 0,
+            Arch::Arm => 1,
+        }
+    }
+
+    /// Inverse of [`Arch::bit`]: `0 ⇒ x86`, anything else `⇒ ARM`.
+    pub const fn from_bit(bit: u8) -> Arch {
+        if bit == 0 {
+            Arch::X86
+        } else {
+            Arch::Arm
+        }
+    }
+
+    /// Returns a dense index (`0` for x86, `1` for ARM) for table lookups.
+    pub const fn index(self) -> usize {
+        self.bit() as usize
+    }
+}
+
+impl fmt::Display for Arch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Arch::X86 => write!(f, "x86"),
+            Arch::Arm => write!(f, "arm"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn other_is_involution() {
+        for a in Arch::ALL {
+            assert_eq!(a.other().other(), a);
+            assert_ne!(a.other(), a);
+        }
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        for a in Arch::ALL {
+            assert_eq!(Arch::from_bit(a.bit()), a);
+        }
+        assert_eq!(Arch::from_bit(17), Arch::Arm);
+    }
+
+    #[test]
+    fn index_is_dense() {
+        assert_eq!(Arch::X86.index(), 0);
+        assert_eq!(Arch::Arm.index(), 1);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Arch::X86.to_string(), "x86");
+        assert_eq!(Arch::Arm.to_string(), "arm");
+    }
+}

@@ -1,0 +1,303 @@
+//! Keep-alive cost accounting in integer pico-dollars.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Arch, MemoryMb, SimDuration};
+
+/// A monetary amount in pico-dollars (10⁻¹² $).
+///
+/// Keep-alive costs per the paper are tiny per-function (a few nano-dollars
+/// per MiB-second), so pico-dollar integers keep the budget ledger exact
+/// while still fitting two weeks of a 200k-function trace in a `u64`
+/// (`u64::MAX` pico-dollars ≈ $18.4M).
+///
+/// # Example
+///
+/// ```
+/// use cc_types::Cost;
+///
+/// let a = Cost::from_picodollars(1_500);
+/// let b = Cost::from_picodollars(500);
+/// assert_eq!(a + b, Cost::from_picodollars(2_000));
+/// assert_eq!((a - b).as_picodollars(), 1_000);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Cost(u64);
+
+impl Cost {
+    /// Zero dollars.
+    pub const ZERO: Cost = Cost(0);
+
+    /// Creates a cost from pico-dollars.
+    pub const fn from_picodollars(pd: u64) -> Self {
+        Cost(pd)
+    }
+
+    /// Creates a cost from (fractional) dollars, rounding to the nearest
+    /// pico-dollar and saturating negatives to zero.
+    pub fn from_dollars(dollars: f64) -> Self {
+        if dollars <= 0.0 || !dollars.is_finite() {
+            return Cost::ZERO;
+        }
+        Cost((dollars * 1e12).round() as u64)
+    }
+
+    /// Returns the amount in pico-dollars.
+    pub const fn as_picodollars(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the amount in (fractional) dollars.
+    pub fn as_dollars(self) -> f64 {
+        self.0 as f64 / 1e12
+    }
+
+    /// Returns whether this is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtracts `other`, saturating at zero.
+    pub fn saturating_sub(self, other: Cost) -> Cost {
+        Cost(self.0.saturating_sub(other.0))
+    }
+
+    /// Adds `other`, saturating at `u64::MAX` pico-dollars.
+    pub fn saturating_add(self, other: Cost) -> Cost {
+        Cost(self.0.saturating_add(other.0))
+    }
+
+    /// Multiplies by a floating-point factor (e.g. a budget multiplier),
+    /// rounding to the nearest pico-dollar and saturating negatives to zero.
+    pub fn scale(self, factor: f64) -> Cost {
+        Cost::from_dollars(self.as_dollars() * factor)
+    }
+
+    /// Returns the smaller of two costs.
+    pub fn min(self, other: Cost) -> Cost {
+        Cost(self.0.min(other.0))
+    }
+}
+
+impl Add for Cost {
+    type Output = Cost;
+    fn add(self, rhs: Cost) -> Cost {
+        Cost(self.0.checked_add(rhs.0).expect("Cost addition overflow"))
+    }
+}
+
+impl AddAssign for Cost {
+    fn add_assign(&mut self, rhs: Cost) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cost {
+    type Output = Cost;
+    fn sub(self, rhs: Cost) -> Cost {
+        Cost(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("Cost subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for Cost {
+    fn sub_assign(&mut self, rhs: Cost) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for Cost {
+    type Output = Cost;
+    fn mul(self, rhs: u64) -> Cost {
+        Cost(
+            self.0
+                .checked_mul(rhs)
+                .expect("Cost multiplication overflow"),
+        )
+    }
+}
+
+impl Sum for Cost {
+    fn sum<I: Iterator<Item = Cost>>(iter: I) -> Cost {
+        iter.fold(Cost::ZERO, |acc, c| acc + c)
+    }
+}
+
+impl fmt::Display for Cost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${:.9}", self.as_dollars())
+    }
+}
+
+/// A keep-alive cost rate in pico-dollars per MiB-second (the paper's
+/// `X_x86`/`X_ARM` terms).
+///
+/// The paper charges keep-alive at the node's hourly price pro-rated by the
+/// memory a warm instance reserves: an m5 x86 node ($0.384/h, 32 GiB) works
+/// out to ≈3255 p$/MiB·s, a t4g ARM node ($0.2688/h) to ≈2279 p$/MiB·s.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::{Arch, CostRate, MemoryMb, SimDuration};
+///
+/// let x86 = CostRate::paper_rate(Arch::X86);
+/// let arm = CostRate::paper_rate(Arch::Arm);
+/// assert!(arm < x86, "ARM keep-alive is cheaper by design");
+///
+/// let cost = x86.keep_alive_cost(MemoryMb::new(128), SimDuration::from_mins(10));
+/// assert!(cost.as_dollars() > 0.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CostRate(u64);
+
+/// Hourly price of the paper's x86 worker node (EC2 m5), in dollars.
+pub const X86_NODE_DOLLARS_PER_HOUR: f64 = 0.384;
+/// Hourly price of the paper's ARM worker node (EC2 t4g), in dollars.
+pub const ARM_NODE_DOLLARS_PER_HOUR: f64 = 0.2688;
+/// Memory capacity of both worker node types in the paper, in MiB.
+pub const NODE_MEMORY_MB: u32 = 32 * 1024;
+
+impl CostRate {
+    /// A zero rate (keep-alive is free).
+    pub const ZERO: CostRate = CostRate(0);
+
+    /// Creates a rate from pico-dollars per MiB-second.
+    pub const fn from_picodollars_per_mb_s(rate: u64) -> Self {
+        CostRate(rate)
+    }
+
+    /// Returns the rate in pico-dollars per MiB-second.
+    pub const fn as_picodollars_per_mb_s(self) -> u64 {
+        self.0
+    }
+
+    /// The paper's per-architecture rate, derived from the m5/t4g hourly
+    /// prices pro-rated over a 32 GiB node.
+    pub fn paper_rate(arch: Arch) -> CostRate {
+        let dollars_per_hour = match arch {
+            Arch::X86 => X86_NODE_DOLLARS_PER_HOUR,
+            Arch::Arm => ARM_NODE_DOLLARS_PER_HOUR,
+        };
+        CostRate::from_node_price(dollars_per_hour, MemoryMb::new(NODE_MEMORY_MB))
+    }
+
+    /// Derives a per-MiB-second rate from a node's hourly price and its
+    /// memory capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node_memory` is zero.
+    pub fn from_node_price(dollars_per_hour: f64, node_memory: MemoryMb) -> CostRate {
+        assert!(!node_memory.is_zero(), "node memory must be non-zero");
+        let pd_per_mb_s = dollars_per_hour * 1e12 / 3600.0 / node_memory.as_mb() as f64;
+        CostRate(pd_per_mb_s.round().max(0.0) as u64)
+    }
+
+    /// Computes the keep-alive cost of reserving `memory` for `duration`
+    /// at this rate: `memory × duration × rate` (the paper's
+    /// `M_i · K_t_i · X_arch` product).
+    pub fn keep_alive_cost(self, memory: MemoryMb, duration: SimDuration) -> Cost {
+        // u128 intermediate: mem(≤2^32) × µs(≤2^44 for 2 weeks) × rate(≤2^13)
+        // cannot overflow.
+        let pd = self.0 as u128 * memory.as_mb() as u128 * duration.as_micros() as u128
+            / 1_000_000u128;
+        Cost(u64::try_from(pd).expect("keep-alive cost overflow"))
+    }
+}
+
+impl fmt::Display for CostRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}p$/MiB·s", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_rates_match_hand_calculation() {
+        // 0.384 / 3600 / 32768 * 1e12 ≈ 3255.2 p$/MiB·s
+        assert_eq!(
+            CostRate::paper_rate(Arch::X86).as_picodollars_per_mb_s(),
+            3255
+        );
+        // 0.2688 / 3600 / 32768 * 1e12 ≈ 2278.6 p$/MiB·s
+        assert_eq!(
+            CostRate::paper_rate(Arch::Arm).as_picodollars_per_mb_s(),
+            2279
+        );
+    }
+
+    #[test]
+    fn arm_is_cheaper() {
+        assert!(CostRate::paper_rate(Arch::Arm) < CostRate::paper_rate(Arch::X86));
+    }
+
+    #[test]
+    fn keep_alive_cost_is_linear() {
+        let rate = CostRate::from_picodollars_per_mb_s(1000);
+        let base = rate.keep_alive_cost(MemoryMb::new(10), SimDuration::from_secs(5));
+        assert_eq!(base.as_picodollars(), 1000 * 10 * 5);
+        let double_mem = rate.keep_alive_cost(MemoryMb::new(20), SimDuration::from_secs(5));
+        assert_eq!(double_mem.as_picodollars(), base.as_picodollars() * 2);
+        let double_time = rate.keep_alive_cost(MemoryMb::new(10), SimDuration::from_secs(10));
+        assert_eq!(double_time.as_picodollars(), base.as_picodollars() * 2);
+    }
+
+    #[test]
+    fn keep_alive_cost_sub_second_precision() {
+        let rate = CostRate::from_picodollars_per_mb_s(3255);
+        let c = rate.keep_alive_cost(MemoryMb::new(1), SimDuration::from_millis(500));
+        assert_eq!(c.as_picodollars(), 3255 / 2);
+    }
+
+    #[test]
+    fn cost_dollars_roundtrip() {
+        let c = Cost::from_dollars(1.5);
+        assert!((c.as_dollars() - 1.5).abs() < 1e-12);
+        assert_eq!(Cost::from_dollars(-1.0), Cost::ZERO);
+        assert_eq!(Cost::from_dollars(f64::NAN), Cost::ZERO);
+    }
+
+    #[test]
+    fn cost_arithmetic_and_sum() {
+        let parts = [100u64, 200, 300].map(Cost::from_picodollars);
+        let total: Cost = parts.into_iter().sum();
+        assert_eq!(total.as_picodollars(), 600);
+        assert_eq!(
+            total.saturating_sub(Cost::from_picodollars(1000)),
+            Cost::ZERO
+        );
+        assert_eq!(total.scale(0.5).as_picodollars(), 300);
+    }
+
+    #[test]
+    #[should_panic(expected = "Cost subtraction underflow")]
+    fn cost_underflow_panics() {
+        let _ = Cost::ZERO - Cost::from_picodollars(1);
+    }
+
+    #[test]
+    fn two_week_trace_budget_fits_u64() {
+        // 31 nodes × 32 GiB × 2 weeks at the x86 rate stays far below u64::MAX.
+        let rate = CostRate::paper_rate(Arch::X86);
+        let c = rate.keep_alive_cost(
+            MemoryMb::new(31 * NODE_MEMORY_MB),
+            SimDuration::from_mins(14 * 24 * 60),
+        );
+        assert!(c.as_dollars() < 4000.0);
+    }
+}

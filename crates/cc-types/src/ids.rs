@@ -1,0 +1,119 @@
+//! Identifier newtypes.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a unique serverless function within a trace.
+///
+/// Function ids are dense (`0..n`) so they can index `Vec`-backed per-function
+/// state tables.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::FunctionId;
+///
+/// let f = FunctionId::new(7);
+/// assert_eq!(f.index(), 7);
+/// assert_eq!(f.to_string(), "fn#7");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FunctionId(u32);
+
+impl FunctionId {
+    /// Creates a function id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        FunctionId(index)
+    }
+
+    /// Returns the dense index as a `usize` suitable for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Returns the raw `u32` value.
+    pub const fn as_u32(self) -> u32 {
+        self.0
+    }
+}
+
+impl From<u32> for FunctionId {
+    fn from(v: u32) -> Self {
+        FunctionId(v)
+    }
+}
+
+impl fmt::Display for FunctionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{}", self.0)
+    }
+}
+
+/// Identifies a worker node in the simulated cluster.
+///
+/// Node ids are dense across the whole cluster regardless of architecture.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// Returns the dense index as a `usize` suitable for table lookups.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "node#{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn function_id_roundtrip() {
+        let f = FunctionId::new(42);
+        assert_eq!(f.index(), 42);
+        assert_eq!(f.as_u32(), 42);
+        assert_eq!(FunctionId::from(42u32), f);
+    }
+
+    #[test]
+    fn ids_order_by_index() {
+        assert!(FunctionId::new(1) < FunctionId::new(2));
+        assert!(NodeId::new(0) < NodeId::new(5));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(NodeId::new(9).to_string(), "node#9");
+        assert_eq!(FunctionId::default().to_string(), "fn#0");
+    }
+}

@@ -1,0 +1,42 @@
+//! Shared vocabulary types for the CodeCrunch reproduction.
+//!
+//! Every crate in the workspace speaks in terms of the types defined here:
+//! integer-microsecond [`SimTime`]/[`SimDuration`] timestamps, integer
+//! [`MemoryMb`] memory sizes, integer pico-dollar [`Cost`] amounts,
+//! [`FunctionId`]/[`NodeId`] identifiers, the [`Arch`] processor type, and
+//! the per-function decision tuple [`FnChoice`] (compression choice,
+//! processor type, keep-alive time) that CodeCrunch optimizes.
+//!
+//! Keeping everything integral makes the discrete-event simulation exactly
+//! reproducible: there is no floating-point accumulation anywhere on the
+//! simulator's critical path.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_types::{Arch, CostRate, FnChoice, MemoryMb, SimDuration};
+//!
+//! let choice = FnChoice::new(Arch::Arm, true, SimDuration::from_mins(10));
+//! let rate = CostRate::paper_rate(Arch::Arm);
+//! let cost = rate.keep_alive_cost(MemoryMb::new(128), choice.keep_alive);
+//! assert!(cost.as_picodollars() > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod arch;
+mod choice;
+mod cost;
+mod ids;
+mod memory;
+mod record;
+mod time;
+
+pub use arch::Arch;
+pub use choice::{FnChoice, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
+pub use cost::{Cost, CostRate};
+pub use ids::{FunctionId, NodeId};
+pub use memory::MemoryMb;
+pub use record::{Invocation, ServiceRecord, StartKind};
+pub use time::{SimDuration, SimTime};

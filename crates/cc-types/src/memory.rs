@@ -1,0 +1,175 @@
+//! Memory size newtype.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A memory amount in mebibytes.
+///
+/// Used for function footprints (warm instance size, compressed size) and
+/// node capacities. Integral MiB granularity matches the Azure trace schema
+/// and keeps keep-alive cost arithmetic exact.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::MemoryMb;
+///
+/// let node = MemoryMb::from_gb(32);
+/// let f = MemoryMb::new(512);
+/// assert_eq!(node - f, MemoryMb::new(32 * 1024 - 512));
+/// assert!(f < node);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct MemoryMb(u32);
+
+impl MemoryMb {
+    /// Zero bytes of memory.
+    pub const ZERO: MemoryMb = MemoryMb(0);
+
+    /// Creates a memory amount from mebibytes.
+    pub const fn new(mb: u32) -> Self {
+        MemoryMb(mb)
+    }
+
+    /// Creates a memory amount from gibibytes.
+    pub const fn from_gb(gb: u32) -> Self {
+        MemoryMb(gb * 1024)
+    }
+
+    /// Returns the amount in mebibytes.
+    pub const fn as_mb(self) -> u32 {
+        self.0
+    }
+
+    /// Returns the amount in bytes.
+    pub const fn as_bytes(self) -> u64 {
+        self.0 as u64 * 1024 * 1024
+    }
+
+    /// Returns whether this is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Subtracts `other`, saturating at zero.
+    pub fn saturating_sub(self, other: MemoryMb) -> MemoryMb {
+        MemoryMb(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies by a floating-point factor (e.g. a compression ratio),
+    /// rounding to the nearest MiB with a floor of 1 MiB for non-zero input.
+    ///
+    /// A warm instance always occupies at least one page-table's worth of
+    /// bookkeeping, so compressing never reports a zero footprint.
+    pub fn scale(self, factor: f64) -> MemoryMb {
+        if self.0 == 0 {
+            return MemoryMb::ZERO;
+        }
+        let scaled = (self.0 as f64 * factor.max(0.0)).round() as u32;
+        MemoryMb(scaled.max(1))
+    }
+
+    /// Returns the fraction `self / total` as an `f64` in `[0, ∞)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total` is zero.
+    pub fn fraction_of(self, total: MemoryMb) -> f64 {
+        assert!(!total.is_zero(), "total memory must be non-zero");
+        self.0 as f64 / total.0 as f64
+    }
+}
+
+impl Add for MemoryMb {
+    type Output = MemoryMb;
+    fn add(self, rhs: MemoryMb) -> MemoryMb {
+        MemoryMb(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for MemoryMb {
+    fn add_assign(&mut self, rhs: MemoryMb) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for MemoryMb {
+    type Output = MemoryMb;
+    fn sub(self, rhs: MemoryMb) -> MemoryMb {
+        MemoryMb(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("MemoryMb subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for MemoryMb {
+    fn sub_assign(&mut self, rhs: MemoryMb) {
+        *self = *self - rhs;
+    }
+}
+
+impl Sum for MemoryMb {
+    fn sum<I: Iterator<Item = MemoryMb>>(iter: I) -> MemoryMb {
+        MemoryMb(iter.map(|m| m.0).sum())
+    }
+}
+
+impl fmt::Display for MemoryMb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}MiB", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(MemoryMb::from_gb(2).as_mb(), 2048);
+        assert_eq!(MemoryMb::new(1).as_bytes(), 1 << 20);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = MemoryMb::new(100);
+        let b = MemoryMb::new(40);
+        assert_eq!(a + b, MemoryMb::new(140));
+        assert_eq!(a - b, MemoryMb::new(60));
+        assert_eq!(b.saturating_sub(a), MemoryMb::ZERO);
+    }
+
+    #[test]
+    fn scale_floors_at_one_mb() {
+        assert_eq!(MemoryMb::new(100).scale(0.4), MemoryMb::new(40));
+        assert_eq!(MemoryMb::new(2).scale(0.01), MemoryMb::new(1));
+        assert_eq!(MemoryMb::ZERO.scale(0.5), MemoryMb::ZERO);
+        assert_eq!(MemoryMb::new(10).scale(-1.0), MemoryMb::new(1));
+    }
+
+    #[test]
+    fn fraction_of_total() {
+        let total = MemoryMb::from_gb(32);
+        let part = MemoryMb::from_gb(8);
+        assert!((part.fraction_of(total) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "total memory must be non-zero")]
+    fn fraction_of_zero_panics() {
+        let _ = MemoryMb::new(1).fraction_of(MemoryMb::ZERO);
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: MemoryMb = (1..=4).map(MemoryMb::new).sum();
+        assert_eq!(total, MemoryMb::new(10));
+    }
+}

@@ -1,0 +1,153 @@
+//! Invocation and service-time records.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Arch, FunctionId, SimDuration, SimTime};
+
+/// How an invocation's instance was started.
+///
+/// The start kind determines the start penalty added to the service time:
+/// zero for an uncompressed warm start, the decompression latency for a
+/// compressed warm start, and the full cold-start time otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StartKind {
+    /// Reused a warm, uncompressed instance — no start penalty.
+    WarmUncompressed,
+    /// Reused a warm instance kept compressed — pays decompression latency.
+    WarmCompressed,
+    /// No warm instance available — pays the full cold-start time.
+    Cold,
+}
+
+impl StartKind {
+    /// Returns whether this counts as a warm start (compressed or not).
+    pub const fn is_warm(self) -> bool {
+        !matches!(self, StartKind::Cold)
+    }
+}
+
+impl fmt::Display for StartKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StartKind::WarmUncompressed => write!(f, "warm"),
+            StartKind::WarmCompressed => write!(f, "warm-compressed"),
+            StartKind::Cold => write!(f, "cold"),
+        }
+    }
+}
+
+/// A single function invocation arriving from the trace.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::{FunctionId, Invocation, SimTime};
+///
+/// let inv = Invocation::new(FunctionId::new(3), SimTime::from_micros(42));
+/// assert_eq!(inv.function.index(), 3);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Invocation {
+    /// Which function is invoked.
+    pub function: FunctionId,
+    /// When the request arrives at the front-end.
+    pub arrival: SimTime,
+}
+
+impl Invocation {
+    /// Creates an invocation record.
+    pub const fn new(function: FunctionId, arrival: SimTime) -> Self {
+        Invocation { function, arrival }
+    }
+}
+
+/// The completed life of one invocation, as measured by the simulator.
+///
+/// The paper's **service time** is
+/// `wait + start_penalty + execution` — the end-to-end latency between the
+/// invocation arriving and its execution completing.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::{Arch, FunctionId, ServiceRecord, SimDuration, SimTime, StartKind};
+///
+/// let rec = ServiceRecord {
+///     function: FunctionId::new(0),
+///     arrival: SimTime::ZERO,
+///     wait: SimDuration::from_millis(5),
+///     start_penalty: SimDuration::from_millis(500),
+///     execution: SimDuration::from_secs(2),
+///     kind: StartKind::Cold,
+///     arch: Arch::X86,
+/// };
+/// assert_eq!(rec.service_time(), SimDuration::from_millis(2_505));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ServiceRecord {
+    /// Which function was invoked.
+    pub function: FunctionId,
+    /// When the request arrived.
+    pub arrival: SimTime,
+    /// Time spent queued because the cluster had no free capacity.
+    pub wait: SimDuration,
+    /// Cold-start or decompression latency (zero for uncompressed warm).
+    pub start_penalty: SimDuration,
+    /// Pure execution time on the chosen architecture.
+    pub execution: SimDuration,
+    /// How the instance was started.
+    pub kind: StartKind,
+    /// The architecture the invocation ran on.
+    pub arch: Arch,
+}
+
+impl ServiceRecord {
+    /// End-to-end service time: `wait + start_penalty + execution`.
+    pub fn service_time(&self) -> SimDuration {
+        self.wait + self.start_penalty + self.execution
+    }
+
+    /// The instant execution finished.
+    pub fn completion(&self) -> SimTime {
+        self.arrival + self.service_time()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(kind: StartKind) -> ServiceRecord {
+        ServiceRecord {
+            function: FunctionId::new(1),
+            arrival: SimTime::from_micros(1_000),
+            wait: SimDuration::from_micros(10),
+            start_penalty: SimDuration::from_micros(100),
+            execution: SimDuration::from_micros(1_000),
+            kind,
+            arch: Arch::Arm,
+        }
+    }
+
+    #[test]
+    fn service_time_sums_components() {
+        let r = sample(StartKind::Cold);
+        assert_eq!(r.service_time(), SimDuration::from_micros(1_110));
+        assert_eq!(r.completion(), SimTime::from_micros(2_110));
+    }
+
+    #[test]
+    fn warm_kinds() {
+        assert!(StartKind::WarmUncompressed.is_warm());
+        assert!(StartKind::WarmCompressed.is_warm());
+        assert!(!StartKind::Cold.is_warm());
+    }
+
+    #[test]
+    fn start_kind_display() {
+        assert_eq!(StartKind::Cold.to_string(), "cold");
+        assert_eq!(StartKind::WarmCompressed.to_string(), "warm-compressed");
+    }
+}

@@ -1,0 +1,338 @@
+//! Integer-microsecond simulation time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// An absolute instant on the simulation clock, in microseconds since the
+/// start of the simulated trace.
+///
+/// `SimTime` is totally ordered and integral, which keeps the event queue
+/// deterministic. Differences between instants are [`SimDuration`]s.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::{SimDuration, SimTime};
+///
+/// let t0 = SimTime::ZERO;
+/// let t1 = t0 + SimDuration::from_secs(3);
+/// assert_eq!(t1 - t0, SimDuration::from_secs(3));
+/// assert!(t1 > t0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of simulated time, in microseconds.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::SimDuration;
+///
+/// let d = SimDuration::from_millis(1_500);
+/// assert_eq!(d.as_secs_f64(), 1.5);
+/// assert_eq!(d * 2, SimDuration::from_secs(3));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The origin of the simulation clock.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates an instant `micros` microseconds after the origin.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime(micros)
+    }
+
+    /// Returns the instant as microseconds since the origin.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the instant as (fractional) seconds since the origin.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating to zero if
+    /// `earlier` is actually later than `self`.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Returns the zero-based index of the optimization interval (of length
+    /// `interval`) that contains this instant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `interval` is zero.
+    pub fn interval_index(self, interval: SimDuration) -> u64 {
+        assert!(interval.0 > 0, "interval must be non-zero");
+        self.0 / interval.0
+    }
+}
+
+impl SimDuration {
+    /// The empty duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration(micros)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration(millis * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration(secs * 1_000_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(mins: u64) -> Self {
+        SimDuration(mins * 60_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond and saturating negative values to zero.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 || !secs.is_finite() {
+            return SimDuration::ZERO;
+        }
+        SimDuration((secs * 1e6).round() as u64)
+    }
+
+    /// Returns the duration in microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration in whole milliseconds (truncating).
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Returns the duration as fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 60e6
+    }
+
+    /// Returns whether this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.max(other.0))
+    }
+
+    /// Subtracts `other`, saturating to zero.
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies the duration by a floating-point scale factor, rounding to
+    /// the nearest microsecond and saturating negatives to zero.
+    pub fn scale(self, factor: f64) -> SimDuration {
+        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime subtraction underflow"),
+        )
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimTime duration subtraction underflow"),
+        )
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(
+            self.0
+                .checked_sub(rhs.0)
+                .expect("SimDuration subtraction underflow"),
+        )
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        SimDuration(iter.map(|d| d.0).sum())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
+        assert_eq!(
+            SimDuration::from_mins(1),
+            SimDuration::from_micros(60_000_000)
+        );
+        assert_eq!(SimDuration::from_secs_f64(1.5).as_millis(), 1500);
+    }
+
+    #[test]
+    fn from_secs_f64_clamps_bad_input() {
+        assert_eq!(SimDuration::from_secs_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::NAN), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(f64::INFINITY), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t = SimTime::from_micros(10);
+        let d = SimDuration::from_micros(4);
+        assert_eq!((t + d).as_micros(), 14);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+    }
+
+    #[test]
+    fn saturating_since_does_not_underflow() {
+        let a = SimTime::from_micros(3);
+        let b = SimTime::from_micros(9);
+        assert_eq!(a.saturating_since(b), SimDuration::ZERO);
+        assert_eq!(b.saturating_since(a), SimDuration::from_micros(6));
+    }
+
+    #[test]
+    fn interval_index_buckets() {
+        let minute = SimDuration::from_mins(1);
+        assert_eq!(SimTime::ZERO.interval_index(minute), 0);
+        assert_eq!(SimTime::from_micros(59_999_999).interval_index(minute), 0);
+        assert_eq!(SimTime::from_micros(60_000_000).interval_index(minute), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be non-zero")]
+    fn interval_index_rejects_zero() {
+        let _ = SimTime::ZERO.interval_index(SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_scale_rounds() {
+        let d = SimDuration::from_secs(2);
+        assert_eq!(d.scale(0.25), SimDuration::from_millis(500));
+        assert_eq!(d.scale(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn duration_sum_and_ordering() {
+        let total: SimDuration = [1u64, 2, 3]
+            .iter()
+            .map(|&s| SimDuration::from_secs(s))
+            .sum();
+        assert_eq!(total, SimDuration::from_secs(6));
+        assert!(SimDuration::from_secs(1) < SimDuration::from_secs(2));
+        assert_eq!(
+            SimDuration::from_secs(1).max(SimDuration::from_secs(2)),
+            SimDuration::from_secs(2)
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.500s");
+        assert_eq!(SimTime::from_micros(250_000).to_string(), "0.250s");
+    }
+}

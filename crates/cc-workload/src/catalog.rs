@@ -1,0 +1,282 @@
+//! The 40-function profile catalog and trace matching.
+
+use serde::{Deserialize, Serialize};
+
+use cc_compress::{CompressionModel, EntropyClass};
+use cc_types::{Arch, MemoryMb, SimDuration};
+
+use crate::{FunctionProfile, Suite};
+
+/// Aggregate statistics of a catalog, matching the paper's §2 findings.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CatalogStats {
+    /// Fraction of profiles faster on ARM (paper: ≈0.38).
+    pub arm_faster_fraction: f64,
+    /// Fraction compression-favorable on x86 (paper: ≈0.42).
+    pub favorable_x86_fraction: f64,
+    /// Fraction compression-favorable on ARM (paper: ≈0.46).
+    pub favorable_arm_fraction: f64,
+    /// Of the ARM-faster profiles, the fraction that are also
+    /// compression-favorable on ARM (paper: ≈0.60).
+    pub arm_faster_favorable_fraction: f64,
+}
+
+/// The benchmark-function catalog the reproduction schedules against.
+///
+/// # Example
+///
+/// ```
+/// use cc_workload::Catalog;
+/// use cc_types::{MemoryMb, SimDuration};
+///
+/// let catalog = Catalog::paper_catalog();
+/// let p = catalog.nearest(SimDuration::from_secs(30), MemoryMb::new(1800));
+/// assert_eq!(p.name, "sebs.video-processing");
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Catalog {
+    profiles: Vec<FunctionProfile>,
+}
+
+/// Compact row format for the built-in table:
+/// `(name, suite, exec_ms_x86, arm_exec_ratio, cold_ms_x86, mem_mb, image_mb, entropy)`.
+type Row = (&'static str, Suite, u64, f64, u64, u32, u64, EntropyClass);
+
+use EntropyClass::{Dense, Mixed, Text};
+use Suite::{Sebs, ServerlessBench as SlBench};
+
+/// The calibrated table. Grouping (documented per block) pins the paper's
+/// aggregate fractions: 15/40 ARM-faster, 17/40 x86-compression-favorable,
+/// 18/40 ARM-compression-favorable (superset), 9/15 ARM-faster ∩
+/// ARM-favorable.
+const ROWS: &[Row] = &[
+    // ARM-faster AND compression-favorable on both architectures (9).
+    ("sebs.dynamic-html", Sebs, 350, 0.82, 1_800, 192, 410, Text),
+    ("sebs.thumbnailer", Sebs, 1_200, 0.88, 2_400, 256, 520, Mixed),
+    ("sebs.pagerank", Sebs, 4_200, 0.78, 2_800, 512, 610, Text),
+    ("sebs.bfs", Sebs, 2_600, 0.74, 2_600, 448, 580, Text),
+    ("sebs.json-serde", Sebs, 600, 0.90, 1_500, 160, 400, Text),
+    ("slbench.alu", SlBench, 220, 0.70, 1_600, 128, 430, Text),
+    ("slbench.wordcount", SlBench, 3_400, 0.85, 3_000, 640, 700, Text),
+    ("slbench.markdown-render", SlBench, 480, 0.87, 1_900, 192, 460, Text),
+    ("slbench.stream-agg", SlBench, 5_200, 0.80, 3_600, 768, 820, Mixed),
+    // ARM-faster but NOT compression-favorable anywhere (6): tiny cold
+    // starts, bloated images.
+    ("sebs.uploader", Sebs, 900, 0.92, 240, 256, 980, Dense),
+    ("sebs.http-endpoint", Sebs, 150, 0.76, 180, 128, 900, Mixed),
+    ("slbench.cache-probe", SlBench, 120, 0.84, 150, 128, 860, Dense),
+    ("slbench.login", SlBench, 300, 0.90, 200, 192, 940, Mixed),
+    ("slbench.notify", SlBench, 180, 0.78, 160, 128, 1_020, Dense),
+    ("slbench.grep", SlBench, 1_500, 0.88, 300, 384, 1_150, Mixed),
+    // x86-faster AND compression-favorable on both (8): heavy runtimes with
+    // long cold starts.
+    ("sebs.video-processing", Sebs, 28_000, 1.30, 6_000, 1_792, 880, Mixed),
+    ("sebs.image-recognition", Sebs, 6_200, 1.35, 5_200, 1_536, 860, Mixed),
+    ("sebs.dna-visualization", Sebs, 8_400, 1.18, 3_400, 1_024, 760, Text),
+    ("sebs.cnn-serving", Sebs, 3_800, 1.40, 5_600, 2_048, 900, Mixed),
+    ("slbench.online-compiling", SlBench, 11_000, 1.12, 4_200, 896, 720, Text),
+    ("slbench.data-analysis", SlBench, 7_600, 1.22, 3_800, 1_280, 680, Text),
+    ("slbench.ml-inference", SlBench, 2_400, 1.38, 4_800, 1_664, 840, Mixed),
+    ("slbench.video-transcode", SlBench, 46_000, 1.28, 6_400, 1_920, 900, Mixed),
+    // Compression-favorable ONLY on ARM (1): decompression barely loses to
+    // the x86 cold start but beats the (slower) ARM cold start.
+    ("sebs.compression", Sebs, 5_400, 1.10, 500, 512, 1_060, Dense),
+    // x86-faster, NOT compression-favorable anywhere (16).
+    ("sebs.mst", Sebs, 3_100, 1.08, 300, 512, 1_100, Mixed),
+    ("sebs.crypto", Sebs, 950, 1.26, 200, 256, 980, Dense),
+    ("sebs.regression", Sebs, 5_800, 1.15, 340, 768, 1_220, Mixed),
+    ("sebs.feature-gen", Sebs, 2_300, 1.32, 260, 448, 1_050, Mixed),
+    ("sebs.sentiment", Sebs, 1_800, 1.20, 310, 384, 1_180, Mixed),
+    ("sebs.kmeans", Sebs, 6_800, 1.12, 280, 896, 1_240, Mixed),
+    ("sebs.matmul", Sebs, 4_500, 1.42, 220, 640, 1_010, Dense),
+    ("sebs.sort", Sebs, 2_900, 1.16, 180, 512, 930, Dense),
+    ("slbench.image-resize", SlBench, 1_300, 1.24, 330, 320, 1_300, Mixed),
+    ("slbench.couchdb-query", SlBench, 800, 1.10, 150, 256, 870, Dense),
+    ("slbench.etl-pipeline", SlBench, 9_500, 1.18, 350, 1_024, 1_360, Mixed),
+    ("slbench.chain-reaction", SlBench, 2_100, 1.34, 240, 384, 1_120, Mixed),
+    ("slbench.map-reduce", SlBench, 12_500, 1.08, 320, 1_152, 1_290, Mixed),
+    ("slbench.thumbnail-chain", SlBench, 1_600, 1.22, 190, 320, 950, Dense),
+    ("slbench.pdf-gen", SlBench, 2_700, 1.14, 270, 448, 1_080, Mixed),
+    ("slbench.db-write", SlBench, 450, 1.30, 130, 192, 890, Dense),
+];
+
+impl Catalog {
+    /// The built-in 40-profile catalog calibrated to the paper's aggregate
+    /// statistics.
+    pub fn paper_catalog() -> Catalog {
+        let profiles = ROWS
+            .iter()
+            .map(|&(name, suite, exec_ms, ratio, cold_ms, mem_mb, image_mb, entropy)| {
+                FunctionProfile {
+                    name,
+                    suite,
+                    exec_x86: SimDuration::from_millis(exec_ms),
+                    arm_exec_ratio: ratio,
+                    cold_x86: SimDuration::from_millis(cold_ms),
+                    memory: MemoryMb::new(mem_mb),
+                    image_bytes: image_mb << 20,
+                    entropy,
+                }
+            })
+            .collect();
+        Catalog { profiles }
+    }
+
+    /// Builds a catalog from explicit profiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `profiles` is empty — the trace matcher needs at least one
+    /// candidate.
+    pub fn new(profiles: Vec<FunctionProfile>) -> Catalog {
+        assert!(!profiles.is_empty(), "catalog must not be empty");
+        Catalog { profiles }
+    }
+
+    /// All profiles.
+    pub fn profiles(&self) -> &[FunctionProfile] {
+        &self.profiles
+    }
+
+    /// Finds the profile nearest to a trace function's reported execution
+    /// time and memory — the paper's trace-to-benchmark matching step.
+    ///
+    /// Distance is symmetric in scale: the sum of absolute log-ratios of
+    /// execution time and memory.
+    pub fn nearest(&self, exec: SimDuration, memory: MemoryMb) -> &FunctionProfile {
+        let e = exec.as_secs_f64().max(1e-3);
+        let m = memory.as_mb().max(1) as f64;
+        self.profiles
+            .iter()
+            .min_by(|a, b| {
+                let da = log_distance(e, m, a);
+                let db = log_distance(e, m, b);
+                da.total_cmp(&db)
+            })
+            .expect("catalog is non-empty")
+    }
+
+    /// Computes the aggregate statistics under a compression model.
+    pub fn stats_under(&self, model: &CompressionModel) -> CatalogStats {
+        let n = self.profiles.len() as f64;
+        let arm_faster: Vec<&FunctionProfile> =
+            self.profiles.iter().filter(|p| p.arm_faster()).collect();
+        let fav_x86 = self
+            .profiles
+            .iter()
+            .filter(|p| p.compression_favorable(model, Arch::X86))
+            .count() as f64;
+        let fav_arm = self
+            .profiles
+            .iter()
+            .filter(|p| p.compression_favorable(model, Arch::Arm))
+            .count() as f64;
+        let arm_faster_fav = arm_faster
+            .iter()
+            .filter(|p| p.compression_favorable(model, Arch::Arm))
+            .count() as f64;
+        CatalogStats {
+            arm_faster_fraction: arm_faster.len() as f64 / n,
+            favorable_x86_fraction: fav_x86 / n,
+            favorable_arm_fraction: fav_arm / n,
+            arm_faster_favorable_fraction: if arm_faster.is_empty() {
+                0.0
+            } else {
+                arm_faster_fav / arm_faster.len() as f64
+            },
+        }
+    }
+
+    /// [`Catalog::stats_under`] with the default paper model.
+    pub fn stats(&self) -> CatalogStats {
+        self.stats_under(&CompressionModel::paper_default())
+    }
+}
+
+fn log_distance(exec_secs: f64, mem_mb: f64, p: &FunctionProfile) -> f64 {
+    let pe = p.exec_x86.as_secs_f64().max(1e-3);
+    let pm = p.memory.as_mb().max(1) as f64;
+    (exec_secs / pe).ln().abs() + (mem_mb / pm).ln().abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_fractions_hold() {
+        let stats = Catalog::paper_catalog().stats();
+        assert!((stats.arm_faster_fraction - 0.375).abs() < 1e-9);
+        assert!((stats.favorable_x86_fraction - 0.425).abs() < 1e-9);
+        assert!((stats.favorable_arm_fraction - 0.45).abs() < 1e-9);
+        assert!((stats.arm_faster_favorable_fraction - 0.60).abs() < 1e-9);
+    }
+
+    #[test]
+    fn x86_favorable_is_subset_of_arm_favorable() {
+        let catalog = Catalog::paper_catalog();
+        let model = CompressionModel::paper_default();
+        for p in catalog.profiles() {
+            if p.compression_favorable(&model, Arch::X86) {
+                assert!(
+                    p.compression_favorable(&model, Arch::Arm),
+                    "{} favorable on x86 but not ARM",
+                    p.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let catalog = Catalog::paper_catalog();
+        let mut names: Vec<&str> = catalog.profiles().iter().map(|p| p.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), catalog.profiles().len());
+        assert_eq!(catalog.profiles().len(), 40);
+    }
+
+    #[test]
+    fn decompression_mean_matches_paper_scale() {
+        // Over the x86-compression-favorable profiles (the ones CodeCrunch
+        // actually compresses), mean decompression should sit near the
+        // paper's 0.37 s, compression near 1.57 s.
+        let catalog = Catalog::paper_catalog();
+        let model = CompressionModel::paper_default();
+        let favorable: Vec<&FunctionProfile> = catalog
+            .profiles()
+            .iter()
+            .filter(|p| p.compression_favorable(&model, Arch::X86))
+            .collect();
+        let mean_dec: f64 = favorable
+            .iter()
+            .map(|p| p.decompress_time(&model, Arch::X86).as_secs_f64())
+            .sum::<f64>()
+            / favorable.len() as f64;
+        let mean_comp: f64 = favorable
+            .iter()
+            .map(|p| p.compress_time(&model).as_secs_f64())
+            .sum::<f64>()
+            / favorable.len() as f64;
+        assert!((mean_dec - 0.37).abs() < 0.07, "mean decompression {mean_dec}");
+        assert!((mean_comp - 1.57).abs() < 0.25, "mean compression {mean_comp}");
+    }
+
+    #[test]
+    fn nearest_matches_scale() {
+        let catalog = Catalog::paper_catalog();
+        // A tiny, fast function matches a tiny profile.
+        let p = catalog.nearest(SimDuration::from_millis(150), MemoryMb::new(128));
+        assert!(p.exec_x86 <= SimDuration::from_millis(500), "got {}", p.name);
+        // A huge slow one matches the video profiles.
+        let p = catalog.nearest(SimDuration::from_secs(40), MemoryMb::new(2000));
+        assert!(p.exec_x86 >= SimDuration::from_secs(20), "got {}", p.name);
+    }
+
+    #[test]
+    #[should_panic(expected = "catalog must not be empty")]
+    fn empty_catalog_rejected() {
+        let _ = Catalog::new(vec![]);
+    }
+}

@@ -1,0 +1,40 @@
+//! Function profiles for the CodeCrunch reproduction.
+//!
+//! The paper executes functions from the SeBS and ServerlessBench suites on
+//! real x86 (EC2 m5) and ARM (EC2 t4g) nodes and measures, per function:
+//! execution time on each architecture, cold-start time, memory footprint,
+//! committed-image size, and lz4 compressibility. Those measurements are not
+//! reproducible without the testbed, so this crate ships a [`Catalog`] of
+//! 40 profiles calibrated to the paper's published aggregate statistics:
+//!
+//! - ≈38% of functions run faster on ARM (Fig. 2);
+//! - compression is favorable (decompression < cold start) for ≈42% of
+//!   functions on x86 and ≈46% on ARM, with the x86-favorable set nested
+//!   inside the ARM-favorable set (§2);
+//! - ≈60% of ARM-faster functions are compression-favorable on ARM (§2);
+//! - decompression ≈0.37 s and compression ≈1.57 s on average (§5).
+//!
+//! A [`Workload`] binds a [`cc_trace::Trace`] to the catalog by
+//! nearest-profile matching (the paper's methodology) and resolves the
+//! per-function [`FunctionSpec`]s the simulator consumes.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_workload::Catalog;
+//!
+//! let catalog = Catalog::paper_catalog();
+//! let stats = catalog.stats();
+//! assert!((stats.arm_faster_fraction - 0.38).abs() < 0.02);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod catalog;
+mod profile;
+mod workload;
+
+pub use catalog::{Catalog, CatalogStats};
+pub use profile::{FunctionProfile, Suite, ARM_COLD_FACTOR, ARM_DECOMPRESS_FACTOR};
+pub use workload::{FunctionSpec, Workload};

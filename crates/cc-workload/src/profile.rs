@@ -1,0 +1,175 @@
+//! One benchmark function profile.
+
+use serde::{Deserialize, Serialize};
+
+use cc_compress::{CodecKind, CompressionModel, EntropyClass};
+use cc_types::{Arch, MemoryMb, SimDuration};
+
+/// Cold starts are slower on the paper's ARM (t4g) nodes than on x86 (m5):
+/// image pull, unpack, and runtime boot are CPU-bound and the t4g cores are
+/// slower. This factor scales x86 cold-start times up for ARM.
+pub const ARM_COLD_FACTOR: f64 = 1.25;
+
+/// Decompression is likewise somewhat slower on ARM, but less so than a
+/// full cold start (lz4 decode is memory-bound). This is why the paper
+/// finds *more* functions compression-favorable on ARM (46%) than on x86
+/// (42%): cold starts degrade faster than decompression does.
+pub const ARM_DECOMPRESS_FACTOR: f64 = 1.10;
+
+/// Which benchmark suite a profile comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Suite {
+    /// SeBS (Copik et al., Middleware '21).
+    Sebs,
+    /// ServerlessBench (Yu et al., SoCC '20).
+    ServerlessBench,
+}
+
+/// The measured characteristics of one benchmark function.
+///
+/// # Example
+///
+/// ```
+/// use cc_workload::Catalog;
+/// use cc_types::Arch;
+///
+/// let catalog = Catalog::paper_catalog();
+/// let p = catalog.profiles().iter().find(|p| p.arm_faster()).unwrap();
+/// assert!(p.exec_time(Arch::Arm) < p.exec_time(Arch::X86));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionProfile {
+    /// Qualified benchmark name, e.g. `"sebs.thumbnailer"`.
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Execution time on x86.
+    pub exec_x86: SimDuration,
+    /// Ratio `exec_arm / exec_x86` (< 1 means ARM is faster).
+    pub arm_exec_ratio: f64,
+    /// Cold-start time on x86 (ARM derives via [`ARM_COLD_FACTOR`]).
+    pub cold_x86: SimDuration,
+    /// Warm-instance memory footprint.
+    pub memory: MemoryMb,
+    /// Committed-image size in bytes (what gets compressed).
+    pub image_bytes: u64,
+    /// Compressibility class of the image.
+    pub entropy: EntropyClass,
+}
+
+impl FunctionProfile {
+    /// Execution time on the given architecture.
+    pub fn exec_time(&self, arch: Arch) -> SimDuration {
+        match arch {
+            Arch::X86 => self.exec_x86,
+            Arch::Arm => self.exec_x86.scale(self.arm_exec_ratio),
+        }
+    }
+
+    /// Cold-start time on the given architecture.
+    pub fn cold_start(&self, arch: Arch) -> SimDuration {
+        match arch {
+            Arch::X86 => self.cold_x86,
+            Arch::Arm => self.cold_x86.scale(ARM_COLD_FACTOR),
+        }
+    }
+
+    /// Decompression latency of the committed image on the given
+    /// architecture, under `model` with the lz4-class codec.
+    pub fn decompress_time(&self, model: &CompressionModel, arch: Arch) -> SimDuration {
+        let base = model
+            .profile(self.image_bytes, self.entropy, CodecKind::Fast)
+            .decompress_time;
+        match arch {
+            Arch::X86 => base,
+            Arch::Arm => base.scale(ARM_DECOMPRESS_FACTOR),
+        }
+    }
+
+    /// Compression latency of the committed image (architecture-independent
+    /// in the model: compression happens off the critical path and the
+    /// paper never charges it to service time).
+    pub fn compress_time(&self, model: &CompressionModel) -> SimDuration {
+        model
+            .profile(self.image_bytes, self.entropy, CodecKind::Fast)
+            .compress_time
+    }
+
+    /// Whether this function runs faster on ARM than on x86.
+    pub fn arm_faster(&self) -> bool {
+        self.arm_exec_ratio < 1.0
+    }
+
+    /// The paper's *favorable case*: decompressing the image is cheaper
+    /// than a cold start on `arch`, so a compressed warm start beats a
+    /// cold start outright.
+    pub fn compression_favorable(&self, model: &CompressionModel, arch: Arch) -> bool {
+        self.decompress_time(model, arch) < self.cold_start(arch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Catalog;
+
+    fn sample() -> FunctionProfile {
+        FunctionProfile {
+            name: "test.sample",
+            suite: Suite::Sebs,
+            exec_x86: SimDuration::from_secs(2),
+            arm_exec_ratio: 0.8,
+            cold_x86: SimDuration::from_secs(3),
+            memory: MemoryMb::new(256),
+            image_bytes: 600 << 20,
+            entropy: EntropyClass::Mixed,
+        }
+    }
+
+    #[test]
+    fn exec_time_scales_by_ratio() {
+        let p = sample();
+        assert_eq!(p.exec_time(Arch::X86), SimDuration::from_secs(2));
+        assert_eq!(p.exec_time(Arch::Arm), SimDuration::from_millis(1600));
+        assert!(p.arm_faster());
+    }
+
+    #[test]
+    fn cold_start_is_slower_on_arm() {
+        let p = sample();
+        assert!(p.cold_start(Arch::Arm) > p.cold_start(Arch::X86));
+    }
+
+    #[test]
+    fn decompression_slower_on_arm_but_less_than_cold() {
+        let p = sample();
+        let model = CompressionModel::paper_default();
+        let dx = p.decompress_time(&model, Arch::X86).as_secs_f64();
+        let da = p.decompress_time(&model, Arch::Arm).as_secs_f64();
+        assert!(da > dx);
+        // The ARM penalty on decompression is smaller than on cold start.
+        assert!(da / dx < ARM_COLD_FACTOR);
+    }
+
+    #[test]
+    fn favorability_follows_cold_vs_decompress() {
+        let model = CompressionModel::paper_default();
+        let mut p = sample();
+        // 600 MB / 2 GBps = 0.3s decompress vs 3s cold: favorable.
+        assert!(p.compression_favorable(&model, Arch::X86));
+        p.cold_x86 = SimDuration::from_millis(100);
+        assert!(!p.compression_favorable(&model, Arch::X86));
+    }
+
+    #[test]
+    fn catalog_profiles_have_positive_fields() {
+        let catalog = Catalog::paper_catalog();
+        for p in catalog.profiles() {
+            assert!(!p.exec_x86.is_zero(), "{}", p.name);
+            assert!(!p.cold_x86.is_zero(), "{}", p.name);
+            assert!(p.arm_exec_ratio > 0.0, "{}", p.name);
+            assert!(p.image_bytes > 0, "{}", p.name);
+            assert!(!p.memory.is_zero(), "{}", p.name);
+        }
+    }
+}

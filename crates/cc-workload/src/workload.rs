@@ -1,0 +1,251 @@
+//! Binding a trace to the catalog: resolved per-function specs.
+
+use serde::{Deserialize, Serialize};
+
+use cc_compress::{CodecKind, CompressionModel};
+use cc_trace::Trace;
+use cc_types::{Arch, FunctionId, MemoryMb, SimDuration};
+
+use crate::{Catalog, ARM_DECOMPRESS_FACTOR};
+
+/// Everything the simulator needs to know about one trace function, after
+/// nearest-profile matching and compression modelling.
+///
+/// Execution time on x86 is taken from the trace (the trace reports real
+/// mean durations); the matched profile contributes the ARM/x86 ratio,
+/// cold-start times, image size, and compressibility.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FunctionSpec {
+    /// The trace function this spec resolves.
+    pub id: FunctionId,
+    /// Name of the matched benchmark profile.
+    pub profile_name: String,
+    /// Execution time per architecture (indexed by [`Arch::index`]).
+    pub exec: [SimDuration; 2],
+    /// Cold-start time per architecture.
+    pub cold: [SimDuration; 2],
+    /// Decompression latency per architecture (compressed warm start).
+    pub decompress: [SimDuration; 2],
+    /// Compression latency (off the critical path).
+    pub compress: SimDuration,
+    /// Warm-instance memory footprint (uncompressed), from the trace.
+    pub memory: MemoryMb,
+    /// Memory footprint while kept compressed.
+    pub compressed_memory: MemoryMb,
+}
+
+impl FunctionSpec {
+    /// Execution time on `arch`.
+    pub fn exec_time(&self, arch: Arch) -> SimDuration {
+        self.exec[arch.index()]
+    }
+
+    /// Cold-start time on `arch`.
+    pub fn cold_start(&self, arch: Arch) -> SimDuration {
+        self.cold[arch.index()]
+    }
+
+    /// Decompression latency on `arch`.
+    pub fn decompress_time(&self, arch: Arch) -> SimDuration {
+        self.decompress[arch.index()]
+    }
+
+    /// Whether ARM executes this function faster than x86.
+    pub fn arm_faster(&self) -> bool {
+        self.exec[Arch::Arm.index()] < self.exec[Arch::X86.index()]
+    }
+
+    /// The paper's favorable case on `arch`: decompression beats a cold
+    /// start.
+    pub fn compression_favorable(&self, arch: Arch) -> bool {
+        self.decompress_time(arch) < self.cold_start(arch)
+    }
+
+    /// Service-time penalty of a start of the given kind on `arch` (what
+    /// gets added on top of execution time).
+    pub fn start_penalty(&self, kind: cc_types::StartKind, arch: Arch) -> SimDuration {
+        match kind {
+            cc_types::StartKind::WarmUncompressed => SimDuration::ZERO,
+            cc_types::StartKind::WarmCompressed => self.decompress_time(arch),
+            cc_types::StartKind::Cold => self.cold_start(arch),
+        }
+    }
+}
+
+/// All resolved function specs for one trace.
+///
+/// # Example
+///
+/// ```
+/// use cc_compress::CompressionModel;
+/// use cc_trace::SyntheticTrace;
+/// use cc_types::SimDuration;
+/// use cc_workload::{Catalog, Workload};
+///
+/// let trace = SyntheticTrace::builder()
+///     .functions(10)
+///     .duration(SimDuration::from_mins(30))
+///     .seed(1)
+///     .build();
+/// let workload = Workload::from_trace(
+///     &trace,
+///     &Catalog::paper_catalog(),
+///     &CompressionModel::paper_default(),
+/// );
+/// assert_eq!(workload.len(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    specs: Vec<FunctionSpec>,
+}
+
+impl Workload {
+    /// Resolves every trace function against the catalog under the given
+    /// compression model, compressing with the paper's lz4-class codec.
+    pub fn from_trace(trace: &Trace, catalog: &Catalog, model: &CompressionModel) -> Workload {
+        Workload::from_trace_with_codec(trace, catalog, model, CodecKind::Fast)
+    }
+
+    /// [`Workload::from_trace`] with an explicit codec choice — use
+    /// [`CodecKind::Dense`] to study the paper's rejected xz-class
+    /// alternative (higher ratio, decompression an order of magnitude
+    /// slower).
+    pub fn from_trace_with_codec(
+        trace: &Trace,
+        catalog: &Catalog,
+        model: &CompressionModel,
+        codec: CodecKind,
+    ) -> Workload {
+        let specs = trace
+            .functions()
+            .iter()
+            .map(|f| {
+                let profile = catalog.nearest(f.mean_exec, f.memory);
+                let exec_x86 = f.mean_exec;
+                let exec_arm = f.mean_exec.scale(profile.arm_exec_ratio);
+                let cold_x86 = profile.cold_start(Arch::X86);
+                let cold_arm = profile.cold_start(Arch::Arm);
+                let cprof = model.profile(profile.image_bytes, profile.entropy, codec);
+                let dec_x86 = cprof.decompress_time;
+                let dec_arm = dec_x86.scale(ARM_DECOMPRESS_FACTOR);
+                let compressed_memory =
+                    f.memory.scale(model.size_fraction(codec, profile.entropy));
+                FunctionSpec {
+                    id: f.id,
+                    profile_name: profile.name.to_owned(),
+                    exec: [exec_x86, exec_arm],
+                    cold: [cold_x86, cold_arm],
+                    decompress: [dec_x86, dec_arm],
+                    compress: cprof.compress_time,
+                    memory: f.memory,
+                    compressed_memory,
+                }
+            })
+            .collect();
+        Workload { specs }
+    }
+
+    /// Builds a workload directly from specs (mainly for tests).
+    pub fn from_specs(specs: Vec<FunctionSpec>) -> Workload {
+        Workload { specs }
+    }
+
+    /// The spec for one function.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn spec(&self, id: FunctionId) -> &FunctionSpec {
+        &self.specs[id.index()]
+    }
+
+    /// All specs, indexed by [`FunctionId::index`].
+    pub fn specs(&self) -> &[FunctionSpec] {
+        &self.specs
+    }
+
+    /// Number of functions.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the workload has no functions.
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_trace::SyntheticTrace;
+    use cc_types::StartKind;
+
+    fn workload() -> (Trace, Workload) {
+        let trace = SyntheticTrace::builder()
+            .functions(40)
+            .duration(SimDuration::from_mins(60))
+            .seed(3)
+            .build();
+        let w = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        (trace, w)
+    }
+
+    #[test]
+    fn x86_exec_matches_trace() {
+        let (trace, w) = workload();
+        for f in trace.functions() {
+            assert_eq!(w.spec(f.id).exec_time(Arch::X86), f.mean_exec);
+            assert_eq!(w.spec(f.id).memory, f.memory);
+        }
+    }
+
+    #[test]
+    fn compressed_memory_is_smaller() {
+        let (_, w) = workload();
+        for spec in w.specs() {
+            assert!(spec.compressed_memory <= spec.memory, "{}", spec.id);
+            assert!(!spec.compressed_memory.is_zero());
+        }
+    }
+
+    #[test]
+    fn start_penalties_are_ordered() {
+        let (_, w) = workload();
+        for spec in w.specs() {
+            for arch in Arch::ALL {
+                assert_eq!(
+                    spec.start_penalty(StartKind::WarmUncompressed, arch),
+                    SimDuration::ZERO
+                );
+                let dec = spec.start_penalty(StartKind::WarmCompressed, arch);
+                assert_eq!(dec, spec.decompress_time(arch));
+                if spec.compression_favorable(arch) {
+                    assert!(dec < spec.start_penalty(StartKind::Cold, arch));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn arm_ratio_is_propagated() {
+        let (_, w) = workload();
+        // Some functions must be ARM-faster, some not (mirrors the catalog).
+        let faster = w.specs().iter().filter(|s| s.arm_faster()).count();
+        assert!(faster > 0 && faster < w.len());
+    }
+
+    #[test]
+    fn arm_favorability_superset_holds_in_specs() {
+        let (_, w) = workload();
+        for spec in w.specs() {
+            if spec.compression_favorable(Arch::X86) {
+                assert!(spec.compression_favorable(Arch::Arm), "{}", spec.profile_name);
+            }
+        }
+    }
+}

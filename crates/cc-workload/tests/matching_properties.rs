@@ -1,0 +1,99 @@
+//! Property tests for trace-to-profile matching and workload resolution.
+
+use proptest::prelude::*;
+
+use cc_compress::{CodecKind, CompressionModel};
+use cc_trace::{Trace, TraceFunction};
+use cc_types::{Arch, FunctionId, MemoryMb, SimDuration};
+use cc_workload::{Catalog, Workload};
+
+proptest! {
+    #[test]
+    fn nearest_is_total_and_stable(
+        exec_ms in 1u64..600_000,
+        mem_mb in 1u32..8192,
+    ) {
+        let catalog = Catalog::paper_catalog();
+        let exec = SimDuration::from_millis(exec_ms);
+        let mem = MemoryMb::new(mem_mb);
+        let a = catalog.nearest(exec, mem);
+        let b = catalog.nearest(exec, mem);
+        prop_assert_eq!(a.name, b.name, "matching must be deterministic");
+    }
+
+    #[test]
+    fn exact_profile_matches_itself(idx in 0usize..40) {
+        let catalog = Catalog::paper_catalog();
+        let profile = &catalog.profiles()[idx];
+        let found = catalog.nearest(profile.exec_x86, profile.memory);
+        // Querying a profile's own coordinates returns a profile at zero
+        // distance — itself, unless another profile shares the exact
+        // coordinates.
+        prop_assert_eq!(found.exec_x86, profile.exec_x86);
+        prop_assert_eq!(found.memory, profile.memory);
+    }
+
+    #[test]
+    fn workload_resolution_invariants(
+        specs in prop::collection::vec((100u64..60_000, 64u32..4096), 1..30),
+    ) {
+        let functions: Vec<TraceFunction> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(exec_ms, mem))| {
+                TraceFunction::new(
+                    FunctionId::new(i as u32),
+                    SimDuration::from_millis(exec_ms),
+                    MemoryMb::new(mem),
+                )
+            })
+            .collect();
+        let trace = Trace::new(functions, vec![]).unwrap();
+        let model = CompressionModel::paper_default();
+        let workload = Workload::from_trace(&trace, &Catalog::paper_catalog(), &model);
+
+        for spec in workload.specs() {
+            // Trace-sourced fields survive resolution.
+            let tf = trace.function(spec.id);
+            prop_assert_eq!(spec.exec_time(Arch::X86), tf.mean_exec);
+            prop_assert_eq!(spec.memory, tf.memory);
+            // Physical sanity.
+            prop_assert!(spec.compressed_memory <= spec.memory);
+            prop_assert!(!spec.compressed_memory.is_zero());
+            for arch in Arch::ALL {
+                prop_assert!(!spec.cold_start(arch).is_zero());
+                prop_assert!(!spec.decompress_time(arch).is_zero());
+                prop_assert!(!spec.exec_time(arch).is_zero());
+            }
+            // ARM cold starts are uniformly slower, decompression slightly.
+            prop_assert!(spec.cold_start(Arch::Arm) > spec.cold_start(Arch::X86));
+            prop_assert!(spec.decompress_time(Arch::Arm) > spec.decompress_time(Arch::X86));
+        }
+    }
+
+    #[test]
+    fn dense_codec_yields_smaller_footprints_but_slower_decode(
+        specs in prop::collection::vec((100u64..60_000, 64u32..4096), 1..15),
+    ) {
+        let functions: Vec<TraceFunction> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, &(exec_ms, mem))| {
+                TraceFunction::new(
+                    FunctionId::new(i as u32),
+                    SimDuration::from_millis(exec_ms),
+                    MemoryMb::new(mem),
+                )
+            })
+            .collect();
+        let trace = Trace::new(functions, vec![]).unwrap();
+        let model = CompressionModel::paper_default();
+        let catalog = Catalog::paper_catalog();
+        let fast = Workload::from_trace_with_codec(&trace, &catalog, &model, CodecKind::Fast);
+        let dense = Workload::from_trace_with_codec(&trace, &catalog, &model, CodecKind::Dense);
+        for (f, d) in fast.specs().iter().zip(dense.specs()) {
+            prop_assert!(d.compressed_memory <= f.compressed_memory);
+            prop_assert!(d.decompress_time(Arch::X86) > f.decompress_time(Arch::X86));
+        }
+    }
+}

@@ -1,0 +1,168 @@
+//! CodeCrunch configuration and ablation switches.
+
+use cc_types::{Arch, SimDuration};
+
+/// Which architectures CodeCrunch may schedule onto (the Fig. 12
+/// homogeneous-cluster ablations).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchPolicy {
+    /// Use both x86 and ARM (the full system).
+    Both,
+    /// x86 only.
+    X86Only,
+    /// ARM only.
+    ArmOnly,
+}
+
+impl ArchPolicy {
+    /// Whether `arch` is permitted under this policy.
+    pub fn allows(self, arch: Arch) -> bool {
+        match self {
+            ArchPolicy::Both => true,
+            ArchPolicy::X86Only => arch == Arch::X86,
+            ArchPolicy::ArmOnly => arch == Arch::Arm,
+        }
+    }
+
+    /// Clamps `arch` to a permitted architecture.
+    pub fn clamp(self, arch: Arch) -> Arch {
+        match self {
+            ArchPolicy::Both => arch,
+            ArchPolicy::X86Only => Arch::X86,
+            ArchPolicy::ArmOnly => Arch::Arm,
+        }
+    }
+}
+
+/// Configuration of the CodeCrunch scheduler, exposing every ablation the
+/// paper evaluates (Fig. 12) plus the SLA mode (Fig. 9).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CodeCrunchConfig {
+    /// Use SRE (`true`, the paper's system) or full-space coordinate
+    /// descent under the same evaluation budget (`false`, the "without
+    /// SRE" ablation).
+    pub use_sre: bool,
+    /// Allow storing warm instances compressed.
+    pub allow_compression: bool,
+    /// Architectures available for scheduling.
+    pub arch_policy: ArchPolicy,
+    /// Pin every keep-alive window to a fixed value instead of optimizing
+    /// it (the "fixed 10-minute keep-alive" ablation).
+    pub fixed_keep_alive: Option<SimDuration>,
+    /// SLA mode: maximum allowed fractional service-time increase relative
+    /// to an uncompressed warm start on x86 (e.g. `0.2` = 20%).
+    pub sla_allowed_increase: Option<f64>,
+    /// EWMA smoothing for observed execution times.
+    pub exec_alpha: f64,
+    /// Size of the `P_est` local window (the paper's `n_l`, default 10;
+    /// swept 2..=100 in the sensitivity study).
+    pub pest_local_window: usize,
+    /// Seed for SRE's sub-problem sampling (mixed with the interval index,
+    /// so every interval samples differently but deterministically).
+    pub seed: u64,
+    /// Objective-evaluation budget per interval, shared by both the SRE
+    /// and no-SRE paths so Fig. 12's comparison is time-fair.
+    pub eval_budget: u64,
+}
+
+impl Default for CodeCrunchConfig {
+    fn default() -> Self {
+        CodeCrunchConfig {
+            use_sre: true,
+            allow_compression: true,
+            arch_policy: ArchPolicy::Both,
+            fixed_keep_alive: None,
+            sla_allowed_increase: None,
+            exec_alpha: 0.3,
+            pest_local_window: 10,
+            seed: 0,
+            eval_budget: 12_000,
+        }
+    }
+}
+
+impl CodeCrunchConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `exec_alpha` is outside `(0, 1]`, the SLA allowance is
+    /// negative, or the evaluation budget is zero.
+    pub fn validate(&self) {
+        assert!(
+            self.exec_alpha > 0.0 && self.exec_alpha <= 1.0,
+            "exec_alpha must be in (0, 1]"
+        );
+        if let Some(sla) = self.sla_allowed_increase {
+            assert!(sla >= 0.0, "SLA allowance must be non-negative");
+        }
+        assert!(self.eval_budget > 0, "evaluation budget must be positive");
+        assert!(self.pest_local_window > 0, "P_est local window must be non-empty");
+    }
+
+    /// A short name describing the configuration, used in reports.
+    pub fn policy_name(&self) -> String {
+        let mut name = String::from("codecrunch");
+        if !self.use_sre {
+            name.push_str("-nosre");
+        }
+        if !self.allow_compression {
+            name.push_str("-nocompress");
+        }
+        match self.arch_policy {
+            ArchPolicy::Both => {}
+            ArchPolicy::X86Only => name.push_str("-x86only"),
+            ArchPolicy::ArmOnly => name.push_str("-armonly"),
+        }
+        if self.fixed_keep_alive.is_some() {
+            name.push_str("-fixedka");
+        }
+        if self.sla_allowed_increase.is_some() {
+            name.push_str("-sla");
+        }
+        name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_full_system() {
+        let c = CodeCrunchConfig::default();
+        c.validate();
+        assert!(c.use_sre && c.allow_compression);
+        assert_eq!(c.arch_policy, ArchPolicy::Both);
+        assert_eq!(c.policy_name(), "codecrunch");
+    }
+
+    #[test]
+    fn names_encode_ablations() {
+        let c = CodeCrunchConfig {
+            use_sre: false,
+            allow_compression: false,
+            arch_policy: ArchPolicy::ArmOnly,
+            ..CodeCrunchConfig::default()
+        };
+        assert_eq!(c.policy_name(), "codecrunch-nosre-nocompress-armonly");
+    }
+
+    #[test]
+    fn arch_policy_clamps() {
+        assert_eq!(ArchPolicy::X86Only.clamp(Arch::Arm), Arch::X86);
+        assert_eq!(ArchPolicy::Both.clamp(Arch::Arm), Arch::Arm);
+        assert!(ArchPolicy::ArmOnly.allows(Arch::Arm));
+        assert!(!ArchPolicy::ArmOnly.allows(Arch::X86));
+    }
+
+    #[test]
+    #[should_panic(expected = "exec_alpha")]
+    fn rejects_bad_alpha() {
+        CodeCrunchConfig {
+            exec_alpha: 2.0,
+            ..CodeCrunchConfig::default()
+        }
+        .validate();
+    }
+}

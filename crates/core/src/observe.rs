@@ -1,0 +1,167 @@
+//! Observed per-architecture execution times.
+
+use cc_types::{Arch, FunctionId, ServiceRecord, SimDuration};
+use cc_workload::Workload;
+
+/// Tracks the execution time each function actually exhibited on each
+/// architecture, as an exponentially weighted moving average.
+///
+/// The paper's CodeCrunch "keeps track of the service time of functions in
+/// ARM and x86 processors from past executions"; the EWMA makes the
+/// estimate responsive to unannounced input changes (Fig. 15) without
+/// overreacting to noise. Before the first observation on an architecture,
+/// the workload spec provides the prior.
+#[derive(Debug, Clone)]
+pub struct ExecObserver {
+    /// `ewma[fn][arch]` in seconds; NaN = unobserved.
+    ewma: Vec<[f64; 2]>,
+    alpha: f64,
+}
+
+impl ExecObserver {
+    /// Creates an observer for `functions` functions with smoothing factor
+    /// `alpha` (weight of the newest observation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(functions: usize, alpha: f64) -> ExecObserver {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
+        ExecObserver {
+            ewma: vec![[f64::NAN; 2]; functions],
+            alpha,
+        }
+    }
+
+    /// Incorporates one completed execution.
+    pub fn observe(&mut self, record: &ServiceRecord) {
+        let slot = &mut self.ewma[record.function.index()][record.arch.index()];
+        let value = record.execution.as_secs_f64();
+        *slot = if slot.is_nan() {
+            value
+        } else {
+            self.alpha * value + (1.0 - self.alpha) * *slot
+        };
+    }
+
+    /// The best current estimate of `function`'s execution time on `arch`:
+    /// the EWMA if observed, scaled from the other architecture's
+    /// observation if only that exists, else the workload spec.
+    pub fn exec_time(
+        &self,
+        function: FunctionId,
+        arch: Arch,
+        workload: &Workload,
+    ) -> SimDuration {
+        let spec = workload.spec(function);
+        let row = &self.ewma[function.index()];
+        let own = row[arch.index()];
+        if !own.is_nan() {
+            return SimDuration::from_secs_f64(own);
+        }
+        let other = row[arch.other().index()];
+        if !other.is_nan() {
+            // Scale the observed other-arch time by the spec's ratio.
+            let spec_own = spec.exec_time(arch).as_secs_f64();
+            let spec_other = spec.exec_time(arch.other()).as_secs_f64().max(1e-9);
+            return SimDuration::from_secs_f64(other * spec_own / spec_other);
+        }
+        spec.exec_time(arch)
+    }
+
+    /// Whether `function` has ever been observed on `arch`.
+    pub fn has_observed(&self, function: FunctionId, arch: Arch) -> bool {
+        !self.ewma[function.index()][arch.index()].is_nan()
+    }
+
+    /// Whether the observer has slots for at least `functions` functions.
+    pub fn covers(&self, functions: usize) -> bool {
+        self.ewma.len() >= functions
+    }
+
+    /// Grows the observer to hold at least `functions` functions.
+    pub fn grow(&mut self, functions: usize) {
+        if self.ewma.len() < functions {
+            self.ewma.resize(functions, [f64::NAN; 2]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{MemoryMb, SimTime, StartKind};
+    use cc_workload::FunctionSpec;
+
+    fn workload() -> Workload {
+        Workload::from_specs(vec![FunctionSpec {
+            id: FunctionId::new(0),
+            profile_name: "test".to_owned(),
+            exec: [SimDuration::from_secs(2), SimDuration::from_secs(4)],
+            cold: [SimDuration::from_secs(1), SimDuration::from_millis(1250)],
+            decompress: [SimDuration::from_millis(300), SimDuration::from_millis(330)],
+            compress: SimDuration::from_millis(1500),
+            memory: MemoryMb::new(256),
+            compressed_memory: MemoryMb::new(100),
+        }])
+    }
+
+    fn record(arch: Arch, exec_secs: f64) -> ServiceRecord {
+        ServiceRecord {
+            function: FunctionId::new(0),
+            arrival: SimTime::ZERO,
+            wait: SimDuration::ZERO,
+            start_penalty: SimDuration::ZERO,
+            execution: SimDuration::from_secs_f64(exec_secs),
+            kind: StartKind::WarmUncompressed,
+            arch,
+        }
+    }
+
+    #[test]
+    fn falls_back_to_spec_when_unobserved() {
+        let obs = ExecObserver::new(1, 0.3);
+        let w = workload();
+        assert_eq!(
+            obs.exec_time(FunctionId::new(0), Arch::X86, &w),
+            SimDuration::from_secs(2)
+        );
+        assert!(!obs.has_observed(FunctionId::new(0), Arch::X86));
+    }
+
+    #[test]
+    fn ewma_converges_to_observations() {
+        let mut obs = ExecObserver::new(1, 0.5);
+        let w = workload();
+        for _ in 0..20 {
+            obs.observe(&record(Arch::X86, 6.0));
+        }
+        let est = obs.exec_time(FunctionId::new(0), Arch::X86, &w).as_secs_f64();
+        assert!((est - 6.0).abs() < 0.01, "est {est}");
+    }
+
+    #[test]
+    fn cross_arch_scaling_uses_spec_ratio() {
+        let mut obs = ExecObserver::new(1, 1.0);
+        let w = workload();
+        // Observe 3s on x86 (spec says 2s); ARM spec ratio is 2x.
+        obs.observe(&record(Arch::X86, 3.0));
+        let arm = obs.exec_time(FunctionId::new(0), Arch::Arm, &w).as_secs_f64();
+        assert!((arm - 6.0).abs() < 0.01, "arm {arm}");
+    }
+
+    #[test]
+    fn first_observation_replaces_prior_entirely() {
+        let mut obs = ExecObserver::new(1, 0.1);
+        let w = workload();
+        obs.observe(&record(Arch::Arm, 9.0));
+        let est = obs.exec_time(FunctionId::new(0), Arch::Arm, &w).as_secs_f64();
+        assert_eq!(est, 9.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn rejects_bad_alpha() {
+        let _ = ExecObserver::new(1, 0.0);
+    }
+}

@@ -1,0 +1,247 @@
+//! The paper's re-invocation period estimator `P_est`.
+
+use std::collections::VecDeque;
+
+use cc_types::{SimDuration, SimTime};
+
+/// Estimates a function's next re-invocation gap by blending **local**
+/// (recent) and **global** (long-run) inter-arrival statistics:
+///
+/// ```text
+/// w     = |L_m − G_m| / max(L_m, G_m)
+/// P_est = w · (L_m + L_s) + (1 − w) · (G_m + G_s)
+/// ```
+///
+/// where `L_m`/`L_s` are the mean/standard deviation of the last `n_l`
+/// gaps (10 in the paper) and `G_m`/`G_s` of all gaps since the last
+/// reset. The more the local behaviour diverges from the global pattern,
+/// the more weight the local window gets — this is what lets CodeCrunch
+/// track functions whose period drifts. Global statistics reset every
+/// 1000 invocations, per the paper.
+///
+/// `P_est` deliberately over-estimates by one standard deviation on each
+/// term: the paper found exactly one σ optimal ("considering more than one
+/// standard deviation slightly deteriorates the results").
+///
+/// # Example
+///
+/// ```
+/// use cc_types::{SimDuration, SimTime};
+/// use codecrunch::PestEstimator;
+///
+/// let mut est = PestEstimator::new();
+/// let mut t = SimTime::ZERO;
+/// for _ in 0..12 {
+///     est.record(t);
+///     t += SimDuration::from_mins(5);
+/// }
+/// // Perfectly periodic: P_est equals the period (σ = 0, L_m = G_m).
+/// assert_eq!(est.estimate(), Some(SimDuration::from_mins(5)));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PestEstimator {
+    /// Recent gaps, bounded at `local_window`.
+    local: VecDeque<f64>,
+    local_window: usize,
+    /// Global accumulators (seconds).
+    global_count: u64,
+    global_sum: f64,
+    global_sum_sq: f64,
+    /// Invocations since the last global reset.
+    invocations_since_reset: u64,
+    last_arrival: Option<SimTime>,
+}
+
+/// The paper's local window: the last 10 invocations.
+pub const DEFAULT_LOCAL_WINDOW: usize = 10;
+
+/// The paper resets global statistics every 1000 invocations.
+pub const GLOBAL_RESET_EVERY: u64 = 1000;
+
+impl PestEstimator {
+    /// Creates an estimator with the paper's parameters.
+    pub fn new() -> PestEstimator {
+        PestEstimator::with_local_window(DEFAULT_LOCAL_WINDOW)
+    }
+
+    /// Creates an estimator with a custom local window (the paper sweeps
+    /// 2..=100 and reports <2.6% sensitivity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `local_window` is zero.
+    pub fn with_local_window(local_window: usize) -> PestEstimator {
+        assert!(local_window > 0, "local window must be non-empty");
+        PestEstimator {
+            local: VecDeque::with_capacity(local_window),
+            local_window,
+            global_count: 0,
+            global_sum: 0.0,
+            global_sum_sq: 0.0,
+            invocations_since_reset: 0,
+            last_arrival: None,
+        }
+    }
+
+    /// Records an invocation arrival.
+    pub fn record(&mut self, now: SimTime) {
+        self.invocations_since_reset += 1;
+        if self.invocations_since_reset >= GLOBAL_RESET_EVERY {
+            self.global_count = 0;
+            self.global_sum = 0.0;
+            self.global_sum_sq = 0.0;
+            self.invocations_since_reset = 0;
+        }
+        if let Some(last) = self.last_arrival {
+            let gap = now.saturating_since(last).as_secs_f64();
+            if self.local.len() == self.local_window {
+                self.local.pop_front();
+            }
+            self.local.push_back(gap);
+            self.global_count += 1;
+            self.global_sum += gap;
+            self.global_sum_sq += gap * gap;
+        }
+        self.last_arrival = Some(now);
+    }
+
+    /// The blended `P_est`, or `None` before two invocations.
+    pub fn estimate(&self) -> Option<SimDuration> {
+        if self.local.is_empty() || self.global_count == 0 {
+            return None;
+        }
+        let l_m = self.local.iter().sum::<f64>() / self.local.len() as f64;
+        let l_var = self
+            .local
+            .iter()
+            .map(|g| (g - l_m) * (g - l_m))
+            .sum::<f64>()
+            / self.local.len() as f64;
+        let l_s = l_var.sqrt();
+
+        let g_m = self.global_sum / self.global_count as f64;
+        let g_var = (self.global_sum_sq / self.global_count as f64 - g_m * g_m).max(0.0);
+        let g_s = g_var.sqrt();
+
+        let denom = l_m.max(g_m);
+        let w = if denom > 0.0 {
+            (l_m - g_m).abs() / denom
+        } else {
+            0.0
+        };
+        let pest = w * (l_m + l_s) + (1.0 - w) * (g_m + g_s);
+        Some(SimDuration::from_secs_f64(pest))
+    }
+
+    /// Time of the most recent recorded arrival.
+    pub fn last_arrival(&self) -> Option<SimTime> {
+        self.last_arrival
+    }
+
+    /// Number of gaps currently in the local window.
+    pub fn local_len(&self) -> usize {
+        self.local.len()
+    }
+}
+
+impl Default for PestEstimator {
+    fn default() -> Self {
+        PestEstimator::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(mins: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_mins(mins)
+    }
+
+    #[test]
+    fn no_estimate_before_two_arrivals() {
+        let mut est = PestEstimator::new();
+        assert_eq!(est.estimate(), None);
+        est.record(at(0));
+        assert_eq!(est.estimate(), None);
+        est.record(at(5));
+        assert!(est.estimate().is_some());
+    }
+
+    #[test]
+    fn periodic_signal_estimates_the_period() {
+        let mut est = PestEstimator::new();
+        for i in 0..20 {
+            est.record(at(i * 3));
+        }
+        assert_eq!(est.estimate(), Some(SimDuration::from_mins(3)));
+    }
+
+    #[test]
+    fn local_shift_pulls_the_estimate() {
+        let mut est = PestEstimator::new();
+        // Long global history at 10-minute gaps, then the function speeds
+        // up to 2-minute gaps: the estimate must move well below 10.
+        let mut t = 0;
+        for _ in 0..50 {
+            est.record(at(t));
+            t += 10;
+        }
+        for _ in 0..10 {
+            est.record(at(t));
+            t += 2;
+        }
+        let pest = est.estimate().unwrap().as_mins_f64();
+        assert!(pest < 8.0, "P_est {pest} should track the local speed-up");
+    }
+
+    #[test]
+    fn variance_inflates_estimate() {
+        let mut regular = PestEstimator::new();
+        let mut jittery = PestEstimator::new();
+        for i in 0..30u64 {
+            regular.record(at(i * 6));
+        }
+        let mut t = 0u64;
+        for i in 0..30u64 {
+            t += if i % 2 == 0 { 2 } else { 10 }; // same mean of 6
+            jittery.record(at(t));
+        }
+        let r = regular.estimate().unwrap();
+        let j = jittery.estimate().unwrap();
+        assert!(j > r, "jittery {j} should exceed regular {r}");
+    }
+
+    #[test]
+    fn global_resets_after_threshold() {
+        let mut est = PestEstimator::new();
+        for i in 0..(GLOBAL_RESET_EVERY + 10) {
+            est.record(at(i * 2));
+        }
+        // Still estimating after the reset.
+        assert!(est.estimate().is_some());
+        assert!(est.local_len() <= DEFAULT_LOCAL_WINDOW);
+    }
+
+    #[test]
+    fn window_sensitivity_is_mild_on_periodic_input() {
+        // The paper's claim at small scale: window size barely matters for
+        // a periodic function.
+        let build = |window| {
+            let mut est = PestEstimator::with_local_window(window);
+            for i in 0..120 {
+                est.record(at(i * 4));
+            }
+            est.estimate().unwrap().as_mins_f64()
+        };
+        let p2 = build(2);
+        let p100 = build(100);
+        assert!((p2 - p100).abs() / p100 < 0.026);
+    }
+
+    #[test]
+    #[should_panic(expected = "local window must be non-empty")]
+    fn rejects_zero_window() {
+        let _ = PestEstimator::with_local_window(0);
+    }
+}

@@ -1,0 +1,566 @@
+//! The CodeCrunch scheduler: SRE-driven per-interval planning.
+
+use std::collections::{BTreeSet, HashMap};
+
+use cc_opt::{CoordinateDescent, Objective, Sre};
+use cc_sim::{ClusterView, Command, KeepDecision, Scheduler};
+use cc_types::{Arch, FnChoice, FunctionId, ServiceRecord, SimDuration, SimTime};
+
+use crate::{CodeCrunchConfig, ExecObserver, IntervalObjective, PestEstimator};
+
+/// The CodeCrunch policy (see the crate docs for the algorithm overview).
+///
+/// State per function: a [`PestEstimator`], observed per-arch execution
+/// times, the SRE optimization counter, and the currently planned
+/// [`FnChoice`]. Each interval tick re-optimizes the functions invoked in
+/// that interval; all others retain their previous plans, exactly as the
+/// paper specifies.
+#[derive(Debug)]
+pub struct CodeCrunch {
+    config: CodeCrunchConfig,
+    name: String,
+    pest: Vec<PestEstimator>,
+    exec: ExecObserver,
+    opt_counts: Vec<u32>,
+    plan: HashMap<FunctionId, FnChoice>,
+    invoked_this_interval: BTreeSet<FunctionId>,
+    interval_index: u64,
+}
+
+impl CodeCrunch {
+    /// Creates the full system with default configuration.
+    pub fn new() -> CodeCrunch {
+        CodeCrunch::with_config(CodeCrunchConfig::default())
+    }
+
+    /// Creates a configured (possibly ablated) instance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    pub fn with_config(config: CodeCrunchConfig) -> CodeCrunch {
+        config.validate();
+        let name = config.policy_name();
+        let exec_alpha = config.exec_alpha;
+        CodeCrunch {
+            config,
+            name,
+            pest: Vec::new(),
+            exec: ExecObserver::new(0, exec_alpha),
+            opt_counts: Vec::new(),
+            plan: HashMap::new(),
+            invoked_this_interval: BTreeSet::new(),
+            interval_index: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &CodeCrunchConfig {
+        &self.config
+    }
+
+    /// The current planned choice for a function, if any.
+    pub fn planned(&self, function: FunctionId) -> Option<FnChoice> {
+        self.plan.get(&function).copied()
+    }
+
+    /// The current `P_est` re-invocation estimate for a function, if the
+    /// scheduler has seen at least two arrivals (diagnostics/analysis).
+    pub fn pest_estimate(&self, function: FunctionId) -> Option<SimDuration> {
+        self.pest.get(function.index())?.estimate()
+    }
+
+    fn ensure_capacity(&mut self, function: FunctionId) {
+        let needed = function.index() + 1;
+        while self.pest.len() < needed {
+            self.pest
+                .push(PestEstimator::with_local_window(self.config.pest_local_window));
+            self.opt_counts.push(0);
+        }
+        if !self.exec.covers(needed) {
+            self.exec.grow(needed);
+        }
+    }
+
+    /// The plan used before a function has ever been optimized: its faster
+    /// permitted architecture, uncompressed, a 10-minute window.
+    fn default_choice(&self, function: FunctionId, view: &ClusterView<'_>) -> FnChoice {
+        let spec = view.spec(function);
+        let arch = if spec.exec_time(Arch::Arm) < spec.exec_time(Arch::X86) {
+            Arch::Arm
+        } else {
+            Arch::X86
+        };
+        FnChoice::new(
+            self.config.arch_policy.clamp(arch),
+            false,
+            self.config
+                .fixed_keep_alive
+                .unwrap_or(SimDuration::from_mins(10)),
+        )
+    }
+
+    /// Builds the SLA-mode seed plan: functions ranked by how badly a cold
+    /// start would overshoot the SLA limit claim keep-alive windows of
+    /// `P_est` first, compressed only when the budget demands it *and*
+    /// decompression still meets the SLA.
+    fn sla_seed(
+        &self,
+        objective: &IntervalObjective<'_>,
+        functions: &[FunctionId],
+        pest: &[Option<SimDuration>],
+    ) -> Vec<FnChoice> {
+        let sla = self
+            .config
+            .sla_allowed_increase
+            .expect("sla_seed only runs in SLA mode");
+        let n = functions.len();
+        let mut choices: Vec<FnChoice> = functions
+            .iter()
+            .map(|&f| {
+                let spec = objective.workload.spec(f);
+                let arch = if spec.exec_time(Arch::Arm) < spec.exec_time(Arch::X86) {
+                    Arch::Arm
+                } else {
+                    Arch::X86
+                };
+                FnChoice::drop_now(self.config.arch_policy.clamp(arch))
+            })
+            .collect();
+
+        // Rank by cold-start overshoot of the SLA limit, worst first.
+        let mut order: Vec<usize> = (0..n).collect();
+        let overshoot = |idx: usize| -> f64 {
+            let f = functions[idx];
+            let arch = choices[idx].arch;
+            let exec = self.exec.exec_time(f, arch, objective.workload).as_secs_f64();
+            let reference = self
+                .exec
+                .exec_time(f, Arch::X86, objective.workload)
+                .as_secs_f64();
+            let cold = objective.workload.spec(f).cold_start(arch).as_secs_f64();
+            (exec + cold) - (1.0 + sla) * reference
+        };
+        order.sort_by(|&a, &b| overshoot(b).total_cmp(&overshoot(a)));
+
+        let mut remaining = objective.budget;
+        for idx in order {
+            let Some(p) = pest[idx] else {
+                continue; // no estimate: cannot target a window yet
+            };
+            let window = (p + SimDuration::from_mins(1)).min(cc_types::KEEP_ALIVE_MAX);
+            for compress in [false, true] {
+                if compress && !self.config.allow_compression {
+                    continue;
+                }
+                let candidate = FnChoice::new(choices[idx].arch, compress, window);
+                if compress {
+                    // Compression only helps if decompression still meets
+                    // the SLA.
+                    let service = objective.predicted_service(idx, &candidate);
+                    let reference = self
+                        .exec
+                        .exec_time(functions[idx], Arch::X86, objective.workload)
+                        .as_secs_f64();
+                    if service > (1.0 + sla) * reference {
+                        continue;
+                    }
+                }
+                let cost = objective.choice_cost(idx, &candidate);
+                let affordable = match remaining {
+                    None => true,
+                    Some(budget) => cost <= budget,
+                };
+                if affordable {
+                    choices[idx] = candidate;
+                    if let Some(budget) = remaining {
+                        remaining = Some(budget - cost);
+                    }
+                    break;
+                }
+            }
+        }
+        choices
+    }
+
+    /// Applies the configured post-processing to an optimized choice.
+    fn finalize_choice(&self, mut choice: FnChoice) -> FnChoice {
+        choice.arch = self.config.arch_policy.clamp(choice.arch);
+        if !self.config.allow_compression {
+            choice.compress = false;
+        }
+        if let Some(fixed) = self.config.fixed_keep_alive {
+            choice.keep_alive = fixed;
+        }
+        choice
+    }
+}
+
+impl Default for CodeCrunch {
+    fn default() -> Self {
+        CodeCrunch::new()
+    }
+}
+
+impl Scheduler for CodeCrunch {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn on_arrival(&mut self, function: FunctionId, now: SimTime) {
+        self.ensure_capacity(function);
+        self.pest[function.index()].record(now);
+        self.invoked_this_interval.insert(function);
+    }
+
+    fn on_record(&mut self, record: &ServiceRecord) {
+        self.ensure_capacity(record.function);
+        self.exec.observe(record);
+    }
+
+    fn place(&mut self, function: FunctionId, view: &ClusterView<'_>) -> Arch {
+        self.ensure_capacity(function);
+        match self.plan.get(&function) {
+            Some(choice) => self.config.arch_policy.clamp(choice.arch),
+            None => self.default_choice(function, view).arch,
+        }
+    }
+
+    fn on_completion(
+        &mut self,
+        function: FunctionId,
+        _arch: Arch,
+        view: &ClusterView<'_>,
+    ) -> KeepDecision {
+        self.ensure_capacity(function);
+        let choice = self
+            .plan
+            .get(&function)
+            .copied()
+            .unwrap_or_else(|| self.default_choice(function, view));
+        let choice = self.finalize_choice(choice);
+        KeepDecision {
+            keep_alive: choice.keep_alive,
+            compress: choice.compress,
+        }
+    }
+
+    fn on_interval(&mut self, view: &ClusterView<'_>) -> Vec<Command> {
+        self.interval_index += 1;
+        let functions: Vec<FunctionId> = std::mem::take(&mut self.invoked_this_interval)
+            .into_iter()
+            .collect();
+        if functions.is_empty() {
+            return Vec::new();
+        }
+        for &f in &functions {
+            self.ensure_capacity(f);
+        }
+
+        let pest: Vec<Option<SimDuration>> = functions
+            .iter()
+            .map(|f| self.pest[f.index()].estimate())
+            .collect();
+        let budget = view
+            .ledger
+            .is_budgeted()
+            .then(|| view.ledger.balance());
+        let objective = IntervalObjective {
+            functions: &functions,
+            workload: view.workload,
+            exec: &self.exec,
+            pest: &pest,
+            rates: [
+                view.config.rate(Arch::X86),
+                view.config.rate(Arch::Arm),
+            ],
+            budget,
+            sla: self.config.sla_allowed_increase,
+            arch_policy: self.config.arch_policy,
+            allow_compression: self.config.allow_compression,
+        };
+
+        // Start from the current plans (or defaults), coerced feasible:
+        // dropping everything always fits any budget.
+        let mut start: Vec<FnChoice> = functions
+            .iter()
+            .map(|&f| {
+                self.finalize_choice(
+                    self.plan
+                        .get(&f)
+                        .copied()
+                        .unwrap_or_else(|| self.default_choice(f, view)),
+                )
+            })
+            .collect();
+        if !objective.is_feasible(&start) {
+            // Scale every window down proportionally until the carried-over
+            // plan fits the currently available credit; zeroing everything
+            // would throw away the structure SRE built in past intervals.
+            for _ in 0..12 {
+                for c in start.iter_mut() {
+                    c.keep_alive = c.keep_alive.scale(0.6);
+                    if c.keep_alive < SimDuration::from_secs(30) {
+                        c.keep_alive = SimDuration::ZERO;
+                    }
+                }
+                if objective.is_feasible(&start) {
+                    break;
+                }
+            }
+            if !objective.is_feasible(&start) {
+                for c in start.iter_mut() {
+                    c.keep_alive = SimDuration::ZERO;
+                    c.compress = false;
+                }
+            }
+        }
+        if self.config.sla_allowed_increase.is_some() {
+            // SLA mode: coordinate descent cannot trade budget between
+            // functions, so seed the plan greedily — protect the functions
+            // whose cold start would violate the SLA first.
+            start = self.sla_seed(&objective, &functions, &pest);
+        }
+
+        let outcome = if self.config.use_sre {
+            let mut local_counts: Vec<u32> = functions
+                .iter()
+                .map(|f| self.opt_counts[f.index()])
+                .collect();
+            let mut sre = Sre::scaled_to(functions.len())
+                .with_seed(self.config.seed ^ self.interval_index);
+            sre.inner.eval_budget =
+                self.config.eval_budget / (sre.num_subproblems * sre.rounds).max(1) as u64;
+            // At simulator scale the separable sub-problems are microsecond
+            // work; thread spawn-per-group would dominate the decision
+            // overhead the paper measures, so run them serially.
+            sre.parallel = false;
+            let outcome = sre.optimize_separable(&objective, start, &mut local_counts);
+            for (i, &f) in functions.iter().enumerate() {
+                self.opt_counts[f.index()] = local_counts[i];
+            }
+            outcome
+        } else {
+            // The Fig. 12 "without SRE" arm: full-space descent under the
+            // same evaluation budget.
+            let descent = CoordinateDescent {
+                max_rounds: 64,
+                eval_budget: self.config.eval_budget,
+            };
+            for &f in &functions {
+                self.opt_counts[f.index()] += 1;
+            }
+            let active: Vec<usize> = (0..functions.len()).collect();
+            descent.optimize_separable_subset(&objective, start, &active)
+        };
+
+        for (i, &f) in functions.iter().enumerate() {
+            self.plan.insert(f, self.finalize_choice(outcome.solution[i]));
+        }
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ArchPolicy;
+    use cc_compress::CompressionModel;
+    use cc_sim::{ClusterConfig, FixedKeepAlive, Simulation};
+    use cc_trace::SyntheticTrace;
+    use cc_types::Cost;
+    use cc_workload::{Catalog, Workload};
+
+    fn setup(functions: usize, minutes: u64, seed: u64) -> (cc_trace::Trace, Workload) {
+        let trace = SyntheticTrace::builder()
+            .functions(functions)
+            .duration(SimDuration::from_mins(minutes))
+            .seed(seed)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        (trace, workload)
+    }
+
+    #[test]
+    fn completes_every_invocation() {
+        let (trace, workload) = setup(30, 120, 61);
+        let mut policy = CodeCrunch::new();
+        let report =
+            Simulation::new(ClusterConfig::small(3, 3), &trace, &workload).run(&mut policy);
+        assert_eq!(report.records.len(), trace.invocations().len());
+        assert_eq!(report.policy, "codecrunch");
+    }
+
+    #[test]
+    fn is_deterministic() {
+        let (trace, workload) = setup(20, 90, 62);
+        let run = || {
+            let mut policy = CodeCrunch::new();
+            Simulation::new(ClusterConfig::small(2, 2), &trace, &workload).run(&mut policy)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+    }
+
+    #[test]
+    fn beats_fixed_keepalive_under_budget() {
+        let (trace, workload) = setup(60, 240, 63);
+        // First measure the fixed baseline's natural spend, then give both
+        // policies that budget — the paper's normalization.
+        let unlimited = ClusterConfig::small(2, 2);
+        let mut fixed = FixedKeepAlive::ten_minutes();
+        let natural = Simulation::new(unlimited, &trace, &workload).run(&mut fixed);
+        let minutes = trace.duration().as_mins_f64().max(1.0);
+        let per_interval = natural.keep_alive_spend.scale(1.0 / minutes);
+
+        let budgeted = ClusterConfig::small(2, 2).with_budget(per_interval);
+        let mut fixed2 = FixedKeepAlive::ten_minutes();
+        let mut crunch = CodeCrunch::new();
+        let r_fixed = Simulation::new(budgeted.clone(), &trace, &workload).run(&mut fixed2);
+        let r_crunch = Simulation::new(budgeted, &trace, &workload).run(&mut crunch);
+        assert!(
+            r_crunch.mean_service_time_secs() <= r_fixed.mean_service_time_secs() * 1.02,
+            "codecrunch {}s vs fixed {}s",
+            r_crunch.mean_service_time_secs(),
+            r_fixed.mean_service_time_secs()
+        );
+    }
+
+    /// Measures the fixed baseline's natural spend and returns a budgeted
+    /// config granting `fraction` of it per interval.
+    fn budgeted_config(
+        trace: &cc_trace::Trace,
+        workload: &Workload,
+        fraction: f64,
+    ) -> ClusterConfig {
+        let mut fixed = FixedKeepAlive::ten_minutes();
+        let natural =
+            Simulation::new(ClusterConfig::small(2, 2), trace, workload).run(&mut fixed);
+        let minutes = trace.duration().as_mins_f64().max(1.0);
+        let per_interval = natural.keep_alive_spend.scale(fraction / minutes);
+        ClusterConfig::small(2, 2).with_budget(per_interval)
+    }
+
+    #[test]
+    fn compression_events_occur_under_tight_budget() {
+        let (trace, workload) = setup(50, 180, 64);
+        let config = budgeted_config(&trace, &workload, 0.4);
+        let mut crunch = CodeCrunch::new();
+        let report = Simulation::new(config, &trace, &workload).run(&mut crunch);
+        assert!(
+            report.compression_events > 0,
+            "tight budget should force compression"
+        );
+    }
+
+    #[test]
+    fn compression_improves_service_under_tight_budget() {
+        let (trace, workload) = setup(50, 180, 69);
+        let config = budgeted_config(&trace, &workload, 0.4);
+        let mut with = CodeCrunch::new();
+        let mut without = CodeCrunch::with_config(CodeCrunchConfig {
+            allow_compression: false,
+            ..CodeCrunchConfig::default()
+        });
+        let r_with = Simulation::new(config.clone(), &trace, &workload).run(&mut with);
+        let r_without = Simulation::new(config, &trace, &workload).run(&mut without);
+        assert!(
+            r_with.mean_service_time_secs() <= r_without.mean_service_time_secs() * 1.02,
+            "compression {}s vs none {}s",
+            r_with.mean_service_time_secs(),
+            r_without.mean_service_time_secs()
+        );
+    }
+
+    #[test]
+    fn no_compression_ablation_never_compresses() {
+        let (trace, workload) = setup(40, 120, 65);
+        let config = ClusterConfig::small(2, 2).with_budget(Cost::from_dollars(2e-7));
+        let mut crunch = CodeCrunch::with_config(CodeCrunchConfig {
+            allow_compression: false,
+            ..CodeCrunchConfig::default()
+        });
+        let report = Simulation::new(config, &trace, &workload).run(&mut crunch);
+        assert_eq!(report.compression_events, 0);
+    }
+
+    #[test]
+    fn arch_ablations_respect_restriction() {
+        let (trace, workload) = setup(25, 90, 66);
+        for (policy, arch) in [
+            (ArchPolicy::X86Only, Arch::X86),
+            (ArchPolicy::ArmOnly, Arch::Arm),
+        ] {
+            let mut crunch = CodeCrunch::with_config(CodeCrunchConfig {
+                arch_policy: policy,
+                ..CodeCrunchConfig::default()
+            });
+            let report = Simulation::new(ClusterConfig::small(3, 3), &trace, &workload)
+                .run(&mut crunch);
+            // Spillover to the other arch only happens when the restricted
+            // side is saturated; on this lightly-loaded cluster every
+            // record stays on the chosen architecture.
+            let on_arch = report.records.iter().filter(|r| r.arch == arch).count();
+            assert!(
+                on_arch as f64 >= report.records.len() as f64 * 0.95,
+                "{policy:?}: {on_arch}/{}",
+                report.records.len()
+            );
+        }
+    }
+
+    #[test]
+    fn sla_mode_reduces_violations() {
+        let (trace, workload) = setup(40, 180, 67);
+        let sla = 0.2;
+        // A tight budget forces cold starts, so the SLA constraint has
+        // something to protect against.
+        let config = budgeted_config(&trace, &workload, 0.5);
+        let mut plain = CodeCrunch::new();
+        let mut constrained = CodeCrunch::with_config(CodeCrunchConfig {
+            sla_allowed_increase: Some(sla),
+            ..CodeCrunchConfig::default()
+        });
+        let r_plain = Simulation::new(config.clone(), &trace, &workload).run(&mut plain);
+        let r_sla = Simulation::new(config, &trace, &workload).run(&mut constrained);
+
+        let violations = |report: &cc_sim::SimReport| {
+            report
+                .records
+                .iter()
+                .filter(|r| {
+                    let reference = workload.spec(r.function).exec_time(Arch::X86);
+                    r.service_time().as_secs_f64() > (1.0 + sla) * reference.as_secs_f64()
+                })
+                .count() as f64
+                / report.records.len() as f64
+        };
+        // Plain CodeCrunch already violates rarely (its objective minimizes
+        // the same service times); the SLA mode must hold that line. The
+        // sharper contrast — SLA-mode CodeCrunch vs the SLA-oblivious
+        // baselines — is asserted in the fig9 experiment test.
+        assert!(
+            violations(&r_sla) <= violations(&r_plain) + 0.01,
+            "sla {} vs plain {}",
+            violations(&r_sla),
+            violations(&r_plain)
+        );
+    }
+
+    #[test]
+    fn plans_persist_for_uninvoked_functions() {
+        let (trace, workload) = setup(10, 60, 68);
+        let mut crunch = CodeCrunch::new();
+        let _ = Simulation::new(ClusterConfig::small(2, 2), &trace, &workload).run(&mut crunch);
+        // After a run, invoked functions have plans.
+        let planned = (0..10)
+            .filter(|&i| crunch.planned(FunctionId::new(i)).is_some())
+            .count();
+        assert!(planned > 0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Behavioral tests of the CodeCrunch scheduler through the public
+//! simulator interface.
+
+use cc_compress::CompressionModel;
+use cc_sim::{ClusterConfig, Simulation};
+use cc_trace::{Trace, TraceFunction};
+use cc_types::{Arch, Cost, FnChoice, FunctionId, Invocation, MemoryMb, SimDuration, SimTime};
+use cc_workload::{Catalog, Workload};
+use codecrunch::{ArchPolicy, CodeCrunch, CodeCrunchConfig};
+
+/// A perfectly periodic single-function trace.
+fn periodic_trace(period_mins: u64, repetitions: u64) -> Trace {
+    let f = TraceFunction::new(
+        FunctionId::new(0),
+        SimDuration::from_secs(3),
+        MemoryMb::new(256),
+    );
+    let invocations: Vec<Invocation> = (0..repetitions)
+        .map(|i| {
+            Invocation::new(
+                FunctionId::new(0),
+                SimTime::ZERO + SimDuration::from_mins(i * period_mins),
+            )
+        })
+        .collect();
+    Trace::new(vec![f], invocations).expect("valid trace")
+}
+
+fn workload(trace: &Trace) -> Workload {
+    Workload::from_trace(
+        trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    )
+}
+
+#[test]
+fn plans_converge_to_cover_the_period() {
+    // A 4-minute period: the optimized keep-alive window must end up
+    // comfortably covering it (the exponential-tail model pushes past
+    // P_est), so late invocations run warm.
+    let trace = periodic_trace(4, 40);
+    let w = workload(&trace);
+    let mut policy = CodeCrunch::new();
+    let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut policy);
+
+    let plan = policy.planned(FunctionId::new(0)).expect("function was planned");
+    assert!(
+        plan.keep_alive >= SimDuration::from_mins(4),
+        "window {} does not cover the 4-minute period",
+        plan.keep_alive
+    );
+    // After warm-up, invocations are warm: allow the first few to be cold.
+    let cold = report
+        .records
+        .iter()
+        .filter(|r| r.kind == cc_types::StartKind::Cold)
+        .count();
+    assert!(cold <= 5, "{cold} cold starts on a trivially periodic function");
+}
+
+#[test]
+fn rare_functions_are_not_kept_alive() {
+    // A 90-minute period exceeds the 60-minute platform bound: CodeCrunch
+    // should learn to keep a short (or no) window rather than burn budget.
+    let trace = periodic_trace(90, 6);
+    let w = workload(&trace);
+    let config = ClusterConfig::small(1, 1).with_budget(Cost::from_dollars(1e-5));
+    let mut policy = CodeCrunch::new();
+    let report = Simulation::new(config, &trace, &w).run(&mut policy);
+    // All invocations are cold (nothing can bridge 90 minutes)…
+    assert_eq!(report.warm_fraction(), 0.0);
+    // …and the learned plan does not waste the full 60-minute window.
+    if let Some(plan) = policy.planned(FunctionId::new(0)) {
+        assert!(
+            plan.keep_alive < cc_types::KEEP_ALIVE_MAX,
+            "plan {} wastes budget on an unreachable window",
+            plan.keep_alive
+        );
+    }
+}
+
+#[test]
+fn fixed_keep_alive_override_pins_every_plan() {
+    let trace = periodic_trace(3, 30);
+    let w = workload(&trace);
+    let fixed = SimDuration::from_mins(7);
+    let mut policy = CodeCrunch::with_config(CodeCrunchConfig {
+        fixed_keep_alive: Some(fixed),
+        ..CodeCrunchConfig::default()
+    });
+    let _ = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut policy);
+    let plan = policy.planned(FunctionId::new(0)).expect("planned");
+    assert_eq!(plan.keep_alive, fixed);
+}
+
+#[test]
+fn arch_restriction_pins_every_plan() {
+    let trace = periodic_trace(3, 30);
+    let w = workload(&trace);
+    let mut policy = CodeCrunch::with_config(CodeCrunchConfig {
+        arch_policy: ArchPolicy::ArmOnly,
+        ..CodeCrunchConfig::default()
+    });
+    let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut policy);
+    assert!(report.records.iter().all(|r| r.arch == Arch::Arm));
+    assert_eq!(policy.planned(FunctionId::new(0)).unwrap().arch, Arch::Arm);
+}
+
+#[test]
+fn compression_ban_pins_every_plan() {
+    let trace = periodic_trace(3, 30);
+    let w = workload(&trace);
+    let mut policy = CodeCrunch::with_config(CodeCrunchConfig {
+        allow_compression: false,
+        ..CodeCrunchConfig::default()
+    });
+    let report = Simulation::new(
+        ClusterConfig::small(1, 1).with_budget(Cost::from_dollars(1e-4)),
+        &trace,
+        &w,
+    )
+    .run(&mut policy);
+    assert_eq!(report.compression_events, 0);
+    let plan: FnChoice = policy.planned(FunctionId::new(0)).unwrap();
+    assert!(!plan.compress);
+}
+
+#[test]
+fn observed_execution_shift_updates_the_scheduler() {
+    // The scheduler's EWMA should track an unannounced input change; we
+    // verify through the records that later executions reflect the shift
+    // and the run still completes warm.
+    let trace = periodic_trace(2, 60);
+    let w = workload(&trace);
+    let change = cc_trace::Perturbation::InputChange {
+        at: SimTime::ZERO + SimDuration::from_mins(60),
+        factor: 2.0,
+    };
+    let mut policy = CodeCrunch::new();
+    let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w)
+        .with_perturbations(vec![change])
+        .run(&mut policy);
+    let early: Vec<f64> = report.records[..20]
+        .iter()
+        .map(|r| r.execution.as_secs_f64())
+        .collect();
+    let late: Vec<f64> = report.records[40..]
+        .iter()
+        .map(|r| r.execution.as_secs_f64())
+        .collect();
+    let early_mean = early.iter().sum::<f64>() / early.len() as f64;
+    let late_mean = late.iter().sum::<f64>() / late.len() as f64;
+    assert!(
+        (late_mean / early_mean - 2.0).abs() < 0.05,
+        "shift not visible: {early_mean} -> {late_mean}"
+    );
+    // The warm pipeline survives the shift.
+    assert!(report.warm_fraction() > 0.8, "warm {}", report.warm_fraction());
+}

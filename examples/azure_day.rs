@@ -1,0 +1,100 @@
+//! A full policy shoot-out on one simulated "Azure day".
+//!
+//! Generates a day-long synthetic trace, persists it through the Azure-style
+//! combined CSV schema (round-tripping the I/O path a real-dataset user
+//! would take), then runs every policy the paper compares — SitW,
+//! FaasCache, IceBreaker, CodeCrunch, and the Oracle — under the same
+//! keep-alive budget.
+//!
+//! ```sh
+//! cargo run --release --example azure_day
+//! ```
+
+use codecrunch_suite::metrics::P2Quantile;
+use codecrunch_suite::prelude::*;
+use codecrunch_suite::trace::azure;
+
+fn main() {
+    let trace = SyntheticTrace::builder()
+        .functions(120)
+        .duration(SimDuration::from_mins(24 * 60))
+        .seed(2024)
+        .build();
+
+    // Round-trip through the CSV schema, exactly as if the trace had been
+    // loaded from the Azure dataset files.
+    let mut csv = Vec::new();
+    azure::write_combined_csv(&trace, &mut csv).expect("serialize trace");
+    let trace = azure::read_combined_csv(&csv[..]).expect("parse trace");
+    println!(
+        "azure-style trace: {} functions, {} invocations, {:.1} KiB as CSV",
+        trace.functions().len(),
+        trace.invocations().len(),
+        csv.len() as f64 / 1024.0
+    );
+
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    let unlimited = ClusterConfig::paper_cluster();
+
+    // The paper normalizes every policy to SitW's natural spend.
+    let mut sitw_probe = SitW::new();
+    let natural = Simulation::new(unlimited.clone(), &trace, &workload).run(&mut sitw_probe);
+    let minutes = trace.duration().as_mins_f64().max(1.0);
+    let budget = natural.keep_alive_spend.scale(1.0 / minutes);
+    println!(
+        "SitW natural keep-alive spend: ${:.6} (budget ${:.9}/min granted to all policies)\n",
+        natural.keep_alive_spend.as_dollars(),
+        budget.as_dollars()
+    );
+    let config = unlimited.with_budget(budget);
+
+    let mut policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(SitW::new()),
+        Box::new(FaasCache::new()),
+        Box::new(IceBreaker::new()),
+        Box::new(CodeCrunch::new()),
+        Box::new(Oracle::new(&trace)),
+    ];
+
+    println!(
+        "{:<14} {:>12} {:>9} {:>9} {:>9} {:>12}",
+        "policy", "service (s)", "p99 (s)", "warm %", "cold %", "spend ($)"
+    );
+    let mut results = Vec::new();
+    for policy in policies.iter_mut() {
+        let report = Simulation::new(config.clone(), &trace, &workload).run(policy.as_mut());
+        // Stream the per-invocation service times through the P2 estimator
+        // (constant memory even on the --large scale).
+        let mut p99 = P2Quantile::new(0.99);
+        for record in &report.records {
+            p99.observe(record.service_time().as_secs_f64());
+        }
+        println!(
+            "{:<14} {:>12.3} {:>9.2} {:>8.1}% {:>8.1}% {:>12.6}",
+            report.policy,
+            report.mean_service_time_secs(),
+            p99.estimate().unwrap_or(0.0),
+            report.warm_fraction() * 100.0,
+            report.stats.cold_fraction() * 100.0,
+            report.keep_alive_spend.as_dollars(),
+        );
+        results.push(report);
+    }
+
+    let crunch = results
+        .iter()
+        .find(|r| r.policy == "codecrunch")
+        .expect("codecrunch ran");
+    let oracle = results
+        .iter()
+        .find(|r| r.policy == "oracle")
+        .expect("oracle ran");
+    println!(
+        "\nCodeCrunch is within {:.1}% of the Oracle's mean service time.",
+        (crunch.mean_service_time_secs() / oracle.mean_service_time_secs() - 1.0) * 100.0
+    );
+}

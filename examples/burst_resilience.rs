@@ -1,0 +1,92 @@
+//! Robustness to unannounced changes (the paper's Fig. 15 scenario).
+//!
+//! Halfway through the trace, function inputs change (execution times jump
+//! 1.8×) and a 10-minute load burst triples the arrival rate. Neither
+//! CodeCrunch nor the baseline is told; CodeCrunch must detect the shift
+//! through its observed-execution EWMAs and P_est re-estimation.
+//!
+//! ```sh
+//! cargo run --release --example burst_resilience
+//! ```
+
+use codecrunch_suite::prelude::*;
+
+fn main() {
+    let base = SyntheticTrace::builder()
+        .functions(80)
+        .duration(SimDuration::from_mins(300))
+        .seed(15)
+        .build();
+
+    // Inject the burst into the trace; the input change is applied inside
+    // the simulator (it scales execution times from that instant on).
+    let burst_at = SimTime::ZERO + SimDuration::from_mins(180);
+    let burst = Perturbation::Burst {
+        at: burst_at,
+        duration: SimDuration::from_mins(10),
+        factor: 3.0,
+    };
+    let trace = burst.apply_to_trace(base, 7);
+    let input_change = Perturbation::InputChange {
+        at: SimTime::ZERO + SimDuration::from_mins(150),
+        factor: 1.8,
+    };
+
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    let config = ClusterConfig::paper_cluster();
+
+    let mut runs: Vec<(&str, Box<dyn Scheduler>)> = vec![
+        ("sitw", Box::new(SitW::new())),
+        ("codecrunch", Box::new(CodeCrunch::new())),
+        ("oracle", Box::new(Oracle::new(&trace))),
+    ];
+    let mut series = Vec::new();
+    for (name, policy) in runs.iter_mut() {
+        let report = Simulation::new(config.clone(), &trace, &workload)
+            .with_perturbations(vec![input_change])
+            .run(policy.as_mut());
+        series.push((*name, report));
+    }
+
+    // Print a coarse (15-minute buckets) mean-service-time time series.
+    println!("mean service time (s) per 15-minute window; input change at 150min, burst at 180min\n");
+    print!("{:<10}", "window");
+    for (name, _) in &series {
+        print!(" {name:>12}");
+    }
+    println!();
+    let buckets = series[0].1.stats.service_time_series();
+    let windows = buckets.len() / 15 + 1;
+    for w in 0..windows {
+        print!("{:<10}", format!("{}-{}m", w * 15, (w + 1) * 15));
+        for (_, report) in &series {
+            let s = report.stats.service_time_series();
+            let chunk: Vec<f64> = s
+                .iter()
+                .skip(w * 15)
+                .take(15)
+                .copied()
+                .filter(|v| *v > 0.0)
+                .collect();
+            let mean = if chunk.is_empty() {
+                0.0
+            } else {
+                chunk.iter().sum::<f64>() / chunk.len() as f64
+            };
+            print!(" {mean:>12.2}");
+        }
+        println!();
+    }
+
+    for (name, report) in &series {
+        println!(
+            "\n{name}: overall mean service {:.2}s, warm {:.1}%",
+            report.mean_service_time_secs(),
+            report.warm_fraction() * 100.0
+        );
+    }
+}

@@ -1,0 +1,98 @@
+//! Function-image compression study: the real codecs on synthetic
+//! filesystem images, the latency model, and the catalog's favorability
+//! split (the paper's §2 motivation and Fig. 1(c)).
+//!
+//! ```sh
+//! cargo run --release --example compression_study
+//! ```
+
+use std::time::Instant;
+
+use codecrunch_suite::compress::{CodecKind, CrunchDense};
+use codecrunch_suite::prelude::*;
+use codecrunch_suite::workload::FunctionProfile;
+
+fn main() {
+    let model = CompressionModel::paper_default();
+
+    // Part 1: run the real from-scratch codecs over synthetic images.
+    println!("== real codecs over 1 MiB synthetic images ==\n");
+    println!(
+        "{:<8} {:<14} {:>9} {:>14} {:>14}",
+        "class", "codec", "ratio", "compress MB/s", "decode MB/s"
+    );
+    let size = 1 << 20;
+    for class in EntropyClass::ALL {
+        let image = FsImage::generate(99, size, class);
+        for (name, codec) in [
+            ("crunch-fast", &CrunchFast as &dyn Codec),
+            ("crunch-dense", &CrunchDense as &dyn Codec),
+        ] {
+            let started = Instant::now();
+            let frame = codec.compress(image.bytes());
+            let c_secs = started.elapsed().as_secs_f64();
+            let started = Instant::now();
+            let restored = codec.decompress(&frame).expect("roundtrip");
+            let d_secs = started.elapsed().as_secs_f64();
+            assert_eq!(restored, image.bytes());
+            println!(
+                "{:<8} {:<14} {:>8.2}x {:>14.0} {:>14.0}",
+                class,
+                name,
+                size as f64 / frame.len() as f64,
+                size as f64 / c_secs / 1e6,
+                size as f64 / d_secs / 1e6
+            );
+        }
+    }
+
+    // Part 2: the latency model at the paper's image scale.
+    println!("\n== modelled latencies for a 700 MB committed image ==\n");
+    for kind in CodecKind::ALL {
+        for class in EntropyClass::ALL {
+            let p = model.profile(700 << 20, class, kind);
+            println!(
+                "{kind:?}/{class}: ratio {:.2}x, compress {:.2}s, decompress {:.2}s",
+                p.ratio(),
+                p.compress_time.as_secs_f64(),
+                p.decompress_time.as_secs_f64()
+            );
+        }
+    }
+
+    // Part 3: the favorable-case split over the benchmark catalog.
+    let catalog = Catalog::paper_catalog();
+    let stats = catalog.stats();
+    println!("\n== catalog favorability (paper §2) ==\n");
+    println!(
+        "ARM-faster functions:                {:>5.1}%  (paper ≈38%)",
+        stats.arm_faster_fraction * 100.0
+    );
+    println!(
+        "compression-favorable on x86:        {:>5.1}%  (paper ≈42%)",
+        stats.favorable_x86_fraction * 100.0
+    );
+    println!(
+        "compression-favorable on ARM:        {:>5.1}%  (paper ≈46%)",
+        stats.favorable_arm_fraction * 100.0
+    );
+    println!(
+        "ARM-faster ∩ ARM-favorable:          {:>5.1}%  (paper ≈60%)",
+        stats.arm_faster_favorable_fraction * 100.0
+    );
+
+    println!("\n== per-function favorable case (decompression vs cold start, x86) ==\n");
+    let mut profiles: Vec<&FunctionProfile> = catalog.profiles().iter().collect();
+    profiles.sort_by(|a, b| a.name.cmp(b.name));
+    for p in profiles {
+        let dec = p.decompress_time(&model, Arch::X86).as_secs_f64();
+        let cold = p.cold_start(Arch::X86).as_secs_f64();
+        println!(
+            "{:<26} decompress {:>5.2}s vs cold {:>5.2}s -> {}",
+            p.name,
+            dec,
+            cold,
+            if dec < cold { "favorable" } else { "unfavorable" }
+        );
+    }
+}

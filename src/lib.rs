@@ -1,0 +1,73 @@
+//! # CodeCrunch reproduction suite
+//!
+//! A full reproduction of *CodeCrunch: Improving Serverless Performance
+//! via Function Compression and Cost-Aware Warmup Location Optimization*
+//! (Roy, Patel, Garg, Tiwari — ASPLOS 2024), built as a Rust workspace.
+//!
+//! This facade crate re-exports the workspace's public API:
+//!
+//! - [`codecrunch`] — the paper's scheduler (SRE optimization, `P_est`
+//!   estimation, compression + x86/ARM selection under a budget).
+//! - [`sim`] — the discrete-event cluster simulator standing in for the
+//!   paper's 31-node EC2 testbed.
+//! - [`policies`] — the baselines: SitW, FaasCache, IceBreaker, Oracle,
+//!   and the Fig. 8 enhancement wrapper.
+//! - [`trace`] — synthetic Azure-like traces, CSV I/O, perturbations.
+//! - [`workload`] — the SeBS/ServerlessBench-calibrated profile catalog.
+//! - [`compress`] — from-scratch LZ77/Huffman codecs, synthetic images,
+//!   and the compression latency model.
+//! - [`opt`] — discrete optimizers including Sequential Random Embedding.
+//! - [`fft`] — the FFT substrate behind the IceBreaker baseline.
+//! - [`metrics`] / [`types`] — measurement and vocabulary types.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use codecrunch_suite::prelude::*;
+//!
+//! let trace = SyntheticTrace::builder()
+//!     .functions(25)
+//!     .duration(SimDuration::from_mins(90))
+//!     .seed(7)
+//!     .build();
+//! let workload = Workload::from_trace(
+//!     &trace,
+//!     &Catalog::paper_catalog(),
+//!     &CompressionModel::paper_default(),
+//! );
+//! let mut policy = CodeCrunch::new();
+//! let report = Simulation::new(ClusterConfig::paper_cluster(), &trace, &workload)
+//!     .run(&mut policy);
+//! println!(
+//!     "mean service {:.2}s, warm {:.0}%",
+//!     report.mean_service_time_secs(),
+//!     report.warm_fraction() * 100.0
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cc_compress as compress;
+pub use cc_fft as fft;
+pub use cc_metrics as metrics;
+pub use cc_opt as opt;
+pub use cc_policies as policies;
+pub use cc_sim as sim;
+pub use cc_trace as trace;
+pub use cc_types as types;
+pub use cc_workload as workload;
+pub use codecrunch;
+
+/// The most common imports for driving experiments.
+pub mod prelude {
+    pub use cc_compress::{Codec, CompressionModel, CrunchFast, EntropyClass, FsImage};
+    pub use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
+    pub use cc_sim::{
+        ClusterConfig, FixedKeepAlive, RuntimeKind, Scheduler, SimReport, Simulation,
+    };
+    pub use cc_trace::{Perturbation, SyntheticTrace, Trace};
+    pub use cc_types::{Arch, Cost, FunctionId, MemoryMb, SimDuration, SimTime, StartKind};
+    pub use cc_workload::{Catalog, Workload};
+    pub use codecrunch::{ArchPolicy, CodeCrunch, CodeCrunchConfig};
+}

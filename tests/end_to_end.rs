@@ -1,0 +1,159 @@
+//! End-to-end integration tests: full trace → workload → simulator →
+//! policy pipelines across the whole workspace.
+
+use codecrunch_suite::prelude::*;
+
+fn scenario(seed: u64) -> (Trace, Workload) {
+    let trace = SyntheticTrace::builder()
+        .functions(50)
+        .duration(SimDuration::from_mins(150))
+        .seed(seed)
+        .build();
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    (trace, workload)
+}
+
+fn budgeted(trace: &Trace, workload: &Workload, fraction: f64) -> ClusterConfig {
+    let config = ClusterConfig::small(2, 3).with_warm_memory_fraction(0.3);
+    let mut probe = SitW::new();
+    let natural = Simulation::new(config.clone(), trace, workload).run(&mut probe);
+    let minutes = trace.duration().as_mins_f64().max(1.0);
+    config.with_budget(natural.keep_alive_spend.scale(fraction / minutes))
+}
+
+#[test]
+fn every_policy_serves_every_invocation() {
+    let (trace, workload) = scenario(100);
+    let config = budgeted(&trace, &workload, 1.0);
+    let mut policies: Vec<Box<dyn Scheduler>> = vec![
+        Box::new(FixedKeepAlive::ten_minutes()),
+        Box::new(SitW::new()),
+        Box::new(FaasCache::new()),
+        Box::new(IceBreaker::new()),
+        Box::new(CodeCrunch::new()),
+        Box::new(Oracle::new(&trace)),
+        Box::new(Enhanced::new(SitW::new())),
+    ];
+    for policy in policies.iter_mut() {
+        let report = Simulation::new(config.clone(), &trace, &workload).run(policy.as_mut());
+        assert_eq!(
+            report.records.len(),
+            trace.invocations().len(),
+            "{} lost invocations",
+            report.policy
+        );
+        // Each record's service time includes its execution.
+        for record in &report.records {
+            assert!(record.service_time() >= record.execution);
+        }
+    }
+}
+
+#[test]
+fn oracle_is_the_lower_bound() {
+    let (trace, workload) = scenario(101);
+    let config = budgeted(&trace, &workload, 1.0);
+    let mut oracle = Oracle::new(&trace);
+    let r_oracle = Simulation::new(config.clone(), &trace, &workload).run(&mut oracle);
+    for policy in [
+        Box::new(SitW::new()) as Box<dyn Scheduler>,
+        Box::new(FixedKeepAlive::ten_minutes()),
+        Box::new(CodeCrunch::new()),
+    ] {
+        let mut policy = policy;
+        let report = Simulation::new(config.clone(), &trace, &workload).run(policy.as_mut());
+        assert!(
+            report.mean_service_time_secs() >= r_oracle.mean_service_time_secs() * 0.97,
+            "{} ({:.3}s) undercut the oracle ({:.3}s)",
+            report.policy,
+            report.mean_service_time_secs(),
+            r_oracle.mean_service_time_secs()
+        );
+    }
+}
+
+#[test]
+fn codecrunch_beats_the_baseline_under_pressure() {
+    let (trace, workload) = scenario(102);
+    let config = budgeted(&trace, &workload, 0.5);
+    let mut sitw = SitW::new();
+    let mut crunch = CodeCrunch::new();
+    let r_sitw = Simulation::new(config.clone(), &trace, &workload).run(&mut sitw);
+    let r_crunch = Simulation::new(config, &trace, &workload).run(&mut crunch);
+    assert!(
+        r_crunch.mean_service_time_secs() <= r_sitw.mean_service_time_secs() * 1.02,
+        "codecrunch {:.3}s vs sitw {:.3}s",
+        r_crunch.mean_service_time_secs(),
+        r_sitw.mean_service_time_secs()
+    );
+    assert!(
+        r_crunch.warm_fraction() >= r_sitw.warm_fraction() - 0.02,
+        "codecrunch warm {:.3} vs sitw {:.3}",
+        r_crunch.warm_fraction(),
+        r_sitw.warm_fraction()
+    );
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let (trace, workload) = scenario(103);
+        let config = budgeted(&trace, &workload, 0.7);
+        let mut crunch = CodeCrunch::new();
+        let report = Simulation::new(config, &trace, &workload).run(&mut crunch);
+        (
+            report.records.clone(),
+            report.keep_alive_spend,
+            report.compression_events,
+        )
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn perturbed_runs_complete_and_adapt() {
+    let (trace, _workload) = scenario(104);
+    let burst = Perturbation::Burst {
+        at: SimTime::ZERO + SimDuration::from_mins(60),
+        duration: SimDuration::from_mins(10),
+        factor: 2.5,
+    };
+    let trace = burst.apply_to_trace(trace, 1);
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    let config = ClusterConfig::small(2, 3);
+    let mut crunch = CodeCrunch::new();
+    let report = Simulation::new(config, &trace, &workload)
+        .with_perturbations(vec![Perturbation::InputChange {
+            at: SimTime::ZERO + SimDuration::from_mins(30),
+            factor: 1.5,
+        }])
+        .run(&mut crunch);
+    assert_eq!(report.records.len(), trace.invocations().len());
+}
+
+#[test]
+fn facade_prelude_covers_the_workflow() {
+    // The doc-advertised prelude path compiles and runs end to end.
+    let trace = SyntheticTrace::builder()
+        .functions(10)
+        .duration(SimDuration::from_mins(20))
+        .seed(9)
+        .build();
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    let mut policy = CodeCrunch::new();
+    let report =
+        Simulation::new(ClusterConfig::paper_cluster(), &trace, &workload).run(&mut policy);
+    assert!(report.mean_service_time_secs() > 0.0);
+}
