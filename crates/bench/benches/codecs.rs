@@ -20,11 +20,9 @@ fn bench_compress(c: &mut Criterion) {
             ("fast", &CrunchFast as &dyn Codec),
             ("dense", &CrunchDense as &dyn Codec),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(name, class),
-                image.bytes(),
-                |b, data| b.iter(|| codec.compress(data)),
-            );
+            group.bench_with_input(BenchmarkId::new(name, class), image.bytes(), |b, data| {
+                b.iter(|| codec.compress(data))
+            });
         }
     }
     group.finish();

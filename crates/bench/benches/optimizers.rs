@@ -92,7 +92,13 @@ fn bench_optimizers(c: &mut Criterion) {
             b.iter(|| GeneticAlgorithm::default().optimize(&bowls, start(n)))
         });
         group.bench_with_input(BenchmarkId::new("random", n), &n, |b, &n| {
-            b.iter(|| RandomSearch { samples: 200, seed: 1 }.optimize(&bowls, start(n)))
+            b.iter(|| {
+                RandomSearch {
+                    samples: 200,
+                    seed: 1,
+                }
+                .optimize(&bowls, start(n))
+            })
         });
     }
     group.finish();

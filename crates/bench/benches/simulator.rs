@@ -62,5 +62,40 @@ fn bench_policies(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_policies);
+/// The 10 000-function stress replay: the scenario the hot-path indexing
+/// work is measured against. One sample is one full trace replay, so use
+/// few samples and throughput in invocations.
+///
+/// The group pairs the cheapest policy (fixed keep-alive — pure engine
+/// cost, where the indexing shows up undiluted) with the most expensive
+/// one (CodeCrunch, whose per-interval optimizer is policy compute shared
+/// by any engine and bounds its end-to-end ratio); `simbench` records all
+/// six policies at this scale in `BENCH_sim.json`.
+fn bench_large(c: &mut Criterion) {
+    let scenario = BenchScenario::large();
+    let invocations = scenario.trace.invocations().len() as u64;
+    let mut group = c.benchmark_group("simulate_10k");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(200));
+    group.measurement_time(Duration::from_secs(10));
+    group.throughput(criterion::Throughput::Elements(invocations));
+
+    group.bench_function("fixed_keepalive", |b| {
+        b.iter(|| {
+            let mut policy = FixedKeepAlive::ten_minutes();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.bench_function("codecrunch", |b| {
+        b.iter(|| {
+            let mut policy = CodeCrunch::new();
+            Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+                .run(&mut policy)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_large);
 criterion_main!(benches);

@@ -1,0 +1,128 @@
+//! Emits `BENCH_sim.json`: simulator throughput (invocations/second) per
+//! policy on the 10 000-function stress scenario.
+//!
+//! Usage (from the repo root):
+//!
+//! ```text
+//! cargo run --release -p bench --bin simbench            # writes BENCH_sim.json
+//! cargo run --release -p bench --bin simbench -- --runs 5 --out BENCH_sim.json
+//! ```
+//!
+//! Each policy is replayed `--runs` times (default 3) after one warm-up
+//! replay; the reported figure is the best run, which is the least noisy
+//! estimator on a shared machine.
+
+use std::time::Instant;
+
+use bench::BenchScenario;
+use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
+use cc_sim::{FixedKeepAlive, Scheduler, Simulation};
+use codecrunch::CodeCrunch;
+
+const USAGE: &str = "usage: simbench [--runs N] [--out PATH]";
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut runs: u32 = 3;
+    let mut out = String::from("BENCH_sim.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--runs" => {
+                runs = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => n,
+                    _ => usage_error("--runs takes a positive integer"),
+                };
+            }
+            "--out" => {
+                out = match args.next() {
+                    Some(path) => path,
+                    None => usage_error("--out takes a path"),
+                };
+            }
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let scenario = BenchScenario::large();
+    let invocations = scenario.trace.invocations().len() as u64;
+    eprintln!(
+        "scenario: {} functions, {invocations} invocations, {} nodes",
+        scenario.trace.functions().len(),
+        scenario.config.total_nodes(),
+    );
+
+    let oracle_trace = scenario.trace.clone();
+    type PolicyFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
+    let policies: Vec<(&str, PolicyFactory)> = vec![
+        (
+            "fixed_keepalive",
+            Box::new(|| Box::new(FixedKeepAlive::ten_minutes()) as Box<dyn Scheduler>),
+        ),
+        (
+            "sitw",
+            Box::new(|| Box::new(SitW::new()) as Box<dyn Scheduler>),
+        ),
+        (
+            "faascache",
+            Box::new(|| Box::new(FaasCache::new()) as Box<dyn Scheduler>),
+        ),
+        (
+            "icebreaker",
+            Box::new(|| Box::new(IceBreaker::new()) as Box<dyn Scheduler>),
+        ),
+        (
+            "oracle",
+            Box::new(move || Box::new(Oracle::new(&oracle_trace)) as Box<dyn Scheduler>),
+        ),
+        (
+            "codecrunch",
+            Box::new(|| Box::new(CodeCrunch::new()) as Box<dyn Scheduler>),
+        ),
+    ];
+
+    let mut entries = Vec::new();
+    for (name, make) in &policies {
+        // Warm-up replay (page in the trace, fault in allocator arenas).
+        run_once(&scenario, make().as_mut());
+        let mut best = f64::INFINITY;
+        for _ in 0..runs {
+            let started = Instant::now();
+            run_once(&scenario, make().as_mut());
+            best = best.min(started.elapsed().as_secs_f64());
+        }
+        let throughput = invocations as f64 / best;
+        eprintln!("{name:>16}: {best:7.3} s  ({throughput:11.0} inv/s)");
+        entries.push(serde_json::json!({
+            "policy": *name,
+            "seconds_per_replay": best,
+            "invocations_per_sec": throughput,
+        }));
+    }
+
+    let doc = serde_json::json!({
+        "benchmark": "simulate_10k",
+        "functions": scenario.trace.functions().len() as u64,
+        "invocations": invocations,
+        "nodes": scenario.config.total_nodes() as u64,
+        "runs_per_policy": runs as u64,
+        "results": entries,
+    });
+    let body = serde_json::to_string_pretty(&doc).expect("serialize");
+    std::fs::write(&out, body + "\n").expect("write output file");
+    eprintln!("wrote {out}");
+}
+
+fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler) {
+    let report =
+        Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload).run(policy);
+    assert_eq!(
+        report.records.len() as u64,
+        scenario.trace.invocations().len() as u64
+    );
+}

@@ -42,6 +42,33 @@ impl BenchScenario {
     }
 }
 
+impl BenchScenario {
+    /// The hot-path stress scenario: 10 000 functions on a 124-node
+    /// cluster (the paper's 13+18 topology scaled 4×) with a warm-memory
+    /// cap tight enough that demand always exceeds it, so the pool holds
+    /// thousands of instances and eviction (`make_room`) fires constantly.
+    /// This is the scale at which per-arrival sorts, per-cold-start node
+    /// sorts, and cluster-wide eviction scans dominate; the indexing
+    /// refactor targets exactly this.
+    pub fn large() -> BenchScenario {
+        let trace = SyntheticTrace::builder()
+            .functions(10_000)
+            .duration(SimDuration::from_mins(20))
+            .seed(12)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        BenchScenario {
+            trace,
+            workload,
+            config: ClusterConfig::small(52, 72).with_warm_memory_fraction(0.4),
+        }
+    }
+}
+
 impl Default for BenchScenario {
     fn default() -> Self {
         BenchScenario::new()

@@ -63,7 +63,9 @@ impl Codec for CrunchDense {
     fn decompress(&self, frame: &[u8]) -> Result<Vec<u8>, DecodeError> {
         if frame.len() < MAGIC.len() || &frame[..MAGIC.len()] != MAGIC {
             return Err(if frame.len() < MAGIC.len() {
-                DecodeError::Truncated { offset: frame.len() }
+                DecodeError::Truncated {
+                    offset: frame.len(),
+                }
             } else {
                 DecodeError::BadHeader
             });
@@ -73,9 +75,9 @@ impl Codec for CrunchDense {
         let inner_len = usize::try_from(inner_len).map_err(|_| DecodeError::BadHeader)?;
         pos += consumed;
 
-        let lengths: &[u8] = frame
-            .get(pos..pos + 256)
-            .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+        let lengths: &[u8] = frame.get(pos..pos + 256).ok_or(DecodeError::Truncated {
+            offset: frame.len(),
+        })?;
         let lengths: &[u8; 256] = lengths.try_into().expect("slice is 256 bytes");
         pos += 256;
         let dec = HuffmanDecoder::from_code_lengths(lengths)?;
@@ -131,7 +133,9 @@ mod tests {
         let frame = CrunchDense.compress(&b"hello dense world ".repeat(30));
         for cut in [1, 4, 6, 100, frame.len() - 1] {
             assert!(
-                CrunchDense.decompress(&frame[..cut.min(frame.len() - 1)]).is_err(),
+                CrunchDense
+                    .decompress(&frame[..cut.min(frame.len() - 1)])
+                    .is_err(),
                 "cut at {cut} should fail"
             );
         }

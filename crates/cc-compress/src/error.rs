@@ -58,10 +58,9 @@ impl fmt::Display for DecodeError {
                 "match offset {offset} exceeds {produced} bytes produced so far"
             ),
             DecodeError::BadHeader => write!(f, "malformed frame header"),
-            DecodeError::LengthMismatch { expected, actual } => write!(
-                f,
-                "declared length {expected} but decoded {actual} bytes"
-            ),
+            DecodeError::LengthMismatch { expected, actual } => {
+                write!(f, "declared length {expected} but decoded {actual} bytes")
+            }
             DecodeError::BadCodeTable => write!(f, "invalid entropy code table"),
             DecodeError::ChecksumMismatch { expected, actual } => write!(
                 f,

@@ -105,11 +105,7 @@ fn push_extended_len(out: &mut Vec<u8>, mut value: usize) {
 }
 
 /// Reads a nibble-extended length given the 4-bit `nibble` already parsed.
-fn read_extended_len(
-    input: &[u8],
-    pos: &mut usize,
-    nibble: usize,
-) -> Result<usize, DecodeError> {
+fn read_extended_len(input: &[u8], pos: &mut usize, nibble: usize) -> Result<usize, DecodeError> {
     if nibble < 15 {
         return Ok(nibble);
     }
@@ -207,9 +203,7 @@ impl Codec for CrunchFast {
             };
             out.push(((lit_nibble << 4) | match_code) as u8);
             push_extended_len(&mut out, seq.literal_len);
-            out.extend_from_slice(
-                &input[seq.literal_start..seq.literal_start + seq.literal_len],
-            );
+            out.extend_from_slice(&input[seq.literal_start..seq.literal_start + seq.literal_len]);
             if seq.offset != 0 {
                 out.extend_from_slice(&(seq.offset as u16).to_le_bytes());
                 push_extended_len(&mut out, seq.match_len - MIN_MATCH);
@@ -221,7 +215,9 @@ impl Codec for CrunchFast {
     fn decompress(&self, frame: &[u8]) -> Result<Vec<u8>, DecodeError> {
         if frame.len() < MAGIC.len() || &frame[..MAGIC.len()] != MAGIC {
             return Err(if frame.len() < MAGIC.len() {
-                DecodeError::Truncated { offset: frame.len() }
+                DecodeError::Truncated {
+                    offset: frame.len(),
+                }
             } else {
                 DecodeError::BadHeader
             });
@@ -230,9 +226,9 @@ impl Codec for CrunchFast {
         let (expected, consumed) = read_varint(frame, pos)?;
         let expected = usize::try_from(expected).map_err(|_| DecodeError::BadHeader)?;
         pos += consumed;
-        let digest_bytes = frame
-            .get(pos..pos + 8)
-            .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+        let digest_bytes = frame.get(pos..pos + 8).ok_or(DecodeError::Truncated {
+            offset: frame.len(),
+        })?;
         let declared_digest = u64::from_le_bytes(digest_bytes.try_into().expect("8 bytes"));
         pos += 8;
 
@@ -248,15 +244,17 @@ impl Codec for CrunchFast {
             let lit_len = read_extended_len(frame, &mut pos, (token >> 4) as usize)?;
             let lits = frame
                 .get(pos..pos + lit_len)
-                .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+                .ok_or(DecodeError::Truncated {
+                    offset: frame.len(),
+                })?;
             out.extend_from_slice(lits);
             pos += lit_len;
             if out.len() >= expected {
                 break;
             }
-            let off_bytes = frame
-                .get(pos..pos + 2)
-                .ok_or(DecodeError::Truncated { offset: frame.len() })?;
+            let off_bytes = frame.get(pos..pos + 2).ok_or(DecodeError::Truncated {
+                offset: frame.len(),
+            })?;
             let offset = u16::from_le_bytes([off_bytes[0], off_bytes[1]]) as usize;
             pos += 2;
             let match_len =
@@ -285,11 +283,7 @@ impl Codec for CrunchFast {
 }
 
 /// Copies an overlapping LZ77 match (`offset` may be less than `len`).
-pub(crate) fn copy_match(
-    out: &mut Vec<u8>,
-    offset: usize,
-    len: usize,
-) -> Result<(), DecodeError> {
+pub(crate) fn copy_match(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecodeError> {
     if offset == 0 || offset > out.len() {
         return Err(DecodeError::BadMatchOffset {
             offset,
@@ -401,8 +395,8 @@ mod tests {
         frame.extend_from_slice(MAGIC);
         write_varint(&mut frame, 10);
         frame.extend_from_slice(&0u64.to_le_bytes()); // placeholder digest
-        // Token: 1 literal, match nibble 0 (match len 4), then offset 9 —
-        // but only 1 byte has been produced.
+                                                      // Token: 1 literal, match nibble 0 (match len 4), then offset 9 —
+                                                      // but only 1 byte has been produced.
         frame.push(0x10);
         frame.push(b'a');
         frame.extend_from_slice(&9u16.to_le_bytes());

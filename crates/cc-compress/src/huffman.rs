@@ -180,8 +180,8 @@ impl HuffmanDecoder {
         }
         // Kraft: Σ 2^(MAX-len) ≤ 2^MAX.
         let mut kraft: u64 = 0;
-        for len in 1..=MAX_CODE_LEN as usize {
-            kraft += u64::from(count[len]) << (MAX_CODE_LEN as usize - len);
+        for (len, &n) in count.iter().enumerate().skip(1) {
+            kraft += u64::from(n) << (MAX_CODE_LEN as usize - len);
         }
         if kraft > 1u64 << MAX_CODE_LEN {
             return Err(DecodeError::BadCodeTable);
@@ -253,7 +253,9 @@ mod tests {
         let bits = w.finish();
         let dec = HuffmanDecoder::from_code_lengths(enc.code_lengths()).unwrap();
         let mut r = BitReader::new(&bits);
-        (0..data.len()).map(|_| dec.decode(&mut r).unwrap()).collect()
+        (0..data.len())
+            .map(|_| dec.decode(&mut r).unwrap())
+            .collect()
     }
 
     #[test]
@@ -351,7 +353,10 @@ mod tests {
         let enc = HuffmanEncoder::from_frequencies(&freqs_of(data));
         let dec = HuffmanDecoder::from_code_lengths(enc.code_lengths()).unwrap();
         let mut r = BitReader::new(&[]);
-        assert!(matches!(dec.decode(&mut r), Err(DecodeError::Truncated { .. })));
+        assert!(matches!(
+            dec.decode(&mut r),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     #[test]

@@ -9,8 +9,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// How compressible a synthetic image is.
 ///
 /// # Example
@@ -24,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// let r_dense = CrunchFast.compress(dense.bytes()).len() as f64 / dense.len() as f64;
 /// assert!(r_text < r_dense, "text must compress better than dense");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum EntropyClass {
     /// Source code, configuration, interpreted runtimes — highly redundant.
     Text,
@@ -91,12 +89,55 @@ impl XorShift {
 
 /// Vocabulary used to synthesize "source code" content.
 const TOKENS: &[&str] = &[
-    "import", "def", "return", "lambda", "self", "None", "True", "False",
-    "handler", "event", "context", "response", "request", "payload",
-    "json.dumps", "json.loads", "os.environ", "boto3.client", "logger.info",
-    "    ", "\n", "(", ")", ":", "=", "==", "{", "}", "[", "]", ",", ".",
-    "for", "in", "if", "else", "try", "except", "with", "open", "read",
-    "#", "\"\"\"", "s3", "bucket", "key", "value", "config", "runtime",
+    "import",
+    "def",
+    "return",
+    "lambda",
+    "self",
+    "None",
+    "True",
+    "False",
+    "handler",
+    "event",
+    "context",
+    "response",
+    "request",
+    "payload",
+    "json.dumps",
+    "json.loads",
+    "os.environ",
+    "boto3.client",
+    "logger.info",
+    "    ",
+    "\n",
+    "(",
+    ")",
+    ":",
+    "=",
+    "==",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+    ".",
+    "for",
+    "in",
+    "if",
+    "else",
+    "try",
+    "except",
+    "with",
+    "open",
+    "read",
+    "#",
+    "\"\"\"",
+    "s3",
+    "bucket",
+    "key",
+    "value",
+    "config",
+    "runtime",
 ];
 
 impl FsImage {
@@ -232,7 +273,10 @@ mod tests {
         assert!(text < mixed, "text {text} !< mixed {mixed}");
         assert!(mixed < dense, "mixed {mixed} !< dense {dense}");
         // Text-like images reach the paper's ≈2.5x headline.
-        assert!(text < 0.4, "text ratio {text} should exceed 2.5x compression");
+        assert!(
+            text < 0.4,
+            "text ratio {text} should exceed 2.5x compression"
+        );
         // Dense images stay near incompressible.
         assert!(dense > 0.95, "dense ratio {dense} should be ≈1");
     }

@@ -10,8 +10,6 @@
 //! decompression 0.37 s (≈35% of the mean cold start), mean compression
 //! 1.57 s.
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::SimDuration;
 
 use crate::EntropyClass;
@@ -20,7 +18,7 @@ use crate::EntropyClass;
 ///
 /// `Fast` corresponds to the paper's choice (`lz4`), `Dense` to the rejected
 /// high-ratio alternative (`xz`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum CodecKind {
     /// LZ4-class: moderate ratio, very fast decompression.
     Fast,
@@ -34,7 +32,7 @@ impl CodecKind {
 }
 
 /// The modelled outcome of compressing one function image.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CompressionProfile {
     /// Original image size in bytes.
     pub original_bytes: u64,
@@ -70,7 +68,7 @@ impl CompressionProfile {
 /// assert!(p.ratio() > 2.0);
 /// assert!(p.decompress_time < p.compress_time);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CompressionModel {
     /// `compressed/original` size fraction, indexed `[codec][class]`.
     size_fraction: [[f64; 3]; 2],
@@ -276,6 +274,9 @@ mod tests {
         assert!(dense[0] < fast[0]);
         let model =
             CompressionModel::paper_default().with_measured_fractions(CodecKind::Fast, fast);
-        assert_eq!(model.size_fraction(CodecKind::Fast, EntropyClass::Text), fast[0]);
+        assert_eq!(
+            model.size_fraction(CodecKind::Fast, EntropyClass::Text),
+            fast[0]
+        );
     }
 }

@@ -78,7 +78,11 @@ fn main() -> ExitCode {
         let started = std::time::Instant::now();
         let output = experiment.run(&scale);
         output.print();
-        eprintln!("[{} finished in {:.1}s]\n", output.id, started.elapsed().as_secs_f64());
+        eprintln!(
+            "[{} finished in {:.1}s]\n",
+            output.id,
+            started.elapsed().as_secs_f64()
+        );
         if let Some(dir) = &json_dir {
             let path = dir.join(format!("{}.json", output.id));
             match serde_json::to_vec_pretty(&output) {

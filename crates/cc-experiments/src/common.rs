@@ -1,6 +1,4 @@
 //! Shared scenario construction and reporting helpers.
-
-use serde::Serialize;
 use serde_json::Value;
 
 use cc_compress::CompressionModel;
@@ -130,7 +128,7 @@ pub fn run_policy(
 
 /// The output of one experiment: human-readable lines plus the raw data
 /// (the "rows/series the paper reports") as JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ExperimentOutput {
     /// Experiment id.
     pub id: String,
@@ -160,12 +158,19 @@ impl ExperimentOutput {
     }
 }
 
+impl serde_json::ToJson for ExperimentOutput {
+    fn to_json(&self) -> Value {
+        serde_json::json!({
+            "id": self.id.as_str(),
+            "lines": self.lines.clone(),
+            "data": self.data.clone(),
+        })
+    }
+}
+
 /// Formats a compact numeric series for terminal output.
 pub fn fmt_series(values: &[f64], precision: usize) -> String {
-    let rendered: Vec<String> = values
-        .iter()
-        .map(|v| format!("{v:.precision$}"))
-        .collect();
+    let rendered: Vec<String> = values.iter().map(|v| format!("{v:.precision$}")).collect();
     rendered.join(", ")
 }
 
@@ -173,7 +178,10 @@ pub fn fmt_series(values: &[f64], precision: usize) -> String {
 /// own min-max range. Empty input yields an empty string; a constant
 /// series renders at the lowest level; non-finite values render as a dot.
 pub fn sparkline(values: &[f64]) -> String {
-    const BARS: [char; 8] = ['\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}', '\u{2588}'];
+    const BARS: [char; 8] = [
+        '\u{2581}', '\u{2582}', '\u{2583}', '\u{2584}', '\u{2585}', '\u{2586}', '\u{2587}',
+        '\u{2588}',
+    ];
     if values.is_empty() {
         return String::new();
     }

@@ -10,7 +10,10 @@ use serde_json::json;
 use cc_policies::SitW;
 use codecrunch::CodeCrunch;
 
-use crate::common::{downsample, fmt_series, run_policy, sitw_budget_per_interval, sparkline, ExperimentOutput, Scale};
+use crate::common::{
+    downsample, fmt_series, run_policy, sitw_budget_per_interval, sparkline, ExperimentOutput,
+    Scale,
+};
 use crate::Experiment;
 
 /// Fig. 10 experiment.

@@ -8,7 +8,10 @@ use serde_json::json;
 
 use codecrunch::{CodeCrunch, CodeCrunchConfig};
 
-use crate::common::{downsample, fmt_series, run_policy, sitw_budget_per_interval, sparkline, ExperimentOutput, Scale};
+use crate::common::{
+    downsample, fmt_series, run_policy, sitw_budget_per_interval, sparkline, ExperimentOutput,
+    Scale,
+};
 use crate::Experiment;
 
 /// Fig. 11 experiment.
@@ -67,10 +70,7 @@ impl Experiment for Fig11 {
                  ({} compressions total)",
                 r_with.compression_events
             ),
-            format!(
-                "load:       {}",
-                fmt_series(&downsample(&load, chunk), 0)
-            ),
+            format!("load:       {}", fmt_series(&downsample(&load, chunk), 0)),
             format!(
                 "compressed: {}",
                 fmt_series(&downsample(&compressed, chunk), 1)
@@ -83,8 +83,14 @@ impl Experiment for Fig11 {
                 "warm% w/o:  {}",
                 fmt_series(&downsample(&warm_without, chunk), 2)
             ),
-            format!("load shape:        {}", sparkline(&downsample(&load, chunk))),
-            format!("compression shape: {}", sparkline(&downsample(&compressed, chunk))),
+            format!(
+                "load shape:        {}",
+                sparkline(&downsample(&load, chunk))
+            ),
+            format!(
+                "compression shape: {}",
+                sparkline(&downsample(&compressed, chunk))
+            ),
         ];
         let data = json!({
             "load_per_minute": load,

@@ -111,9 +111,7 @@ mod tests {
         let out = Fig12.run(&Scale::smoke());
         let rows = out.data["rows"].as_array().unwrap();
         let get = |name: &str| {
-            rows.iter()
-                .find(|r| r["variant"] == name)
-                .unwrap()["mean_service_secs"]
+            rows.iter().find(|r| r["variant"] == name).unwrap()["mean_service_secs"]
                 .as_f64()
                 .unwrap()
         };

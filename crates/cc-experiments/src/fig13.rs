@@ -63,9 +63,7 @@ impl Experiment for Fig13 {
                 "spend_dollars": report.keep_alive_spend.as_dollars(),
             }));
         }
-        lines.push(
-            "(paper: ~SitW-parity at 0.5x, +5% at 0.25x of SitW's expenditure)".to_owned(),
-        );
+        lines.push("(paper: ~SitW-parity at 0.5x, +5% at 0.25x of SitW's expenditure)".to_owned());
 
         ExperimentOutput::new(
             self.id(),

@@ -29,9 +29,7 @@ impl Experiment for Fig14 {
         let workload = scale.workload(&trace);
         let total = scale.x86_nodes + scale.arm_nodes;
         // Sweep the x86 share while holding the total node count.
-        let mixes: Vec<(u32, u32)> = (1..total)
-            .map(|x86| (x86, total - x86))
-            .collect();
+        let mixes: Vec<(u32, u32)> = (1..total).map(|x86| (x86, total - x86)).collect();
 
         let mut lines = vec![format!(
             "{:<10} {:>10} {:>12} {:>10} {:>18}",
@@ -53,8 +51,7 @@ impl Experiment for Fig14 {
             let r_oracle = run_policy(&mut oracle, &config, &trace, &workload);
 
             let gap_sitw = r_sitw.mean_service_time_secs() - r_oracle.mean_service_time_secs();
-            let gap_crunch =
-                r_crunch.mean_service_time_secs() - r_oracle.mean_service_time_secs();
+            let gap_crunch = r_crunch.mean_service_time_secs() - r_oracle.mean_service_time_secs();
             let closeness = if gap_sitw > 1e-9 {
                 1.0 - gap_crunch / gap_sitw
             } else {
@@ -78,8 +75,7 @@ impl Experiment for Fig14 {
             }));
         }
         lines.push(
-            "(paper: CodeCrunch on average 35% closer to Oracle than SitW across mixes)"
-                .to_owned(),
+            "(paper: CodeCrunch on average 35% closer to Oracle than SitW across mixes)".to_owned(),
         );
 
         ExperimentOutput::new(self.id(), lines, json!({ "rows": rows }))

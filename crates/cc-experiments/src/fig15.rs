@@ -84,20 +84,16 @@ impl Experiment for Fig15 {
 
         // Oracle-tracking metric: mean absolute gap to the oracle curve
         // after the perturbations begin.
-        let oracle_curve: Vec<f64> = series
-            .iter()
-            .find(|s| s["policy"] == "oracle")
-            .unwrap()["service_per_minute"]
+        let oracle_curve: Vec<f64> = series.iter().find(|s| s["policy"] == "oracle").unwrap()
+            ["service_per_minute"]
             .as_array()
             .unwrap()
             .iter()
             .map(|v| v.as_f64().unwrap())
             .collect();
         let tracking_gap = |name: &str| -> f64 {
-            let curve: Vec<f64> = series
-                .iter()
-                .find(|s| s["policy"] == name)
-                .unwrap()["service_per_minute"]
+            let curve: Vec<f64> = series.iter().find(|s| s["policy"] == name).unwrap()
+                ["service_per_minute"]
                 .as_array()
                 .unwrap()
                 .iter()

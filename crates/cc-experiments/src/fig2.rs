@@ -28,9 +28,7 @@ impl Experiment for Fig2 {
         let ratios: Vec<f64> = catalog
             .profiles()
             .iter()
-            .map(|p| {
-                p.exec_time(Arch::Arm).as_secs_f64() / p.exec_time(Arch::X86).as_secs_f64()
-            })
+            .map(|p| p.exec_time(Arch::Arm).as_secs_f64() / p.exec_time(Arch::X86).as_secs_f64())
             .collect();
         let cdf = Cdf::from_samples(ratios.clone());
         let arm_faster = cdf.fraction_at_or_below(1.0 - 1e-12);

@@ -9,7 +9,8 @@
 use serde_json::json;
 
 use cc_opt::{
-    brute_force, search_space_size, CoordinateDescent, GeneticAlgorithm, NewtonDescent, RandomSearch, Sre,
+    brute_force, search_space_size, CoordinateDescent, GeneticAlgorithm, NewtonDescent,
+    RandomSearch, Sre,
 };
 use cc_types::{Arch, CostRate, FnChoice, FunctionId, SimDuration};
 use codecrunch::{ArchPolicy, ExecObserver, IntervalObjective, PestEstimator};
@@ -89,8 +90,10 @@ impl Experiment for Fig3 {
             .iter()
             .map(|&f| workload.spec(f).memory.as_mb() as u64)
             .sum();
-        let budget = CostRate::paper_rate(Arch::Arm)
-            .keep_alive_cost(cc_types::MemoryMb::new(mem_sum as u32), SimDuration::from_mins(12));
+        let budget = CostRate::paper_rate(Arch::Arm).keep_alive_cost(
+            cc_types::MemoryMb::new(mem_sum as u32),
+            SimDuration::from_mins(12),
+        );
         let objective = IntervalObjective {
             functions: &functions,
             workload: &workload,
@@ -116,7 +119,11 @@ impl Experiment for Fig3 {
         let cd = CoordinateDescent::default().optimize(&objective, start.clone());
         let newton = NewtonDescent::default().optimize(&objective, start.clone());
         let ga = GeneticAlgorithm::default().optimize(&objective, start.clone());
-        let random = RandomSearch { samples: 1000, seed: 3 }.optimize(&objective, start.clone());
+        let random = RandomSearch {
+            samples: 1000,
+            seed: 3,
+        }
+        .optimize(&objective, start.clone());
         let mut counts_sre = vec![0u32; functions.len()];
         let sre = Sre::scaled_to(functions.len()).optimize(&objective, start, &mut counts_sre);
 
@@ -181,7 +188,10 @@ mod tests {
         let out = Fig3.run(&Scale::smoke());
         let series = out.data["space_log10_per_minute"].as_array().unwrap();
         assert!(!series.is_empty());
-        let max = series.iter().map(|v| v.as_f64().unwrap()).fold(0.0, f64::max);
+        let max = series
+            .iter()
+            .map(|v| v.as_f64().unwrap())
+            .fold(0.0, f64::max);
         assert!(max > 2.0, "space should be large, got 10^{max}");
     }
 }

@@ -145,9 +145,7 @@ mod tests {
         let out = Fig7.run(&Scale::smoke());
         let rows = out.data["rows"].as_array().unwrap();
         let get = |name: &str| {
-            rows.iter()
-                .find(|r| r["policy"] == name)
-                .unwrap()["mean_service_secs"]
+            rows.iter().find(|r| r["policy"] == name).unwrap()["mean_service_secs"]
                 .as_f64()
                 .unwrap()
         };

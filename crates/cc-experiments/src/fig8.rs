@@ -34,7 +34,8 @@ impl Experiment for Fig8 {
         let budget = sitw_budget_per_interval(&trace, &workload, &unlimited);
         let config = unlimited.with_budget(budget);
 
-        let mut pairs: Vec<(&str, Box<dyn Scheduler>, Box<dyn Scheduler>)> = vec![
+        type PolicyPair<'a> = (&'a str, Box<dyn Scheduler>, Box<dyn Scheduler>);
+        let mut pairs: Vec<PolicyPair<'_>> = vec![
             (
                 "sitw",
                 Box::new(SitW::new()),

@@ -109,9 +109,7 @@ impl Experiment for Fig9 {
                 .collect::<Vec<_>>()
                 .join(" ")
         ));
-        lines.push(
-            "(paper @20% SLA: CodeCrunch 1.8% violations, all others >19%)".to_owned(),
-        );
+        lines.push("(paper @20% SLA: CodeCrunch 1.8% violations, all others >19%)".to_owned());
         rows.push(json!({"policy": "codecrunch-sla", "violations": fractions}));
 
         ExperimentOutput::new(self.id(), lines, json!({"slas": slas, "rows": rows}))
@@ -127,9 +125,7 @@ mod tests {
         let out = Fig9.run(&Scale::smoke());
         let rows = out.data["rows"].as_array().unwrap();
         let at_20 = |name: &str| {
-            rows.iter()
-                .find(|r| r["policy"] == name)
-                .unwrap()["violations"][2]
+            rows.iter().find(|r| r["policy"] == name).unwrap()["violations"][2]
                 .as_f64()
                 .unwrap()
         };

@@ -20,17 +20,17 @@
 
 pub mod common;
 mod fig1;
-mod fig2;
-mod fig3;
-mod fig7;
-mod fig8;
-mod fig9;
 mod fig10;
 mod fig11;
 mod fig12;
 mod fig13;
 mod fig14;
 mod fig15;
+mod fig2;
+mod fig3;
+mod fig7;
+mod fig8;
+mod fig9;
 mod tab_codec_choice;
 mod tab_microvm;
 mod tab_overhead;

@@ -36,10 +36,7 @@ impl Experiment for TabMicroVm {
         )];
         let mut rows = Vec::new();
         for runtime in [RuntimeKind::Docker, RuntimeKind::Firecracker] {
-            let config = unlimited
-                .clone()
-                .with_runtime(runtime)
-                .with_budget(budget);
+            let config = unlimited.clone().with_runtime(runtime).with_budget(budget);
             let mut with = CodeCrunch::new();
             let mut without = CodeCrunch::with_config(CodeCrunchConfig {
                 allow_compression: false,

@@ -31,11 +31,7 @@ impl Experiment for TabOverhead {
     }
 
     fn run(&self, scale: &Scale) -> ExperimentOutput {
-        let sizes = [
-            scale.functions / 2,
-            scale.functions,
-            scale.functions * 2,
-        ];
+        let sizes = [scale.functions / 2, scale.functions, scale.functions * 2];
         let mut lines = vec![format!(
             "{:<10} {:>12} {:>12} {:>12} {:>12}   (decision µs / invocation)",
             "functions", "sitw", "faascache", "icebreaker", "codecrunch"
@@ -81,7 +77,11 @@ impl Experiment for TabOverhead {
             }
             lines.push(format!(
                 "{:<10} {:>12.2} {:>12.2} {:>12.2} {:>12.2}",
-                functions, measurements[0].1, measurements[1].1, measurements[2].1, measurements[3].1
+                functions,
+                measurements[0].1,
+                measurements[1].1,
+                measurements[2].1,
+                measurements[3].1
             ));
             rows.push(json!({
                 "functions": functions,

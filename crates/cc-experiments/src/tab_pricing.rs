@@ -51,8 +51,7 @@ impl Experiment for TabPricing {
             ),
             format!(
                 "difference: {:+.1}% (paper: 6.75s -> 6.87s, +1.8%)",
-                (r_equal.mean_service_time_secs() / r_paper.mean_service_time_secs() - 1.0)
-                    * 100.0
+                (r_equal.mean_service_time_secs() / r_paper.mean_service_time_secs() - 1.0) * 100.0
             ),
         ];
         let data = json!({

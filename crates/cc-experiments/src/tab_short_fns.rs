@@ -122,9 +122,7 @@ mod tests {
         let out = TabShortFns.run(&Scale::smoke());
         let rows = out.data["rows"].as_array().unwrap();
         let get = |name: &str| {
-            rows.iter()
-                .find(|r| r["policy"] == name)
-                .unwrap()["short_mean_service_secs"]
+            rows.iter().find(|r| r["policy"] == name).unwrap()["short_mean_service_secs"]
                 .as_f64()
                 .unwrap()
         };

@@ -137,10 +137,7 @@ mod tests {
         let out = TabStartKinds.run(&Scale::smoke());
         let kinds = out.data["kinds"].as_array().unwrap();
         let get = |name: &str| {
-            kinds
-                .iter()
-                .find(|k| k["kind"] == name)
-                .unwrap()["mean_service_secs"]
+            kinds.iter().find(|k| k["kind"] == name).unwrap()["mean_service_secs"]
                 .as_f64()
                 .unwrap()
         };

@@ -1,7 +1,5 @@
 //! Empirical cumulative distribution functions.
 
-use serde::{Deserialize, Serialize};
-
 /// An empirical CDF over a finite sample set.
 ///
 /// Construction sorts the samples once; evaluation and plotting are then
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(cdf.fraction_at_or_below(2.0), 0.5);
 /// assert_eq!(cdf.quantile(0.5), 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Cdf {
     sorted: Vec<f64>,
 }
@@ -137,7 +135,10 @@ mod tests {
     fn plot_points_end_at_max() {
         let cdf: Cdf = (1..=100).map(|v| v as f64).collect();
         let pts = cdf.plot_points(4);
-        assert_eq!(pts, vec![(25.0, 0.25), (50.0, 0.5), (75.0, 0.75), (100.0, 1.0)]);
+        assert_eq!(
+            pts,
+            vec![(25.0, 0.25), (50.0, 0.5), (75.0, 0.75), (100.0, 1.0)]
+        );
     }
 
     proptest! {

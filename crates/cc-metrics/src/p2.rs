@@ -6,8 +6,6 @@
 //! preferable: P² maintains five markers per tracked quantile and adjusts
 //! them with piecewise-parabolic interpolation as observations stream in.
 
-use serde::{Deserialize, Serialize};
-
 /// A constant-memory streaming estimator of one quantile.
 ///
 /// # Example
@@ -23,7 +21,7 @@ use serde::{Deserialize, Serialize};
 /// let estimate = p95.estimate().unwrap();
 /// assert!((estimate - 0.95).abs() < 0.01, "estimate {estimate}");
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct P2Quantile {
     quantile: f64,
     /// Marker heights (estimates of the 5 tracked quantile positions).
@@ -115,13 +113,12 @@ impl P2Quantile {
             if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
                 let step = d.signum();
                 let candidate = self.parabolic(i, step);
-                self.heights[i] = if self.heights[i - 1] < candidate
-                    && candidate < self.heights[i + 1]
-                {
-                    candidate
-                } else {
-                    self.linear(i, step)
-                };
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, step)
+                    };
                 self.positions[i] += step;
             }
         }
@@ -136,8 +133,7 @@ impl P2Quantile {
             // Fall back to a nearest-rank estimate over the few samples.
             let mut sorted = self.heights[..self.count].to_vec();
             sorted.sort_unstable_by(|a, b| a.partial_cmp(b).expect("finite"));
-            let rank = ((self.quantile * self.count as f64).ceil() as usize)
-                .clamp(1, self.count);
+            let rank = ((self.quantile * self.count as f64).ceil() as usize).clamp(1, self.count);
             return Some(sorted[rank - 1]);
         }
         Some(self.heights[2])

@@ -1,7 +1,5 @@
 //! Per-interval time-series accumulation.
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::{SimDuration, SimTime};
 
 /// A time series bucketed into fixed-width intervals of simulated time.
@@ -23,7 +21,7 @@ use cc_types::{SimDuration, SimTime};
 /// assert_eq!(s.bucket_sum(0), 6.0);
 /// assert_eq!(s.bucket_mean(0), Some(3.0));
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TimeSeries {
     interval: SimDuration,
     sums: Vec<f64>,

@@ -1,14 +1,12 @@
 //! Aggregation of simulator service records into the paper's figures of
 //! merit.
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::{ServiceRecord, SimDuration, StartKind};
 
 use crate::{Cdf, Summary, TimeSeries};
 
 /// Per-[`StartKind`] service-time statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct StartBreakdown {
     /// Service-time summary for invocations started this way (seconds).
     pub service: Summary,
@@ -42,7 +40,7 @@ pub struct StartBreakdown {
 /// assert_eq!(stats.mean_service_time_secs(), 3.0);
 /// assert_eq!(stats.warm_fraction(), 0.0);
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct ServiceStats {
     service: Summary,
     wait: Summary,
@@ -83,7 +81,8 @@ impl ServiceStats {
         bucket.count += 1;
 
         self.invocations_per_interval.record(record.arrival, 1.0);
-        self.service_per_interval.record(record.arrival, service_secs);
+        self.service_per_interval
+            .record(record.arrival, service_secs);
         if record.kind.is_warm() {
             self.warm_per_interval.record(record.arrival, 1.0);
         }

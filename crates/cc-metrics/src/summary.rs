@@ -1,7 +1,5 @@
 //! Streaming summary statistics with exact percentiles.
 
-use serde::{Deserialize, Serialize};
-
 /// A sample-retaining summary of a stream of `f64` observations.
 ///
 /// Tracks count, sum, min and max online, and keeps every sample so
@@ -20,7 +18,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(s.min(), Some(1.0));
 /// assert_eq!(s.percentile(75.0), 3.0);
 /// ```
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct Summary {
     samples: Vec<f64>,
     sum: f64,
@@ -188,7 +186,9 @@ mod tests {
 
     #[test]
     fn basic_statistics() {
-        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let mut s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert_eq!(s.mean(), 5.0);
         assert_eq!(s.std_dev(), 2.0);
         assert_eq!(s.min(), Some(2.0));

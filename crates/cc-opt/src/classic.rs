@@ -84,10 +84,7 @@ impl CoordinateDescent {
                     }
                     current[idx] = old;
                 }
-                let Some(best_cost) = candidates
-                    .iter()
-                    .map(|&(c, _, _)| c)
-                    .min_by(f64::total_cmp)
+                let Some(best_cost) = candidates.iter().map(|&(c, _, _)| c).min_by(f64::total_cmp)
                 else {
                     continue;
                 };
@@ -292,10 +289,7 @@ pub(crate) fn random_choice(rng: &mut StdRng) -> FnChoice {
 ///
 /// Panics if the space exceeds 20 million points (a brute force that large
 /// is a bug, not an experiment).
-pub fn brute_force(
-    objective: &dyn Objective,
-    keep_alive_options: &[SimDuration],
-) -> OptOutcome {
+pub fn brute_force(objective: &dyn Objective, keep_alive_options: &[SimDuration]) -> OptOutcome {
     let n = objective.num_functions();
     let per_fn = 4 * keep_alive_options.len() as u128;
     let total = per_fn.checked_pow(n as u32).unwrap_or(u128::MAX);
@@ -381,7 +375,11 @@ mod tests {
         let start = vec![FnChoice::drop_now(Arch::X86); 4];
         let out = CoordinateDescent::default().optimize(&b, start);
         assert!(b.is_feasible(&out.solution));
-        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
+        let total: f64 = out
+            .solution
+            .iter()
+            .map(|c| c.keep_alive.as_mins_f64())
+            .sum();
         assert!(total <= 60.0);
     }
 
@@ -414,7 +412,11 @@ mod tests {
         let b = bowl(2);
         let start = vec![FnChoice::new(Arch::X86, false, SimDuration::from_mins(60)); 2];
         let start_cost = b.evaluate(&start);
-        let out = RandomSearch { samples: 500, seed: 1 }.optimize(&b, start);
+        let out = RandomSearch {
+            samples: 500,
+            seed: 1,
+        }
+        .optimize(&b, start);
         assert!(out.cost < start_cost);
     }
 

@@ -91,7 +91,11 @@ pub(crate) mod testing {
             match self.max_total_mins {
                 None => true,
                 Some(max) => {
-                    solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum::<f64>() <= max
+                    solution
+                        .iter()
+                        .map(|c| c.keep_alive.as_mins_f64())
+                        .sum::<f64>()
+                        <= max
                 }
             }
         }

@@ -237,11 +237,8 @@ mod tests {
         };
         let start = vec![FnChoice::production_default(); 6];
         let active: Vec<usize> = (0..6).collect();
-        let fast = CoordinateDescent::default().optimize_separable_subset(
-            &bowl,
-            start.clone(),
-            &active,
-        );
+        let fast =
+            CoordinateDescent::default().optimize_separable_subset(&bowl, start.clone(), &active);
         let view = SeparableView(&bowl);
         let generic = CoordinateDescent::default().optimize_subset(&view, start, &active);
         assert_eq!(fast.solution, generic.solution);
@@ -257,9 +254,12 @@ mod tests {
         };
         let start = vec![FnChoice::drop_now(Arch::X86); 4];
         let active: Vec<usize> = (0..4).collect();
-        let out =
-            CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
-        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
+        let out = CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
+        let total: f64 = out
+            .solution
+            .iter()
+            .map(|c| c.keep_alive.as_mins_f64())
+            .sum();
         assert!(total <= 60.0 + 1e-9, "budget violated: {total}");
     }
 
@@ -273,10 +273,16 @@ mod tests {
         // Start over budget: 2 × 60 = 120 minutes.
         let start = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(60)); 2];
         let active = [0usize, 1];
-        let out =
-            CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
-        let total: f64 = out.solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum();
-        assert!(total <= 10.0 + 1e-9, "should have descended into budget: {total}");
+        let out = CoordinateDescent::default().optimize_separable_subset(&bowl, start, &active);
+        let total: f64 = out
+            .solution
+            .iter()
+            .map(|c| c.keep_alive.as_mins_f64())
+            .sum();
+        assert!(
+            total <= 10.0 + 1e-9,
+            "should have descended into budget: {total}"
+        );
     }
 
     #[test]
@@ -289,7 +295,10 @@ mod tests {
         let view = SeparableView(&bowl);
         let sol = vec![FnChoice::new(Arch::Arm, true, SimDuration::from_mins(7)); 3];
         assert_eq!(view.evaluate(&sol), 0.0);
-        assert!(!view.is_feasible(&sol), "21 minutes exceeds the 15-minute budget");
+        assert!(
+            !view.is_feasible(&sol),
+            "21 minutes exceeds the 15-minute budget"
+        );
         assert_eq!(view.memory_cost(&sol), 21.0);
     }
 
@@ -301,11 +310,7 @@ mod tests {
             budget_mins: None,
         };
         let start = vec![FnChoice::production_default(); 3];
-        let out = CoordinateDescent::default().optimize_separable_subset(
-            &bowl,
-            start.clone(),
-            &[],
-        );
+        let out = CoordinateDescent::default().optimize_separable_subset(&bowl, start.clone(), &[]);
         assert_eq!(out.solution, start);
     }
 }

@@ -111,11 +111,7 @@ pub fn combine_solutions(rounds: &[Vec<FnChoice>]) -> Vec<FnChoice> {
                 std::cmp::Ordering::Less => Arch::X86,
                 std::cmp::Ordering::Equal => last.arch,
             };
-            FnChoice::new(
-                arch,
-                compress,
-                SimDuration::from_secs_f64(mean_mins * 60.0),
-            )
+            FnChoice::new(arch, compress, SimDuration::from_secs_f64(mean_mins * 60.0))
         })
         .collect()
 }

@@ -137,7 +137,11 @@ impl Sre {
     ) -> OptOutcome {
         let n = objective.num_functions();
         assert_eq!(start.len(), n, "start length must match objective");
-        assert_eq!(opt_counts.len(), n, "opt_counts length must match objective");
+        assert_eq!(
+            opt_counts.len(),
+            n,
+            "opt_counts length must match objective"
+        );
         if n == 0 {
             return OptOutcome {
                 solution: start,
@@ -160,11 +164,11 @@ impl Sre {
             );
             let outcomes: Vec<OptOutcome> = if self.parallel && groups.len() > 1 {
                 let current_ref = &current;
-                crossbeam::scope(|scope| {
+                std::thread::scope(|scope| {
                     let handles: Vec<_> = groups
                         .iter()
                         .map(|group| {
-                            scope.spawn(move |_| optimize_subset(current_ref.clone(), group))
+                            scope.spawn(move || optimize_subset(current_ref.clone(), group))
                         })
                         .collect();
                     handles
@@ -172,7 +176,6 @@ impl Sre {
                         .map(|h| h.join().expect("sub-problem thread panicked"))
                         .collect()
                 })
-                .expect("crossbeam scope")
             } else {
                 groups
                     .iter()

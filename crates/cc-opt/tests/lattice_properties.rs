@@ -111,7 +111,11 @@ impl Objective for Rugged {
             .sum()
     }
     fn is_feasible(&self, solution: &[FnChoice]) -> bool {
-        solution.iter().map(|c| c.keep_alive.as_mins_f64()).sum::<f64>() <= 120.0
+        solution
+            .iter()
+            .map(|c| c.keep_alive.as_mins_f64())
+            .sum::<f64>()
+            <= 120.0
     }
 }
 

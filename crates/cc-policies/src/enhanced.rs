@@ -52,7 +52,10 @@ impl<P: Scheduler> Enhanced<P> {
     ///
     /// Panics if `threshold` is not in `[0, 1]`.
     pub fn with_pressure_threshold(mut self, threshold: f64) -> Enhanced<P> {
-        assert!((0.0..=1.0).contains(&threshold), "threshold must be in [0, 1]");
+        assert!(
+            (0.0..=1.0).contains(&threshold),
+            "threshold must be in [0, 1]"
+        );
         self.pressure_threshold = threshold;
         self
     }
@@ -63,8 +66,7 @@ impl<P: Scheduler> Enhanced<P> {
     }
 
     fn under_pressure(&self, view: &ClusterView<'_>) -> bool {
-        let cap = view.config.warm_memory_cap().as_mb() as f64
-            * view.config.total_nodes() as f64;
+        let cap = view.config.warm_memory_cap().as_mb() as f64 * view.config.total_nodes() as f64;
         if cap <= 0.0 {
             return false;
         }

@@ -1,6 +1,6 @@
 //! The FaasCache greedy-dual baseline (Fuerst & Sharma, ASPLOS '21).
 
-use std::collections::HashMap;
+use cc_types::FxHashMap;
 
 use cc_sim::{ClusterView, KeepDecision, Scheduler, WarmInstance};
 use cc_types::{Arch, FunctionId, SimTime, KEEP_ALIVE_MAX};
@@ -21,7 +21,7 @@ use crate::faster_arch;
 /// paper's modification.
 #[derive(Debug, Clone)]
 pub struct FaasCache {
-    frequency: HashMap<FunctionId, u64>,
+    frequency: FxHashMap<FunctionId, u64>,
     /// Greedy-dual aging clock (in priority units: seconds per MiB).
     clock: f64,
     /// Lowest priority handed out in the current ranking round; adopted
@@ -33,7 +33,7 @@ impl FaasCache {
     /// Creates the policy.
     pub fn new() -> FaasCache {
         FaasCache {
-            frequency: HashMap::new(),
+            frequency: FxHashMap::default(),
             clock: 0.0,
             round_min: None,
         }

@@ -115,10 +115,7 @@ impl GapHistogram {
     /// SitW's "representative pattern" test: enough history and gaps
     /// concentrated enough that the histogram predicts usefully.
     pub fn is_patterned(&self) -> bool {
-        self.count >= 4
-            && self
-                .coefficient_of_variation()
-                .is_some_and(|cv| cv < 2.0)
+        self.count >= 4 && self.coefficient_of_variation().is_some_and(|cv| cv < 2.0)
     }
 }
 

@@ -1,6 +1,6 @@
 //! The IceBreaker FFT-prediction baseline (Roy et al., ASPLOS '22).
 
-use std::collections::HashMap;
+use cc_types::FxHashMap;
 
 use cc_fft::dominant_period;
 use cc_sim::{ClusterView, Command, KeepDecision, Scheduler};
@@ -22,13 +22,13 @@ use cc_types::{Arch, FunctionId, SimDuration, SimTime};
 #[derive(Debug, Clone)]
 pub struct IceBreaker {
     /// Per-minute invocation counts per function.
-    counts: HashMap<FunctionId, Vec<f64>>,
+    counts: FxHashMap<FunctionId, Vec<f64>>,
     /// Arrivals observed since the last tick.
-    pending_counts: HashMap<FunctionId, f64>,
+    pending_counts: FxHashMap<FunctionId, f64>,
     /// Cached period prediction (in minutes) per function.
-    period: HashMap<FunctionId, Option<f64>>,
+    period: FxHashMap<FunctionId, Option<f64>>,
     /// Last arrival per function.
-    last_arrival: HashMap<FunctionId, SimTime>,
+    last_arrival: FxHashMap<FunctionId, SimTime>,
     /// Ticks between FFT refreshes.
     refresh_every: u64,
     tick: u64,
@@ -41,10 +41,10 @@ impl IceBreaker {
     /// Creates the policy with a 5-tick FFT refresh cadence.
     pub fn new() -> IceBreaker {
         IceBreaker {
-            counts: HashMap::new(),
-            pending_counts: HashMap::new(),
-            period: HashMap::new(),
-            last_arrival: HashMap::new(),
+            counts: FxHashMap::default(),
+            pending_counts: FxHashMap::default(),
+            period: FxHashMap::default(),
+            last_arrival: FxHashMap::default(),
             refresh_every: 5,
             tick: 0,
             post_completion_window: SimDuration::from_mins(2),
@@ -125,7 +125,7 @@ impl Scheduler for IceBreaker {
         // Pre-warm functions predicted to fire within the next interval.
         let horizon = view.now + view.config.interval * 2;
         let mut commands = Vec::new();
-        // Sorted for cross-run determinism (HashMap order is random).
+        // Sorted for cross-run determinism (map iteration order is arbitrary).
         let mut functions: Vec<FunctionId> = self.counts.keys().copied().collect();
         functions.sort_unstable();
         for f in functions {
@@ -138,7 +138,11 @@ impl Scheduler for IceBreaker {
             if next >= view.now && next <= horizon {
                 let period_mins = self.period[&f].expect("checked by predicted_next");
                 // Frequent (short-period) functions go to the fast tier.
-                let arch = if period_mins <= 30.0 { Arch::X86 } else { Arch::Arm };
+                let arch = if period_mins <= 30.0 {
+                    Arch::X86
+                } else {
+                    Arch::Arm
+                };
                 commands.push(Command::Prewarm {
                     function: f,
                     arch,
@@ -187,7 +191,11 @@ mod tests {
         assert_eq!(report.records.len(), trace.invocations().len());
         let with_period = policy.period.values().filter(|p| p.is_some()).count();
         assert!(with_period > 0, "no periods detected on a periodic trace");
-        assert!(report.warm_fraction() > 0.2, "warm {}", report.warm_fraction());
+        assert!(
+            report.warm_fraction() > 0.2,
+            "warm {}",
+            report.warm_fraction()
+        );
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The Oracle upper bound: future knowledge of the trace.
 
-use std::collections::HashMap;
+use cc_types::FxHashMap;
 
 use cc_sim::{ClusterView, Command, KeepDecision, Scheduler};
 use cc_trace::Trace;
@@ -21,26 +21,26 @@ use cc_types::{Arch, FunctionId, SimDuration, SimTime, KEEP_ALIVE_MAX};
 #[derive(Debug, Clone)]
 pub struct Oracle {
     /// Sorted arrival times per function.
-    arrivals: HashMap<FunctionId, Vec<SimTime>>,
+    arrivals: FxHashMap<FunctionId, Vec<SimTime>>,
     /// Index of the next unconsumed arrival per function.
-    cursor: HashMap<FunctionId, usize>,
+    cursor: FxHashMap<FunctionId, usize>,
     /// `(arrived, completed)` counters per function, to detect in-flight
     /// invocations at completion time.
-    in_flight: HashMap<FunctionId, (u64, u64)>,
+    in_flight: FxHashMap<FunctionId, (u64, u64)>,
 }
 
 impl Oracle {
     /// Builds the oracle from the full trace (the "offline future
     /// knowledge" of the paper).
     pub fn new(trace: &Trace) -> Oracle {
-        let mut arrivals: HashMap<FunctionId, Vec<SimTime>> = HashMap::new();
+        let mut arrivals: FxHashMap<FunctionId, Vec<SimTime>> = FxHashMap::default();
         for inv in trace.invocations() {
             arrivals.entry(inv.function).or_default().push(inv.arrival);
         }
         Oracle {
             arrivals,
-            cursor: HashMap::new(),
-            in_flight: HashMap::new(),
+            cursor: FxHashMap::default(),
+            in_flight: FxHashMap::default(),
         }
     }
 
@@ -122,11 +122,7 @@ impl Scheduler for Oracle {
         }
     }
 
-    fn eviction_rank(
-        &mut self,
-        instance: &cc_sim::WarmInstance,
-        view: &ClusterView<'_>,
-    ) -> f64 {
+    fn eviction_rank(&mut self, instance: &cc_sim::WarmInstance, view: &ClusterView<'_>) -> f64 {
         // Belady's rule, the optimal eviction policy: under memory
         // pressure, sacrifice the instance whose next invocation is
         // furthest away (never-again instances first).
@@ -141,7 +137,7 @@ impl Scheduler for Oracle {
         // coming interval (plus cold-start lead time), on its faster arch.
         let mut commands = Vec::new();
         let mut functions: Vec<FunctionId> = self.arrivals.keys().copied().collect();
-        // HashMap iteration order is process-random; command order affects
+        // Map iteration order is arbitrary; command order affects
         // placement, so sort for cross-run determinism.
         functions.sort_unstable();
         for function in functions {

@@ -1,6 +1,6 @@
 //! The SitW hybrid histogram baseline (Shahrad et al., ATC '20).
 
-use std::collections::HashMap;
+use cc_types::FxHashMap;
 
 use cc_sim::{ClusterView, Command, KeepDecision, Scheduler};
 use cc_types::{Arch, FunctionId, SimDuration, SimTime};
@@ -22,7 +22,7 @@ use crate::{faster_arch, GapHistogram};
 /// modified SitW "to make it heterogeneity-aware").
 #[derive(Debug, Clone)]
 pub struct SitW {
-    histograms: HashMap<FunctionId, GapHistogram>,
+    histograms: FxHashMap<FunctionId, GapHistogram>,
     /// Pre-warms scheduled for the future: `(due, function, window)`.
     scheduled: Vec<(SimTime, FunctionId, SimDuration)>,
     head_percentile: f64,
@@ -35,7 +35,7 @@ impl SitW {
     /// percentiles, 10-minute fallback).
     pub fn new() -> SitW {
         SitW {
-            histograms: HashMap::new(),
+            histograms: FxHashMap::default(),
             scheduled: Vec::new(),
             head_percentile: 5.0,
             tail_percentile: 99.0,
@@ -75,7 +75,8 @@ impl Scheduler for SitW {
         _arch: Arch,
         _view: &ClusterView<'_>,
     ) -> KeepDecision {
-        let (head_p, tail_p, fallback) = (self.head_percentile, self.tail_percentile, self.fallback);
+        let (head_p, tail_p, fallback) =
+            (self.head_percentile, self.tail_percentile, self.fallback);
         let hist = self.histogram(function);
         let now = hist.last_arrival();
         if !hist.is_patterned() {

@@ -1,12 +1,10 @@
 //! Behavioral tests of the baseline policies on hand-crafted traces.
 
 use cc_compress::CompressionModel;
-use cc_sim::{ClusterConfig, FixedKeepAlive, Simulation};
 use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
+use cc_sim::{ClusterConfig, FixedKeepAlive, Simulation};
 use cc_trace::{Trace, TraceFunction};
-use cc_types::{
-    Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind,
-};
+use cc_types::{Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind};
 use cc_workload::{Catalog, Workload};
 
 fn periodic_trace(functions: &[(u64, u32, u64)], minutes: u64) -> Trace {
@@ -106,7 +104,10 @@ fn faascache_keeps_hot_functions_over_cold_ones() {
         hot > lukewarm,
         "hot function warm {hot} should beat lukewarm mean {lukewarm}"
     );
-    assert!(hot > 0.8, "hot function should be almost always warm: {hot}");
+    assert!(
+        hot > 0.8,
+        "hot function should be almost always warm: {hot}"
+    );
 }
 
 #[test]
@@ -145,7 +146,12 @@ fn enhanced_wrapper_only_compresses_favorable_functions() {
     // Under pressure, the Enhanced wrapper compresses — but only functions
     // whose decompression beats their cold start on the executing arch.
     let trace = periodic_trace(
-        &[(3_400, 640, 3), (900, 256, 3), (3_400, 640, 4), (900, 256, 4)],
+        &[
+            (3_400, 640, 3),
+            (900, 256, 3),
+            (3_400, 640, 4),
+            (900, 256, 4),
+        ],
         180,
     );
     let w = workload(&trace);
@@ -161,5 +167,8 @@ fn enhanced_wrapper_only_compresses_favorable_functions() {
             );
         }
     }
-    assert!(report.compression_events > 0, "favorable functions exist; some must compress");
+    assert!(
+        report.compression_events > 0,
+        "favorable functions exist; some must compress"
+    );
 }

@@ -1,7 +1,5 @@
 //! Cluster configuration.
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::{Arch, Cost, CostRate, MemoryMb, SimDuration};
 
 /// Which container runtime the workers use.
@@ -9,7 +7,7 @@ use cc_types::{Arch, Cost, CostRate, MemoryMb, SimDuration};
 /// The paper compares Docker containers against Firecracker microVMs (§5):
 /// Firecracker's lighter sandbox shaves a fixed slice off every cold start
 /// but changes nothing else, so compression keeps paying off.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RuntimeKind {
     /// Docker containers (the paper's default).
     Docker,
@@ -41,7 +39,7 @@ impl RuntimeKind {
 /// assert_eq!(config.nodes_of(Arch::Arm), 18);
 /// assert_eq!(config.total_nodes(), 31);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ClusterConfig {
     /// Number of x86 worker nodes.
     pub x86_nodes: u32,
@@ -162,7 +160,10 @@ impl ClusterConfig {
     /// Panics if the cluster has no nodes, no cores, no memory, or a
     /// zero-length interval.
     pub fn validate(&self) {
-        assert!(self.total_nodes() > 0, "cluster must have at least one node");
+        assert!(
+            self.total_nodes() > 0,
+            "cluster must have at least one node"
+        );
         assert!(self.cores_per_node > 0, "nodes must have cores");
         assert!(!self.memory_per_node.is_zero(), "nodes must have memory");
         assert!(!self.interval.is_zero(), "interval must be non-zero");
@@ -191,7 +192,9 @@ mod tests {
 
     #[test]
     fn firecracker_reduces_cold_start() {
-        assert!(RuntimeKind::Firecracker.cold_start_scale() < RuntimeKind::Docker.cold_start_scale());
+        assert!(
+            RuntimeKind::Firecracker.cold_start_scale() < RuntimeKind::Docker.cold_start_scale()
+        );
     }
 
     #[test]

@@ -1,18 +1,31 @@
 //! The discrete-event simulation engine.
 
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::cmp::Reverse;
+use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::time::{Duration, Instant};
 
 use cc_metrics::ServiceStats;
 use cc_trace::{Perturbation, Trace};
 use cc_types::{
     Arch, Cost, FunctionId, MemoryMb, NodeId, ServiceRecord, SimDuration, SimTime, StartKind,
-    KEEP_ALIVE_MAX,
+    WarmId, KEEP_ALIVE_MAX,
 };
 use cc_workload::Workload;
 
-use crate::node::{NodeState, WarmId, WarmInstance};
+use crate::node::{NodeState, WarmInstance};
+use crate::pool::WarmPool;
 use crate::{BudgetLedger, ClusterConfig, ClusterView, Command, Scheduler, SimReport};
+
+/// Placement-order key for one node: least busy first, most free memory
+/// next (`Reverse`), node id as the deterministic tie-break. Because every
+/// node of a cluster has the same core count, fully-busy nodes sort after
+/// every node with a free core, so a placement scan can stop at the first
+/// key whose node has no free core.
+type NodeOrderKey = (u32, Reverse<MemoryMb>, NodeId);
+
+fn node_order_key(node: &NodeState) -> NodeOrderKey {
+    (node.busy_cores, Reverse(node.free_memory()), node.id)
+}
 
 /// A configured simulation, ready to run a policy over a trace.
 ///
@@ -133,13 +146,28 @@ struct Engine<'a> {
 
     now: SimTime,
     nodes: Vec<NodeState>,
-    instances: HashMap<WarmId, WarmInstance>,
-    by_function: HashMap<FunctionId, Vec<WarmId>>,
+    pool: WarmPool,
+    /// Per architecture: all nodes ordered by [`NodeOrderKey`], kept in
+    /// sync with every node-state mutation through [`Engine::mutate_node`].
+    node_order: [BTreeSet<NodeOrderKey>; 2],
     ledger: BudgetLedger,
-    next_warm_id: u64,
     pending: VecDeque<usize>,
+    /// Bumped whenever placement capacity is freed or the evictable set
+    /// grows (execution finish, instance removal, warm admission). Lets
+    /// [`Engine::drain_pending`] skip re-running a placement attempt that
+    /// already failed against identical capacity.
+    capacity_epoch: u64,
+    /// The head-of-line pending entry that last failed, and the capacity
+    /// epoch it failed at.
+    last_retry_failure: Option<(usize, u64)>,
     events: BinaryHeap<Event>,
     seq: u64,
+
+    // Reusable scratch buffers: the hot path (try_start/make_room) borrows
+    // these instead of allocating per arrival.
+    scratch_candidates: Vec<WarmId>,
+    scratch_nodes: Vec<NodeId>,
+    scratch_ranked: Vec<(f64, u64, WarmId)>,
 
     stats: ServiceStats,
     records: Vec<ServiceRecord>,
@@ -180,6 +208,11 @@ impl<'a> Engine<'a> {
             Some(rate) => BudgetLedger::budgeted(rate, config.interval),
             None => BudgetLedger::unlimited(config.interval),
         };
+        let mut node_order: [BTreeSet<NodeOrderKey>; 2] = [BTreeSet::new(), BTreeSet::new()];
+        for node in &nodes {
+            node_order[node.arch.index()].insert(node_order_key(node));
+        }
+        let pool = WarmPool::new(workload.len(), nodes.len());
         Engine {
             config,
             trace,
@@ -187,13 +220,17 @@ impl<'a> Engine<'a> {
             perturbations,
             now: SimTime::ZERO,
             nodes,
-            instances: HashMap::new(),
-            by_function: HashMap::new(),
+            pool,
+            node_order,
             ledger,
-            next_warm_id: 0,
             pending: VecDeque::new(),
+            capacity_epoch: 0,
+            last_retry_failure: None,
             events: BinaryHeap::new(),
             seq: 0,
+            scratch_candidates: Vec::new(),
+            scratch_nodes: Vec::new(),
+            scratch_ranked: Vec::new(),
             stats: ServiceStats::new(config.interval),
             records: Vec::with_capacity(trace.invocations().len()),
             spend_per_interval: Vec::new(),
@@ -221,16 +258,29 @@ impl<'a> Engine<'a> {
     }
 
     fn view(&self) -> ClusterView<'_> {
-        ClusterView {
-            now: self.now,
-            config: self.config,
-            nodes: &self.nodes,
-            instances: &self.instances,
-            by_function: &self.by_function,
-            ledger: &self.ledger,
-            workload: self.workload,
-            pending: self.pending.len(),
-        }
+        ClusterView::new(
+            self.now,
+            self.config,
+            &self.nodes,
+            &self.pool,
+            &self.ledger,
+            self.workload,
+            self.pending.len(),
+        )
+    }
+
+    /// Mutates one node's state while keeping the per-arch placement index
+    /// in sync: the node's order key is pulled before the mutation and
+    /// reinserted after.
+    fn mutate_node<R>(&mut self, node: NodeId, f: impl FnOnce(&mut NodeState) -> R) -> R {
+        let state = &self.nodes[node.index()];
+        let order = &mut self.node_order[state.arch.index()];
+        let removed = order.remove(&node_order_key(state));
+        debug_assert!(removed, "placement index out of sync with node state");
+        let result = f(&mut self.nodes[node.index()]);
+        let state = &self.nodes[node.index()];
+        self.node_order[state.arch.index()].insert(node_order_key(state));
+        result
     }
 
     fn run(&mut self, policy: &mut dyn Scheduler) -> SimReport {
@@ -313,73 +363,105 @@ impl<'a> Engine<'a> {
     /// capacity exists anywhere.
     fn try_start(&mut self, index: usize, policy: &mut dyn Scheduler) -> bool {
         let inv = self.trace.invocations()[index];
-        let function = inv.function;
-        let memory = self.workload.spec(function).memory;
+        let memory = self.workload.spec(inv.function).memory;
+        self.try_reuse(inv.function, inv.arrival, memory, policy)
+            || self.try_cold(inv.function, inv.arrival, memory, policy)
+    }
 
-        // 1. Try to reuse a warm instance: cheapest start penalty first,
-        //    then the instance closest to expiry (save the freshest ones).
-        let mut candidates: Vec<(SimDuration, SimTime, WarmId)> = self
-            .by_function
-            .get(&function)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.instances.get(id))
-            .map(|inst| {
-                let penalty = if inst.pays_decompression(self.now) {
-                    self.workload.spec(function).decompress_time(inst.arch)
-                } else {
-                    SimDuration::ZERO
-                };
-                (penalty, inst.expiry, inst.id)
-            })
-            .collect();
-        candidates.sort_by_key(|&(penalty, expiry, id)| (penalty, expiry, id));
+    /// Tries to reuse a warm instance: cheapest start penalty first, then
+    /// the instance closest to expiry (save the freshest ones). The pool's
+    /// candidate index holds the instances in exactly this order; snapshot
+    /// the ids into a scratch buffer because an eviction inside
+    /// `make_room` mutates the index mid-walk.
+    fn try_reuse(
+        &mut self,
+        function: FunctionId,
+        arrival: SimTime,
+        memory: MemoryMb,
+        policy: &mut dyn Scheduler,
+    ) -> bool {
+        self.pool.migrate_due(self.now);
+        let mut candidates = std::mem::take(&mut self.scratch_candidates);
+        candidates.clear();
+        candidates.extend(self.pool.candidates_of(function));
 
-        for (_, _, id) in candidates {
-            let inst = &self.instances[&id];
-            let node_idx = inst.node.index();
-            if self.nodes[node_idx].free_cores() == 0 {
-                continue;
-            }
+        let mut started = false;
+        for &id in &candidates {
+            let inst = self
+                .pool
+                .get(id)
+                .expect("candidate index must only hold live instances");
+            let node = inst.node;
             let extra = memory.saturating_sub(inst.memory);
-            if self.nodes[node_idx].free_memory() < extra
-                && !self.make_room(inst.node, extra, Some(id), policy)
-            {
-                continue;
-            }
-            // Reuse this instance.
-            let inst = self.instances[&id].clone();
             let kind = if inst.pays_decompression(self.now) {
                 StartKind::WarmCompressed
             } else {
                 StartKind::WarmUncompressed
             };
             let refund = inst.refundable_at(self.now);
+            if self.nodes[node.index()].free_cores() == 0 {
+                continue;
+            }
+            if self.nodes[node.index()].free_memory() < extra
+                && !self.make_room(node, extra, Some(id), policy)
+            {
+                continue;
+            }
+            // Reuse this instance. A failed make_room evicts nothing, so
+            // every snapshot id after a failure is still live; a successful
+            // one leads straight here.
             self.ledger.refund(refund);
             self.remove_instance(id);
-            self.start_execution(function, inv.arrival, inst.node, kind, policy);
-            return true;
+            self.start_execution(function, arrival, node, kind, policy);
+            started = true;
+            break;
         }
+        candidates.clear();
+        self.scratch_candidates = candidates;
+        started
+    }
 
-        // 2. Cold start: policy chooses the architecture; spill over to the
-        //    other one if the preferred side is saturated.
+    /// Cold start: the policy chooses the architecture; spill over to the
+    /// other one if the preferred side is saturated. Nodes are taken in
+    /// placement order (least busy, then most free memory) straight from
+    /// the incrementally maintained per-arch index.
+    fn try_cold(
+        &mut self,
+        function: FunctionId,
+        arrival: SimTime,
+        memory: MemoryMb,
+        policy: &mut dyn Scheduler,
+    ) -> bool {
         let started = Instant::now();
         let preferred = policy.place(function, &self.view());
         self.decision_time += started.elapsed();
 
         for arch in [preferred, preferred.other()] {
-            // Least busy node of that arch first.
-            let mut node_ids: Vec<NodeId> = self
-                .nodes
-                .iter()
-                .filter(|n| n.arch == arch && n.free_cores() > 0)
-                .map(|n| n.id)
-                .collect();
-            node_ids.sort_by_key(|&id| {
-                let n = &self.nodes[id.index()];
-                (n.busy_cores, std::cmp::Reverse(n.free_memory()), id)
-            });
-            for node_id in node_ids {
+            let Some(&(_, _, first)) = self.node_order[arch.index()].iter().next() else {
+                continue;
+            };
+            if self.nodes[first.index()].free_cores() == 0 {
+                // Uniform core counts: the best-ordered node being full
+                // means every node of this arch is full.
+                continue;
+            }
+            // Fast path: the best-ordered node fits without eviction.
+            if self.nodes[first.index()].free_memory() >= memory {
+                self.start_execution(function, arrival, first, StartKind::Cold, policy);
+                return true;
+            }
+            // Slow path: walk nodes in placement order, evicting to make
+            // room. Snapshot the ids (evictions re-key the order index).
+            let mut node_ids = std::mem::take(&mut self.scratch_nodes);
+            node_ids.clear();
+            node_ids.extend(
+                self.node_order[arch.index()]
+                    .iter()
+                    .take_while(|&&(busy, _, _)| busy < self.config.cores_per_node)
+                    .map(|&(_, _, id)| id),
+            );
+            let mut placed = false;
+            for &node_id in &node_ids {
                 let free = self.nodes[node_id.index()].free_memory();
                 if free < memory {
                     let deficit = memory - free;
@@ -387,7 +469,13 @@ impl<'a> Engine<'a> {
                         continue;
                     }
                 }
-                self.start_execution(function, inv.arrival, node_id, StartKind::Cold, policy);
+                self.start_execution(function, arrival, node_id, StartKind::Cold, policy);
+                placed = true;
+                break;
+            }
+            node_ids.clear();
+            self.scratch_nodes = node_ids;
+            if placed {
                 return true;
             }
         }
@@ -397,6 +485,13 @@ impl<'a> Engine<'a> {
     /// Frees at least `deficit` of memory on `node` by evicting warm
     /// instances in policy-rank order. Returns false (evicting nothing) if
     /// even evicting everything would not suffice.
+    ///
+    /// Only `node`'s own residents are examined — the node-state
+    /// `warm_memory` counter answers the "would evicting everything
+    /// suffice?" question in O(1), and the pool's residency index supplies
+    /// the victims without a cluster-wide scan. Victims are ranked in
+    /// admission order because stateful policies (e.g. FaasCache's
+    /// greedy-dual clock) observe the ranking call order.
     fn make_room(
         &mut self,
         node: NodeId,
@@ -404,45 +499,58 @@ impl<'a> Engine<'a> {
         exclude: Option<WarmId>,
         policy: &mut dyn Scheduler,
     ) -> bool {
-        let mut victims: Vec<WarmId> = self
-            .instances
-            .values()
-            .filter(|i| i.node == node && Some(i.id) != exclude)
-            .map(|i| i.id)
-            .collect();
-        // HashMap iteration order is process-random; stateful policies
-        // (e.g. FaasCache's greedy-dual clock) observe the ranking call
-        // order, so sort for cross-run determinism.
-        victims.sort_unstable();
-        let evictable: MemoryMb = victims
-            .iter()
-            .map(|id| self.instances[id].memory)
-            .sum();
+        let excluded_memory = match exclude {
+            Some(id) => {
+                let inst = self.pool.get(id).expect("excluded instance must be live");
+                debug_assert_eq!(inst.node, node, "exclusion only applies to residents");
+                inst.memory
+            }
+            None => MemoryMb::ZERO,
+        };
+        let evictable = self.nodes[node.index()]
+            .warm_memory
+            .saturating_sub(excluded_memory);
+        #[cfg(debug_assertions)]
+        assert_eq!(
+            self.nodes[node.index()].warm_memory,
+            self.pool.resident_memory(node),
+            "warm-memory counter out of sync with residency index"
+        );
         if evictable < deficit {
             return false;
         }
-        let mut ranked: Vec<(f64, WarmId)> = {
+        let mut ranked = std::mem::take(&mut self.scratch_ranked);
+        ranked.clear();
+        {
             let view = self.view();
             let started = Instant::now();
-            let ranked = victims
-                .iter()
-                .map(|id| (policy.eviction_rank(&view.instances[id], &view), *id))
-                .collect();
+            for id in self.pool.residents_of(node) {
+                if Some(id) == exclude {
+                    continue;
+                }
+                let inst = self
+                    .pool
+                    .get(id)
+                    .expect("residency index must only hold live instances");
+                ranked.push((policy.eviction_rank(inst, &view), inst.seq, id));
+            }
             self.decision_time += started.elapsed();
-            ranked
-        };
-        ranked.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        }
+        ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut freed = MemoryMb::ZERO;
-        for (_, id) in ranked {
+        for &(_, _, id) in &ranked {
             if freed >= deficit {
                 break;
             }
-            freed += self.instances[&id].memory;
-            let refund = self.instances[&id].refundable_at(self.now);
+            let inst = self.pool.get(id).expect("ranked victim must be live");
+            freed += inst.memory;
+            let refund = inst.refundable_at(self.now);
             self.ledger.refund(refund);
             self.remove_instance(id);
             self.evictions += 1;
         }
+        ranked.clear();
+        self.scratch_ranked = ranked;
         true
     }
 
@@ -487,7 +595,7 @@ impl<'a> Engine<'a> {
         self.records.push(record);
 
         let memory = spec.memory;
-        self.nodes[node.index()].start_execution(memory);
+        self.mutate_node(node, |n| n.start_execution(memory));
         let finish = self.now + start_penalty + execution;
         self.push(
             finish,
@@ -506,7 +614,8 @@ impl<'a> Engine<'a> {
         memory: MemoryMb,
         policy: &mut dyn Scheduler,
     ) {
-        self.nodes[node.index()].finish_execution(memory);
+        self.mutate_node(node, |n| n.finish_execution(memory));
+        self.capacity_epoch += 1;
         self.completed += 1;
 
         let arch = self.nodes[node.index()].arch;
@@ -517,7 +626,13 @@ impl<'a> Engine<'a> {
             self.decision_time += started.elapsed();
             d
         };
-        self.admit_warm(function, node, decision.keep_alive, decision.compress, policy);
+        self.admit_warm(
+            function,
+            node,
+            decision.keep_alive,
+            decision.compress,
+            policy,
+        );
         self.drain_pending(policy);
     }
 
@@ -581,11 +696,11 @@ impl<'a> Engine<'a> {
             return;
         }
 
-        self.next_warm_id += 1;
-        let id = WarmId(self.next_warm_id);
         let expiry = self.now + keep_alive;
-        let instance = WarmInstance {
-            id,
+        self.mutate_node(node, |n| n.add_warm(footprint));
+        let id = self.pool.insert(WarmInstance {
+            id: WarmId::INVALID, // assigned by the pool
+            seq: 0,              // assigned by the pool
             function,
             node,
             arch,
@@ -599,36 +714,33 @@ impl<'a> Engine<'a> {
             } else {
                 self.now
             },
-        };
-        self.nodes[node.index()].add_warm(footprint);
-        self.instances.insert(id, instance);
-        self.by_function.entry(function).or_default().push(id);
+            decompress_penalty: if compress {
+                spec.decompress_time(arch)
+            } else {
+                SimDuration::ZERO
+            },
+        });
         if compress {
             self.compression_events += 1;
         }
+        // A new warm instance enlarges the evictable set, which can turn a
+        // previously impossible cold placement possible.
+        self.capacity_epoch += 1;
         self.push(expiry, EventKind::Expiry(id));
     }
 
     fn remove_instance(&mut self, id: WarmId) {
-        let inst = self
-            .instances
-            .remove(&id)
-            .expect("instance must exist to be removed");
-        self.nodes[inst.node.index()].remove_warm(inst.memory);
-        if let Some(ids) = self.by_function.get_mut(&inst.function) {
-            ids.retain(|&i| i != id);
-            if ids.is_empty() {
-                self.by_function.remove(&inst.function);
-            }
-        }
+        let inst = self.pool.remove(id);
+        self.mutate_node(inst.node, |n| n.remove_warm(inst.memory));
+        self.capacity_epoch += 1;
     }
 
     fn handle_expiry(&mut self, id: WarmId) {
-        let Some(inst) = self.instances.get(&id) else {
-            return; // already reused or evicted
+        let Some(inst) = self.pool.get(id) else {
+            return; // stale handle: already reused or evicted (generation check)
         };
         if inst.expiry > self.now {
-            return; // stale event (instance was re-admitted under this id: impossible, but cheap to guard)
+            return; // defensive: a live instance's expiry event is never early
         }
         self.remove_instance(id);
     }
@@ -642,7 +754,8 @@ impl<'a> Engine<'a> {
         policy: &mut dyn Scheduler,
     ) {
         let memory = self.workload.spec(function).memory;
-        self.nodes[node.index()].finish_execution(memory);
+        self.mutate_node(node, |n| n.finish_execution(memory));
+        self.capacity_epoch += 1;
         self.admit_warm(function, node, keep_alive, compress, policy);
         self.drain_pending(policy);
     }
@@ -655,9 +768,9 @@ impl<'a> Engine<'a> {
         let delta = spent.as_dollars() - self.last_spent.as_dollars();
         self.spend_per_interval.push(delta);
         self.last_spent = spent;
-        self.warm_pool_series.push(self.instances.len() as f64);
+        self.warm_pool_series.push(self.pool.len() as f64);
         self.compressed_series
-            .push(self.instances.values().filter(|i| i.compressed).count() as f64);
+            .push(self.pool.compressed_count() as f64);
         self.compression_events_per_interval
             .push((self.compression_events - self.last_compression_events) as f64);
         self.last_compression_events = self.compression_events;
@@ -691,7 +804,7 @@ impl<'a> Engine<'a> {
                 keep_alive,
                 compress,
             } => {
-                if self.by_function.contains_key(&function) {
+                if self.pool.is_warm(function) {
                     return; // already warm
                 }
                 let spec = self.workload.spec(function);
@@ -706,7 +819,7 @@ impl<'a> Engine<'a> {
                     self.dropped_prewarms += 1;
                     return;
                 };
-                self.nodes[node.index()].start_execution(memory);
+                self.mutate_node(node, |n| n.start_execution(memory));
                 let cold = spec
                     .cold_start(arch)
                     .scale(self.config.runtime.cold_start_scale());
@@ -721,8 +834,8 @@ impl<'a> Engine<'a> {
                 );
             }
             Command::Evict { id } => {
-                if self.instances.contains_key(&id) {
-                    let refund = self.instances[&id].refundable_at(self.now);
+                if let Some(inst) = self.pool.get(id) {
+                    let refund = inst.refundable_at(self.now);
                     self.ledger.refund(refund);
                     self.remove_instance(id);
                     self.evictions += 1;
@@ -734,9 +847,18 @@ impl<'a> Engine<'a> {
 
     fn drain_pending(&mut self, policy: &mut dyn Scheduler) {
         while let Some(&index) = self.pending.front() {
+            // The placement attempt is a pure function of cluster capacity
+            // (for a fixed head-of-line invocation): if this exact entry
+            // already failed at the current capacity epoch, retrying would
+            // burn the same candidate/placement walk to the same answer.
+            if self.last_retry_failure == Some((index, self.capacity_epoch)) {
+                break;
+            }
             if self.try_start(index, policy) {
                 self.pending.pop_front();
+                self.last_retry_failure = None;
             } else {
+                self.last_retry_failure = Some((index, self.capacity_epoch));
                 break;
             }
         }
@@ -772,7 +894,10 @@ mod tests {
         let report =
             Simulation::new(ClusterConfig::small(2, 2), &trace, &workload).run(&mut policy);
         assert_eq!(report.records.len(), trace.invocations().len());
-        assert_eq!(report.stats.invocations() as usize, trace.invocations().len());
+        assert_eq!(
+            report.stats.invocations() as usize,
+            trace.invocations().len()
+        );
     }
 
     #[test]
@@ -796,7 +921,11 @@ mod tests {
         let config = ClusterConfig::small(2, 2);
         let warm = Simulation::new(config.clone(), &trace, &workload).run(&mut with_ka);
         let cold = Simulation::new(config, &trace, &workload).run(&mut without_ka);
-        assert!(warm.warm_fraction() > 0.3, "warm fraction {}", warm.warm_fraction());
+        assert!(
+            warm.warm_fraction() > 0.3,
+            "warm fraction {}",
+            warm.warm_fraction()
+        );
         assert_eq!(cold.warm_fraction(), 0.0);
         assert!(warm.mean_service_time_secs() < cold.mean_service_time_secs());
         assert_eq!(cold.keep_alive_spend, Cost::ZERO);

@@ -53,10 +53,12 @@ mod engine;
 mod fixed;
 mod ledger;
 mod node;
+mod pool;
 mod report;
 mod scheduler;
 mod view;
 
+pub use cc_types::WarmId;
 pub use config::{ClusterConfig, RuntimeKind};
 pub use engine::Simulation;
 pub use fixed::FixedKeepAlive;

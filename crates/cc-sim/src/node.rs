@@ -1,21 +1,18 @@
 //! Worker-node and warm-instance state.
 
-use serde::{Deserialize, Serialize};
-
-use cc_types::{Arch, Cost, FunctionId, MemoryMb, NodeId, SimTime};
-
-/// Stable identifier of a warm instance in the pool (monotonically
-/// assigned; never reused within a run).
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
-pub struct WarmId(pub u64);
+use cc_types::{Arch, Cost, FunctionId, MemoryMb, NodeId, SimDuration, SimTime, WarmId};
 
 /// A function instance kept alive in a node's memory.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WarmInstance {
-    /// Pool identifier.
+    /// Generational handle into the warm pool's slab (assigned by the pool
+    /// at admission).
     pub id: WarmId,
+    /// Admission sequence number: strictly increasing across the whole
+    /// run, so it totally orders instances by creation. All deterministic
+    /// tie-breaks (candidate selection, eviction ranking) use this, never
+    /// the slab handle, whose slot numbering reflects reuse.
+    pub seq: u64,
     /// The function this instance can serve.
     pub function: FunctionId,
     /// The node holding it.
@@ -36,6 +33,11 @@ pub struct WarmInstance {
     /// reuse before this instant still finds the uncompressed copy and pays
     /// no decompression.
     pub compressed_ready_at: SimTime,
+    /// The start penalty a reuse pays once compression has completed
+    /// (`spec.decompress_time(arch)`, cached at admission so the pool's
+    /// candidate index can re-key the instance without consulting the
+    /// workload). Zero for uncompressed instances.
+    pub decompress_penalty: SimDuration,
 }
 
 impl WarmInstance {
@@ -63,7 +65,7 @@ impl WarmInstance {
 }
 
 /// Mutable state of one worker node.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeState {
     /// Node identifier.
     pub id: NodeId,
@@ -202,7 +204,8 @@ mod tests {
 
     fn instance(reserved: u64, since_s: u64, expiry_s: u64) -> WarmInstance {
         WarmInstance {
-            id: WarmId(1),
+            id: WarmId::new(1, 0),
+            seq: 1,
             function: FunctionId::new(0),
             node: NodeId::new(0),
             arch: Arch::X86,
@@ -212,6 +215,7 @@ mod tests {
             expiry: SimTime::ZERO + SimDuration::from_secs(expiry_s),
             reserved: Cost::from_picodollars(reserved),
             compressed_ready_at: SimTime::ZERO,
+            decompress_penalty: SimDuration::ZERO,
         }
     }
 

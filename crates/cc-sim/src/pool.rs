@@ -1,0 +1,547 @@
+//! The warm pool: a generational slab arena plus the ordered indexes the
+//! engine's hot path queries.
+//!
+//! The pool replaces the original `HashMap<WarmId, WarmInstance>` /
+//! `HashMap<FunctionId, Vec<WarmId>>` pair with:
+//!
+//! - a **slab arena**: instances live in a dense `Vec` of slots recycled
+//!   through a free list. Handles are generational ([`WarmId`]), so a
+//!   queued expiry event whose instance was reused or evicted — and whose
+//!   slot may already hold a different instance — fails the generation
+//!   check instead of aliasing. Lookup is an array index, not a hash.
+//! - a **per-function candidate index**: a `BTreeSet` ordered by
+//!   `(start-penalty class, expiry, seq)` — exactly the order the engine
+//!   previously produced by sorting a freshly collected vector on every
+//!   arrival. Reuse candidates now come out of an iterator in O(log n)
+//!   amortized, allocation-free.
+//! - a **per-node residency index** in admission (`seq`) order, so
+//!   eviction only examines the target node's residents instead of
+//!   scanning the whole cluster's pool.
+//!
+//! The candidate key of a compressed instance changes once, when
+//! background compression finishes (`compressed_ready_at`): before that a
+//! reuse finds the uncompressed copy (penalty zero), after it a reuse pays
+//! decompression. Rather than rewriting keys eagerly on a timer, the pool
+//! parks each pending re-key in a time-ordered `transitions` set and
+//! migrates the due ones at query time ([`WarmPool::migrate_due`]) — each
+//! instance migrates at most once, so the cost is amortized O(log n) per
+//! admission.
+
+use std::collections::BTreeSet;
+
+#[cfg(debug_assertions)]
+use cc_types::MemoryMb;
+use cc_types::{FunctionId, NodeId, SimDuration, SimTime, WarmId};
+
+use crate::node::WarmInstance;
+
+/// Candidate-index key: start-penalty class first (free reuses before
+/// decompressing ones), then expiry (spend the instance closest to
+/// expiring, saving the freshest), then admission order as the unique
+/// deterministic tie-break.
+type CandidateKey = (SimDuration, SimTime, u64, WarmId);
+
+const NO_SLOT: u32 = u32::MAX;
+
+#[derive(Debug)]
+struct Slot {
+    /// Bumped every time the slot is freed; a handle is live iff its
+    /// generation matches.
+    generation: u32,
+    state: SlotState,
+}
+
+#[derive(Debug)]
+enum SlotState {
+    Occupied(WarmInstance),
+    Vacant { next_free: u32 },
+}
+
+/// Per-function index entry.
+#[derive(Debug, Default)]
+struct FunctionEntry {
+    /// Live instances in admission order (what policies observe through
+    /// `ClusterView::warm_instances_of`).
+    order: Vec<WarmId>,
+    /// Live instances in reuse-preference order.
+    candidates: BTreeSet<CandidateKey>,
+}
+
+/// The warm-instance arena and its indexes. See the module docs.
+#[derive(Debug)]
+pub(crate) struct WarmPool {
+    slots: Vec<Slot>,
+    free_head: u32,
+    len: usize,
+    compressed: usize,
+    next_seq: u64,
+    functions: Vec<FunctionEntry>,
+    /// Per node: live residents as `(seq, id)`, i.e. admission order.
+    residents: Vec<BTreeSet<(u64, WarmId)>>,
+    /// Compressed instances whose candidate key still carries a zero
+    /// penalty but must be re-keyed at `(compressed_ready_at, seq, id)`.
+    transitions: BTreeSet<(SimTime, u64, WarmId)>,
+}
+
+impl WarmPool {
+    /// Creates an empty pool for a cluster of `nodes` nodes serving
+    /// `functions` distinct functions.
+    pub fn new(functions: usize, nodes: usize) -> WarmPool {
+        WarmPool {
+            slots: Vec::new(),
+            free_head: NO_SLOT,
+            len: 0,
+            compressed: 0,
+            next_seq: 0,
+            functions: (0..functions).map(|_| FunctionEntry::default()).collect(),
+            residents: (0..nodes).map(|_| BTreeSet::new()).collect(),
+            transitions: BTreeSet::new(),
+        }
+    }
+
+    /// Number of live instances.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Number of live instances stored compressed.
+    pub fn compressed_count(&self) -> usize {
+        self.compressed
+    }
+
+    /// Whether `function` has at least one live instance.
+    pub fn is_warm(&self, function: FunctionId) -> bool {
+        !self.functions[function.index()].order.is_empty()
+    }
+
+    /// The live instance behind `id`, or `None` if the handle is stale
+    /// (the instance was reused, evicted, or expired; the slot may by now
+    /// hold a different instance of a newer generation).
+    pub fn get(&self, id: WarmId) -> Option<&WarmInstance> {
+        let slot = self.slots.get(id.slot())?;
+        if slot.generation != id.generation() {
+            return None;
+        }
+        match &slot.state {
+            SlotState::Occupied(inst) => Some(inst),
+            SlotState::Vacant { .. } => None,
+        }
+    }
+
+    /// Admits `inst` into the pool, assigning its `id` (next free slot,
+    /// current generation) and `seq` (next admission number); the caller's
+    /// values for those two fields are ignored. Returns the assigned id.
+    pub fn insert(&mut self, mut inst: WarmInstance) -> WarmId {
+        self.next_seq += 1;
+        inst.seq = self.next_seq;
+
+        let slot_index = if self.free_head != NO_SLOT {
+            let index = self.free_head;
+            let SlotState::Vacant { next_free } = self.slots[index as usize].state else {
+                unreachable!("free list points at an occupied slot");
+            };
+            self.free_head = next_free;
+            index
+        } else {
+            assert!(
+                self.slots.len() < NO_SLOT as usize,
+                "warm pool slot space exhausted"
+            );
+            self.slots.push(Slot {
+                generation: 0,
+                state: SlotState::Vacant { next_free: NO_SLOT },
+            });
+            (self.slots.len() - 1) as u32
+        };
+        let id = WarmId::new(slot_index, self.slots[slot_index as usize].generation);
+        inst.id = id;
+
+        let entry = &mut self.functions[inst.function.index()];
+        entry.order.push(id);
+        // A compressed instance enters the zero-penalty class (reuse finds
+        // the uncompressed copy until compression completes) and is parked
+        // for re-keying — unless compression is instantaneous, in which
+        // case it pays decompression from the start.
+        let key_penalty = if inst.compressed && inst.compressed_ready_at <= inst.since {
+            inst.decompress_penalty
+        } else {
+            SimDuration::ZERO
+        };
+        entry
+            .candidates
+            .insert((key_penalty, inst.expiry, inst.seq, id));
+        if inst.compressed && inst.compressed_ready_at > inst.since {
+            self.transitions
+                .insert((inst.compressed_ready_at, inst.seq, id));
+        }
+        if inst.compressed {
+            self.compressed += 1;
+        }
+        self.residents[inst.node.index()].insert((inst.seq, id));
+
+        self.slots[slot_index as usize].state = SlotState::Occupied(inst);
+        self.len += 1;
+        id
+    }
+
+    /// Removes the live instance behind `id` from the arena and every
+    /// index, returning it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the handle is stale — engine invariants guarantee removal
+    /// targets are alive, so a stale handle here is a bug.
+    pub fn remove(&mut self, id: WarmId) -> WarmInstance {
+        let slot = &mut self.slots[id.slot()];
+        assert_eq!(
+            slot.generation,
+            id.generation(),
+            "instance must exist to be removed"
+        );
+        let state = std::mem::replace(
+            &mut slot.state,
+            SlotState::Vacant {
+                next_free: self.free_head,
+            },
+        );
+        let SlotState::Occupied(inst) = state else {
+            panic!("instance must exist to be removed");
+        };
+        slot.generation += 1;
+        self.free_head = id.slot() as u32;
+        self.len -= 1;
+
+        // The candidate key's penalty class depends on whether the re-key
+        // transition has already happened; removing the parked transition
+        // entry tells us which key is current.
+        let key_penalty = if inst.compressed {
+            let parked = self
+                .transitions
+                .remove(&(inst.compressed_ready_at, inst.seq, id));
+            if parked {
+                SimDuration::ZERO
+            } else {
+                inst.decompress_penalty
+            }
+        } else {
+            SimDuration::ZERO
+        };
+        let entry = &mut self.functions[inst.function.index()];
+        let removed = entry
+            .candidates
+            .remove(&(key_penalty, inst.expiry, inst.seq, id));
+        debug_assert!(removed, "candidate index out of sync");
+        let position = entry
+            .order
+            .iter()
+            .position(|&i| i == id)
+            .expect("order index out of sync");
+        entry.order.remove(position);
+        let removed = self.residents[inst.node.index()].remove(&(inst.seq, id));
+        debug_assert!(removed, "residency index out of sync");
+        if inst.compressed {
+            self.compressed -= 1;
+        }
+        inst
+    }
+
+    /// Re-keys every compressed instance whose `compressed_ready_at` has
+    /// passed by `now` from the zero-penalty class to its decompression
+    /// penalty. Must be called before reading [`WarmPool::candidates_of`];
+    /// each instance migrates at most once per lifetime.
+    pub fn migrate_due(&mut self, now: SimTime) {
+        while let Some(&(ready_at, seq, id)) = self.transitions.iter().next() {
+            if ready_at > now {
+                break;
+            }
+            self.transitions.remove(&(ready_at, seq, id));
+            let inst = self.get(id).expect("parked transition for a dead instance");
+            let (function, expiry, penalty) = (inst.function, inst.expiry, inst.decompress_penalty);
+            let entry = &mut self.functions[function.index()];
+            let removed = entry
+                .candidates
+                .remove(&(SimDuration::ZERO, expiry, seq, id));
+            debug_assert!(removed, "candidate index out of sync during migration");
+            entry.candidates.insert((penalty, expiry, seq, id));
+        }
+    }
+
+    /// Live instances of `function` in reuse-preference order: cheapest
+    /// start-penalty class first, then closest expiry, then admission
+    /// order. Only valid if [`WarmPool::migrate_due`] has been called with
+    /// the current time.
+    pub fn candidates_of(&self, function: FunctionId) -> impl Iterator<Item = WarmId> + '_ {
+        self.functions[function.index()]
+            .candidates
+            .iter()
+            .map(|&(_, _, _, id)| id)
+    }
+
+    /// Live instances of `function` in admission order.
+    pub fn order_of(&self, function: FunctionId) -> &[WarmId] {
+        &self.functions[function.index()].order
+    }
+
+    /// Live instances resident on `node`, in admission order.
+    pub fn residents_of(&self, node: NodeId) -> impl Iterator<Item = WarmId> + '_ {
+        self.residents[node.index()].iter().map(|&(_, id)| id)
+    }
+
+    /// Sum of the footprints of `node`'s residents. O(residents); used
+    /// only in debug assertions to validate the node-state counter the
+    /// engine uses instead.
+    #[cfg(debug_assertions)]
+    pub fn resident_memory(&self, node: NodeId) -> MemoryMb {
+        self.residents_of(node)
+            .map(|id| self.get(id).expect("resident index out of sync").memory)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{Arch, Cost};
+    use proptest::prelude::*;
+
+    fn instance(function: u32, node: u32, expiry_s: u64) -> WarmInstance {
+        WarmInstance {
+            id: WarmId::INVALID,
+            seq: 0,
+            function: FunctionId::new(function),
+            node: NodeId::new(node),
+            arch: Arch::X86,
+            compressed: false,
+            memory: MemoryMb::new(100),
+            since: SimTime::ZERO,
+            expiry: SimTime::ZERO + SimDuration::from_secs(expiry_s),
+            reserved: Cost::ZERO,
+            compressed_ready_at: SimTime::ZERO,
+            decompress_penalty: SimDuration::ZERO,
+        }
+    }
+
+    fn compressed_instance(
+        function: u32,
+        node: u32,
+        since_s: u64,
+        ready_s: u64,
+        expiry_s: u64,
+        penalty_ms: u64,
+    ) -> WarmInstance {
+        WarmInstance {
+            compressed: true,
+            since: SimTime::ZERO + SimDuration::from_secs(since_s),
+            compressed_ready_at: SimTime::ZERO + SimDuration::from_secs(ready_s),
+            decompress_penalty: SimDuration::from_millis(penalty_ms),
+            ..instance(function, node, expiry_s)
+        }
+    }
+
+    fn at(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut pool = WarmPool::new(4, 2);
+        let id = pool.insert(instance(1, 0, 60));
+        assert_eq!(pool.len(), 1);
+        assert!(pool.is_warm(FunctionId::new(1)));
+        let inst = pool.get(id).unwrap();
+        assert_eq!(inst.id, id);
+        assert_eq!(inst.seq, 1);
+        let removed = pool.remove(id);
+        assert_eq!(removed.id, id);
+        assert_eq!(pool.len(), 0);
+        assert!(!pool.is_warm(FunctionId::new(1)));
+        assert!(pool.get(id).is_none());
+    }
+
+    #[test]
+    fn stale_handle_rejected_after_slot_reuse() {
+        let mut pool = WarmPool::new(4, 2);
+        let first = pool.insert(instance(0, 0, 60));
+        pool.remove(first);
+        let second = pool.insert(instance(1, 1, 90));
+        // Slot recycled, generation advanced.
+        assert_eq!(second.slot(), first.slot());
+        assert_ne!(second.generation(), first.generation());
+        assert!(pool.get(first).is_none(), "stale handle must not alias");
+        assert_eq!(pool.get(second).unwrap().function, FunctionId::new(1));
+    }
+
+    #[test]
+    fn seq_keeps_increasing_across_slot_reuse() {
+        let mut pool = WarmPool::new(2, 1);
+        let a = pool.insert(instance(0, 0, 10));
+        pool.remove(a);
+        let b = pool.insert(instance(0, 0, 20));
+        assert_eq!(pool.get(b).unwrap().seq, 2);
+    }
+
+    #[test]
+    fn candidates_order_by_penalty_then_expiry_then_seq() {
+        let mut pool = WarmPool::new(2, 4);
+        // Compressed & ready (pays penalty), uncompressed far expiry,
+        // uncompressed near expiry, compressed not yet ready (free).
+        let ready = pool.insert(compressed_instance(0, 0, 0, 5, 200, 30));
+        let far = pool.insert(instance(0, 1, 300));
+        let near = pool.insert(instance(0, 2, 100));
+        let pending = pool.insert(compressed_instance(0, 3, 0, 1000, 250, 30));
+        pool.migrate_due(at(10));
+        let order: Vec<WarmId> = pool.candidates_of(FunctionId::new(0)).collect();
+        // Zero-penalty class first by expiry (near, pending, far), then the
+        // decompressing one.
+        assert_eq!(order, vec![near, pending, far, ready]);
+    }
+
+    #[test]
+    fn migration_moves_instance_to_penalty_class_exactly_at_ready_time() {
+        let mut pool = WarmPool::new(1, 2);
+        let compressed = pool.insert(compressed_instance(0, 0, 0, 50, 100, 30));
+        let plain = pool.insert(instance(0, 1, 300));
+        pool.migrate_due(at(49));
+        let order: Vec<WarmId> = pool.candidates_of(FunctionId::new(0)).collect();
+        assert_eq!(
+            order,
+            vec![compressed, plain],
+            "free class wins before ready"
+        );
+        pool.migrate_due(at(50));
+        let order: Vec<WarmId> = pool.candidates_of(FunctionId::new(0)).collect();
+        assert_eq!(
+            order,
+            vec![plain, compressed],
+            "penalty class loses after ready"
+        );
+    }
+
+    #[test]
+    fn removal_before_and_after_migration_keeps_indexes_consistent() {
+        let mut pool = WarmPool::new(1, 1);
+        let a = pool.insert(compressed_instance(0, 0, 0, 50, 100, 30));
+        pool.remove(a); // still parked: transition entry must go too
+        assert!(pool.transitions.is_empty());
+        let b = pool.insert(compressed_instance(0, 0, 0, 60, 100, 30));
+        pool.migrate_due(at(70)); // migrated: key now carries the penalty
+        let removed = pool.remove(b);
+        assert!(removed.compressed);
+        assert_eq!(pool.len(), 0);
+        assert_eq!(pool.compressed_count(), 0);
+        assert!(pool.candidates_of(FunctionId::new(0)).next().is_none());
+    }
+
+    #[test]
+    fn residents_and_order_track_membership() {
+        let mut pool = WarmPool::new(3, 2);
+        let a = pool.insert(instance(0, 0, 60));
+        let b = pool.insert(instance(1, 0, 30));
+        let c = pool.insert(instance(0, 1, 90));
+        assert_eq!(
+            pool.residents_of(NodeId::new(0)).collect::<Vec<_>>(),
+            vec![a, b]
+        );
+        assert_eq!(pool.order_of(FunctionId::new(0)), &[a, c]);
+        pool.remove(a);
+        assert_eq!(
+            pool.residents_of(NodeId::new(0)).collect::<Vec<_>>(),
+            vec![b]
+        );
+        assert_eq!(pool.order_of(FunctionId::new(0)), &[c]);
+        assert_eq!(pool.resident_memory(NodeId::new(1)), MemoryMb::new(100));
+    }
+
+    proptest! {
+        // The property the whole candidate index stands on: at any query
+        // time, iterating `candidates_of` yields exactly the order the
+        // pre-refactor engine computed by collecting every live instance
+        // of the function and sorting by `(penalty at now, expiry,
+        // admission id)`.
+        #[test]
+        fn candidate_index_matches_sort_based_selection(
+            // (compressed, ready_offset_s, expiry_s, penalty_ms, node)
+            specs in prop::collection::vec(
+                (any::<bool>(), 0u64..120, 1u64..240, 1u64..80, 0u32..4),
+                1..24,
+            ),
+            removals in prop::collection::vec(any::<u16>(), 0..8),
+            query_s in 0u64..260,
+        ) {
+            let mut pool = WarmPool::new(1, 4);
+            let mut ids = Vec::new();
+            for &(compressed, ready_s, expiry_s, penalty_ms, node) in &specs {
+                let inst = if compressed {
+                    compressed_instance(0, node, 0, ready_s, expiry_s, penalty_ms)
+                } else {
+                    instance(0, node, expiry_s)
+                };
+                ids.push(pool.insert(inst));
+            }
+            for &r in &removals {
+                if ids.is_empty() { break; }
+                let victim = ids.swap_remove(r as usize % ids.len());
+                pool.remove(victim);
+            }
+
+            let now = at(query_s);
+            pool.migrate_due(now);
+            let indexed: Vec<WarmId> =
+                pool.candidates_of(FunctionId::new(0)).collect();
+
+            // Pre-refactor selection: collect live instances, compute the
+            // penalty a reuse at `now` would pay, sort.
+            let mut brute: Vec<(SimDuration, SimTime, u64, WarmId)> = ids
+                .iter()
+                .map(|&id| {
+                    let inst = pool.get(id).expect("live");
+                    let penalty = if inst.pays_decompression(now) {
+                        inst.decompress_penalty
+                    } else {
+                        SimDuration::ZERO
+                    };
+                    (penalty, inst.expiry, inst.seq, id)
+                })
+                .collect();
+            brute.sort();
+            let brute: Vec<WarmId> = brute.into_iter().map(|(_, _, _, id)| id).collect();
+
+            prop_assert_eq!(indexed, brute);
+        }
+
+        // Slab bookkeeping stays consistent under arbitrary interleavings
+        // of admissions and removals.
+        #[test]
+        fn slab_len_and_counters_survive_churn(
+            ops in prop::collection::vec((any::<bool>(), any::<u16>()), 1..60),
+        ) {
+            let mut pool = WarmPool::new(4, 2);
+            let mut live: Vec<WarmId> = Vec::new();
+            let mut compressed_live = 0usize;
+            for (i, &(remove, r)) in ops.iter().enumerate() {
+                if remove && !live.is_empty() {
+                    let id = live.swap_remove(r as usize % live.len());
+                    if pool.remove(id).compressed {
+                        compressed_live -= 1;
+                    }
+                } else {
+                    let compress = i % 3 == 0;
+                    let inst = if compress {
+                        compressed_instance((i % 4) as u32, (i % 2) as u32, 0, 30, 60, 20)
+                    } else {
+                        instance((i % 4) as u32, (i % 2) as u32, 60)
+                    };
+                    live.push(pool.insert(inst));
+                    if compress {
+                        compressed_live += 1;
+                    }
+                }
+                prop_assert_eq!(pool.len(), live.len());
+                prop_assert_eq!(pool.compressed_count(), compressed_live);
+            }
+            for &id in &live {
+                prop_assert!(pool.get(id).is_some());
+            }
+        }
+    }
+}

@@ -2,7 +2,9 @@
 
 use cc_types::{Arch, FunctionId, SimDuration, SimTime};
 
-use crate::node::{WarmId, WarmInstance};
+use cc_types::WarmId;
+
+use crate::node::WarmInstance;
 use crate::ClusterView;
 
 /// The decision a policy makes when an execution completes: how long to
@@ -120,6 +122,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn keep_decision_constructors() {
         assert_eq!(KeepDecision::DROP.keep_alive, SimDuration::ZERO);
         assert!(!KeepDecision::DROP.compress);

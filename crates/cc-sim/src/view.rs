@@ -1,11 +1,10 @@
 //! Read-only view of cluster state handed to policies.
 
-use std::collections::HashMap;
-
-use cc_types::{Arch, FunctionId, MemoryMb, SimTime};
+use cc_types::{Arch, FunctionId, MemoryMb, SimTime, WarmId};
 use cc_workload::{FunctionSpec, Workload};
 
-use crate::node::{NodeState, WarmId, WarmInstance};
+use crate::node::{NodeState, WarmInstance};
+use crate::pool::WarmPool;
 use crate::{BudgetLedger, ClusterConfig};
 
 /// A read-only snapshot of the cluster offered to policy callbacks.
@@ -15,6 +14,13 @@ use crate::{BudgetLedger, ClusterConfig};
 /// specs, and the current queueing pressure. Policies must not (and cannot)
 /// see the future of the trace — except [`Oracle`](https://docs.rs/cc-policies),
 /// which captures the trace at construction instead.
+///
+/// Warm-pool contents are exposed through methods
+/// ([`ClusterView::warm_instances_of`], [`ClusterView::instance`],
+/// [`ClusterView::warm_count`], …) rather than raw maps: the engine stores
+/// instances in a slab arena with ordered indexes, and the accessors read
+/// those directly — `warm_count`/`compressed_count` are O(1) counters, not
+/// scans.
 pub struct ClusterView<'a> {
     /// Current simulated time.
     pub now: SimTime,
@@ -22,39 +28,60 @@ pub struct ClusterView<'a> {
     pub config: &'a ClusterConfig,
     /// All node states.
     pub nodes: &'a [NodeState],
-    /// All warm instances, by id.
-    pub instances: &'a HashMap<WarmId, WarmInstance>,
-    /// Warm-instance ids per function.
-    pub by_function: &'a HashMap<FunctionId, Vec<WarmId>>,
     /// The budget ledger.
     pub ledger: &'a BudgetLedger,
     /// Resolved per-function specs.
     pub workload: &'a Workload,
     /// Number of invocations waiting for capacity.
     pub pending: usize,
+    pool: &'a WarmPool,
 }
 
-impl ClusterView<'_> {
+impl<'a> ClusterView<'a> {
+    pub(crate) fn new(
+        now: SimTime,
+        config: &'a ClusterConfig,
+        nodes: &'a [NodeState],
+        pool: &'a WarmPool,
+        ledger: &'a BudgetLedger,
+        workload: &'a Workload,
+        pending: usize,
+    ) -> ClusterView<'a> {
+        ClusterView {
+            now,
+            config,
+            nodes,
+            ledger,
+            workload,
+            pending,
+            pool,
+        }
+    }
+
     /// The spec of one function.
     pub fn spec(&self, function: FunctionId) -> &FunctionSpec {
         self.workload.spec(function)
     }
 
-    /// Warm instances currently alive for `function`.
-    pub fn warm_instances_of(&self, function: FunctionId) -> Vec<&WarmInstance> {
-        self.by_function
-            .get(&function)
-            .into_iter()
-            .flatten()
-            .filter_map(|id| self.instances.get(id))
+    /// Warm instances currently alive for `function`, in admission order.
+    pub fn warm_instances_of(&self, function: FunctionId) -> Vec<&'a WarmInstance> {
+        self.pool
+            .order_of(function)
+            .iter()
+            .filter_map(|&id| self.pool.get(id))
             .collect()
+    }
+
+    /// The live warm instance behind `id`, or `None` if the handle is
+    /// stale (the instance has been reused, evicted, or expired since the
+    /// id was observed).
+    pub fn instance(&self, id: WarmId) -> Option<&'a WarmInstance> {
+        self.pool.get(id)
     }
 
     /// Whether `function` has any warm instance.
     pub fn is_warm(&self, function: FunctionId) -> bool {
-        self.by_function
-            .get(&function)
-            .is_some_and(|v| !v.is_empty())
+        self.pool.is_warm(function)
     }
 
     /// Total free cores on nodes of `arch`.
@@ -80,14 +107,14 @@ impl ClusterView<'_> {
         self.nodes.iter().map(|n| n.warm_memory).sum()
     }
 
-    /// Number of warm instances across the cluster.
+    /// Number of warm instances across the cluster. O(1).
     pub fn warm_count(&self) -> usize {
-        self.instances.len()
+        self.pool.len()
     }
 
-    /// Number of warm instances stored compressed.
+    /// Number of warm instances stored compressed. O(1).
     pub fn compressed_count(&self) -> usize {
-        self.instances.values().filter(|i| i.compressed).count()
+        self.pool.compressed_count()
     }
 
     /// Fraction of all execution cores currently busy, in `[0, 1]` — the

@@ -6,9 +6,7 @@ use cc_sim::{
     ClusterConfig, ClusterView, Command, FixedKeepAlive, KeepDecision, Scheduler, Simulation,
 };
 use cc_trace::{Trace, TraceFunction};
-use cc_types::{
-    Arch, Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind,
-};
+use cc_types::{Arch, Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind};
 use cc_workload::{Catalog, Workload};
 
 /// A trace of explicit invocations over explicit functions.
@@ -94,12 +92,7 @@ impl Scheduler for AlwaysPrewarm {
     fn place(&mut self, _f: FunctionId, _v: &ClusterView<'_>) -> Arch {
         Arch::X86
     }
-    fn on_completion(
-        &mut self,
-        _f: FunctionId,
-        _a: Arch,
-        _v: &ClusterView<'_>,
-    ) -> KeepDecision {
+    fn on_completion(&mut self, _f: FunctionId, _a: Arch, _v: &ClusterView<'_>) -> KeepDecision {
         KeepDecision::DROP
     }
     fn on_interval(&mut self, _v: &ClusterView<'_>) -> Vec<Command> {
@@ -143,12 +136,7 @@ impl Scheduler for KeepEverythingForever {
     fn place(&mut self, _f: FunctionId, _v: &ClusterView<'_>) -> Arch {
         Arch::X86
     }
-    fn on_completion(
-        &mut self,
-        _f: FunctionId,
-        _a: Arch,
-        _v: &ClusterView<'_>,
-    ) -> KeepDecision {
+    fn on_completion(&mut self, _f: FunctionId, _a: Arch, _v: &ClusterView<'_>) -> KeepDecision {
         KeepDecision::uncompressed(SimDuration::from_mins(60))
     }
 }
@@ -209,7 +197,10 @@ fn utilization_series_reflects_busy_cores() {
         "utilization never reflected the running function: {:?}",
         report.utilization_series
     );
-    assert!(report.utilization_series.iter().all(|&u| (0.0..=1.0).contains(&u)));
+    assert!(report
+        .utilization_series
+        .iter()
+        .all(|&u| (0.0..=1.0).contains(&u)));
 }
 
 #[test]
@@ -241,9 +232,10 @@ fn eviction_refunds_reduce_spend() {
     assert!(report.evictions > 0);
     // Upper bound if every one of the 12 windows ran its full 60 minutes on
     // x86 — evictions must keep us strictly below it.
-    let full_cost = config
-        .rate(Arch::X86)
-        .keep_alive_cost(w.spec(FunctionId::new(0)).memory, SimDuration::from_mins(60));
+    let full_cost = config.rate(Arch::X86).keep_alive_cost(
+        w.spec(FunctionId::new(0)).memory,
+        SimDuration::from_mins(60),
+    );
     assert!(
         report.keep_alive_spend < full_cost * 12,
         "refunds missing: spend {} vs bound {}",

@@ -43,27 +43,41 @@ impl InvariantProbe {
             );
         }
 
-        // Index maps agree with each other.
-        let via_map: usize = view.by_function.values().map(Vec::len).sum();
-        assert_eq!(via_map, view.instances.len(), "index maps out of sync");
-        let warm_mem_nodes: MemoryMb = view.nodes.iter().map(|n| n.warm_memory).sum();
-        let warm_mem_instances: MemoryMb = view.instances.values().map(|i| i.memory).sum();
-        assert_eq!(warm_mem_nodes, warm_mem_instances, "warm memory out of sync");
-
-        // Every instance's node reference is valid and matches arch.
-        for inst in view.instances.values() {
-            let node = &view.nodes[inst.node.index()];
-            assert_eq!(node.arch, inst.arch);
-            assert!(inst.expiry >= inst.since);
+        // The per-function index agrees with the O(1) aggregate counters,
+        // and every instance it yields is internally consistent.
+        let mut via_index = 0usize;
+        let mut compressed = 0usize;
+        let mut warm_mem_instances = MemoryMb::ZERO;
+        for f in 0..view.workload.len() {
+            let function = FunctionId::new(f as u32);
+            let instances = view.warm_instances_of(function);
+            assert_eq!(view.is_warm(function), !instances.is_empty());
+            via_index += instances.len();
+            for inst in instances {
+                assert_eq!(inst.function, function);
+                // The handle the index hands out resolves back to the same
+                // instance (generation check passes while it is live).
+                assert_eq!(view.instance(inst.id).map(|i| i.seq), Some(inst.seq));
+                let node = &view.nodes[inst.node.index()];
+                assert_eq!(node.arch, inst.arch);
+                assert!(inst.expiry >= inst.since);
+                warm_mem_instances += inst.memory;
+                if inst.compressed {
+                    compressed += 1;
+                }
+            }
         }
+        assert_eq!(via_index, view.warm_count(), "index out of sync with count");
+        let warm_mem_nodes: MemoryMb = view.nodes.iter().map(|n| n.warm_memory).sum();
+        assert_eq!(
+            warm_mem_nodes, warm_mem_instances,
+            "warm memory out of sync"
+        );
 
         // Aggregates are consistent.
         assert_eq!(view.total_warm_memory(), warm_mem_nodes);
         assert!(view.busy_core_fraction() >= 0.0 && view.busy_core_fraction() <= 1.0);
-        assert_eq!(
-            view.compressed_count(),
-            view.instances.values().filter(|i| i.compressed).count()
-        );
+        assert_eq!(view.compressed_count(), compressed);
     }
 }
 
@@ -121,6 +135,10 @@ fn view_invariants_hold_throughout_a_pressured_run() {
     let mut probe = InvariantProbe::new();
     let report = Simulation::new(config, &trace, &workload).run(&mut probe);
     assert_eq!(report.records.len(), trace.invocations().len());
-    assert!(probe.checks > 1000, "probe barely ran: {} checks", probe.checks);
+    assert!(
+        probe.checks > 1000,
+        "probe barely ran: {} checks",
+        probe.checks
+    );
     assert!(report.compression_events > 0);
 }

@@ -167,8 +167,14 @@ pub fn read_azure_invocations<R: Read>(
         let _trigger = next_col(&mut cols, line_no, "Trigger")?;
 
         let id = FunctionId::new(functions.len() as u32);
-        let exec = durations.get(&hash_function).copied().unwrap_or(default_exec);
-        let mem = memory.get(&hash_function).copied().unwrap_or(default_memory);
+        let exec = durations
+            .get(&hash_function)
+            .copied()
+            .unwrap_or(default_exec);
+        let mem = memory
+            .get(&hash_function)
+            .copied()
+            .unwrap_or(default_memory);
         functions.push(TraceFunction::new(id, exec, mem));
         expand_counts(&mut cols, line_no, id, &mut invocations)?;
     }
@@ -183,9 +189,7 @@ pub fn read_azure_invocations<R: Read>(
 /// # Errors
 ///
 /// Returns [`CsvError`] on I/O failures or malformed lines.
-pub fn read_azure_durations<R: Read>(
-    reader: R,
-) -> Result<HashMap<String, SimDuration>, CsvError> {
+pub fn read_azure_durations<R: Read>(reader: R) -> Result<HashMap<String, SimDuration>, CsvError> {
     let reader = BufReader::new(reader);
     let mut out = HashMap::new();
     let mut lines = reader.lines().enumerate();
@@ -217,9 +221,7 @@ pub fn read_azure_durations<R: Read>(
 /// # Errors
 ///
 /// Returns [`CsvError`] on I/O failures or malformed lines.
-pub fn read_azure_app_memory<R: Read>(
-    reader: R,
-) -> Result<HashMap<String, MemoryMb>, CsvError> {
+pub fn read_azure_app_memory<R: Read>(reader: R) -> Result<HashMap<String, MemoryMb>, CsvError> {
     let reader = BufReader::new(reader);
     let mut out = HashMap::new();
     let mut lines = reader.lines().enumerate();
@@ -249,11 +251,7 @@ pub fn app_memory_to_function_memory(
 ) -> HashMap<String, MemoryMb> {
     function_to_app
         .iter()
-        .filter_map(|(function, app)| {
-            app_memory
-                .get(app)
-                .map(|&mem| (function.clone(), mem))
-        })
+        .filter_map(|(function, app)| app_memory.get(app).map(|&mem| (function.clone(), mem)))
         .collect()
 }
 
@@ -361,10 +359,19 @@ o1,a1,f2,timer,0,1,0
         assert_eq!(trace.functions().len(), 2);
         assert_eq!(trace.invocations().len(), 4);
         // f1 got its duration from the map; f2 got the default.
-        assert_eq!(trace.function(FunctionId::new(0)).mean_exec, SimDuration::from_secs(4));
-        assert_eq!(trace.function(FunctionId::new(1)).mean_exec, SimDuration::from_secs(1));
+        assert_eq!(
+            trace.function(FunctionId::new(0)).mean_exec,
+            SimDuration::from_secs(4)
+        );
+        assert_eq!(
+            trace.function(FunctionId::new(1)).mean_exec,
+            SimDuration::from_secs(1)
+        );
         // Counts land in the right minutes.
-        assert_eq!(trace.per_minute_counts(FunctionId::new(0)), vec![2.0, 0.0, 1.0]);
+        assert_eq!(
+            trace.per_minute_counts(FunctionId::new(0)),
+            vec![2.0, 0.0, 1.0]
+        );
     }
 
     #[test]
@@ -387,7 +394,10 @@ o1,a1,f2,timer,0,1,0
             .iter()
             .map(|i| i.arrival.as_micros())
             .collect();
-        assert_eq!(arrivals, vec![7_500_000, 22_500_000, 37_500_000, 52_500_000]);
+        assert_eq!(
+            arrivals,
+            vec![7_500_000, 22_500_000, 37_500_000, 52_500_000]
+        );
     }
 
     #[test]
@@ -500,9 +510,18 @@ o1,a2,9,128
         )
         .unwrap();
         assert_eq!(trace.functions().len(), 2);
-        assert_eq!(trace.function(FunctionId::new(0)).mean_exec, SimDuration::from_secs(3));
-        assert_eq!(trace.function(FunctionId::new(0)).memory, MemoryMb::new(512));
-        assert_eq!(trace.function(FunctionId::new(1)).memory, MemoryMb::new(128));
+        assert_eq!(
+            trace.function(FunctionId::new(0)).mean_exec,
+            SimDuration::from_secs(3)
+        );
+        assert_eq!(
+            trace.function(FunctionId::new(0)).memory,
+            MemoryMb::new(512)
+        );
+        assert_eq!(
+            trace.function(FunctionId::new(1)).memory,
+            MemoryMb::new(128)
+        );
         assert_eq!(trace.invocations().len(), 4);
     }
 }

@@ -55,11 +55,31 @@ fn parse_args() -> Result<Options, String> {
                 .ok_or_else(|| format!("{name} requires a value"))
         };
         match arg.as_str() {
-            "--functions" => opts.functions = value("--functions")?.parse().map_err(|e| format!("bad --functions: {e}"))?,
-            "--minutes" => opts.minutes = value("--minutes")?.parse().map_err(|e| format!("bad --minutes: {e}"))?,
-            "--seed" => opts.seed = value("--seed")?.parse().map_err(|e| format!("bad --seed: {e}"))?,
-            "--zipf" => opts.zipf = value("--zipf")?.parse().map_err(|e| format!("bad --zipf: {e}"))?,
-            "--diurnal" => opts.diurnal = value("--diurnal")?.parse().map_err(|e| format!("bad --diurnal: {e}"))?,
+            "--functions" => {
+                opts.functions = value("--functions")?
+                    .parse()
+                    .map_err(|e| format!("bad --functions: {e}"))?
+            }
+            "--minutes" => {
+                opts.minutes = value("--minutes")?
+                    .parse()
+                    .map_err(|e| format!("bad --minutes: {e}"))?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("bad --seed: {e}"))?
+            }
+            "--zipf" => {
+                opts.zipf = value("--zipf")?
+                    .parse()
+                    .map_err(|e| format!("bad --zipf: {e}"))?
+            }
+            "--diurnal" => {
+                opts.diurnal = value("--diurnal")?
+                    .parse()
+                    .map_err(|e| format!("bad --diurnal: {e}"))?
+            }
             "--no-peaks" => opts.no_peaks = true,
             "--out" => opts.out = Some(value("--out")?),
             "--help" | "-h" => {

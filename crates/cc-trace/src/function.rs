@@ -1,7 +1,5 @@
 //! Per-function trace metadata.
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::{FunctionId, MemoryMb, SimDuration};
 
 /// The per-function metadata a trace carries, mirroring the Azure Functions
@@ -26,7 +24,7 @@ use cc_types::{FunctionId, MemoryMb, SimDuration};
 /// );
 /// assert_eq!(f.memory.as_mb(), 256);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct TraceFunction {
     /// Dense function identifier.
     pub id: FunctionId,

@@ -8,14 +8,13 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 
 use cc_types::{Invocation, SimDuration, SimTime};
 
 use crate::Trace;
 
 /// An unannounced change applied to a running workload.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Perturbation {
     /// From `at` onward, execution times are multiplied by `factor`
     /// (inputs changed; the paper scales them up).
@@ -54,7 +53,12 @@ impl Perturbation {
     /// Non-burst perturbations return the trace unchanged (they act inside
     /// the simulator instead).
     pub fn apply_to_trace(&self, trace: Trace, seed: u64) -> Trace {
-        let Perturbation::Burst { at, duration, factor } = *self else {
+        let Perturbation::Burst {
+            at,
+            duration,
+            factor,
+        } = *self
+        else {
             return trace;
         };
         if trace.functions().is_empty() || duration.is_zero() || factor <= 1.0 {

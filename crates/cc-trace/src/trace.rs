@@ -3,8 +3,6 @@
 use std::error::Error;
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use cc_types::{FunctionId, Invocation, SimDuration, SimTime};
 
 use crate::TraceFunction;
@@ -61,7 +59,7 @@ impl Error for TraceError {}
 /// assert_eq!(trace.invocations().len(), 1);
 /// # Ok::<(), cc_trace::TraceError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Trace {
     functions: Vec<TraceFunction>,
     invocations: Vec<Invocation>,
@@ -186,7 +184,11 @@ mod tests {
     #[test]
     fn sorts_invocations() {
         let t = Trace::new(vec![func(0)], vec![inv(0, 50), inv(0, 10), inv(0, 30)]).unwrap();
-        let arrivals: Vec<u64> = t.invocations().iter().map(|i| i.arrival.as_micros()).collect();
+        let arrivals: Vec<u64> = t
+            .invocations()
+            .iter()
+            .map(|i| i.arrival.as_micros())
+            .collect();
         assert_eq!(arrivals, vec![10, 30, 50]);
     }
 

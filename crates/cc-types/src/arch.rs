@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// The processor architecture of a worker node (the paper's `T` dimension).
 ///
 /// Amazon Lambda offers both x86 and ARM (Graviton) execution; functions have
@@ -18,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(Arch::X86.other(), Arch::Arm);
 /// assert_eq!(Arch::ALL.len(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Arch {
     /// An x86-64 node (paper: Amazon EC2 `m5`, $0.384/hour).
     X86,

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Arch, SimDuration};
 
 /// Maximum keep-alive time considered by any policy (the paper's 60-minute
@@ -30,7 +28,7 @@ pub const KEEP_ALIVE_STEP: SimDuration = SimDuration::from_mins(1);
 /// assert!(c.compress);
 /// assert_eq!(c.arch, Arch::Arm);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FnChoice {
     /// Which processor type executes (and keeps alive) the function.
     pub arch: Arch,
@@ -81,11 +79,20 @@ impl FnChoice {
     /// through compression.
     pub fn neighbors(&self) -> Vec<FnChoice> {
         let mut out = Vec::with_capacity(8);
-        out.push(FnChoice { compress: !self.compress, ..*self });
-        out.push(FnChoice { arch: self.arch.other(), ..*self });
+        out.push(FnChoice {
+            compress: !self.compress,
+            ..*self
+        });
+        out.push(FnChoice {
+            arch: self.arch.other(),
+            ..*self
+        });
         if self.keep_alive < KEEP_ALIVE_MAX {
             let longer = (self.keep_alive + KEEP_ALIVE_STEP).min(KEEP_ALIVE_MAX);
-            out.push(FnChoice { keep_alive: longer, ..*self });
+            out.push(FnChoice {
+                keep_alive: longer,
+                ..*self
+            });
             out.push(FnChoice {
                 compress: !self.compress,
                 keep_alive: longer,
@@ -94,7 +101,10 @@ impl FnChoice {
         }
         if !self.keep_alive.is_zero() {
             let shorter = self.keep_alive.saturating_sub(KEEP_ALIVE_STEP);
-            out.push(FnChoice { keep_alive: shorter, ..*self });
+            out.push(FnChoice {
+                keep_alive: shorter,
+                ..*self
+            });
             out.push(FnChoice {
                 compress: !self.compress,
                 keep_alive: shorter,
@@ -165,12 +175,18 @@ mod tests {
     #[test]
     fn neighbors_respect_bounds() {
         let zero = FnChoice::new(Arch::X86, false, SimDuration::ZERO);
-        assert!(zero.neighbors().iter().all(|n| n.keep_alive <= KEEP_ALIVE_MAX));
+        assert!(zero
+            .neighbors()
+            .iter()
+            .all(|n| n.keep_alive <= KEEP_ALIVE_MAX));
         assert_eq!(zero.neighbors().len(), 4);
 
         let max = FnChoice::new(Arch::X86, false, KEEP_ALIVE_MAX);
         assert_eq!(max.neighbors().len(), 4);
-        assert!(max.neighbors().iter().all(|n| n.keep_alive <= KEEP_ALIVE_MAX));
+        assert!(max
+            .neighbors()
+            .iter()
+            .all(|n| n.keep_alive <= KEEP_ALIVE_MAX));
     }
 
     #[test]

@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Arch, MemoryMb, SimDuration};
 
 /// A monetary amount in pico-dollars (10⁻¹² $).
@@ -25,9 +23,7 @@ use crate::{Arch, MemoryMb, SimDuration};
 /// assert_eq!(a + b, Cost::from_picodollars(2_000));
 /// assert_eq!((a - b).as_picodollars(), 1_000);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Cost(u64);
 
 impl Cost {
@@ -157,9 +153,7 @@ impl fmt::Display for Cost {
 /// let cost = x86.keep_alive_cost(MemoryMb::new(128), SimDuration::from_mins(10));
 /// assert!(cost.as_dollars() > 0.0);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct CostRate(u64);
 
 /// Hourly price of the paper's x86 worker node (EC2 m5), in dollars.
@@ -211,8 +205,8 @@ impl CostRate {
     pub fn keep_alive_cost(self, memory: MemoryMb, duration: SimDuration) -> Cost {
         // u128 intermediate: mem(≤2^32) × µs(≤2^44 for 2 weeks) × rate(≤2^13)
         // cannot overflow.
-        let pd = self.0 as u128 * memory.as_mb() as u128 * duration.as_micros() as u128
-            / 1_000_000u128;
+        let pd =
+            self.0 as u128 * memory.as_mb() as u128 * duration.as_micros() as u128 / 1_000_000u128;
         Cost(u64::try_from(pd).expect("keep-alive cost overflow"))
     }
 }

@@ -1,0 +1,147 @@
+//! A fast, deterministic hasher for the simulator's small keyed maps.
+//!
+//! `std`'s default `SipHash` is keyed with per-instance random state: it is
+//! DoS-resistant but slow for the 4–8-byte keys (`FunctionId`, `WarmId`)
+//! the simulator hashes on its hot path, and its randomness makes map
+//! iteration order differ between runs — a determinism hazard every
+//! iteration site must then defend against. This module provides an
+//! FxHash-style multiply-and-rotate hasher (the scheme rustc uses for its
+//! own interner tables): unkeyed, so iteration order is identical across
+//! runs and processes, and a handful of instructions per word of input.
+//!
+//! Simulation inputs are trusted (traces are generated or vendored, never
+//! adversarial), so hash-flooding resistance buys nothing here.
+//!
+//! # Example
+//!
+//! ```
+//! use cc_types::{FunctionId, FxHashMap};
+//!
+//! let mut warm: FxHashMap<FunctionId, u32> = FxHashMap::default();
+//! warm.insert(FunctionId::new(7), 2);
+//! assert_eq!(warm[&FunctionId::new(7)], 2);
+//! ```
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the FxHash scheme (a 64-bit truncation of
+/// the golden ratio, the classic Knuth multiplicative-hashing constant).
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style streaming hasher: `hash = (hash rot 5 ^ word) × SEED` per
+/// input word.
+#[derive(Debug, Default, Clone)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add(u64::from_le_bytes(chunk.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized and unkeyed.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`]: deterministic iteration order and fast
+/// small-key hashing.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |bytes: &[u8]| {
+            let mut h = FxHasher::default();
+            h.write(bytes);
+            h.finish()
+        };
+        assert_eq!(hash(b"codecrunch"), hash(b"codecrunch"));
+        assert_ne!(hash(b"codecrunch"), hash(b"codecruncH"));
+    }
+
+    #[test]
+    fn partial_words_differ_from_zero_padding_of_shorter_input() {
+        // "ab" and "ab\0" must hash differently despite the zero-padded
+        // tail word — the chunk boundary sees different remainders.
+        let mut a = FxHasher::default();
+        a.write_u32(2);
+        a.write(b"ab");
+        let mut b = FxHasher::default();
+        b.write_u32(3);
+        b.write(b"ab\0");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn map_iteration_order_is_stable() {
+        let build = || {
+            let mut m = FxHashMap::default();
+            for i in 0..100u32 {
+                m.insert(i, i * 2);
+            }
+            m.into_iter().collect::<Vec<_>>()
+        };
+        assert_eq!(build(), build());
+    }
+
+    #[test]
+    fn integer_fast_paths_match_nothing_else_trivially() {
+        let mut h = FxHasher::default();
+        h.write_u64(0);
+        // Hashing a zero word still stirs the state via the multiply.
+        assert_eq!(h.finish(), 0, "zero input with zero state stays zero");
+        let mut h2 = FxHasher::default();
+        h2.write_u64(1);
+        assert_ne!(h2.finish(), 0);
+    }
+}

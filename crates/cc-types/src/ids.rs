@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 /// Identifies a unique serverless function within a trace.
 ///
 /// Function ids are dense (`0..n`) so they can index `Vec`-backed per-function
@@ -18,9 +16,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(f.index(), 7);
 /// assert_eq!(f.to_string(), "fn#7");
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct FunctionId(u32);
 
 impl FunctionId {
@@ -64,9 +60,7 @@ impl fmt::Display for FunctionId {
 /// let n = NodeId::new(3);
 /// assert_eq!(n.index(), 3);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct NodeId(u32);
 
 impl NodeId {
@@ -90,6 +84,66 @@ impl From<u32> for NodeId {
 impl fmt::Display for NodeId {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "node#{}", self.0)
+    }
+}
+
+/// Identifies a warm instance in the simulator's slab-allocated pool.
+///
+/// A `WarmId` is a generational handle: `slot` names a position in the
+/// pool's dense storage and `generation` counts how many times that slot
+/// has been reused. A lookup with a stale handle (the slot was freed, and
+/// possibly reoccupied, since the handle was issued) fails the generation
+/// check and returns nothing, so queued events that outlive their instance
+/// — an expiry racing a reuse, a policy's eviction command racing an
+/// expiry — are rejected in O(1) without any tombstone bookkeeping.
+///
+/// The derived `Ord` (slot, then generation) is arbitrary but stable; the
+/// simulator orders instances by their admission sequence number, not by
+/// id.
+///
+/// # Example
+///
+/// ```
+/// use cc_types::WarmId;
+///
+/// let id = WarmId::new(3, 1);
+/// assert_eq!(id.slot(), 3);
+/// assert_eq!(id.generation(), 1);
+/// assert_eq!(id.to_string(), "warm#3.1");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WarmId {
+    slot: u32,
+    generation: u32,
+}
+
+impl WarmId {
+    /// A handle that matches no slot; useful as a pre-insertion
+    /// placeholder.
+    pub const INVALID: WarmId = WarmId {
+        slot: u32::MAX,
+        generation: u32::MAX,
+    };
+
+    /// Creates a handle from a slot index and a generation counter.
+    pub const fn new(slot: u32, generation: u32) -> Self {
+        WarmId { slot, generation }
+    }
+
+    /// The slot index, as a `usize` suitable for dense-table lookups.
+    pub const fn slot(self) -> usize {
+        self.slot as usize
+    }
+
+    /// The generation the slot had when this handle was issued.
+    pub const fn generation(self) -> u32 {
+        self.generation
+    }
+}
+
+impl fmt::Display for WarmId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "warm#{}.{}", self.slot, self.generation)
     }
 }
 

@@ -28,6 +28,7 @@
 mod arch;
 mod choice;
 mod cost;
+mod hash;
 mod ids;
 mod memory;
 mod record;
@@ -36,7 +37,8 @@ mod time;
 pub use arch::Arch;
 pub use choice::{FnChoice, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
 pub use cost::{Cost, CostRate};
-pub use ids::{FunctionId, NodeId};
+pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use ids::{FunctionId, NodeId, WarmId};
 pub use memory::MemoryMb;
 pub use record::{Invocation, ServiceRecord, StartKind};
 pub use time::{SimDuration, SimTime};

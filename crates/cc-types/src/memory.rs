@@ -4,8 +4,6 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Sub, SubAssign};
 
-use serde::{Deserialize, Serialize};
-
 /// A memory amount in mebibytes.
 ///
 /// Used for function footprints (warm instance size, compressed size) and
@@ -22,9 +20,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(node - f, MemoryMb::new(32 * 1024 - 512));
 /// assert!(f < node);
 /// ```
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct MemoryMb(u32);
 
 impl MemoryMb {

@@ -2,8 +2,6 @@
 
 use std::fmt;
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Arch, FunctionId, SimDuration, SimTime};
 
 /// How an invocation's instance was started.
@@ -11,7 +9,7 @@ use crate::{Arch, FunctionId, SimDuration, SimTime};
 /// The start kind determines the start penalty added to the service time:
 /// zero for an uncompressed warm start, the decompression latency for a
 /// compressed warm start, and the full cold-start time otherwise.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum StartKind {
     /// Reused a warm, uncompressed instance — no start penalty.
     WarmUncompressed,
@@ -48,7 +46,7 @@ impl fmt::Display for StartKind {
 /// let inv = Invocation::new(FunctionId::new(3), SimTime::from_micros(42));
 /// assert_eq!(inv.function.index(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Invocation {
     /// Which function is invoked.
     pub function: FunctionId,
@@ -85,7 +83,7 @@ impl Invocation {
 /// };
 /// assert_eq!(rec.service_time(), SimDuration::from_millis(2_505));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ServiceRecord {
     /// Which function was invoked.
     pub function: FunctionId,

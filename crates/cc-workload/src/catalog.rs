@@ -1,14 +1,12 @@
 //! The 40-function profile catalog and trace matching.
 
-use serde::{Deserialize, Serialize};
-
 use cc_compress::{CompressionModel, EntropyClass};
 use cc_types::{Arch, MemoryMb, SimDuration};
 
 use crate::{FunctionProfile, Suite};
 
 /// Aggregate statistics of a catalog, matching the paper's §2 findings.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CatalogStats {
     /// Fraction of profiles faster on ARM (paper: ≈0.38).
     pub arm_faster_fraction: f64,
@@ -52,51 +50,249 @@ use Suite::{Sebs, ServerlessBench as SlBench};
 const ROWS: &[Row] = &[
     // ARM-faster AND compression-favorable on both architectures (9).
     ("sebs.dynamic-html", Sebs, 350, 0.82, 1_800, 192, 410, Text),
-    ("sebs.thumbnailer", Sebs, 1_200, 0.88, 2_400, 256, 520, Mixed),
+    (
+        "sebs.thumbnailer",
+        Sebs,
+        1_200,
+        0.88,
+        2_400,
+        256,
+        520,
+        Mixed,
+    ),
     ("sebs.pagerank", Sebs, 4_200, 0.78, 2_800, 512, 610, Text),
     ("sebs.bfs", Sebs, 2_600, 0.74, 2_600, 448, 580, Text),
     ("sebs.json-serde", Sebs, 600, 0.90, 1_500, 160, 400, Text),
     ("slbench.alu", SlBench, 220, 0.70, 1_600, 128, 430, Text),
-    ("slbench.wordcount", SlBench, 3_400, 0.85, 3_000, 640, 700, Text),
-    ("slbench.markdown-render", SlBench, 480, 0.87, 1_900, 192, 460, Text),
-    ("slbench.stream-agg", SlBench, 5_200, 0.80, 3_600, 768, 820, Mixed),
+    (
+        "slbench.wordcount",
+        SlBench,
+        3_400,
+        0.85,
+        3_000,
+        640,
+        700,
+        Text,
+    ),
+    (
+        "slbench.markdown-render",
+        SlBench,
+        480,
+        0.87,
+        1_900,
+        192,
+        460,
+        Text,
+    ),
+    (
+        "slbench.stream-agg",
+        SlBench,
+        5_200,
+        0.80,
+        3_600,
+        768,
+        820,
+        Mixed,
+    ),
     // ARM-faster but NOT compression-favorable anywhere (6): tiny cold
     // starts, bloated images.
     ("sebs.uploader", Sebs, 900, 0.92, 240, 256, 980, Dense),
     ("sebs.http-endpoint", Sebs, 150, 0.76, 180, 128, 900, Mixed),
-    ("slbench.cache-probe", SlBench, 120, 0.84, 150, 128, 860, Dense),
+    (
+        "slbench.cache-probe",
+        SlBench,
+        120,
+        0.84,
+        150,
+        128,
+        860,
+        Dense,
+    ),
     ("slbench.login", SlBench, 300, 0.90, 200, 192, 940, Mixed),
     ("slbench.notify", SlBench, 180, 0.78, 160, 128, 1_020, Dense),
     ("slbench.grep", SlBench, 1_500, 0.88, 300, 384, 1_150, Mixed),
     // x86-faster AND compression-favorable on both (8): heavy runtimes with
     // long cold starts.
-    ("sebs.video-processing", Sebs, 28_000, 1.30, 6_000, 1_792, 880, Mixed),
-    ("sebs.image-recognition", Sebs, 6_200, 1.35, 5_200, 1_536, 860, Mixed),
-    ("sebs.dna-visualization", Sebs, 8_400, 1.18, 3_400, 1_024, 760, Text),
-    ("sebs.cnn-serving", Sebs, 3_800, 1.40, 5_600, 2_048, 900, Mixed),
-    ("slbench.online-compiling", SlBench, 11_000, 1.12, 4_200, 896, 720, Text),
-    ("slbench.data-analysis", SlBench, 7_600, 1.22, 3_800, 1_280, 680, Text),
-    ("slbench.ml-inference", SlBench, 2_400, 1.38, 4_800, 1_664, 840, Mixed),
-    ("slbench.video-transcode", SlBench, 46_000, 1.28, 6_400, 1_920, 900, Mixed),
+    (
+        "sebs.video-processing",
+        Sebs,
+        28_000,
+        1.30,
+        6_000,
+        1_792,
+        880,
+        Mixed,
+    ),
+    (
+        "sebs.image-recognition",
+        Sebs,
+        6_200,
+        1.35,
+        5_200,
+        1_536,
+        860,
+        Mixed,
+    ),
+    (
+        "sebs.dna-visualization",
+        Sebs,
+        8_400,
+        1.18,
+        3_400,
+        1_024,
+        760,
+        Text,
+    ),
+    (
+        "sebs.cnn-serving",
+        Sebs,
+        3_800,
+        1.40,
+        5_600,
+        2_048,
+        900,
+        Mixed,
+    ),
+    (
+        "slbench.online-compiling",
+        SlBench,
+        11_000,
+        1.12,
+        4_200,
+        896,
+        720,
+        Text,
+    ),
+    (
+        "slbench.data-analysis",
+        SlBench,
+        7_600,
+        1.22,
+        3_800,
+        1_280,
+        680,
+        Text,
+    ),
+    (
+        "slbench.ml-inference",
+        SlBench,
+        2_400,
+        1.38,
+        4_800,
+        1_664,
+        840,
+        Mixed,
+    ),
+    (
+        "slbench.video-transcode",
+        SlBench,
+        46_000,
+        1.28,
+        6_400,
+        1_920,
+        900,
+        Mixed,
+    ),
     // Compression-favorable ONLY on ARM (1): decompression barely loses to
     // the x86 cold start but beats the (slower) ARM cold start.
-    ("sebs.compression", Sebs, 5_400, 1.10, 500, 512, 1_060, Dense),
+    (
+        "sebs.compression",
+        Sebs,
+        5_400,
+        1.10,
+        500,
+        512,
+        1_060,
+        Dense,
+    ),
     // x86-faster, NOT compression-favorable anywhere (16).
     ("sebs.mst", Sebs, 3_100, 1.08, 300, 512, 1_100, Mixed),
     ("sebs.crypto", Sebs, 950, 1.26, 200, 256, 980, Dense),
     ("sebs.regression", Sebs, 5_800, 1.15, 340, 768, 1_220, Mixed),
-    ("sebs.feature-gen", Sebs, 2_300, 1.32, 260, 448, 1_050, Mixed),
+    (
+        "sebs.feature-gen",
+        Sebs,
+        2_300,
+        1.32,
+        260,
+        448,
+        1_050,
+        Mixed,
+    ),
     ("sebs.sentiment", Sebs, 1_800, 1.20, 310, 384, 1_180, Mixed),
     ("sebs.kmeans", Sebs, 6_800, 1.12, 280, 896, 1_240, Mixed),
     ("sebs.matmul", Sebs, 4_500, 1.42, 220, 640, 1_010, Dense),
     ("sebs.sort", Sebs, 2_900, 1.16, 180, 512, 930, Dense),
-    ("slbench.image-resize", SlBench, 1_300, 1.24, 330, 320, 1_300, Mixed),
-    ("slbench.couchdb-query", SlBench, 800, 1.10, 150, 256, 870, Dense),
-    ("slbench.etl-pipeline", SlBench, 9_500, 1.18, 350, 1_024, 1_360, Mixed),
-    ("slbench.chain-reaction", SlBench, 2_100, 1.34, 240, 384, 1_120, Mixed),
-    ("slbench.map-reduce", SlBench, 12_500, 1.08, 320, 1_152, 1_290, Mixed),
-    ("slbench.thumbnail-chain", SlBench, 1_600, 1.22, 190, 320, 950, Dense),
-    ("slbench.pdf-gen", SlBench, 2_700, 1.14, 270, 448, 1_080, Mixed),
+    (
+        "slbench.image-resize",
+        SlBench,
+        1_300,
+        1.24,
+        330,
+        320,
+        1_300,
+        Mixed,
+    ),
+    (
+        "slbench.couchdb-query",
+        SlBench,
+        800,
+        1.10,
+        150,
+        256,
+        870,
+        Dense,
+    ),
+    (
+        "slbench.etl-pipeline",
+        SlBench,
+        9_500,
+        1.18,
+        350,
+        1_024,
+        1_360,
+        Mixed,
+    ),
+    (
+        "slbench.chain-reaction",
+        SlBench,
+        2_100,
+        1.34,
+        240,
+        384,
+        1_120,
+        Mixed,
+    ),
+    (
+        "slbench.map-reduce",
+        SlBench,
+        12_500,
+        1.08,
+        320,
+        1_152,
+        1_290,
+        Mixed,
+    ),
+    (
+        "slbench.thumbnail-chain",
+        SlBench,
+        1_600,
+        1.22,
+        190,
+        320,
+        950,
+        Dense,
+    ),
+    (
+        "slbench.pdf-gen",
+        SlBench,
+        2_700,
+        1.14,
+        270,
+        448,
+        1_080,
+        Mixed,
+    ),
     ("slbench.db-write", SlBench, 450, 1.30, 130, 192, 890, Dense),
 ];
 
@@ -106,18 +302,20 @@ impl Catalog {
     pub fn paper_catalog() -> Catalog {
         let profiles = ROWS
             .iter()
-            .map(|&(name, suite, exec_ms, ratio, cold_ms, mem_mb, image_mb, entropy)| {
-                FunctionProfile {
-                    name,
-                    suite,
-                    exec_x86: SimDuration::from_millis(exec_ms),
-                    arm_exec_ratio: ratio,
-                    cold_x86: SimDuration::from_millis(cold_ms),
-                    memory: MemoryMb::new(mem_mb),
-                    image_bytes: image_mb << 20,
-                    entropy,
-                }
-            })
+            .map(
+                |&(name, suite, exec_ms, ratio, cold_ms, mem_mb, image_mb, entropy)| {
+                    FunctionProfile {
+                        name,
+                        suite,
+                        exec_x86: SimDuration::from_millis(exec_ms),
+                        arm_exec_ratio: ratio,
+                        cold_x86: SimDuration::from_millis(cold_ms),
+                        memory: MemoryMb::new(mem_mb),
+                        image_bytes: image_mb << 20,
+                        entropy,
+                    }
+                },
+            )
             .collect();
         Catalog { profiles }
     }
@@ -259,8 +457,14 @@ mod tests {
             .map(|p| p.compress_time(&model).as_secs_f64())
             .sum::<f64>()
             / favorable.len() as f64;
-        assert!((mean_dec - 0.37).abs() < 0.07, "mean decompression {mean_dec}");
-        assert!((mean_comp - 1.57).abs() < 0.25, "mean compression {mean_comp}");
+        assert!(
+            (mean_dec - 0.37).abs() < 0.07,
+            "mean decompression {mean_dec}"
+        );
+        assert!(
+            (mean_comp - 1.57).abs() < 0.25,
+            "mean compression {mean_comp}"
+        );
     }
 
     #[test]
@@ -268,7 +472,11 @@ mod tests {
         let catalog = Catalog::paper_catalog();
         // A tiny, fast function matches a tiny profile.
         let p = catalog.nearest(SimDuration::from_millis(150), MemoryMb::new(128));
-        assert!(p.exec_x86 <= SimDuration::from_millis(500), "got {}", p.name);
+        assert!(
+            p.exec_x86 <= SimDuration::from_millis(500),
+            "got {}",
+            p.name
+        );
         // A huge slow one matches the video profiles.
         let p = catalog.nearest(SimDuration::from_secs(40), MemoryMb::new(2000));
         assert!(p.exec_x86 >= SimDuration::from_secs(20), "got {}", p.name);

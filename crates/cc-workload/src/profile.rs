@@ -1,7 +1,5 @@
 //! One benchmark function profile.
 
-use serde::{Deserialize, Serialize};
-
 use cc_compress::{CodecKind, CompressionModel, EntropyClass};
 use cc_types::{Arch, MemoryMb, SimDuration};
 
@@ -17,7 +15,7 @@ pub const ARM_COLD_FACTOR: f64 = 1.25;
 pub const ARM_DECOMPRESS_FACTOR: f64 = 1.10;
 
 /// Which benchmark suite a profile comes from.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Suite {
     /// SeBS (Copik et al., Middleware '21).
     Sebs,

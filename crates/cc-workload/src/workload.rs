@@ -1,7 +1,5 @@
 //! Binding a trace to the catalog: resolved per-function specs.
 
-use serde::{Deserialize, Serialize};
-
 use cc_compress::{CodecKind, CompressionModel};
 use cc_trace::Trace;
 use cc_types::{Arch, FunctionId, MemoryMb, SimDuration};
@@ -14,7 +12,7 @@ use crate::{Catalog, ARM_DECOMPRESS_FACTOR};
 /// Execution time on x86 is taken from the trace (the trace reports real
 /// mean durations); the matched profile contributes the ARM/x86 ratio,
 /// cold-start times, image size, and compressibility.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FunctionSpec {
     /// The trace function this spec resolves.
     pub id: FunctionId,
@@ -94,7 +92,7 @@ impl FunctionSpec {
 /// );
 /// assert_eq!(workload.len(), 10);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Workload {
     specs: Vec<FunctionSpec>,
 }
@@ -128,8 +126,7 @@ impl Workload {
                 let cprof = model.profile(profile.image_bytes, profile.entropy, codec);
                 let dec_x86 = cprof.decompress_time;
                 let dec_arm = dec_x86.scale(ARM_DECOMPRESS_FACTOR);
-                let compressed_memory =
-                    f.memory.scale(model.size_fraction(codec, profile.entropy));
+                let compressed_memory = f.memory.scale(model.size_fraction(codec, profile.entropy));
                 FunctionSpec {
                     id: f.id,
                     profile_name: profile.name.to_owned(),
@@ -244,7 +241,11 @@ mod tests {
         let (_, w) = workload();
         for spec in w.specs() {
             if spec.compression_favorable(Arch::X86) {
-                assert!(spec.compression_favorable(Arch::Arm), "{}", spec.profile_name);
+                assert!(
+                    spec.compression_favorable(Arch::Arm),
+                    "{}",
+                    spec.profile_name
+                );
             }
         }
     }

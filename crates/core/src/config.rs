@@ -97,7 +97,10 @@ impl CodeCrunchConfig {
             assert!(sla >= 0.0, "SLA allowance must be non-negative");
         }
         assert!(self.eval_budget > 0, "evaluation budget must be positive");
-        assert!(self.pest_local_window > 0, "P_est local window must be non-empty");
+        assert!(
+            self.pest_local_window > 0,
+            "P_est local window must be non-empty"
+        );
     }
 
     /// A short name describing the configuration, used in reports.

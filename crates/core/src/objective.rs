@@ -92,8 +92,8 @@ impl IntervalObjective<'_> {
             SimDuration::ZERO
         };
         let cold_penalty = spec.cold_start(choice.arch);
-        let penalty = p_warm * warm_penalty.as_secs_f64()
-            + (1.0 - p_warm) * cold_penalty.as_secs_f64();
+        let penalty =
+            p_warm * warm_penalty.as_secs_f64() + (1.0 - p_warm) * cold_penalty.as_secs_f64();
         exec.as_secs_f64() + penalty
     }
 
@@ -253,8 +253,8 @@ mod tests {
 
     fn fixture() -> Fixture {
         let workload = Workload::from_specs(vec![
-            spec(0, 2, 0.8, 3),  // ARM faster
-            spec(1, 4, 1.3, 2),  // x86 faster
+            spec(0, 2, 0.8, 3), // ARM faster
+            spec(1, 4, 1.3, 2), // x86 faster
         ]);
         Fixture {
             exec: ExecObserver::new(2, 0.3),
@@ -309,9 +309,7 @@ mod tests {
         assert!(p10 > 0.98);
         assert!((obj.predicted_service(0, &warm_choice) - (2.0 + (1.0 - p10) * 3.0)).abs() < 1e-9);
         // Longer windows keep improving: monotone in keep-alive.
-        assert!(
-            obj.predicted_service(0, &warm_choice) < obj.predicted_service(0, &partial)
-        );
+        assert!(obj.predicted_service(0, &warm_choice) < obj.predicted_service(0, &partial));
     }
 
     #[test]

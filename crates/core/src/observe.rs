@@ -47,12 +47,7 @@ impl ExecObserver {
     /// The best current estimate of `function`'s execution time on `arch`:
     /// the EWMA if observed, scaled from the other architecture's
     /// observation if only that exists, else the workload spec.
-    pub fn exec_time(
-        &self,
-        function: FunctionId,
-        arch: Arch,
-        workload: &Workload,
-    ) -> SimDuration {
+    pub fn exec_time(&self, function: FunctionId, arch: Arch, workload: &Workload) -> SimDuration {
         let spec = workload.spec(function);
         let row = &self.ewma[function.index()];
         let own = row[arch.index()];
@@ -136,7 +131,9 @@ mod tests {
         for _ in 0..20 {
             obs.observe(&record(Arch::X86, 6.0));
         }
-        let est = obs.exec_time(FunctionId::new(0), Arch::X86, &w).as_secs_f64();
+        let est = obs
+            .exec_time(FunctionId::new(0), Arch::X86, &w)
+            .as_secs_f64();
         assert!((est - 6.0).abs() < 0.01, "est {est}");
     }
 
@@ -146,7 +143,9 @@ mod tests {
         let w = workload();
         // Observe 3s on x86 (spec says 2s); ARM spec ratio is 2x.
         obs.observe(&record(Arch::X86, 3.0));
-        let arm = obs.exec_time(FunctionId::new(0), Arch::Arm, &w).as_secs_f64();
+        let arm = obs
+            .exec_time(FunctionId::new(0), Arch::Arm, &w)
+            .as_secs_f64();
         assert!((arm - 6.0).abs() < 0.01, "arm {arm}");
     }
 
@@ -155,7 +154,9 @@ mod tests {
         let mut obs = ExecObserver::new(1, 0.1);
         let w = workload();
         obs.observe(&record(Arch::Arm, 9.0));
-        let est = obs.exec_time(FunctionId::new(0), Arch::Arm, &w).as_secs_f64();
+        let est = obs
+            .exec_time(FunctionId::new(0), Arch::Arm, &w)
+            .as_secs_f64();
         assert_eq!(est, 9.0);
     }
 

@@ -73,8 +73,9 @@ impl CodeCrunch {
     fn ensure_capacity(&mut self, function: FunctionId) {
         let needed = function.index() + 1;
         while self.pest.len() < needed {
-            self.pest
-                .push(PestEstimator::with_local_window(self.config.pest_local_window));
+            self.pest.push(PestEstimator::with_local_window(
+                self.config.pest_local_window,
+            ));
             self.opt_counts.push(0);
         }
         if !self.exec.covers(needed) {
@@ -133,7 +134,10 @@ impl CodeCrunch {
         let overshoot = |idx: usize| -> f64 {
             let f = functions[idx];
             let arch = choices[idx].arch;
-            let exec = self.exec.exec_time(f, arch, objective.workload).as_secs_f64();
+            let exec = self
+                .exec
+                .exec_time(f, arch, objective.workload)
+                .as_secs_f64();
             let reference = self
                 .exec
                 .exec_time(f, Arch::X86, objective.workload)
@@ -261,19 +265,13 @@ impl Scheduler for CodeCrunch {
             .iter()
             .map(|f| self.pest[f.index()].estimate())
             .collect();
-        let budget = view
-            .ledger
-            .is_budgeted()
-            .then(|| view.ledger.balance());
+        let budget = view.ledger.is_budgeted().then(|| view.ledger.balance());
         let objective = IntervalObjective {
             functions: &functions,
             workload: view.workload,
             exec: &self.exec,
             pest: &pest,
-            rates: [
-                view.config.rate(Arch::X86),
-                view.config.rate(Arch::Arm),
-            ],
+            rates: [view.config.rate(Arch::X86), view.config.rate(Arch::Arm)],
             budget,
             sla: self.config.sla_allowed_increase,
             arch_policy: self.config.arch_policy,
@@ -327,8 +325,8 @@ impl Scheduler for CodeCrunch {
                 .iter()
                 .map(|f| self.opt_counts[f.index()])
                 .collect();
-            let mut sre = Sre::scaled_to(functions.len())
-                .with_seed(self.config.seed ^ self.interval_index);
+            let mut sre =
+                Sre::scaled_to(functions.len()).with_seed(self.config.seed ^ self.interval_index);
             sre.inner.eval_budget =
                 self.config.eval_budget / (sre.num_subproblems * sre.rounds).max(1) as u64;
             // At simulator scale the separable sub-problems are microsecond
@@ -355,7 +353,8 @@ impl Scheduler for CodeCrunch {
         };
 
         for (i, &f) in functions.iter().enumerate() {
-            self.plan.insert(f, self.finalize_choice(outcome.solution[i]));
+            self.plan
+                .insert(f, self.finalize_choice(outcome.solution[i]));
         }
         Vec::new()
     }
@@ -439,8 +438,7 @@ mod tests {
         fraction: f64,
     ) -> ClusterConfig {
         let mut fixed = FixedKeepAlive::ten_minutes();
-        let natural =
-            Simulation::new(ClusterConfig::small(2, 2), trace, workload).run(&mut fixed);
+        let natural = Simulation::new(ClusterConfig::small(2, 2), trace, workload).run(&mut fixed);
         let minutes = trace.duration().as_mins_f64().max(1.0);
         let per_interval = natural.keep_alive_spend.scale(fraction / minutes);
         ClusterConfig::small(2, 2).with_budget(per_interval)
@@ -500,8 +498,8 @@ mod tests {
                 arch_policy: policy,
                 ..CodeCrunchConfig::default()
             });
-            let report = Simulation::new(ClusterConfig::small(3, 3), &trace, &workload)
-                .run(&mut crunch);
+            let report =
+                Simulation::new(ClusterConfig::small(3, 3), &trace, &workload).run(&mut crunch);
             // Spillover to the other arch only happens when the restricted
             // side is saturated; on this lightly-loaded cluster every
             // record stays on the chosen architecture.

@@ -17,10 +17,7 @@ fn spec(id: u32, exec_ms: u64, mem: u32) -> FunctionSpec {
             SimDuration::from_millis(exec_ms / 2 + 500),
             SimDuration::from_millis((exec_ms / 2 + 500) * 5 / 4),
         ],
-        decompress: [
-            SimDuration::from_millis(300),
-            SimDuration::from_millis(330),
-        ],
+        decompress: [SimDuration::from_millis(300), SimDuration::from_millis(330)],
         compress: SimDuration::from_millis(1500),
         memory: MemoryMb::new(mem),
         compressed_memory: MemoryMb::new((mem * 2 / 5).max(1)),

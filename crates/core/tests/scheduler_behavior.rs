@@ -44,7 +44,9 @@ fn plans_converge_to_cover_the_period() {
     let mut policy = CodeCrunch::new();
     let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut policy);
 
-    let plan = policy.planned(FunctionId::new(0)).expect("function was planned");
+    let plan = policy
+        .planned(FunctionId::new(0))
+        .expect("function was planned");
     assert!(
         plan.keep_alive >= SimDuration::from_mins(4),
         "window {} does not cover the 4-minute period",
@@ -56,7 +58,10 @@ fn plans_converge_to_cover_the_period() {
         .iter()
         .filter(|r| r.kind == cc_types::StartKind::Cold)
         .count();
-    assert!(cold <= 5, "{cold} cold starts on a trivially periodic function");
+    assert!(
+        cold <= 5,
+        "{cold} cold starts on a trivially periodic function"
+    );
 }
 
 #[test]
@@ -156,5 +161,9 @@ fn observed_execution_shift_updates_the_scheduler() {
         "shift not visible: {early_mean} -> {late_mean}"
     );
     // The warm pipeline survives the shift.
-    assert!(report.warm_fraction() > 0.8, "warm {}", report.warm_fraction());
+    assert!(
+        report.warm_fraction() > 0.8,
+        "warm {}",
+        report.warm_fraction()
+    );
 }

@@ -53,7 +53,9 @@ fn main() {
     }
 
     // Print a coarse (15-minute buckets) mean-service-time time series.
-    println!("mean service time (s) per 15-minute window; input change at 150min, burst at 180min\n");
+    println!(
+        "mean service time (s) per 15-minute window; input change at 150min, burst at 180min\n"
+    );
     print!("{:<10}", "window");
     for (name, _) in &series {
         print!(" {name:>12}");

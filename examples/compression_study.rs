@@ -92,7 +92,11 @@ fn main() {
             p.name,
             dec,
             cold,
-            if dec < cold { "favorable" } else { "unfavorable" }
+            if dec < cold {
+                "favorable"
+            } else {
+                "unfavorable"
+            }
         );
     }
 }

@@ -41,7 +41,10 @@ fn main() {
     let mut crunch = CodeCrunch::new();
     let report = Simulation::new(config.with_budget(budget), &trace, &workload).run(&mut crunch);
 
-    println!("\n{:<22} {:>12} {:>10} {:>14}", "policy", "service (s)", "warm %", "spend ($)");
+    println!(
+        "\n{:<22} {:>12} {:>10} {:>14}",
+        "policy", "service (s)", "warm %", "spend ($)"
+    );
     for r in [&baseline, &report] {
         println!(
             "{:<22} {:>12.3} {:>9.1}% {:>14.6}",

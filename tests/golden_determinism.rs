@@ -1,0 +1,159 @@
+//! Golden determinism tests for the simulation engine.
+//!
+//! Two guarantees, both load-bearing for the hot-path refactor:
+//!
+//! 1. **Determinism**: running any baseline policy twice on the same
+//!    scenario yields byte-identical `SimReport`s (digest equality over a
+//!    canonical encoding).
+//! 2. **Golden equivalence**: the digests match constants captured from
+//!    the engine *before* the indexing refactor, proving the refactor is
+//!    behavior-preserving — same records, spend, evictions, and series,
+//!    not merely "similar" aggregates.
+//!
+//! If an intentional behavior change ever lands, regenerate the constants
+//! with `cargo test -q golden -- --nocapture` and update them in the same
+//! commit that changes behavior, explaining why.
+
+use codecrunch_suite::prelude::*;
+
+/// FNV-1a over a canonical byte encoding of everything the simulator
+/// measures (wall-clock `decision_time` excluded).
+fn report_digest(report: &SimReport) -> u64 {
+    struct Fnv(u64);
+    impl Fnv {
+        fn write(&mut self, bytes: &[u8]) {
+            for &b in bytes {
+                self.0 ^= u64::from(b);
+                self.0 = self.0.wrapping_mul(0x100000001b3);
+            }
+        }
+        fn u64(&mut self, v: u64) {
+            self.write(&v.to_le_bytes());
+        }
+        fn f64(&mut self, v: f64) {
+            self.write(&v.to_bits().to_le_bytes());
+        }
+    }
+    let mut h = Fnv(0xcbf29ce484222325);
+    h.write(report.policy.as_bytes());
+    h.u64(report.records.len() as u64);
+    for r in &report.records {
+        h.u64(r.function.index() as u64);
+        h.u64(r.arrival.as_micros());
+        h.u64(r.wait.as_micros());
+        h.u64(r.start_penalty.as_micros());
+        h.u64(r.execution.as_micros());
+        h.u64(match r.kind {
+            StartKind::WarmUncompressed => 0,
+            StartKind::WarmCompressed => 1,
+            StartKind::Cold => 2,
+        });
+        h.u64(match r.arch {
+            Arch::X86 => 0,
+            Arch::Arm => 1,
+        });
+    }
+    h.u64(report.keep_alive_spend.as_picodollars());
+    h.u64(report.evictions);
+    h.u64(report.dropped_prewarms);
+    h.u64(report.compression_events);
+    for series in [
+        &report.spend_per_interval,
+        &report.warm_pool_series,
+        &report.compressed_series,
+        &report.compression_events_per_interval,
+        &report.utilization_series,
+    ] {
+        h.u64(series.len() as u64);
+        for &v in series {
+            h.f64(v);
+        }
+    }
+    h.f64(report.stats.mean_service_time_secs());
+    h.f64(report.stats.warm_fraction());
+    h.0
+}
+
+/// Mid-size scenario: large enough to exercise eviction, make-room,
+/// compression transitions, budget caps, and pending queues on both
+/// architectures; small enough to run in seconds in debug builds.
+fn scenario() -> (Trace, Workload, ClusterConfig) {
+    let trace = SyntheticTrace::builder()
+        .functions(60)
+        .duration(SimDuration::from_mins(90))
+        .seed(4242)
+        .build();
+    let workload = Workload::from_trace(
+        &trace,
+        &Catalog::paper_catalog(),
+        &CompressionModel::paper_default(),
+    );
+    let config = ClusterConfig::small(2, 2).with_warm_memory_fraction(0.35);
+    (trace, workload, config)
+}
+
+fn run(policy: &mut dyn Scheduler) -> SimReport {
+    let (trace, workload, config) = scenario();
+    Simulation::new(config, &trace, &workload).run(policy)
+}
+
+fn policy_under_test(name: &str) -> Box<dyn Scheduler> {
+    let (trace, _, _) = scenario();
+    match name {
+        "fixed_keepalive" => Box::new(FixedKeepAlive::ten_minutes()),
+        "sitw" => Box::new(SitW::new()),
+        "faascache" => Box::new(FaasCache::new()),
+        "icebreaker" => Box::new(IceBreaker::new()),
+        "oracle" => Box::new(Oracle::new(&trace)),
+        "codecrunch" => Box::new(CodeCrunch::new()),
+        other => panic!("unknown policy {other}"),
+    }
+}
+
+/// Golden digests captured from the pre-refactor engine (hash-map pool +
+/// per-arrival sorts). The indexing refactor must reproduce them exactly.
+const GOLDEN: [(&str, u64); 6] = [
+    ("fixed_keepalive", 0x46b0492b8fbd77a0),
+    ("sitw", 0x80287e151a53c7d8),
+    ("faascache", 0x8e254dc622b61fec),
+    ("icebreaker", 0x57edf4152245b8ff),
+    ("oracle", 0x8db8e8f26fccd766),
+    ("codecrunch", 0xd248939b20b3c7b6),
+];
+
+#[test]
+fn every_policy_is_deterministic_and_matches_golden() {
+    let mut diverged = Vec::new();
+    for (name, golden) in GOLDEN {
+        let first = run(policy_under_test(name).as_mut());
+        let second = run(policy_under_test(name).as_mut());
+        let d1 = report_digest(&first);
+        let d2 = report_digest(&second);
+        println!("policy {name}: digest {d1:#018x}");
+        assert_eq!(d1, d2, "policy {name} is not run-to-run deterministic");
+        if d1 != golden {
+            diverged.push(format!(
+                "policy {name}: got {d1:#018x}, expected {golden:#018x}"
+            ));
+        }
+    }
+    assert!(
+        diverged.is_empty(),
+        "engine behavior diverged from the golden digests:\n{}",
+        diverged.join("\n")
+    );
+}
+
+#[test]
+fn digest_is_sensitive_to_report_contents() {
+    let mut report = run(policy_under_test("sitw").as_mut());
+    let base = report_digest(&report);
+    report.evictions += 1;
+    assert_ne!(base, report_digest(&report), "digest ignores evictions");
+    report.evictions -= 1;
+    assert_eq!(base, report_digest(&report));
+    if let Some(v) = report.utilization_series.first_mut() {
+        *v += 1.0;
+        assert_ne!(base, report_digest(&report), "digest ignores series");
+    }
+}

@@ -1,0 +1,426 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the harness surface the workspace's benches use:
+//! [`Criterion`], [`BenchmarkGroup`] (with `sample_size`, `warm_up_time`,
+//! `measurement_time`, `throughput`), [`Bencher::iter`], [`BenchmarkId`],
+//! [`Throughput`], [`black_box`], and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! - Statistics are mean/min/max over wall-clock samples — no bootstrap
+//!   confidence intervals or outlier classification.
+//! - Baselines are plain TSV files under `target/criterion-offline/`
+//!   (`--save-baseline <name>` writes one, `--baseline <name>` compares
+//!   against one and prints the delta per bench).
+//! - When invoked by `cargo test` (the `--test` flag), every benchmark
+//!   runs exactly one iteration as a smoke test.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation for a group: scales the reported rate line.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: a function name plus an optional parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `name/parameter`.
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Conversion into a [`BenchmarkId`]; lets `bench_function` accept `&str`.
+pub trait IntoBenchmarkId {
+    /// Performs the conversion.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            id: self.to_string(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { id: self }
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// The benchmark harness entry point.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    save_baseline: Option<String>,
+    compare_baseline: Option<String>,
+    results: Vec<(String, f64)>,
+}
+
+impl Criterion {
+    /// Builds a harness from the process arguments, ignoring flags this
+    /// stand-in doesn't implement.
+    pub fn from_args() -> Criterion {
+        let mut test_mode = false;
+        let mut filters = Vec::new();
+        let mut save_baseline = None;
+        let mut compare_baseline = None;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--save-baseline" => save_baseline = args.next(),
+                "--baseline" | "--baseline-lenient" => compare_baseline = args.next(),
+                "--bench" | "--profile-time" | "--measurement-time" | "--warm-up-time"
+                | "--sample-size" | "--color" | "--output-format" => {
+                    // Flags with a value we don't use; consume the value so
+                    // it isn't mistaken for a filter.
+                    if arg != "--bench" {
+                        args.next();
+                    }
+                }
+                other if other.starts_with("--") => {}
+                filter => filters.push(filter.to_string()),
+            }
+        }
+        Criterion {
+            test_mode,
+            filters,
+            save_baseline,
+            compare_baseline,
+            results: Vec::new(),
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(2),
+            throughput: None,
+        }
+    }
+
+    /// Directly benches a function outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, f: F) {
+        self.benchmark_group("").bench_function(id, f);
+    }
+
+    fn matches_filter(&self, full_name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| full_name.contains(f))
+    }
+
+    fn baseline_path(name: &str) -> std::path::PathBuf {
+        std::path::Path::new("target/criterion-offline").join(format!("{name}.tsv"))
+    }
+
+    /// Writes/compares baselines after all groups ran. Called by
+    /// `criterion_main!`.
+    pub fn final_summary(&mut self) {
+        if let Some(name) = self.compare_baseline.take() {
+            let path = Self::baseline_path(&name);
+            match std::fs::read_to_string(&path) {
+                Ok(contents) => {
+                    let prior: Vec<(String, f64)> = contents
+                        .lines()
+                        .filter_map(|line| {
+                            let (bench, ns) = line.split_once('\t')?;
+                            Some((bench.to_string(), ns.parse().ok()?))
+                        })
+                        .collect();
+                    for (bench, mean_ns) in &self.results {
+                        if let Some((_, old)) = prior.iter().find(|(b, _)| b == bench) {
+                            let delta = (mean_ns - old) / old * 100.0;
+                            println!(
+                                "{bench:<40} vs baseline '{name}': {delta:+.1}% ({} -> {})",
+                                format_ns(*old),
+                                format_ns(*mean_ns)
+                            );
+                        }
+                    }
+                }
+                Err(err) => eprintln!(
+                    "baseline '{name}' not readable at {}: {err}",
+                    path.display()
+                ),
+            }
+        }
+        if let Some(name) = self.save_baseline.take() {
+            let path = Self::baseline_path(&name);
+            if let Some(parent) = path.parent() {
+                let _ = std::fs::create_dir_all(parent);
+            }
+            let mut out = String::new();
+            for (bench, mean_ns) in &self.results {
+                let _ = writeln!(out, "{bench}\t{mean_ns}");
+            }
+            match std::fs::write(&path, out) {
+                Ok(()) => println!("saved baseline '{name}' to {}", path.display()),
+                Err(err) => eprintln!("failed to save baseline '{name}': {err}"),
+            }
+        }
+    }
+}
+
+/// A group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target number of measurement samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the warm-up duration before measurement starts.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement time budget for each benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Annotates subsequent benches with a throughput for rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl IntoBenchmarkId, mut f: F) {
+        self.run(id.into_benchmark_id(), &mut f);
+    }
+
+    /// Benchmarks `f` against a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) {
+        self.run(id, &mut |b| f(b, input));
+    }
+
+    /// Ends the group. (Reporting happens per-bench; kept for API parity.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, f: &mut dyn FnMut(&mut Bencher)) {
+        let full_name = if self.name.is_empty() {
+            id.id.clone()
+        } else {
+            format!("{}/{}", self.name, id.id)
+        };
+        if !self.criterion.matches_filter(&full_name) {
+            return;
+        }
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.criterion.test_mode {
+            f(&mut bencher);
+            println!("{full_name}: test ok");
+            return;
+        }
+
+        // Warm-up, doubling the per-sample iteration count until one sample
+        // costs at least ~1ms (or the warm-up budget runs out).
+        let warm_deadline = Instant::now() + self.warm_up;
+        loop {
+            f(&mut bencher);
+            let long_enough = bencher.elapsed >= Duration::from_millis(1);
+            if Instant::now() >= warm_deadline && long_enough {
+                break;
+            }
+            if !long_enough && bencher.iters < u64::MAX / 2 {
+                bencher.iters *= 2;
+            }
+            if Instant::now() >= warm_deadline {
+                break;
+            }
+        }
+
+        // Measurement: up to sample_size samples within the time budget.
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement;
+        for i in 0..self.sample_size {
+            f(&mut bencher);
+            samples_ns.push(bencher.elapsed.as_nanos() as f64 / bencher.iters as f64);
+            if Instant::now() >= deadline && i >= 1 {
+                break;
+            }
+        }
+        let mean = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min = samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = samples_ns.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+        let mut line = format!(
+            "{full_name:<40} time: [{} {} {}]",
+            format_ns(min),
+            format_ns(mean),
+            format_ns(max)
+        );
+        match self.throughput {
+            Some(Throughput::Bytes(bytes)) => {
+                let rate = bytes as f64 / (mean / 1e9);
+                let _ = write!(line, "  thrpt: {:.2} MiB/s", rate / (1024.0 * 1024.0));
+            }
+            Some(Throughput::Elements(elems)) => {
+                let rate = elems as f64 / (mean / 1e9);
+                let _ = write!(line, "  thrpt: {} elem/s", format_count(rate));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self.criterion.results.push((full_name, mean));
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} us", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn format_count(x: f64) -> String {
+    if x < 1e3 {
+        format!("{x:.1}")
+    } else if x < 1e6 {
+        format!("{:.2}K", x / 1e3)
+    } else if x < 1e9 {
+        format!("{:.3}M", x / 1e6)
+    } else {
+        format!("{:.3}G", x / 1e9)
+    }
+}
+
+/// Bundles benchmark functions into one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Expands to `main` running every listed group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_counts_iterations() {
+        let mut count = 0u64;
+        let mut b = Bencher {
+            iters: 7,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| count += 1);
+        assert_eq!(count, 7);
+    }
+
+    #[test]
+    fn benchmark_ids_compose() {
+        assert_eq!(BenchmarkId::new("zstd", 3).id, "zstd/3");
+        assert_eq!(BenchmarkId::from_parameter(128).id, "128");
+    }
+
+    #[test]
+    fn group_runs_in_test_mode() {
+        let mut criterion = Criterion {
+            test_mode: true,
+            filters: vec![],
+            save_baseline: None,
+            compare_baseline: None,
+            results: Vec::new(),
+        };
+        let mut ran = 0;
+        let mut group = criterion.benchmark_group("g");
+        group.bench_function("one", |b| b.iter(|| ran += 1));
+        group.finish();
+        assert_eq!(ran, 1);
+    }
+}

@@ -1,0 +1,644 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! The build environment has no network access, so this crate provides the
+//! JSON surface the workspace uses — a [`Value`] tree with insertion-order
+//! object keys, the [`json!`] constructor macro, accessors
+//! (`as_f64`/`as_u64`/`as_str`/`as_array`, `Index` by key and position),
+//! and pretty serialization ([`to_vec_pretty`], [`to_string_pretty`]).
+//!
+//! Serialization of custom types goes through the [`ToJson`] trait instead
+//! of serde's derive machinery: implement `to_json(&self) -> Value` and
+//! every `to_*` function accepts the type.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Index;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub enum Value {
+    /// `null`.
+    #[default]
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number.
+    Number(Number),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Value>),
+    /// An object; keys keep insertion order.
+    Object(Map),
+}
+
+/// An object body: key-value pairs in insertion order.
+pub type Map = Vec<(String, Value)>;
+
+/// A JSON number: integer or float, preserved exactly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Number {
+    /// Unsigned integer.
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point.
+    F64(f64),
+}
+
+impl Number {
+    /// The value as `f64` (lossy for huge integers).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            Number::U64(v) => v as f64,
+            Number::I64(v) => v as f64,
+            Number::F64(v) => v,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl Value {
+    /// The value as `f64` if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => Some(n.as_f64()),
+            _ => None,
+        }
+    }
+
+    /// The value as `u64` if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(Number::U64(v)) => Some(*v),
+            Value::Number(Number::I64(v)) if *v >= 0 => Some(*v as u64),
+            _ => None,
+        }
+    }
+
+    /// The value as `i64` if it is an integer.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(Number::I64(v)) => Some(*v),
+            Value::Number(Number::U64(v)) if *v <= i64::MAX as u64 => Some(*v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str` if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool` if it is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array if it is one.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The value as an object if it is one.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object; `None` for missing keys or non-objects.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+impl Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                Value::Number(Number::U64(v as u64))
+            }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value {
+                if v >= 0 {
+                    Value::Number(Number::U64(v as u64))
+                } else {
+                    Value::Number(Number::I64(v as i64))
+                }
+            }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64, usize);
+from_signed!(i8, i16, i32, i64, isize);
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Number(Number::F64(v))
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::Number(Number::F64(v as f64))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_owned())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&String> for Value {
+    fn from(v: &String) -> Value {
+        Value::String(v.clone())
+    }
+}
+
+impl<T: Into<Value>> From<Vec<T>> for Value {
+    fn from(v: Vec<T>) -> Value {
+        Value::Array(v.into_iter().map(Into::into).collect())
+    }
+}
+
+impl<T: Clone + Into<Value>> From<&[T]> for Value {
+    fn from(v: &[T]) -> Value {
+        Value::Array(v.iter().cloned().map(Into::into).collect())
+    }
+}
+
+impl<T: Into<Value>> From<Option<T>> for Value {
+    fn from(v: Option<T>) -> Value {
+        match v {
+            Some(inner) => inner.into(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl From<&Value> for Value {
+    fn from(v: &Value) -> Value {
+        v.clone()
+    }
+}
+
+/// Types that can render themselves as a JSON [`Value`] — the stand-in for
+/// serde's `Serialize`.
+pub trait ToJson {
+    /// Converts `self` into a JSON value tree.
+    fn to_json(&self) -> Value;
+}
+
+impl ToJson for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &mut T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+macro_rules! impl_to_json_via_from {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+impl_to_json_via_from!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+impl ToJson for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson, const N: usize> ToJson for [T; N] {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Value {
+        self.as_slice().to_json()
+    }
+}
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+macro_rules! impl_to_json_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: ToJson),+> ToJson for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+
+impl_to_json_tuple!(A: 0, B: 1);
+impl_to_json_tuple!(A: 0, B: 1, C: 2);
+impl_to_json_tuple!(A: 0, B: 1, C: 2, D: 3);
+
+/// Converts any [`ToJson`] value to a [`Value`] by reference. The `json!`
+/// macro routes value expressions through this, so (like upstream
+/// serde_json) it never moves out of the expressions it is given.
+pub fn to_value<T: ToJson + ?Sized>(value: &T) -> Value {
+    value.to_json()
+}
+
+/// Serialization error. The in-memory writer cannot actually fail; the
+/// type exists for signature compatibility with upstream `serde_json`.
+#[derive(Debug)]
+pub struct Error;
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching upstream's shape.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes compactly to a `String`.
+pub fn to_string<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), None, 0);
+    Ok(out)
+}
+
+/// Serializes with 2-space indentation to a `String`.
+pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_json(), Some(2), 0);
+    Ok(out)
+}
+
+/// Serializes with 2-space indentation to bytes.
+pub fn to_vec_pretty<T: ToJson + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string_pretty(value).map(String::into_bytes)
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        f.write_str(&out)
+    }
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => write_number(out, *n),
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+                write_value(o, v, indent, d)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, v), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, T>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: impl FnMut(&mut String, T, usize),
+) where
+    I: ExactSizeIterator<Item = T>,
+{
+    out.push(brackets.0);
+    let len = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * (depth + 1)));
+        }
+        write_item(out, item, depth + 1);
+        if i + 1 < len {
+            out.push(',');
+        }
+    }
+    if len > 0 {
+        if let Some(step) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', step * depth));
+        }
+    }
+    out.push(brackets.1);
+}
+
+fn write_number(out: &mut String, n: Number) {
+    match n {
+        Number::U64(v) => out.push_str(&v.to_string()),
+        Number::I64(v) => out.push_str(&v.to_string()),
+        Number::F64(v) => {
+            if v.is_finite() {
+                if v == v.trunc() && v.abs() < 1e15 {
+                    // Match serde_json: floats always carry a decimal point.
+                    out.push_str(&format!("{v:.1}"));
+                } else {
+                    out.push_str(&v.to_string());
+                }
+            } else {
+                out.push_str("null"); // JSON has no NaN/Inf
+            }
+        }
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Builds a [`Value`] from JSON-shaped syntax, interpolating Rust
+/// expressions wherever a value is expected.
+///
+/// ```
+/// use serde_json::json;
+///
+/// let series = vec![1.0, 2.5];
+/// let v = json!({ "name": "fig1", "series": series, "nested": [1, {"ok": true}] });
+/// assert_eq!(v["series"][1].as_f64(), Some(2.5));
+/// ```
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($items:tt)* ]) => { $crate::Value::Array($crate::json_array!([] $($items)*)) };
+    ({ $($entries:tt)* }) => { $crate::Value::Object($crate::json_object!([] () $($entries)*)) };
+    ($other:expr) => { $crate::to_value(&$other) };
+}
+
+/// Internal helper for [`json!`] array bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array {
+    // Done.
+    ([ $($done:expr,)* ]) => { vec![ $($done,)* ] };
+    // Next item is a nested array/object/value; match up to the comma.
+    ([ $($done:expr,)* ] [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] [ $($inner:tt)* ]) => {
+        $crate::json_array!([ $($done,)* $crate::json!([ $($inner)* ]), ])
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] { $($inner:tt)* }) => {
+        $crate::json_array!([ $($done,)* $crate::json!({ $($inner)* }), ])
+    };
+    ([ $($done:expr,)* ] null , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null, ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] null) => {
+        $crate::json_array!([ $($done,)* $crate::Value::Null, ])
+    };
+    ([ $($done:expr,)* ] $next:expr , $($rest:tt)*) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next), ] $($rest)*)
+    };
+    ([ $($done:expr,)* ] $next:expr) => {
+        $crate::json_array!([ $($done,)* $crate::json!($next), ])
+    };
+}
+
+/// Internal helper for [`json!`] object bodies. Not public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object {
+    // Done.
+    ([ $($done:expr,)* ] ()) => { vec![ $($done,)* ] };
+    // Accumulate key tokens until the colon, then dispatch on the value.
+    ([ $($done:expr,)* ] () $key:literal : $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ] ($key) $($rest)*)
+    };
+    ([ $($done:expr,)* ] ($key:literal) [ $($inner:tt)* ] , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ] () $($rest)*)
+    };
+    ([ $($done:expr,)* ] ($key:literal) [ $($inner:tt)* ]) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!([ $($inner)* ])), ] ())
+    };
+    ([ $($done:expr,)* ] ($key:literal) { $($inner:tt)* } , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!({ $($inner)* })), ] () $($rest)*)
+    };
+    ([ $($done:expr,)* ] ($key:literal) { $($inner:tt)* }) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!({ $($inner)* })), ] ())
+    };
+    ([ $($done:expr,)* ] ($key:literal) null , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::Value::Null), ] () $($rest)*)
+    };
+    ([ $($done:expr,)* ] ($key:literal) null) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::Value::Null), ] ())
+    };
+    ([ $($done:expr,)* ] ($key:literal) $value:expr , $($rest:tt)*) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!($value)), ] () $($rest)*)
+    };
+    ([ $($done:expr,)* ] ($key:literal) $value:expr) => {
+        $crate::json_object!([ $($done,)* ($key.to_string(), $crate::json!($value)), ] ())
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_values() {
+        let series = vec![0.5f64, 1.0];
+        let v = json!({
+            "id": "fig",
+            "count": 3u64,
+            "series": series,
+            "rows": [ {"a": 1, "b": [2, 3]}, null, true ],
+        });
+        assert_eq!(v["id"], "fig");
+        assert_eq!(v["count"].as_u64(), Some(3));
+        assert_eq!(v["series"][0].as_f64(), Some(0.5));
+        assert_eq!(v["rows"][0]["b"][1].as_u64(), Some(3));
+        assert_eq!(v["rows"][1], Value::Null);
+        assert_eq!(v["rows"][2].as_bool(), Some(true));
+        assert_eq!(v["missing"], Value::Null);
+    }
+
+    #[test]
+    fn pretty_output_is_stable_and_ordered() {
+        let v = json!({ "b": 1, "a": [true, "x"] });
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(
+            s,
+            "{\n  \"b\": 1,\n  \"a\": [\n    true,\n    \"x\"\n  ]\n}"
+        );
+        // Keys keep insertion order, not alphabetical order.
+        assert!(s.find("\"b\"").unwrap() < s.find("\"a\"").unwrap());
+    }
+
+    #[test]
+    fn compact_output_roundtrips_escapes() {
+        let v = json!({ "s": "a\"b\\c\nd" });
+        assert_eq!(to_string(&v).unwrap(), r#"{"s":"a\"b\\c\nd"}"#);
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        assert_eq!(to_string(&json!(2.0)).unwrap(), "2.0");
+        assert_eq!(to_string(&json!(2.5)).unwrap(), "2.5");
+        assert_eq!(to_string(&json!(f64::NAN)).unwrap(), "null");
+        assert_eq!(to_string(&json!(7u64)).unwrap(), "7");
+    }
+
+    #[test]
+    fn accessors_reject_wrong_types() {
+        let v = json!({ "n": 1.5 });
+        assert_eq!(v["n"].as_u64(), None);
+        assert_eq!(v["n"].as_f64(), Some(1.5));
+        assert_eq!(v["n"].as_str(), None);
+        assert!(v.get("nope").is_none());
+        assert_eq!(v[3], Value::Null);
+    }
+
+    #[test]
+    fn empty_containers_render_tight() {
+        assert_eq!(to_string_pretty(&json!([])).unwrap(), "[]");
+        assert_eq!(to_string_pretty(&json!({})).unwrap(), "{}");
+    }
+}
