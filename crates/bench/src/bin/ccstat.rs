@@ -1,0 +1,295 @@
+//! `ccstat`: replay a synthetic trace under any policy with live telemetry.
+//!
+//! Prints one table row per completed optimization interval while the
+//! replay runs (warm fraction, budget debit/credit, compression hits, pool
+//! size, utilization, optimizer objective), then the final telemetry
+//! report. Optionally exports the full event stream:
+//!
+//! ```text
+//! cargo run --release -p bench --bin ccstat -- --policy codecrunch
+//! cargo run --release -p bench --bin ccstat -- --policy all --chrome trace.json
+//! cargo run --release -p bench --bin ccstat -- --policy sitw --jsonl events.jsonl
+//! ```
+//!
+//! `--chrome` writes a Chrome `trace_event` file loadable in Perfetto
+//! (<https://ui.perfetto.dev>) or `about://tracing`: executions per node,
+//! warm-instance lifetimes per node, and cluster counter tracks. `--jsonl`
+//! writes one JSON object per event plus a final `snapshot` line. When
+//! `--policy all` runs several policies, export paths get a `-<policy>`
+//! suffix before the extension.
+
+use std::fs::File;
+use std::io::BufWriter;
+
+use bench::BenchScenario;
+use cc_compress::CompressionModel;
+use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
+use cc_sim::{
+    ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink, Scheduler,
+    SimReport, Simulation, Telemetry,
+};
+use cc_trace::{SyntheticTrace, Trace};
+use cc_types::{Cost, SimDuration};
+use cc_workload::{Catalog, Workload};
+use codecrunch::CodeCrunch;
+
+const USAGE: &str = "usage: ccstat [--policy NAME|all] [--functions N] [--minutes N] [--seed N] \
+                     [--x86 N] [--arm N] [--warm-fraction F] [--budget DOLLARS] \
+                     [--jsonl PATH] [--chrome PATH] [--no-table] [--stress]";
+
+const POLICIES: [&str; 6] = [
+    "fixed_keepalive",
+    "sitw",
+    "faascache",
+    "icebreaker",
+    "oracle",
+    "codecrunch",
+];
+
+fn usage_error(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("{USAGE}");
+    std::process::exit(2);
+}
+
+/// Telemetry plus optional exporters, with live interval-table printing.
+/// One concrete sink type keeps `run_with_sink` monomorphization simple
+/// while the exporters stay optional at runtime.
+struct CcstatSink {
+    telemetry: Telemetry,
+    live: bool,
+    jsonl: Option<JsonlSink<BufWriter<File>>>,
+    chrome: Option<ChromeTraceSink<BufWriter<File>>>,
+}
+
+impl EventSink for CcstatSink {
+    fn record(&mut self, event: &Event) {
+        self.telemetry.record(event);
+        if let Some(sink) = &mut self.jsonl {
+            sink.record(event);
+        }
+        if let Some(sink) = &mut self.chrome {
+            sink.record(event);
+        }
+        if self.live {
+            if let Event::IntervalSampled { .. } = event {
+                if let Some(row) = self.telemetry.latest_row() {
+                    println!("{row}");
+                }
+            }
+        }
+    }
+}
+
+fn main() {
+    let mut policy_arg = String::from("codecrunch");
+    let mut functions: usize = 200;
+    let mut minutes: u64 = 20;
+    let mut seed: u64 = 7;
+    let mut x86: u32 = 2;
+    let mut arm: u32 = 2;
+    let mut warm_fraction: Option<f64> = None;
+    let mut budget: Option<f64> = None;
+    let mut jsonl_path: Option<String> = None;
+    let mut chrome_path: Option<String> = None;
+    let mut live = true;
+    let mut stress = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} takes a value")))
+        };
+        match arg.as_str() {
+            "--policy" => policy_arg = next("--policy"),
+            "--functions" => {
+                functions = next("--functions")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--functions takes an integer"));
+            }
+            "--minutes" => {
+                minutes = next("--minutes")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--minutes takes an integer"));
+            }
+            "--seed" => {
+                seed = next("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed takes an integer"));
+            }
+            "--x86" => {
+                x86 = next("--x86")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--x86 takes an integer"));
+            }
+            "--arm" => {
+                arm = next("--arm")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--arm takes an integer"));
+            }
+            "--warm-fraction" => {
+                warm_fraction = Some(
+                    next("--warm-fraction")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--warm-fraction takes a fraction")),
+                );
+            }
+            "--budget" => {
+                budget = Some(
+                    next("--budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--budget takes dollars per interval")),
+                );
+            }
+            "--jsonl" => jsonl_path = Some(next("--jsonl")),
+            "--chrome" => chrome_path = Some(next("--chrome")),
+            "--no-table" => live = false,
+            "--stress" => stress = true,
+            other => usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let names: Vec<&str> = if policy_arg == "all" {
+        POLICIES.to_vec()
+    } else if let Some(&name) = POLICIES.iter().find(|&&n| n == policy_arg) {
+        vec![name]
+    } else {
+        usage_error(&format!(
+            "unknown policy {policy_arg:?} (known: {POLICIES:?} or all)"
+        ));
+    };
+
+    let (trace, workload, config) = if stress {
+        let scenario = BenchScenario::large();
+        (scenario.trace, scenario.workload, scenario.config)
+    } else {
+        let trace = SyntheticTrace::builder()
+            .functions(functions)
+            .duration(SimDuration::from_mins(minutes))
+            .seed(seed)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        let mut config = ClusterConfig::small(x86, arm);
+        if let Some(fraction) = warm_fraction {
+            config = config.with_warm_memory_fraction(fraction);
+        }
+        if let Some(dollars) = budget {
+            config = config.with_budget(Cost::from_dollars(dollars));
+        }
+        (trace, workload, config)
+    };
+    eprintln!(
+        "trace: {} functions, {} invocations over {} nodes",
+        trace.functions().len(),
+        trace.invocations().len(),
+        config.total_nodes(),
+    );
+
+    let multi = names.len() > 1;
+    for name in names {
+        let mut policy = make_policy(name, &trace);
+        println!("=== {name} ===");
+        if live {
+            println!("{}", Telemetry::interval_header());
+        }
+        let mut sink = CcstatSink {
+            telemetry: Telemetry::new(config.interval),
+            live,
+            jsonl: jsonl_path
+                .as_deref()
+                .map(|p| JsonlSink::new(open(&policy_path(p, name, multi)))),
+            chrome: chrome_path
+                .as_deref()
+                .map(|p| ChromeTraceSink::new(open(&policy_path(p, name, multi)))),
+        };
+        let report = Simulation::new(config.clone(), &trace, &workload)
+            .run_with_sink(policy.as_mut(), &mut sink);
+        if !live {
+            // Batch mode: print the whole table at the end instead.
+            println!("{}", Telemetry::interval_header());
+            for row in sink.telemetry.interval_rows() {
+                println!("{row}");
+            }
+        }
+        println!("{}", sink.telemetry.report());
+        print_report_summary(&report);
+        if let Some(mut jsonl) = sink.jsonl {
+            jsonl.write_line(&sink.telemetry.snapshot_line());
+            let events = jsonl.events_written();
+            finish(jsonl.finish(), "jsonl");
+            eprintln!("jsonl: {events} events");
+        }
+        if let Some(chrome) = sink.chrome {
+            finish(chrome.finish(), "chrome trace");
+        }
+    }
+}
+
+fn make_policy(name: &str, trace: &Trace) -> Box<dyn Scheduler> {
+    match name {
+        "fixed_keepalive" => Box::new(FixedKeepAlive::ten_minutes()),
+        "sitw" => Box::new(SitW::new()),
+        "faascache" => Box::new(FaasCache::new()),
+        "icebreaker" => Box::new(IceBreaker::new()),
+        "oracle" => Box::new(Oracle::new(trace)),
+        "codecrunch" => Box::new(CodeCrunch::new()),
+        _ => unreachable!("validated above"),
+    }
+}
+
+fn print_report_summary(report: &SimReport) {
+    println!(
+        "simulator: mean service {:.4}s  warm fraction {:.3}  spend ${:.6}  \
+         evictions {}  decision overhead {:.2}us/invocation",
+        report.mean_service_time_secs(),
+        report.warm_fraction(),
+        report.keep_alive_spend.as_dollars(),
+        report.evictions,
+        if report.records.is_empty() {
+            0.0
+        } else {
+            report.decision_time.as_secs_f64() * 1e6 / report.records.len() as f64
+        },
+    );
+    println!();
+}
+
+/// `base` with `-<policy>` spliced in before the extension, when several
+/// policies share one `--jsonl`/`--chrome` destination.
+fn policy_path(base: &str, policy: &str, multi: bool) -> String {
+    if !multi {
+        return base.to_string();
+    }
+    let dir_end = base.rfind('/').map_or(0, |s| s + 1);
+    match base.rfind('.') {
+        Some(dot) if dot > dir_end => format!("{}-{policy}{}", &base[..dot], &base[dot..]),
+        _ => format!("{base}-{policy}"),
+    }
+}
+
+fn open(path: &str) -> BufWriter<File> {
+    BufWriter::new(
+        File::create(path).unwrap_or_else(|e| usage_error(&format!("cannot create {path:?}: {e}"))),
+    )
+}
+
+fn finish(result: std::io::Result<BufWriter<File>>, what: &str) {
+    use std::io::Write;
+    match result {
+        Ok(mut writer) => {
+            if let Err(e) = writer.flush() {
+                eprintln!("error: flushing {what}: {e}");
+                std::process::exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("error: writing {what}: {e}");
+            std::process::exit(1);
+        }
+    }
+}

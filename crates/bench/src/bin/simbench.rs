@@ -6,20 +6,51 @@
 //! ```text
 //! cargo run --release -p bench --bin simbench            # writes BENCH_sim.json
 //! cargo run --release -p bench --bin simbench -- --runs 5 --out BENCH_sim.json
+//! cargo run --release -p bench --bin simbench -- --scenario small --sink jsonl
+//! cargo run --release -p bench --bin simbench -- --baseline BENCH_sim.json --tolerance 0.03
 //! ```
 //!
 //! Each policy is replayed `--runs` times (default 3) after one warm-up
 //! replay; the reported figure is the best run, which is the least noisy
 //! estimator on a shared machine.
+//!
+//! `--sink` selects the event sink the replay runs under: `null` (the
+//! default, PR 1's uninstrumented fast path), `jsonl`, or `chrome` — the
+//! exporters serialize the full event stream into `std::io::sink()`, so
+//! the measured delta is pure observability overhead with no disk noise.
+//!
+//! `--baseline` compares the measured throughput against a previously
+//! recorded `BENCH_sim.json` (either this binary's output or the annotated
+//! before/after variant) and exits non-zero if any measured policy falls
+//! below `baseline * (1 - tolerance)`; `--tolerance` defaults to 0.03.
 
 use std::time::Instant;
 
 use bench::BenchScenario;
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
-use cc_sim::{FixedKeepAlive, Scheduler, Simulation};
+use cc_sim::{ChromeTraceSink, FixedKeepAlive, JsonlSink, Scheduler, Simulation};
 use codecrunch::CodeCrunch;
 
-const USAGE: &str = "usage: simbench [--runs N] [--out PATH]";
+const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small] \
+                     [--sink null|jsonl|chrome] [--policies a,b,..] \
+                     [--baseline PATH] [--tolerance FRAC]";
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum SinkMode {
+    Null,
+    Jsonl,
+    Chrome,
+}
+
+impl SinkMode {
+    fn label(self) -> &'static str {
+        match self {
+            SinkMode::Null => "null",
+            SinkMode::Jsonl => "jsonl",
+            SinkMode::Chrome => "chrome",
+        }
+    }
+}
 
 fn usage_error(message: &str) -> ! {
     eprintln!("error: {message}");
@@ -30,6 +61,11 @@ fn usage_error(message: &str) -> ! {
 fn main() {
     let mut runs: u32 = 3;
     let mut out = String::from("BENCH_sim.json");
+    let mut scenario_name = String::from("large");
+    let mut sink = SinkMode::Null;
+    let mut policy_filter: Option<Vec<String>> = None;
+    let mut baseline: Option<String> = None;
+    let mut tolerance: f64 = 0.03;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,16 +81,52 @@ fn main() {
                     None => usage_error("--out takes a path"),
                 };
             }
+            "--scenario" => match args.next().as_deref() {
+                Some("large") => scenario_name = "large".into(),
+                Some("small") => scenario_name = "small".into(),
+                _ => usage_error("--scenario takes large or small"),
+            },
+            "--sink" => {
+                sink = match args.next().as_deref() {
+                    Some("null") => SinkMode::Null,
+                    Some("jsonl") => SinkMode::Jsonl,
+                    Some("chrome") => SinkMode::Chrome,
+                    _ => usage_error("--sink takes null, jsonl, or chrome"),
+                };
+            }
+            "--policies" => {
+                policy_filter = match args.next() {
+                    Some(list) => Some(list.split(',').map(|s| s.trim().to_string()).collect()),
+                    None => usage_error("--policies takes a comma-separated list"),
+                };
+            }
+            "--baseline" => {
+                baseline = match args.next() {
+                    Some(path) => Some(path),
+                    None => usage_error("--baseline takes a path"),
+                };
+            }
+            "--tolerance" => {
+                tolerance = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(f) if (0.0..1.0).contains(&f) => f,
+                    _ => usage_error("--tolerance takes a fraction in [0, 1)"),
+                };
+            }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
 
-    let scenario = BenchScenario::large();
+    let scenario = if scenario_name == "small" {
+        BenchScenario::new()
+    } else {
+        BenchScenario::large()
+    };
     let invocations = scenario.trace.invocations().len() as u64;
     eprintln!(
-        "scenario: {} functions, {invocations} invocations, {} nodes",
+        "scenario: {scenario_name} ({} functions, {invocations} invocations, {} nodes), sink: {}",
         scenario.trace.functions().len(),
         scenario.config.total_nodes(),
+        sink.label(),
     );
 
     let oracle_trace = scenario.trace.clone();
@@ -85,15 +157,29 @@ fn main() {
             Box::new(|| Box::new(CodeCrunch::new()) as Box<dyn Scheduler>),
         ),
     ];
+    if let Some(filter) = &policy_filter {
+        let known: Vec<&str> = policies.iter().map(|(n, _)| *n).collect();
+        for name in filter {
+            if !known.contains(&name.as_str()) {
+                usage_error(&format!("unknown policy {name:?} (known: {known:?})"));
+            }
+        }
+    }
 
     let mut entries = Vec::new();
+    let mut measured: Vec<(String, f64)> = Vec::new();
     for (name, make) in &policies {
+        if let Some(filter) = &policy_filter {
+            if !filter.iter().any(|f| f == name) {
+                continue;
+            }
+        }
         // Warm-up replay (page in the trace, fault in allocator arenas).
-        run_once(&scenario, make().as_mut());
+        run_once(&scenario, make().as_mut(), sink);
         let mut best = f64::INFINITY;
         for _ in 0..runs {
             let started = Instant::now();
-            run_once(&scenario, make().as_mut());
+            run_once(&scenario, make().as_mut(), sink);
             best = best.min(started.elapsed().as_secs_f64());
         }
         let throughput = invocations as f64 / best;
@@ -103,10 +189,13 @@ fn main() {
             "seconds_per_replay": best,
             "invocations_per_sec": throughput,
         }));
+        measured.push((name.to_string(), throughput));
     }
 
     let doc = serde_json::json!({
         "benchmark": "simulate_10k",
+        "scenario_name": scenario_name,
+        "sink": sink.label(),
         "functions": scenario.trace.functions().len() as u64,
         "invocations": invocations,
         "nodes": scenario.config.total_nodes() as u64,
@@ -116,11 +205,86 @@ fn main() {
     let body = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&out, body + "\n").expect("write output file");
     eprintln!("wrote {out}");
+
+    if let Some(path) = baseline {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read baseline {path:?}: {e}")));
+        let reference = parse_baseline(&text);
+        if reference.is_empty() {
+            usage_error(&format!("no per-policy throughput entries in {path:?}"));
+        }
+        let mut failed = false;
+        for (name, throughput) in &measured {
+            let Some((_, base)) = reference.iter().find(|(n, _)| n == name) else {
+                eprintln!("baseline: {name} not in {path}, skipping");
+                continue;
+            };
+            let floor = base * (1.0 - tolerance);
+            let verdict = if *throughput >= floor {
+                "ok"
+            } else {
+                "REGRESSED"
+            };
+            eprintln!(
+                "baseline: {name:>16} measured {throughput:11.0} inv/s vs floor {floor:11.0} \
+                 (recorded {base:.0}, tolerance {tolerance}) {verdict}"
+            );
+            failed |= *throughput < floor;
+        }
+        if failed {
+            eprintln!("baseline check failed: throughput regressed beyond tolerance");
+            std::process::exit(1);
+        }
+    }
 }
 
-fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler) {
-    let report =
-        Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload).run(policy);
+/// Pulls `(policy, invocations_per_sec)` pairs out of a recorded
+/// `BENCH_sim.json` with a line scan — the vendored `serde_json` has no
+/// parser, and the schema is shallow enough that one is not needed.
+/// Accepts both this binary's output (`invocations_per_sec`) and the
+/// annotated before/after variant (`after_invocations_per_sec`).
+fn parse_baseline(text: &str) -> Vec<(String, f64)> {
+    let mut pairs = Vec::new();
+    let mut policy: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"policy\":") {
+            policy = Some(
+                rest.trim()
+                    .trim_end_matches(',')
+                    .trim_matches('"')
+                    .to_string(),
+            );
+        } else if let Some(rest) = line
+            .strip_prefix("\"after_invocations_per_sec\":")
+            .or_else(|| line.strip_prefix("\"invocations_per_sec\":"))
+        {
+            if let (Some(name), Ok(value)) = (
+                policy.take(),
+                rest.trim().trim_end_matches(',').parse::<f64>(),
+            ) {
+                pairs.push((name, value));
+            }
+        }
+    }
+    pairs
+}
+
+fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode) {
+    let sim = Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload);
+    let report = match sink {
+        SinkMode::Null => sim.run(policy),
+        SinkMode::Jsonl => {
+            let mut sink = JsonlSink::new(std::io::sink());
+            let report = sim.run_with_sink(policy, &mut sink);
+            assert!(sink.events_written() > 0);
+            report
+        }
+        SinkMode::Chrome => {
+            let mut sink = ChromeTraceSink::new(std::io::sink());
+            sim.run_with_sink(policy, &mut sink)
+        }
+    };
     assert_eq!(
         report.records.len() as u64,
         scenario.trace.invocations().len() as u64

@@ -6,13 +6,14 @@
 //! expr --smoke all         # run at the tiny CI scale
 //! expr --list              # list experiment ids
 //! expr --json DIR all      # additionally write results as JSON files
+//! expr --telemetry DIR all # also dump per-run JSONL telemetry into DIR
 //! ```
 
 use std::fs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use cc_experiments::{all_experiments, experiment_by_id, Scale};
+use cc_experiments::{all_experiments, enable_telemetry, experiment_by_id, Scale};
 
 fn main() -> ExitCode {
     let mut scale = Scale::standard();
@@ -37,9 +38,22 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--telemetry" => match args.next() {
+                Some(dir) => {
+                    if let Err(e) = enable_telemetry(&PathBuf::from(&dir)) {
+                        eprintln!("cannot set up telemetry dir {dir}: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                None => {
+                    eprintln!("--telemetry requires a directory argument");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: expr [--smoke|--large] [--json DIR] [--list] <all | experiment ids...>"
+                    "usage: expr [--smoke|--large] [--json DIR] [--telemetry DIR] [--list] \
+                     <all | experiment ids...>"
                 );
                 return ExitCode::SUCCESS;
             }

@@ -1,9 +1,15 @@
 //! Shared scenario construction and reporting helpers.
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
 use serde_json::Value;
 
 use cc_compress::CompressionModel;
 use cc_policies::SitW;
-use cc_sim::{ClusterConfig, Scheduler, SimReport, Simulation};
+use cc_sim::{ClusterConfig, JsonlSink, Scheduler, SimReport, Simulation, Tee, Telemetry};
 use cc_trace::{SyntheticTrace, Trace};
 use cc_types::{Cost, SimDuration};
 use cc_workload::{Catalog, Workload};
@@ -116,6 +122,20 @@ pub fn sitw_budget_per_interval(
     natural.keep_alive_spend.scale(1.0 / intervals as f64)
 }
 
+static TELEMETRY_DIR: OnceLock<PathBuf> = OnceLock::new();
+static TELEMETRY_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Opt in to telemetry capture: every subsequent [`run_policy`] call also
+/// streams its JSONL event log (plus a final snapshot line) into `dir`,
+/// one `runNNNN-<policy>.jsonl` file per simulation. Figure runs stay on
+/// the uninstrumented fast path unless this is called (the `expr` binary
+/// exposes it as `--telemetry DIR`).
+pub fn enable_telemetry(dir: &Path) -> std::io::Result<()> {
+    std::fs::create_dir_all(dir)?;
+    let _ = TELEMETRY_DIR.set(dir.to_path_buf());
+    Ok(())
+}
+
 /// Runs one policy and returns its report.
 pub fn run_policy(
     policy: &mut dyn Scheduler,
@@ -123,7 +143,38 @@ pub fn run_policy(
     trace: &Trace,
     workload: &Workload,
 ) -> SimReport {
-    Simulation::new(config.clone(), trace, workload).run(policy)
+    let sim = Simulation::new(config.clone(), trace, workload);
+    let Some(dir) = TELEMETRY_DIR.get() else {
+        return sim.run(policy);
+    };
+    let seq = TELEMETRY_SEQ.fetch_add(1, Ordering::Relaxed);
+    let name: String = policy
+        .name()
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("run{seq:04}-{name}.jsonl"));
+    let file = match File::create(&path) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!(
+                "telemetry: cannot create {}: {e}; running uninstrumented",
+                path.display()
+            );
+            return sim.run(policy);
+        }
+    };
+    let mut sink = Tee(
+        Telemetry::new(config.interval),
+        JsonlSink::new(BufWriter::new(file)),
+    );
+    let report = sim.run_with_sink(policy, &mut sink);
+    let Tee(telemetry, mut jsonl) = sink;
+    jsonl.write_line(&telemetry.snapshot_line());
+    if let Err(e) = jsonl.finish().and_then(|mut w| w.flush()) {
+        eprintln!("telemetry: error writing {}: {e}", path.display());
+    }
+    report
 }
 
 /// The output of one experiment: human-readable lines plus the raw data

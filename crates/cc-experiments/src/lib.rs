@@ -39,7 +39,7 @@ mod tab_pricing;
 mod tab_short_fns;
 mod tab_startkinds;
 
-pub use common::{ExperimentOutput, Scale};
+pub use common::{enable_telemetry, ExperimentOutput, Scale};
 
 /// A runnable paper experiment.
 pub trait Experiment {

@@ -217,6 +217,52 @@ mod tests {
         let _ = P2Quantile::new(1.0);
     }
 
+    #[test]
+    fn fewer_than_five_samples_use_nearest_rank() {
+        // One sample: every quantile answers that sample.
+        for q in [0.01, 0.5, 0.99] {
+            let mut p = P2Quantile::new(q);
+            p.observe(42.0);
+            assert_eq!(p.estimate(), Some(42.0), "q={q}");
+        }
+        // Four samples (one short of the marker warm-up): nearest-rank over
+        // the sorted prefix, regardless of insertion order.
+        let mut p95 = P2Quantile::new(0.95);
+        let mut p25 = P2Quantile::new(0.25);
+        for v in [30.0, 10.0, 40.0, 20.0] {
+            p95.observe(v);
+            p25.observe(v);
+        }
+        assert_eq!(p95.count(), 4);
+        assert_eq!(p95.estimate(), Some(40.0));
+        assert_eq!(p25.estimate(), Some(10.0));
+    }
+
+    #[test]
+    fn duplicate_heavy_streams_stay_finite_and_exact() {
+        // All observations identical: markers collapse onto one height and
+        // the estimate must stay exactly that value (no NaN from the
+        // parabolic adjustment).
+        let mut p = P2Quantile::new(0.9);
+        for _ in 0..1_000 {
+            p.observe(7.0);
+        }
+        assert_eq!(p.estimate(), Some(7.0));
+
+        // Two-valued stream: any quantile estimate must stay inside the
+        // observed range and be finite.
+        let mut median = P2Quantile::new(0.5);
+        for i in 0..10_000 {
+            median.observe(if i % 2 == 0 { 1.0 } else { 2.0 });
+        }
+        let est = median.estimate().unwrap();
+        assert!(est.is_finite());
+        assert!(
+            (1.0..=2.0).contains(&est),
+            "median {est} of {{1, 2}} stream"
+        );
+    }
+
     proptest! {
         #[test]
         fn estimate_stays_within_observed_range(

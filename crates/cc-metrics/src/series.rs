@@ -183,6 +183,36 @@ mod tests {
     }
 
     #[test]
+    fn out_of_order_timestamps_land_in_their_buckets() {
+        // The engine emits events in processing order, which is not always
+        // timestamp order (e.g. CompressionFinished); recording must be
+        // order-independent.
+        let mut s = TimeSeries::new(minutes());
+        s.record(SimTime::ZERO + SimDuration::from_mins(5), 1.0);
+        s.record(SimTime::ZERO + SimDuration::from_mins(1), 2.0);
+        s.record(SimTime::ZERO + SimDuration::from_mins(5), 3.0);
+        s.record(SimTime::ZERO, 4.0);
+        assert_eq!(s.len(), 6);
+        assert_eq!(s.bucket_sum(0), 4.0);
+        assert_eq!(s.bucket_sum(1), 2.0);
+        assert_eq!(s.bucket_sum(5), 4.0);
+        assert_eq!(s.bucket_count(5), 2);
+    }
+
+    #[test]
+    fn boundary_timestamps_open_the_next_bucket() {
+        // A timestamp exactly on a bucket edge belongs to the bucket it
+        // opens; one microsecond earlier still belongs to the previous one.
+        let mut s = TimeSeries::new(minutes());
+        let edge = SimTime::ZERO + SimDuration::from_mins(1);
+        s.record(SimTime::from_micros(edge.as_micros() - 1), 1.0);
+        s.record(edge, 10.0);
+        assert_eq!(s.bucket_sum(0), 1.0);
+        assert_eq!(s.bucket_sum(1), 10.0);
+        assert_eq!(s.bucket_mean(1), Some(10.0));
+    }
+
+    #[test]
     #[should_panic(expected = "bucket interval must be non-zero")]
     fn zero_interval_rejected() {
         let _ = TimeSeries::new(SimDuration::ZERO);

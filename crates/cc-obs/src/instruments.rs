@@ -1,0 +1,258 @@
+//! Streaming instruments built on the event stream.
+//!
+//! These are the primitive accumulators [`Telemetry`](crate::Telemetry)
+//! composes: monotonic [`Counter`]s, up/down [`Gauge`]s with peak
+//! tracking, and the constant-memory [`LogHistogram`] for latency-shaped
+//! distributions whose dynamic range spans microseconds to minutes.
+//! Quantile estimation over exact values reuses
+//! [`cc_metrics::P2Quantile`]; this module only adds what `cc-metrics`
+//! does not have.
+
+/// A monotonically increasing event counter.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Counter(u64);
+
+impl Counter {
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.0 += 1;
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.0 += n;
+    }
+
+    /// The current count.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+}
+
+/// An up/down gauge that remembers its high-water mark.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Gauge {
+    value: i64,
+    peak: i64,
+}
+
+impl Gauge {
+    /// Adds `delta` (may be negative).
+    #[inline]
+    pub fn add(&mut self, delta: i64) {
+        self.value += delta;
+        self.peak = self.peak.max(self.value);
+    }
+
+    /// The current level.
+    pub fn get(self) -> i64 {
+        self.value
+    }
+
+    /// The highest level ever reached.
+    pub fn peak(self) -> i64 {
+        self.peak
+    }
+}
+
+/// Number of power-of-two buckets (covers the full `u64` range).
+const BUCKETS: usize = 65;
+
+/// A log-bucketed histogram of non-negative integer observations
+/// (typically microseconds).
+///
+/// Bucket `b` holds values in `[2^(b-1), 2^b)`, with bucket 0 holding the
+/// value 0 — so relative resolution is a constant 2× at every magnitude
+/// and memory is a fixed 65 words. Exact enough for the "where did the
+/// time go" question telemetry answers; use [`cc_metrics::P2Quantile`]
+/// when sub-bucket quantile precision matters.
+///
+/// # Example
+///
+/// ```
+/// use cc_obs::LogHistogram;
+///
+/// let mut h = LogHistogram::new();
+/// for v in [0, 1, 3, 900, 1_000_000] {
+///     h.observe(v);
+/// }
+/// assert_eq!(h.count(), 5);
+/// assert_eq!(h.max(), 1_000_000);
+/// assert!(h.quantile(0.5) >= 3 && h.quantile(0.5) < 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    counts: [u64; BUCKETS],
+    total: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for LogHistogram {
+    fn default() -> Self {
+        LogHistogram::new()
+    }
+}
+
+impl LogHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LogHistogram {
+        LogHistogram {
+            counts: [0; BUCKETS],
+            total: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(value: u64) -> usize {
+        (64 - value.leading_zeros()) as usize
+    }
+
+    /// The exclusive upper bound of bucket `b` (0 for bucket 0 means "the
+    /// value zero").
+    fn bucket_upper(b: usize) -> u64 {
+        if b == 0 {
+            0
+        } else if b >= 64 {
+            u64::MAX
+        } else {
+            1u64 << b
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn observe(&mut self, value: u64) {
+        self.counts[Self::bucket_of(value)] += 1;
+        self.total += 1;
+        self.sum += u128::from(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// Largest observation (0 if empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Arithmetic mean, or 0.0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.total as f64
+        }
+    }
+
+    /// An upper bound on the `q`-quantile (`q ∈ [0, 1]`): the exclusive
+    /// upper edge of the bucket containing that rank, clamped to the
+    /// observed maximum. Returns 0 for an empty histogram.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0u64;
+        for (b, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return Self::bucket_upper(b).min(self.max).max(if b == 0 {
+                    0
+                } else {
+                    1u64 << (b - 1)
+                });
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_inclusive, upper_exclusive, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(b, &c)| {
+                let lo = if b == 0 { 0 } else { 1u64 << (b - 1) };
+                (lo, Self::bucket_upper(b).max(lo), c)
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let mut c = Counter::default();
+        c.incr();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+
+        let mut g = Gauge::default();
+        g.add(3);
+        g.add(2);
+        g.add(-4);
+        assert_eq!(g.get(), 1);
+        assert_eq!(g.peak(), 5);
+    }
+
+    #[test]
+    fn histogram_buckets_by_magnitude() {
+        let mut h = LogHistogram::new();
+        h.observe(0);
+        h.observe(1);
+        h.observe(2);
+        h.observe(3);
+        h.observe(1024);
+        assert_eq!(h.count(), 5);
+        let buckets: Vec<_> = h.nonzero_buckets().collect();
+        // 0 | [1,2) | [2,4) ×2 | [1024, 2048)
+        assert_eq!(buckets[0], (0, 0, 1));
+        assert_eq!(buckets[1], (1, 2, 1));
+        assert_eq!(buckets[2], (2, 4, 2));
+        assert_eq!(buckets[3], (1024, 2048, 1));
+    }
+
+    #[test]
+    fn quantiles_bound_the_rank() {
+        let mut h = LogHistogram::new();
+        for v in 1..=1000u64 {
+            h.observe(v);
+        }
+        // The p50 rank (500) lives in bucket [256, 512).
+        let p50 = h.quantile(0.5);
+        assert!((256..=512).contains(&p50), "p50 bound {p50}");
+        // The max rank is clamped to the observed max.
+        assert_eq!(h.quantile(1.0), 1000);
+        // Rank clamps to the first sample; its bucket [1, 2) reports the
+        // exclusive upper edge.
+        assert_eq!(h.quantile(0.0), 2);
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LogHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.quantile(0.99), 0);
+        assert_eq!(h.nonzero_buckets().count(), 0);
+    }
+
+    #[test]
+    fn mean_tracks_sum() {
+        let mut h = LogHistogram::new();
+        h.observe(10);
+        h.observe(30);
+        assert_eq!(h.mean(), 20.0);
+        assert_eq!(h.max(), 30);
+    }
+}

@@ -1,0 +1,46 @@
+//! # cc-obs: zero-cost event tracing and streaming telemetry
+//!
+//! The simulator's observability layer. The engine is generic over an
+//! [`EventSink`]; with [`NullSink`] (the default) every emission site is
+//! guarded by the sink's `ENABLED` associated constant and compiles to
+//! nothing — event values are never constructed, so the uninstrumented hot
+//! path is identical to a build without this crate.
+//!
+//! With a real sink attached, the engine emits a typed [`Event`] stream:
+//! arrivals, queueing, execution starts (cold / warm / warm-compressed),
+//! warm-pool admissions and releases, background compression, budget
+//! debits/credits, dropped pre-warms, per-interval samples, and per-round
+//! optimizer progress.
+//!
+//! Consumers compose from three families:
+//!
+//! * **Instruments** — [`Counter`], [`Gauge`], [`LogHistogram`], and the
+//!   [`Telemetry`] aggregate, which folds the stream into a final report
+//!   and a per-interval table (quantiles via [`cc_metrics`]'s P² and
+//!   summary machinery).
+//! * **Exporters** — [`JsonlSink`] (one JSON object per event, stable key
+//!   order, deterministic bytes) and [`ChromeTraceSink`] (Chrome
+//!   `trace_event` JSON loadable in Perfetto, rendering node occupancy and
+//!   warm-instance lifetimes as tracks).
+//! * **Combinators** — [`Tee`] to fan out to two sinks, [`BufferSink`] to
+//!   retain events in memory, and `&mut S` which forwards to `S`.
+//!
+//! This crate deliberately depends only on `cc-types` and `cc-metrics`;
+//! `cc-sim` depends on it (not the reverse), and re-exports the sink
+//! vocabulary so most users never import `cc-obs` directly.
+
+#![warn(missing_docs)]
+
+mod chrome;
+mod event;
+mod instruments;
+mod jsonl;
+mod telemetry;
+
+pub use chrome::ChromeTraceSink;
+pub use event::{
+    BufferSink, Event, EventSink, IntervalSample, NullSink, OptimizerRound, ReleaseReason, Tee,
+};
+pub use instruments::{Counter, Gauge, LogHistogram};
+pub use jsonl::JsonlSink;
+pub use telemetry::Telemetry;

@@ -59,4 +59,4 @@ pub use genetic::GeneticAlgorithm;
 pub use objective::{Objective, OptOutcome};
 pub use separable::{SeparableObjective, SeparableView};
 pub use space::{combine_solutions, sample_subproblems, search_space_size};
-pub use sre::Sre;
+pub use sre::{Sre, SreRoundStats};

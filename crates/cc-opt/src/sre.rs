@@ -8,6 +8,30 @@ use cc_types::FnChoice;
 use crate::space::{combine_solutions, sample_subproblems};
 use crate::{CoordinateDescent, Objective, OptOutcome};
 
+/// Per-round progress snapshot, reported through the optional probe of
+/// [`Sre::optimize_probed`] / [`Sre::optimize_separable_probed`].
+///
+/// Probing is observation-only: the probed and unprobed runs produce
+/// identical solutions, costs, and [`OptOutcome::evaluations`] (the one
+/// extra objective evaluation needed for [`SreRoundStats::cost`] is not
+/// counted).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SreRoundStats {
+    /// Round ordinal (0-based).
+    pub round: u32,
+    /// Disjoint sub-problems sampled this round.
+    pub subproblems: u32,
+    /// Choice dimensions optimized this round (3 per sampled function).
+    pub dimensions: u32,
+    /// Objective value of the spliced (and repaired) working solution.
+    pub cost: f64,
+    /// Coordinates (arch / compress / keep-alive each count) whose value
+    /// changed versus the round's start.
+    pub accepted_moves: u64,
+    /// Objective evaluations consumed by this round's searches and repair.
+    pub evaluations: u64,
+}
+
 /// Sequential Random Embedding over the choice space.
 ///
 /// Per round, SRE samples disjoint low-dimensional sub-problems
@@ -105,9 +129,28 @@ impl Sre {
         opt_counts: &mut [u32],
     ) -> OptOutcome {
         let inner = self.inner.clone();
-        self.run_rounds(objective, start, opt_counts, &move |s, group| {
+        self.run_rounds(objective, start, opt_counts, None, &move |s, group| {
             inner.optimize_subset(objective, s, group)
         })
+    }
+
+    /// [`Sre::optimize`] with a per-round progress probe (observation only;
+    /// the returned outcome is identical to the unprobed run).
+    pub fn optimize_probed(
+        &self,
+        objective: &dyn Objective,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+        probe: &mut dyn FnMut(SreRoundStats),
+    ) -> OptOutcome {
+        let inner = self.inner.clone();
+        self.run_rounds(
+            objective,
+            start,
+            opt_counts,
+            Some(probe),
+            &move |s, group| inner.optimize_subset(objective, s, group),
+        )
     }
 
     /// [`Sre::optimize`] specialized for [separable
@@ -122,7 +165,24 @@ impl Sre {
     ) -> OptOutcome {
         let view = crate::SeparableView(objective);
         let inner = self.inner.clone();
-        self.run_rounds(&view, start, opt_counts, &move |s, group| {
+        self.run_rounds(&view, start, opt_counts, None, &move |s, group| {
+            inner.optimize_separable_subset(objective, s, group)
+        })
+    }
+
+    /// [`Sre::optimize_separable`] with a per-round progress probe
+    /// (observation only; the returned outcome is identical to the
+    /// unprobed run).
+    pub fn optimize_separable_probed<T: crate::SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+        probe: &mut dyn FnMut(SreRoundStats),
+    ) -> OptOutcome {
+        let view = crate::SeparableView(objective);
+        let inner = self.inner.clone();
+        self.run_rounds(&view, start, opt_counts, Some(probe), &move |s, group| {
             inner.optimize_separable_subset(objective, s, group)
         })
     }
@@ -133,6 +193,7 @@ impl Sre {
         objective: &dyn Objective,
         start: Vec<FnChoice>,
         opt_counts: &mut [u32],
+        mut probe: Option<&mut dyn FnMut(SreRoundStats)>,
         optimize_subset: &(dyn Fn(Vec<FnChoice>, &[usize]) -> OptOutcome + Sync),
     ) -> OptOutcome {
         let n = objective.num_functions();
@@ -155,7 +216,12 @@ impl Sre {
         let mut evaluations = 0u64;
         let mut round_solutions: Vec<Vec<FnChoice>> = Vec::with_capacity(self.rounds);
 
-        for _ in 0..self.rounds {
+        for round in 0..self.rounds {
+            // Probe-only bookkeeping: a pre-round snapshot for the
+            // accepted-move diff, and the evaluation watermark. Neither
+            // exists on the unprobed path.
+            let round_start = probe.as_ref().map(|_| current.clone());
+            let evals_before = evaluations;
             let groups = sample_subproblems(
                 &mut rng,
                 opt_counts,
@@ -214,6 +280,25 @@ impl Sre {
                         current[idx].keep_alive = cc_types::SimDuration::ZERO;
                     }
                 }
+            }
+            if let (Some(probe), Some(before)) = (probe.as_deref_mut(), round_start) {
+                let mut accepted_moves = 0u64;
+                for &idx in &touched {
+                    let (a, b) = (before[idx], current[idx]);
+                    accepted_moves += u64::from(a.arch != b.arch)
+                        + u64::from(a.compress != b.compress)
+                        + u64::from(a.keep_alive != b.keep_alive);
+                }
+                // This evaluate is probe-only and deliberately NOT counted
+                // into `evaluations`, so probed and unprobed outcomes match.
+                probe(SreRoundStats {
+                    round: round as u32,
+                    subproblems: groups.len() as u32,
+                    dimensions: 3 * touched.len() as u32,
+                    cost: objective.evaluate(&current),
+                    accepted_moves,
+                    evaluations: evaluations - evals_before,
+                });
             }
             round_solutions.push(current.clone());
         }
@@ -333,6 +418,29 @@ mod tests {
         let mut counts = vec![0u32; 12];
         let out = Sre::scaled_to(12).optimize(&b, start, &mut counts);
         assert!(b.is_feasible(&out.solution));
+    }
+
+    #[test]
+    fn probing_does_not_perturb_the_outcome() {
+        let b = bowl(30);
+        let start = vec![FnChoice::production_default(); 30];
+        let sre = Sre::scaled_to(30);
+        let plain = sre.optimize(&b, start.clone(), &mut [0; 30]);
+        let mut rounds = Vec::new();
+        let probed = sre.optimize_probed(&b, start, &mut [0; 30], &mut |s| rounds.push(s));
+        assert_eq!(plain.solution, probed.solution);
+        assert_eq!(plain.cost, probed.cost);
+        assert_eq!(plain.evaluations, probed.evaluations);
+        assert_eq!(rounds.len(), sre.rounds);
+        for (i, r) in rounds.iter().enumerate() {
+            assert_eq!(r.round as usize, i);
+            assert!(r.subproblems >= 1);
+            assert!(r.dimensions >= 3 * r.subproblems);
+            assert!(r.evaluations > 0);
+            assert!(r.cost.is_finite());
+        }
+        // The descent actually moves coordinates on a bowl objective.
+        assert!(rounds.iter().any(|r| r.accepted_moves > 0));
     }
 
     #[test]

@@ -5,6 +5,7 @@ use std::collections::{BTreeSet, BinaryHeap, VecDeque};
 use std::time::{Duration, Instant};
 
 use cc_metrics::ServiceStats;
+use cc_obs::{Event as ObsEvent, EventSink, IntervalSample, NullSink, ReleaseReason};
 use cc_trace::{Perturbation, Trace};
 use cc_types::{
     Arch, Cost, FunctionId, MemoryMb, NodeId, ServiceRecord, SimDuration, SimTime, StartKind,
@@ -76,7 +77,34 @@ impl<'a> Simulation<'a> {
     /// placed), which indicates an impossible configuration such as a
     /// function larger than any node.
     pub fn run(&self, policy: &mut dyn Scheduler) -> SimReport {
-        let mut engine = Engine::new(&self.config, self.trace, self.workload, &self.perturbations);
+        self.run_with_sink(policy, &mut NullSink)
+    }
+
+    /// Runs the policy with an [`EventSink`] observing the full typed event
+    /// stream (arrivals, starts, warm-pool churn, budget flow, optimizer
+    /// progress).
+    ///
+    /// The engine is monomorphized over `S` and every emission site is
+    /// guarded by `S::ENABLED`, so `run` (which passes [`NullSink`])
+    /// compiles to exactly the uninstrumented hot path. A sink never
+    /// changes simulation behavior: the report is identical with or
+    /// without one.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulation::run`].
+    pub fn run_with_sink<S: EventSink>(
+        &self,
+        policy: &mut dyn Scheduler,
+        sink: &mut S,
+    ) -> SimReport {
+        let mut engine = Engine::new(
+            &self.config,
+            self.trace,
+            self.workload,
+            &self.perturbations,
+            sink,
+        );
         engine.run(policy)
     }
 }
@@ -138,11 +166,14 @@ impl PartialOrd for Event {
     }
 }
 
-struct Engine<'a> {
+struct Engine<'a, S: EventSink> {
     config: &'a ClusterConfig,
     trace: &'a Trace,
     workload: &'a Workload,
     perturbations: &'a [Perturbation],
+    /// Event sink; every `sink.record` call is guarded by `S::ENABLED`, so
+    /// the [`NullSink`] instantiation contains no telemetry code at all.
+    sink: &'a mut S,
 
     now: SimTime,
     nodes: Vec<NodeState>,
@@ -185,12 +216,13 @@ struct Engine<'a> {
     completed: usize,
 }
 
-impl<'a> Engine<'a> {
+impl<'a, S: EventSink> Engine<'a, S> {
     fn new(
         config: &'a ClusterConfig,
         trace: &'a Trace,
         workload: &'a Workload,
         perturbations: &'a [Perturbation],
+        sink: &'a mut S,
     ) -> Self {
         let mut nodes = Vec::with_capacity(config.total_nodes() as usize);
         for arch in Arch::ALL {
@@ -218,6 +250,7 @@ impl<'a> Engine<'a> {
             trace,
             workload,
             perturbations,
+            sink,
             now: SimTime::ZERO,
             nodes,
             pool,
@@ -257,6 +290,18 @@ impl<'a> Engine<'a> {
         });
     }
 
+    /// Refunds `amount` to the ledger, emitting a budget-credit event for
+    /// non-zero refunds.
+    fn credit(&mut self, amount: Cost) {
+        self.ledger.refund(amount);
+        if S::ENABLED && !amount.is_zero() {
+            self.sink.record(&ObsEvent::BudgetCredit {
+                at: self.now,
+                amount,
+            });
+        }
+    }
+
     fn view(&self) -> ClusterView<'_> {
         ClusterView::new(
             self.now,
@@ -285,6 +330,11 @@ impl<'a> Engine<'a> {
 
     fn run(&mut self, policy: &mut dyn Scheduler) -> SimReport {
         let horizon = self.trace.duration();
+        if S::ENABLED {
+            // Introspection recording must not change policy decisions
+            // (golden-tested), only make round telemetry available.
+            policy.enable_introspection(true);
+        }
         self.push(SimTime::ZERO, EventKind::Tick);
         if !self.trace.invocations().is_empty() {
             let first = self.trace.invocations()[0].arrival;
@@ -349,6 +399,12 @@ impl<'a> Engine<'a> {
             self.push(next, EventKind::Arrival(index + 1));
         }
         let function = self.trace.invocations()[index].function;
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::Arrival {
+                at: self.now,
+                function,
+            });
+        }
         let started = Instant::now();
         policy.on_arrival(function, self.now);
         self.decision_time += started.elapsed();
@@ -357,6 +413,13 @@ impl<'a> Engine<'a> {
             return;
         }
         self.pending.push_back(index);
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::Queued {
+                at: self.now,
+                function,
+                depth: self.pending.len() as u64,
+            });
+        }
     }
 
     /// Attempts to start invocation `index` right now. Returns false if no
@@ -410,8 +473,8 @@ impl<'a> Engine<'a> {
             // Reuse this instance. A failed make_room evicts nothing, so
             // every snapshot id after a failure is still live; a successful
             // one leads straight here.
-            self.ledger.refund(refund);
-            self.remove_instance(id);
+            self.credit(refund);
+            self.remove_instance(id, ReleaseReason::Reused);
             self.start_execution(function, arrival, node, kind, policy);
             started = true;
             break;
@@ -545,8 +608,8 @@ impl<'a> Engine<'a> {
             let inst = self.pool.get(id).expect("ranked victim must be live");
             freed += inst.memory;
             let refund = inst.refundable_at(self.now);
-            self.ledger.refund(refund);
-            self.remove_instance(id);
+            self.credit(refund);
+            self.remove_instance(id, ReleaseReason::Evicted);
             self.evictions += 1;
         }
         ranked.clear();
@@ -589,6 +652,18 @@ impl<'a> Engine<'a> {
             arch,
         };
         self.stats.observe(&record);
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::ExecutionStarted {
+                at: self.now,
+                function,
+                node,
+                arch,
+                kind,
+                wait: record.wait,
+                start_penalty,
+                execution,
+            });
+        }
         let started = Instant::now();
         policy.on_record(&record);
         self.decision_time += started.elapsed();
@@ -681,18 +756,25 @@ impl<'a> Engine<'a> {
         let rate = self.config.rate(arch);
         let projected = rate.keep_alive_cost(footprint, keep_alive);
         let granted = self.ledger.reserve(self.now, projected);
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::BudgetDebit {
+                at: self.now,
+                requested: projected,
+                granted,
+            });
+        }
         let (keep_alive, reserved) = if granted < projected {
             let ratio = granted.as_picodollars() as f64 / projected.as_picodollars().max(1) as f64;
             let truncated = keep_alive.scale(ratio);
             let actual = rate.keep_alive_cost(footprint, truncated);
-            self.ledger.refund(granted.saturating_sub(actual));
+            self.credit(granted.saturating_sub(actual));
             (truncated, actual)
         } else {
             (keep_alive, granted)
         };
         // Windows under a second are not worth the bookkeeping.
         if keep_alive < SimDuration::from_secs(1) {
-            self.ledger.refund(reserved);
+            self.credit(reserved);
             return;
         }
 
@@ -723,14 +805,58 @@ impl<'a> Engine<'a> {
         if compress {
             self.compression_events += 1;
         }
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::InstanceAdmitted {
+                at: self.now,
+                id,
+                function,
+                node,
+                arch,
+                compressed: compress,
+                memory: footprint,
+                expiry,
+                reserved,
+            });
+            if compress {
+                // The pool re-keys compressed instances lazily, so both
+                // compression endpoints are emitted here; `ready_at` is the
+                // completion instant (see the Event docs).
+                let ready_at = self.now + spec.compress;
+                self.sink.record(&ObsEvent::CompressionStarted {
+                    at: self.now,
+                    id,
+                    function,
+                    node,
+                    ready_at,
+                });
+                self.sink.record(&ObsEvent::CompressionFinished {
+                    at: ready_at,
+                    id,
+                    function,
+                    node,
+                });
+            }
+        }
         // A new warm instance enlarges the evictable set, which can turn a
         // previously impossible cold placement possible.
         self.capacity_epoch += 1;
         self.push(expiry, EventKind::Expiry(id));
     }
 
-    fn remove_instance(&mut self, id: WarmId) {
+    fn remove_instance(&mut self, id: WarmId, reason: ReleaseReason) {
         let inst = self.pool.remove(id);
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::InstanceReleased {
+                at: self.now,
+                id,
+                function: inst.function,
+                node: inst.node,
+                memory: inst.memory,
+                compressed: inst.compressed,
+                since: inst.since,
+                reason,
+            });
+        }
         self.mutate_node(inst.node, |n| n.remove_warm(inst.memory));
         self.capacity_epoch += 1;
     }
@@ -742,7 +868,7 @@ impl<'a> Engine<'a> {
         if inst.expiry > self.now {
             return; // defensive: a live instance's expiry event is never early
         }
-        self.remove_instance(id);
+        self.remove_instance(id, ReleaseReason::Expired);
     }
 
     fn handle_prewarm_ready(
@@ -771,13 +897,28 @@ impl<'a> Engine<'a> {
         self.warm_pool_series.push(self.pool.len() as f64);
         self.compressed_series
             .push(self.pool.compressed_count() as f64);
+        let compression_delta = self.compression_events - self.last_compression_events;
         self.compression_events_per_interval
-            .push((self.compression_events - self.last_compression_events) as f64);
+            .push(compression_delta as f64);
         self.last_compression_events = self.compression_events;
         let total_cores: u32 = self.nodes.iter().map(|n| n.cores).sum();
         let busy_cores: u32 = self.nodes.iter().map(|n| n.busy_cores).sum();
-        self.utilization_series
-            .push(busy_cores as f64 / total_cores.max(1) as f64);
+        let utilization = busy_cores as f64 / total_cores.max(1) as f64;
+        self.utilization_series.push(utilization);
+        if S::ENABLED {
+            self.sink.record(&ObsEvent::IntervalSampled {
+                at: self.now,
+                sample: IntervalSample {
+                    index: self.spend_per_interval.len() as u64 - 1,
+                    spend_delta_dollars: delta,
+                    warm_pool: self.pool.len() as u64,
+                    compressed: self.pool.compressed_count() as u64,
+                    utilization,
+                    compression_events_delta: compression_delta,
+                    pending: self.pending.len() as u64,
+                },
+            });
+        }
 
         let commands = {
             let view = self.view();
@@ -786,6 +927,14 @@ impl<'a> Engine<'a> {
             self.decision_time += started.elapsed();
             commands
         };
+        if S::ENABLED {
+            for round in policy.drain_optimizer_rounds() {
+                self.sink.record(&ObsEvent::OptimizerRound {
+                    at: self.now,
+                    round,
+                });
+            }
+        }
         for command in commands {
             self.execute_command(command, policy);
         }
@@ -817,6 +966,13 @@ impl<'a> Engine<'a> {
                     .map(|n| n.id);
                 let Some(node) = candidate else {
                     self.dropped_prewarms += 1;
+                    if S::ENABLED {
+                        self.sink.record(&ObsEvent::PrewarmDropped {
+                            at: self.now,
+                            function,
+                            arch,
+                        });
+                    }
                     return;
                 };
                 self.mutate_node(node, |n| n.start_execution(memory));
@@ -836,8 +992,8 @@ impl<'a> Engine<'a> {
             Command::Evict { id } => {
                 if let Some(inst) = self.pool.get(id) {
                     let refund = inst.refundable_at(self.now);
-                    self.ledger.refund(refund);
-                    self.remove_instance(id);
+                    self.credit(refund);
+                    self.remove_instance(id, ReleaseReason::Evicted);
                     self.evictions += 1;
                 }
                 let _ = policy;

@@ -58,6 +58,10 @@ mod report;
 mod scheduler;
 mod view;
 
+pub use cc_obs::{
+    BufferSink, ChromeTraceSink, Event, EventSink, IntervalSample, JsonlSink, NullSink,
+    OptimizerRound, ReleaseReason, Tee, Telemetry,
+};
 pub use cc_types::WarmId;
 pub use config::{ClusterConfig, RuntimeKind};
 pub use engine::Simulation;

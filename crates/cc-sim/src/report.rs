@@ -38,16 +38,25 @@ pub struct SimReport {
 
 impl SimReport {
     /// Mean service time in seconds — the paper's headline number.
+    /// `0.0` (never NaN) for a zero-invocation run.
     pub fn mean_service_time_secs(&self) -> f64 {
+        if self.stats.invocations() == 0 {
+            return 0.0;
+        }
         self.stats.mean_service_time_secs()
     }
 
     /// Warm-start fraction over the whole run.
+    /// `0.0` (never NaN) for a zero-invocation run.
     pub fn warm_fraction(&self) -> f64 {
+        if self.stats.invocations() == 0 {
+            return 0.0;
+        }
         self.stats.warm_fraction()
     }
 
     /// Decision overhead as a fraction of total simulated service time.
+    /// `0.0` (never NaN) for a zero-invocation run.
     pub fn decision_overhead_fraction(&self) -> f64 {
         let total_service: f64 = self
             .records

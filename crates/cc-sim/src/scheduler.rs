@@ -115,6 +115,21 @@ pub trait Scheduler {
         let _ = view;
         instance.since.as_micros() as f64
     }
+
+    /// Asks the policy to record per-round optimizer progress for
+    /// [`Scheduler::drain_optimizer_rounds`]. The engine enables this only
+    /// when a real event sink is attached; recording MUST NOT change any
+    /// decision the policy makes (determinism is golden-tested).
+    fn enable_introspection(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Returns (and clears) the optimizer rounds recorded since the last
+    /// drain. Called by the engine after each `on_interval` when a sink is
+    /// attached. Policies without an iterative optimizer keep the default.
+    fn drain_optimizer_rounds(&mut self) -> Vec<cc_obs::OptimizerRound> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -243,3 +243,18 @@ fn eviction_refunds_reduce_spend() {
         full_cost * 12
     );
 }
+
+#[test]
+fn zero_invocation_run_reports_zero_ratios_not_nan() {
+    // A trace with functions but no invocations: every report ratio must
+    // come back as a finite 0.0, not NaN from a 0/0.
+    let trace = hand_trace(&[(1_000, 128)], &[]);
+    let w = workload(&trace);
+    let mut policy = FixedKeepAlive::ten_minutes();
+    let report = Simulation::new(ClusterConfig::small(1, 1), &trace, &w).run(&mut policy);
+    assert!(report.records.is_empty());
+    assert_eq!(report.mean_service_time_secs(), 0.0);
+    assert_eq!(report.warm_fraction(), 0.0);
+    assert_eq!(report.decision_overhead_fraction(), 0.0);
+    assert!(report.keep_alive_spend.is_zero());
+}

@@ -2,8 +2,8 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cc_opt::{CoordinateDescent, Objective, Sre};
-use cc_sim::{ClusterView, Command, KeepDecision, Scheduler};
+use cc_opt::{CoordinateDescent, Objective, Sre, SreRoundStats};
+use cc_sim::{ClusterView, Command, KeepDecision, OptimizerRound, Scheduler};
 use cc_types::{Arch, FnChoice, FunctionId, ServiceRecord, SimDuration, SimTime};
 
 use crate::{CodeCrunchConfig, ExecObserver, IntervalObjective, PestEstimator};
@@ -25,6 +25,12 @@ pub struct CodeCrunch {
     plan: HashMap<FunctionId, FnChoice>,
     invoked_this_interval: BTreeSet<FunctionId>,
     interval_index: u64,
+    /// When set (by the engine, only while a real event sink is attached),
+    /// per-round optimizer progress is buffered in `opt_rounds` for
+    /// [`Scheduler::drain_optimizer_rounds`]. Recording is observation-only
+    /// and never changes the optimized plan.
+    introspect: bool,
+    opt_rounds: Vec<OptimizerRound>,
 }
 
 impl CodeCrunch {
@@ -51,6 +57,8 @@ impl CodeCrunch {
             plan: HashMap::new(),
             invoked_this_interval: BTreeSet::new(),
             interval_index: 0,
+            introspect: false,
+            opt_rounds: Vec::new(),
         }
     }
 
@@ -206,6 +214,18 @@ impl Default for CodeCrunch {
     }
 }
 
+/// Translates an SRE round snapshot into the observability vocabulary.
+fn convert_round(stats: SreRoundStats) -> OptimizerRound {
+    OptimizerRound {
+        round: stats.round,
+        subproblems: stats.subproblems,
+        dimensions: stats.dimensions,
+        objective: stats.cost,
+        accepted_moves: stats.accepted_moves,
+        evaluations: stats.evaluations,
+    }
+}
+
 impl Scheduler for CodeCrunch {
     fn name(&self) -> &str {
         &self.name
@@ -333,7 +353,17 @@ impl Scheduler for CodeCrunch {
             // work; thread spawn-per-group would dominate the decision
             // overhead the paper measures, so run them serially.
             sre.parallel = false;
-            let outcome = sre.optimize_separable(&objective, start, &mut local_counts);
+            let outcome = if self.introspect {
+                let opt_rounds = &mut self.opt_rounds;
+                sre.optimize_separable_probed(
+                    &objective,
+                    start,
+                    &mut local_counts,
+                    &mut |stats: SreRoundStats| opt_rounds.push(convert_round(stats)),
+                )
+            } else {
+                sre.optimize_separable(&objective, start, &mut local_counts)
+            };
             for (i, &f) in functions.iter().enumerate() {
                 self.opt_counts[f.index()] = local_counts[i];
             }
@@ -349,7 +379,28 @@ impl Scheduler for CodeCrunch {
                 self.opt_counts[f.index()] += 1;
             }
             let active: Vec<usize> = (0..functions.len()).collect();
-            descent.optimize_separable_subset(&objective, start, &active)
+            let before = self.introspect.then(|| start.clone());
+            let outcome = descent.optimize_separable_subset(&objective, start, &active);
+            if let Some(before) = before {
+                let accepted_moves = before
+                    .iter()
+                    .zip(&outcome.solution)
+                    .map(|(a, b)| {
+                        u64::from(a.arch != b.arch)
+                            + u64::from(a.compress != b.compress)
+                            + u64::from(a.keep_alive != b.keep_alive)
+                    })
+                    .sum();
+                self.opt_rounds.push(OptimizerRound {
+                    round: 0,
+                    subproblems: 1,
+                    dimensions: 3 * functions.len() as u32,
+                    objective: outcome.cost,
+                    accepted_moves,
+                    evaluations: outcome.evaluations,
+                });
+            }
+            outcome
         };
 
         for (i, &f) in functions.iter().enumerate() {
@@ -357,6 +408,17 @@ impl Scheduler for CodeCrunch {
                 .insert(f, self.finalize_choice(outcome.solution[i]));
         }
         Vec::new()
+    }
+
+    fn enable_introspection(&mut self, enabled: bool) {
+        self.introspect = enabled;
+        if !enabled {
+            self.opt_rounds.clear();
+        }
+    }
+
+    fn drain_optimizer_rounds(&mut self) -> Vec<OptimizerRound> {
+        std::mem::take(&mut self.opt_rounds)
     }
 }
 
@@ -548,6 +610,37 @@ mod tests {
             violations(&r_sla),
             violations(&r_plain)
         );
+    }
+
+    #[test]
+    fn introspection_emits_rounds_without_perturbing_the_run() {
+        let (trace, workload) = setup(30, 90, 70);
+        let config = ClusterConfig::small(2, 2);
+        let mut plain = CodeCrunch::new();
+        let base = Simulation::new(config.clone(), &trace, &workload).run(&mut plain);
+
+        let mut probed = CodeCrunch::new();
+        let mut sink = cc_sim::BufferSink::new();
+        let traced =
+            Simulation::new(config, &trace, &workload).run_with_sink(&mut probed, &mut sink);
+
+        // The sink observes; it never steers.
+        assert_eq!(base.records, traced.records);
+        assert_eq!(base.keep_alive_spend, traced.keep_alive_spend);
+
+        let rounds: Vec<_> = sink
+            .events
+            .iter()
+            .filter_map(|e| match e {
+                cc_sim::Event::OptimizerRound { round, .. } => Some(*round),
+                _ => None,
+            })
+            .collect();
+        assert!(!rounds.is_empty(), "SRE rounds should be reported");
+        assert!(rounds
+            .iter()
+            .all(|r| r.subproblems >= 1 && r.dimensions >= 3));
+        assert!(rounds.iter().any(|r| r.evaluations > 0));
     }
 
     #[test]

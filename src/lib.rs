@@ -51,6 +51,7 @@
 pub use cc_compress as compress;
 pub use cc_fft as fft;
 pub use cc_metrics as metrics;
+pub use cc_obs as obs;
 pub use cc_opt as opt;
 pub use cc_policies as policies;
 pub use cc_sim as sim;
@@ -64,7 +65,8 @@ pub mod prelude {
     pub use cc_compress::{Codec, CompressionModel, CrunchFast, EntropyClass, FsImage};
     pub use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
     pub use cc_sim::{
-        ClusterConfig, FixedKeepAlive, RuntimeKind, Scheduler, SimReport, Simulation,
+        BufferSink, ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink,
+        NullSink, RuntimeKind, Scheduler, SimReport, Simulation, Tee, Telemetry,
     };
     pub use cc_trace::{Perturbation, SyntheticTrace, Trace};
     pub use cc_types::{Arch, Cost, FunctionId, MemoryMb, SimDuration, SimTime, StartKind};

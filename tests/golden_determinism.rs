@@ -144,6 +144,58 @@ fn every_policy_is_deterministic_and_matches_golden() {
     );
 }
 
+/// FNV-1a over raw bytes (for digesting exported event streams).
+fn bytes_digest(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+fn run_with_jsonl(policy: &mut dyn Scheduler) -> (SimReport, Vec<u8>) {
+    let (trace, workload, config) = scenario();
+    let mut sink = JsonlSink::new(Vec::new());
+    let report = Simulation::new(config, &trace, &workload).run_with_sink(policy, &mut sink);
+    let stream = sink.finish().expect("in-memory writer cannot fail");
+    (report, stream)
+}
+
+/// The instrumented run must (a) produce a byte-identical JSONL event
+/// stream run-to-run, and (b) leave the simulation itself untouched: the
+/// report digest with a sink attached still matches the golden constant
+/// captured from the uninstrumented engine.
+#[test]
+fn jsonl_event_stream_is_deterministic_and_sink_is_inert() {
+    let golden = GOLDEN
+        .iter()
+        .find(|(name, _)| *name == "codecrunch")
+        .expect("codecrunch golden digest")
+        .1;
+    let (first, stream_a) = run_with_jsonl(policy_under_test("codecrunch").as_mut());
+    let (second, stream_b) = run_with_jsonl(policy_under_test("codecrunch").as_mut());
+    assert!(!stream_a.is_empty(), "instrumented run emitted no events");
+    println!(
+        "codecrunch jsonl: {} bytes, digest {:#018x}",
+        stream_a.len(),
+        bytes_digest(&stream_a)
+    );
+    assert_eq!(
+        bytes_digest(&stream_a),
+        bytes_digest(&stream_b),
+        "JSONL event stream is not run-to-run deterministic"
+    );
+    assert_eq!(stream_a, stream_b);
+    for report in [&first, &second] {
+        assert_eq!(
+            report_digest(report),
+            golden,
+            "attaching an event sink perturbed the simulation"
+        );
+    }
+}
+
 #[test]
 fn digest_is_sensitive_to_report_contents() {
     let mut report = run(policy_under_test("sitw").as_mut());
