@@ -17,6 +17,17 @@
 //! writes one JSON object per event plus a final `snapshot` line. When
 //! `--policy all` runs several policies, export paths get a `-<policy>`
 //! suffix before the extension.
+//!
+//! `--shards N` replays the selected policies in parallel across `N`
+//! worker threads (one policy per shard). `--jsonl` then produces one
+//! merged, shard-tagged file: each policy's events stream over a bounded
+//! channel to a mux thread, which writes the blocks in shard order with
+//! `shard_begin`/`shard_end` markers, so the output is deterministic
+//! regardless of scheduling. `--sample N` keeps one event in N
+//! (deterministic, counter-based), `--lossy` drops instead of blocking
+//! when the channel backs up; both report their drop counts at the end.
+//! The live interval table is disabled in sharded mode (tables print per
+//! policy after the sweep); `--chrome` stays serial-only.
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -24,9 +35,10 @@ use std::io::BufWriter;
 use bench::BenchScenario;
 use cc_compress::CompressionModel;
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
+use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
 use cc_sim::{
-    ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink, Scheduler,
-    SimReport, Simulation, Telemetry,
+    ChannelSink, ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink,
+    NullSink, SamplingSink, Scheduler, SimReport, Simulation, Tee, Telemetry,
 };
 use cc_trace::{SyntheticTrace, Trace};
 use cc_types::{Cost, SimDuration};
@@ -35,7 +47,8 @@ use codecrunch::CodeCrunch;
 
 const USAGE: &str = "usage: ccstat [--policy NAME|all] [--functions N] [--minutes N] [--seed N] \
                      [--x86 N] [--arm N] [--warm-fraction F] [--budget DOLLARS] \
-                     [--jsonl PATH] [--chrome PATH] [--no-table] [--stress]";
+                     [--jsonl PATH] [--chrome PATH] [--no-table] [--stress] \
+                     [--shards N] [--sample N] [--lossy]";
 
 const POLICIES: [&str; 6] = [
     "fixed_keepalive",
@@ -94,6 +107,9 @@ fn main() {
     let mut chrome_path: Option<String> = None;
     let mut live = true;
     let mut stress = false;
+    let mut shards: Option<usize> = None;
+    let mut sample_every: u64 = 1;
+    let mut lossy = false;
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -146,8 +162,27 @@ fn main() {
             "--chrome" => chrome_path = Some(next("--chrome")),
             "--no-table" => live = false,
             "--stress" => stress = true,
+            "--shards" => {
+                shards = match next("--shards").parse() {
+                    Ok(n) if n > 0 => Some(n),
+                    _ => usage_error("--shards takes a positive worker count"),
+                };
+            }
+            "--sample" => {
+                sample_every = match next("--sample").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage_error("--sample takes a positive interval (1 keeps everything)"),
+                };
+            }
+            "--lossy" => lossy = true,
             other => usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+    if shards.is_some() && chrome_path.is_some() {
+        usage_error("--chrome is serial-only; use --jsonl with --shards");
+    }
+    if shards.is_none() && (sample_every != 1 || lossy) {
+        usage_error("--sample and --lossy apply to the sharded channel; add --shards N");
     }
 
     let names: Vec<&str> = if policy_arg == "all" {
@@ -189,6 +224,20 @@ fn main() {
         trace.invocations().len(),
         config.total_nodes(),
     );
+
+    if let Some(workers) = shards {
+        run_sharded_mode(
+            &names,
+            &trace,
+            &workload,
+            &config,
+            workers,
+            jsonl_path.as_deref(),
+            sample_every,
+            lossy,
+        );
+        return;
+    }
 
     let multi = names.len() > 1;
     for name in names {
@@ -239,6 +288,115 @@ fn make_policy(name: &str, trace: &Trace) -> Box<dyn Scheduler> {
         "oracle" => Box::new(Oracle::new(trace)),
         "codecrunch" => Box::new(CodeCrunch::new()),
         _ => unreachable!("validated above"),
+    }
+}
+
+/// One policy replayed inside a shard: telemetry folds locally in the
+/// worker, events tee into the shard's sink (the channel toward the mux, or
+/// nothing), and both travel back to the main thread for printing in shard
+/// order.
+fn replay_shard<S: EventSink>(
+    name: &str,
+    trace: &Trace,
+    workload: &Workload,
+    config: &ClusterConfig,
+    sink: &mut S,
+) -> (Telemetry, SimReport) {
+    let mut policy = make_policy(name, trace);
+    let mut telemetry = Telemetry::new(config.interval);
+    let mut tee = Tee(&mut telemetry, sink);
+    let report =
+        Simulation::new(config.clone(), trace, workload).run_with_sink(policy.as_mut(), &mut tee);
+    (telemetry, report)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_sharded_mode(
+    names: &[&str],
+    trace: &Trace,
+    workload: &Workload,
+    config: &ClusterConfig,
+    workers: usize,
+    jsonl_path: Option<&str>,
+    sample_every: u64,
+    lossy: bool,
+) {
+    let (results, mux) = if let Some(path) = jsonl_path {
+        let shard_config = ShardedRunConfig {
+            workers,
+            channel_capacity: 8192,
+            lossy,
+            sample_every,
+        };
+        let jobs: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                move |sink: &mut SamplingSink<ChannelSink>| {
+                    replay_shard(name, trace, workload, config, sink)
+                }
+            })
+            .collect();
+        let (results, mut out, mux) = run_sharded_jsonl(jobs, &shard_config, open(path))
+            .unwrap_or_else(|e| {
+                eprintln!("error: writing jsonl: {e}");
+                std::process::exit(1);
+            });
+        // Append each policy's final snapshot line after the event blocks,
+        // in shard order, mirroring the serial per-policy files.
+        {
+            use std::io::Write;
+            let mut append = |line: &str| {
+                writeln!(out, "{line}").unwrap_or_else(|e| {
+                    eprintln!("error: writing jsonl: {e}");
+                    std::process::exit(1);
+                });
+            };
+            for result in &results {
+                if let Ok((telemetry, _)) = &result.outcome {
+                    append(&telemetry.snapshot_line());
+                }
+            }
+        }
+        finish(Ok(out), "jsonl");
+        (results, Some(mux))
+    } else {
+        let jobs: Vec<_> = names
+            .iter()
+            .map(|&name| {
+                move |sink: &mut NullSink| replay_shard(name, trace, workload, config, sink)
+            })
+            .collect();
+        (run_sharded(jobs, workers, &NullSinkFactory), None)
+    };
+
+    for (result, &name) in results.iter().zip(names) {
+        println!("=== {name} (shard {}) ===", result.shard);
+        match &result.outcome {
+            Ok((telemetry, report)) => {
+                println!("{}", Telemetry::interval_header());
+                for row in telemetry.interval_rows() {
+                    println!("{row}");
+                }
+                println!("{}", telemetry.report());
+                print_report_summary(report);
+            }
+            Err(panic) => println!("shard panicked: {panic}\n"),
+        }
+        if result.sink.sent + result.sink.channel_dropped + result.sink.sampled_out > 0 {
+            eprintln!(
+                "shard {}: {} events sent, {} dropped by channel, {} sampled out",
+                result.shard,
+                result.sink.sent,
+                result.sink.channel_dropped,
+                result.sink.sampled_out
+            );
+        }
+    }
+    if let Some(mux) = mux {
+        eprintln!(
+            "jsonl: {} events merged, {} dropped",
+            mux.events_written, mux.dropped_total
+        );
     }
 }
 

@@ -23,17 +23,31 @@
 //! recorded `BENCH_sim.json` (either this binary's output or the annotated
 //! before/after variant) and exits non-zero if any measured policy falls
 //! below `baseline * (1 - tolerance)`; `--tolerance` defaults to 0.03.
+//!
+//! `--shards N` switches to the sharded parallel driver: every selected
+//! policy becomes one shard, dispatched across `N` worker threads. The
+//! headline figure is then the *aggregate* sweep throughput (all policies'
+//! invocations over the sweep wall-clock). Every mode records each
+//! policy's canonical report digest, and `--digests-match PATH` asserts
+//! they equal the digests in a previously written file — the CI proof that
+//! `--shards N` is behavior-preserving with respect to a serial run.
 
 use std::time::Instant;
 
 use bench::BenchScenario;
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
-use cc_sim::{ChromeTraceSink, FixedKeepAlive, JsonlSink, Scheduler, Simulation};
+use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
+use cc_sim::{
+    ChannelSink, ChromeTraceSink, FixedKeepAlive, JsonlSink, NullSink, SamplingSink, Scheduler,
+    SimReport, Simulation,
+};
+use cc_trace::Trace;
 use codecrunch::CodeCrunch;
 
 const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small] \
                      [--sink null|jsonl|chrome] [--policies a,b,..] \
-                     [--baseline PATH] [--tolerance FRAC]";
+                     [--baseline PATH] [--tolerance FRAC] \
+                     [--shards N] [--digests-match PATH]";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum SinkMode {
@@ -58,6 +72,30 @@ fn usage_error(message: &str) -> ! {
     std::process::exit(2);
 }
 
+/// The six policies the bench sweeps, in canonical order.
+const POLICY_NAMES: [&str; 6] = [
+    "fixed_keepalive",
+    "sitw",
+    "faascache",
+    "icebreaker",
+    "oracle",
+    "codecrunch",
+];
+
+/// Builds a policy by name. Runs inside worker threads in sharded mode, so
+/// it takes the trace rather than capturing pre-built boxes.
+fn make_policy(name: &str, trace: &Trace) -> Box<dyn Scheduler> {
+    match name {
+        "fixed_keepalive" => Box::new(FixedKeepAlive::ten_minutes()),
+        "sitw" => Box::new(SitW::new()),
+        "faascache" => Box::new(FaasCache::new()),
+        "icebreaker" => Box::new(IceBreaker::new()),
+        "oracle" => Box::new(Oracle::new(trace)),
+        "codecrunch" => Box::new(CodeCrunch::new()),
+        other => panic!("unknown policy {other:?}"),
+    }
+}
+
 fn main() {
     let mut runs: u32 = 3;
     let mut out = String::from("BENCH_sim.json");
@@ -66,6 +104,8 @@ fn main() {
     let mut policy_filter: Option<Vec<String>> = None;
     let mut baseline: Option<String> = None;
     let mut tolerance: f64 = 0.03;
+    let mut shards: Option<usize> = None;
+    let mut digests_match: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -112,8 +152,26 @@ fn main() {
                     _ => usage_error("--tolerance takes a fraction in [0, 1)"),
                 };
             }
+            "--shards" => {
+                shards = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => usage_error("--shards takes a positive worker count"),
+                };
+            }
+            "--digests-match" => {
+                digests_match = match args.next() {
+                    Some(path) => Some(path),
+                    None => usage_error("--digests-match takes a path"),
+                };
+            }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
+    }
+    if shards.is_some() && sink == SinkMode::Chrome {
+        usage_error("--shards supports null and jsonl sinks (chrome is serial-only)");
+    }
+    if shards.is_some() && baseline.is_some() {
+        usage_error("--baseline compares per-policy serial throughput; use it without --shards");
     }
 
     let scenario = if scenario_name == "small" {
@@ -129,67 +187,97 @@ fn main() {
         sink.label(),
     );
 
-    let oracle_trace = scenario.trace.clone();
-    type PolicyFactory = Box<dyn Fn() -> Box<dyn Scheduler>>;
-    let policies: Vec<(&str, PolicyFactory)> = vec![
-        (
-            "fixed_keepalive",
-            Box::new(|| Box::new(FixedKeepAlive::ten_minutes()) as Box<dyn Scheduler>),
-        ),
-        (
-            "sitw",
-            Box::new(|| Box::new(SitW::new()) as Box<dyn Scheduler>),
-        ),
-        (
-            "faascache",
-            Box::new(|| Box::new(FaasCache::new()) as Box<dyn Scheduler>),
-        ),
-        (
-            "icebreaker",
-            Box::new(|| Box::new(IceBreaker::new()) as Box<dyn Scheduler>),
-        ),
-        (
-            "oracle",
-            Box::new(move || Box::new(Oracle::new(&oracle_trace)) as Box<dyn Scheduler>),
-        ),
-        (
-            "codecrunch",
-            Box::new(|| Box::new(CodeCrunch::new()) as Box<dyn Scheduler>),
-        ),
-    ];
     if let Some(filter) = &policy_filter {
-        let known: Vec<&str> = policies.iter().map(|(n, _)| *n).collect();
         for name in filter {
-            if !known.contains(&name.as_str()) {
-                usage_error(&format!("unknown policy {name:?} (known: {known:?})"));
+            if !POLICY_NAMES.contains(&name.as_str()) {
+                usage_error(&format!(
+                    "unknown policy {name:?} (known: {POLICY_NAMES:?})"
+                ));
             }
         }
     }
+    let selected: Vec<&str> = POLICY_NAMES
+        .iter()
+        .copied()
+        .filter(|name| {
+            policy_filter
+                .as_ref()
+                .is_none_or(|filter| filter.iter().any(|f| f == name))
+        })
+        .collect();
 
     let mut entries = Vec::new();
     let mut measured: Vec<(String, f64)> = Vec::new();
-    for (name, make) in &policies {
-        if let Some(filter) = &policy_filter {
-            if !filter.iter().any(|f| f == name) {
-                continue;
+    let mut digests: Vec<(String, u64)> = Vec::new();
+    let mut aggregate = None;
+
+    if let Some(workers) = shards {
+        // Sharded mode: one shard per policy, `workers` threads, one
+        // warm-up sweep, then best-of-`runs` on the sweep wall-clock.
+        sharded_sweep(&scenario, &selected, workers, sink); // warm-up
+        let mut best_wall = f64::INFINITY;
+        let mut best_shards: Vec<(u64, f64)> = Vec::new();
+        for _ in 0..runs {
+            let (wall, per_shard) = sharded_sweep(&scenario, &selected, workers, sink);
+            if !best_shards.is_empty() {
+                let prev: Vec<u64> = best_shards.iter().map(|(d, _)| *d).collect();
+                let this: Vec<u64> = per_shard.iter().map(|(d, _)| *d).collect();
+                assert_eq!(prev, this, "sharded sweep is not run-to-run deterministic");
+            }
+            if wall < best_wall || best_shards.is_empty() {
+                best_wall = wall;
+                best_shards = per_shard;
             }
         }
-        // Warm-up replay (page in the trace, fault in allocator arenas).
-        run_once(&scenario, make().as_mut(), sink);
-        let mut best = f64::INFINITY;
-        for _ in 0..runs {
-            let started = Instant::now();
-            run_once(&scenario, make().as_mut(), sink);
-            best = best.min(started.elapsed().as_secs_f64());
+        let total_invocations = invocations * selected.len() as u64;
+        let sweep_throughput = total_invocations as f64 / best_wall;
+        eprintln!(
+            "sharded sweep ({} policies, {workers} workers): {best_wall:7.3} s \
+             ({sweep_throughput:11.0} inv/s aggregate)",
+            selected.len()
+        );
+        for (name, (digest, secs)) in selected.iter().zip(&best_shards) {
+            eprintln!("{name:>16}: {secs:7.3} s in shard, digest {digest:#018x}");
+            entries.push(serde_json::json!({
+                "policy": *name,
+                "seconds_in_shard": *secs,
+                "report_digest": format!("{digest:#018x}"),
+            }));
+            digests.push((name.to_string(), *digest));
         }
-        let throughput = invocations as f64 / best;
-        eprintln!("{name:>16}: {best:7.3} s  ({throughput:11.0} inv/s)");
-        entries.push(serde_json::json!({
-            "policy": *name,
-            "seconds_per_replay": best,
-            "invocations_per_sec": throughput,
+        aggregate = Some(serde_json::json!({
+            "workers": workers as u64,
+            "seconds_per_sweep": best_wall,
+            "total_invocations": total_invocations,
+            "invocations_per_sec": sweep_throughput,
         }));
-        measured.push((name.to_string(), throughput));
+    } else {
+        for name in &selected {
+            // Warm-up replay (page in the trace, fault in allocator arenas).
+            run_once(&scenario, make_policy(name, &scenario.trace).as_mut(), sink);
+            let mut best = f64::INFINITY;
+            let mut digest: Option<u64> = None;
+            for _ in 0..runs {
+                let started = Instant::now();
+                let d = run_once(&scenario, make_policy(name, &scenario.trace).as_mut(), sink);
+                best = best.min(started.elapsed().as_secs_f64());
+                if let Some(prev) = digest {
+                    assert_eq!(prev, d, "policy {name} is not run-to-run deterministic");
+                }
+                digest = Some(d);
+            }
+            let digest = digest.expect("at least one run");
+            let throughput = invocations as f64 / best;
+            eprintln!("{name:>16}: {best:7.3} s  ({throughput:11.0} inv/s)");
+            entries.push(serde_json::json!({
+                "policy": *name,
+                "seconds_per_replay": best,
+                "invocations_per_sec": throughput,
+                "report_digest": format!("{digest:#018x}"),
+            }));
+            measured.push((name.to_string(), throughput));
+            digests.push((name.to_string(), digest));
+        }
     }
 
     let doc = serde_json::json!({
@@ -200,11 +288,36 @@ fn main() {
         "invocations": invocations,
         "nodes": scenario.config.total_nodes() as u64,
         "runs_per_policy": runs as u64,
+        "shards": shards.unwrap_or(0) as u64,
+        "aggregate": aggregate,
         "results": entries,
     });
     let body = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&out, body + "\n").expect("write output file");
     eprintln!("wrote {out}");
+
+    if let Some(path) = digests_match {
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| usage_error(&format!("cannot read digest file {path:?}: {e}")));
+        let reference = parse_digests(&text);
+        if reference.is_empty() {
+            usage_error(&format!("no report_digest entries in {path:?}"));
+        }
+        let mut failed = false;
+        for (name, digest) in &digests {
+            let Some((_, expected)) = reference.iter().find(|(n, _)| n == name) else {
+                eprintln!("digests: {name} not in {path}, skipping");
+                continue;
+            };
+            let verdict = if digest == expected { "ok" } else { "DIVERGED" };
+            eprintln!("digests: {name:>16} {digest:#018x} vs recorded {expected:#018x} {verdict}");
+            failed |= digest != expected;
+        }
+        if failed {
+            eprintln!("digest check failed: sharded output diverged from the recorded digests");
+            std::process::exit(1);
+        }
+    }
 
     if let Some(path) = baseline {
         let text = std::fs::read_to_string(&path)
@@ -270,7 +383,15 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     pairs
 }
 
-fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode) {
+fn check_report(scenario: &BenchScenario, report: &SimReport) -> u64 {
+    assert_eq!(
+        report.records.len() as u64,
+        scenario.trace.invocations().len() as u64
+    );
+    report.digest()
+}
+
+fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode) -> u64 {
     let sim = Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload);
     let report = match sink {
         SinkMode::Null => sim.run(policy),
@@ -285,8 +406,108 @@ fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode
             sim.run_with_sink(policy, &mut sink)
         }
     };
-    assert_eq!(
-        report.records.len() as u64,
-        scenario.trace.invocations().len() as u64
-    );
+    check_report(scenario, &report)
+}
+
+/// One sharded sweep: each selected policy is a shard, dispatched across
+/// `workers` threads. Returns the sweep wall-clock and per-shard
+/// `(report digest, seconds inside the shard)` in policy order.
+fn sharded_sweep(
+    scenario: &BenchScenario,
+    selected: &[&str],
+    workers: usize,
+    sink: SinkMode,
+) -> (f64, Vec<(u64, f64)>) {
+    let started = Instant::now();
+    let per_shard: Vec<(u64, f64)> = match sink {
+        SinkMode::Null => {
+            let jobs: Vec<_> = selected
+                .iter()
+                .map(|&name| {
+                    move |_sink: &mut NullSink| {
+                        let shard_started = Instant::now();
+                        let mut policy = make_policy(name, &scenario.trace);
+                        let report = Simulation::new(
+                            scenario.config.clone(),
+                            &scenario.trace,
+                            &scenario.workload,
+                        )
+                        .run(policy.as_mut());
+                        (
+                            check_report(scenario, &report),
+                            shard_started.elapsed().as_secs_f64(),
+                        )
+                    }
+                })
+                .collect();
+            run_sharded(jobs, workers, &NullSinkFactory)
+                .into_iter()
+                .map(|r| r.outcome.expect("shard panicked"))
+                .collect()
+        }
+        SinkMode::Jsonl => {
+            let jobs: Vec<_> = selected
+                .iter()
+                .map(|&name| {
+                    move |sink: &mut SamplingSink<ChannelSink>| {
+                        let shard_started = Instant::now();
+                        let mut policy = make_policy(name, &scenario.trace);
+                        let report = Simulation::new(
+                            scenario.config.clone(),
+                            &scenario.trace,
+                            &scenario.workload,
+                        )
+                        .run_with_sink(policy.as_mut(), sink);
+                        (
+                            check_report(scenario, &report),
+                            shard_started.elapsed().as_secs_f64(),
+                        )
+                    }
+                })
+                .collect();
+            let config = ShardedRunConfig {
+                workers,
+                channel_capacity: 8192,
+                lossy: false,
+                sample_every: 1,
+            };
+            let (results, _, mux) = run_sharded_jsonl(jobs, &config, std::io::sink())
+                .expect("writing to io::sink cannot fail");
+            assert!(
+                mux.events_written > 0,
+                "sharded jsonl run emitted no events"
+            );
+            results
+                .into_iter()
+                .map(|r| r.outcome.expect("shard panicked"))
+                .collect()
+        }
+        SinkMode::Chrome => unreachable!("rejected at argument parsing"),
+    };
+    (started.elapsed().as_secs_f64(), per_shard)
+}
+
+/// Pulls `(policy, report_digest)` pairs out of a recorded
+/// `BENCH_sim.json` with the same line scan as [`parse_baseline`].
+fn parse_digests(text: &str) -> Vec<(String, u64)> {
+    let mut pairs = Vec::new();
+    let mut policy: Option<String> = None;
+    for line in text.lines() {
+        let line = line.trim();
+        if let Some(rest) = line.strip_prefix("\"policy\":") {
+            policy = Some(
+                rest.trim()
+                    .trim_end_matches(',')
+                    .trim_matches('"')
+                    .to_string(),
+            );
+        } else if let Some(rest) = line.strip_prefix("\"report_digest\":") {
+            let token = rest.trim().trim_end_matches(',').trim_matches('"');
+            let token = token.strip_prefix("0x").unwrap_or(token);
+            if let (Some(name), Ok(value)) = (policy.take(), u64::from_str_radix(token, 16)) {
+                pairs.push((name, value));
+            }
+        }
+    }
+    pairs
 }

@@ -7,17 +7,27 @@
 //! expr --list              # list experiment ids
 //! expr --json DIR all      # additionally write results as JSON files
 //! expr --telemetry DIR all # also dump per-run JSONL telemetry into DIR
+//! expr --shards 4 all      # run experiments in parallel on 4 workers
 //! ```
+//!
+//! `--shards N` dispatches the selected experiments across `N` worker
+//! threads via the sharded driver: output still prints in the requested
+//! (paper) order, a panicking experiment no longer aborts the rest of the
+//! sweep, and per-run telemetry files (distinct paths per experiment) are
+//! unaffected.
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use cc_experiments::{all_experiments, enable_telemetry, experiment_by_id, Scale};
+use cc_shard::{run_sharded, NullSinkFactory};
+use cc_sim::NullSink;
 
 fn main() -> ExitCode {
     let mut scale = Scale::standard();
     let mut json_dir: Option<PathBuf> = None;
+    let mut shards: Option<usize> = None;
     let mut ids: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1).peekable();
@@ -50,10 +60,17 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             },
+            "--shards" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(n) if n > 0 => shards = Some(n),
+                _ => {
+                    eprintln!("--shards requires a positive worker count");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--help" | "-h" => {
                 println!(
-                    "usage: expr [--smoke|--large] [--json DIR] [--telemetry DIR] [--list] \
-                     <all | experiment ids...>"
+                    "usage: expr [--smoke|--large] [--json DIR] [--telemetry DIR] [--shards N] \
+                     [--list] <all | experiment ids...>"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -88,6 +105,52 @@ fn main() -> ExitCode {
         }
     }
 
+    if let Some(workers) = shards {
+        // Sharded sweep: each experiment is one shard, rebuilt by id inside
+        // its worker (experiment objects are not Send). Results print in
+        // the requested order, and a panicking experiment is isolated to
+        // its shard instead of aborting the sweep.
+        let scale_ref = &scale;
+        let jobs: Vec<_> = experiments
+            .iter()
+            .map(|experiment| {
+                let id = experiment.id();
+                move |_sink: &mut NullSink| {
+                    let experiment = experiment_by_id(id).expect("id came from the registry");
+                    let started = std::time::Instant::now();
+                    let output = experiment.run(scale_ref);
+                    (output, started.elapsed().as_secs_f64())
+                }
+            })
+            .collect();
+        let mut failed = false;
+        for result in run_sharded(jobs, workers, &NullSinkFactory) {
+            match result.outcome {
+                Ok((output, seconds)) => {
+                    output.print();
+                    eprintln!(
+                        "[{} finished in {seconds:.1}s on shard {}]\n",
+                        output.id, result.shard
+                    );
+                    if let Some(dir) = &json_dir {
+                        if let Err(code) = write_json(dir, &output) {
+                            return code;
+                        }
+                    }
+                }
+                Err(panic) => {
+                    eprintln!("[shard {} panicked: {panic}]\n", result.shard);
+                    failed = true;
+                }
+            }
+        }
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
     for experiment in experiments {
         let started = std::time::Instant::now();
         let output = experiment.run(&scale);
@@ -98,20 +161,27 @@ fn main() -> ExitCode {
             started.elapsed().as_secs_f64()
         );
         if let Some(dir) = &json_dir {
-            let path = dir.join(format!("{}.json", output.id));
-            match serde_json::to_vec_pretty(&output) {
-                Ok(bytes) => {
-                    if let Err(e) = fs::write(&path, bytes) {
-                        eprintln!("cannot write {}: {e}", path.display());
-                        return ExitCode::FAILURE;
-                    }
-                }
-                Err(e) => {
-                    eprintln!("cannot serialize {}: {e}", output.id);
-                    return ExitCode::FAILURE;
-                }
+            if let Err(code) = write_json(dir, &output) {
+                return code;
             }
         }
     }
     ExitCode::SUCCESS
+}
+
+fn write_json(dir: &Path, output: &cc_experiments::ExperimentOutput) -> Result<(), ExitCode> {
+    let path = dir.join(format!("{}.json", output.id));
+    match serde_json::to_vec_pretty(output) {
+        Ok(bytes) => {
+            if let Err(e) = fs::write(&path, bytes) {
+                eprintln!("cannot write {}: {e}", path.display());
+                return Err(ExitCode::FAILURE);
+            }
+        }
+        Err(e) => {
+            eprintln!("cannot serialize {}: {e}", output.id);
+            return Err(ExitCode::FAILURE);
+        }
+    }
+    Ok(())
 }

@@ -1,0 +1,239 @@
+//! Cross-thread event streaming: a sink that forwards the typed event
+//! stream over a bounded `std::sync::mpsc` channel to a mux/consumer
+//! thread.
+//!
+//! This is the transport half of the sharded simulation driver: each
+//! worker thread runs its simulation with a [`ChannelSink`] tagged with the
+//! shard id, and a single mux thread drains the shared receiver, producing
+//! one merged, shard-attributed output stream.
+//!
+//! Two delivery modes:
+//!
+//! * **Blocking** ([`ChannelSink::blocking`]) — `send` blocks when the
+//!   bounded channel is full. Lossless: backpressure propagates into the
+//!   worker, which is what exporters (JSONL, Chrome) want.
+//! * **Lossy** ([`ChannelSink::lossy`]) — `try_send` drops the event when
+//!   the channel is full and counts the drop. Always-on capture at stress
+//!   scale wants this: the simulation never stalls on a slow consumer, and
+//!   the drop count is reported explicitly at [`ChannelSink::finish`]
+//!   rather than silently losing data.
+//!
+//! Per-shard event order is preserved end-to-end: `mpsc` guarantees FIFO
+//! delivery per sender, and each shard owns exactly one sender.
+
+use std::sync::mpsc::{SyncSender, TrySendError};
+
+use crate::event::{Event, EventSink};
+
+/// One message on the shard event channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ShardMsg {
+    /// An event observed by shard `shard`.
+    Event {
+        /// The originating shard id.
+        shard: u32,
+        /// The event itself.
+        event: Event,
+    },
+    /// Shard `shard` finished; no further events from it will arrive.
+    /// Sent by [`ChannelSink::finish`] on the same channel, after every
+    /// event (FIFO per sender), so the consumer can retire the shard.
+    Finished {
+        /// The originating shard id.
+        shard: u32,
+        /// Events the shard dropped (lossy mode backpressure, or a
+        /// disconnected consumer).
+        dropped: u64,
+    },
+}
+
+/// Counters reported when a [`ChannelSink`] finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ChannelStats {
+    /// Events successfully handed to the channel.
+    pub sent: u64,
+    /// Events dropped (full channel in lossy mode, or consumer gone).
+    pub dropped: u64,
+}
+
+/// Forwards events over a bounded channel to a consumer thread, tagged
+/// with this shard's id.
+#[derive(Debug)]
+pub struct ChannelSink {
+    shard: u32,
+    tx: SyncSender<ShardMsg>,
+    lossy: bool,
+    sent: u64,
+    dropped: u64,
+    disconnected: bool,
+}
+
+impl ChannelSink {
+    /// A lossless sink: a full channel blocks the worker (backpressure).
+    pub fn blocking(shard: u32, tx: SyncSender<ShardMsg>) -> ChannelSink {
+        ChannelSink {
+            shard,
+            tx,
+            lossy: false,
+            sent: 0,
+            dropped: 0,
+            disconnected: false,
+        }
+    }
+
+    /// A lossy sink: a full channel drops the event and counts it.
+    pub fn lossy(shard: u32, tx: SyncSender<ShardMsg>) -> ChannelSink {
+        ChannelSink {
+            lossy: true,
+            ..ChannelSink::blocking(shard, tx)
+        }
+    }
+
+    /// Events successfully handed to the channel so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Events dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Sends the [`ShardMsg::Finished`] marker (carrying the final drop
+    /// count) and returns the counters. The marker uses a blocking send
+    /// even in lossy mode — it must not itself be dropped; a disconnected
+    /// consumer is ignored (there is nobody left to notify).
+    pub fn finish(self) -> ChannelStats {
+        let _ = self.tx.send(ShardMsg::Finished {
+            shard: self.shard,
+            dropped: self.dropped,
+        });
+        ChannelStats {
+            sent: self.sent,
+            dropped: self.dropped,
+        }
+    }
+}
+
+impl EventSink for ChannelSink {
+    fn record(&mut self, event: &Event) {
+        if self.disconnected {
+            self.dropped += 1;
+            return;
+        }
+        let msg = ShardMsg::Event {
+            shard: self.shard,
+            event: *event,
+        };
+        if self.lossy {
+            match self.tx.try_send(msg) {
+                Ok(()) => self.sent += 1,
+                Err(TrySendError::Full(_)) => self.dropped += 1,
+                Err(TrySendError::Disconnected(_)) => {
+                    self.dropped += 1;
+                    self.disconnected = true;
+                }
+            }
+        } else {
+            match self.tx.send(msg) {
+                Ok(()) => self.sent += 1,
+                Err(_) => {
+                    self.dropped += 1;
+                    self.disconnected = true;
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{FunctionId, SimTime};
+    use std::sync::mpsc::sync_channel;
+
+    fn arrival(us: u64) -> Event {
+        Event::Arrival {
+            at: SimTime::from_micros(us),
+            function: FunctionId::new(1),
+        }
+    }
+
+    #[test]
+    fn blocking_sink_preserves_order() {
+        let (tx, rx) = sync_channel(16);
+        let mut sink = ChannelSink::blocking(3, tx);
+        for i in 0..10 {
+            sink.record(&arrival(i));
+        }
+        let stats = sink.finish();
+        assert_eq!(
+            stats,
+            ChannelStats {
+                sent: 10,
+                dropped: 0
+            }
+        );
+        for i in 0..10 {
+            match rx.recv().unwrap() {
+                ShardMsg::Event { shard, event } => {
+                    assert_eq!(shard, 3);
+                    assert_eq!(event.at(), SimTime::from_micros(i));
+                }
+                other => panic!("unexpected message {other:?}"),
+            }
+        }
+        assert_eq!(
+            rx.recv().unwrap(),
+            ShardMsg::Finished {
+                shard: 3,
+                dropped: 0
+            }
+        );
+    }
+
+    #[test]
+    fn lossy_sink_counts_drops_exactly_when_saturated() {
+        // Capacity 4, nobody draining: the first 4 sends fit, the rest drop.
+        let (tx, rx) = sync_channel(4);
+        let mut sink = ChannelSink::lossy(0, tx);
+        for i in 0..100 {
+            sink.record(&arrival(i));
+        }
+        assert_eq!(sink.sent(), 4);
+        assert_eq!(sink.dropped(), 96);
+        // The 4 delivered events are the first 4, in order. Drain them
+        // before finishing: the finish marker is a blocking send, so it
+        // needs a free slot in the (full) channel.
+        for i in 0..4 {
+            assert_eq!(
+                rx.recv().unwrap(),
+                ShardMsg::Event {
+                    shard: 0,
+                    event: arrival(i)
+                }
+            );
+        }
+        let stats = sink.finish();
+        assert_eq!(stats.dropped, 96);
+        assert_eq!(
+            rx.recv().unwrap(),
+            ShardMsg::Finished {
+                shard: 0,
+                dropped: 96
+            }
+        );
+    }
+
+    #[test]
+    fn disconnected_consumer_latches_and_counts() {
+        let (tx, rx) = sync_channel(4);
+        drop(rx);
+        let mut sink = ChannelSink::blocking(1, tx);
+        for i in 0..5 {
+            sink.record(&arrival(i));
+        }
+        assert_eq!(sink.sent(), 0);
+        assert_eq!(sink.finish().dropped, 5);
+    }
+}

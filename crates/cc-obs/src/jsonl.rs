@@ -43,6 +43,192 @@ pub(crate) fn json_f64(value: f64) -> String {
     }
 }
 
+/// Formats one event as its canonical JSONL line (no trailing newline).
+///
+/// This is the single source of truth for the JSONL encoding: [`JsonlSink`]
+/// writes exactly these bytes, and the sharded driver's mux thread uses it
+/// to format events received over a channel, so a merged shard stream is
+/// byte-identical to what a serial [`JsonlSink`] would have produced.
+pub fn event_line(event: &Event) -> String {
+    let tag = event.tag();
+    match *event {
+        Event::Arrival { at, function } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{}}}",
+            at.as_micros(),
+            function.index()
+        ),
+        Event::Queued {
+            at,
+            function,
+            depth,
+        } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{},\"depth\":{depth}}}",
+            at.as_micros(),
+            function.index()
+        ),
+        Event::ExecutionStarted {
+            at,
+            function,
+            node,
+            arch,
+            kind,
+            wait,
+            start_penalty,
+            execution,
+        } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"fn\":{},\"node\":{},\"arch\":\"{}\",",
+                "\"kind\":\"{}\",\"wait_us\":{},\"penalty_us\":{},\"exec_us\":{}}}"
+            ),
+            tag,
+            at.as_micros(),
+            function.index(),
+            node.index(),
+            arch_label(arch),
+            kind_label(kind),
+            wait.as_micros(),
+            start_penalty.as_micros(),
+            execution.as_micros()
+        ),
+        Event::InstanceAdmitted {
+            at,
+            id,
+            function,
+            node,
+            arch,
+            compressed,
+            memory,
+            expiry,
+            reserved,
+        } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
+                "\"arch\":\"{}\",\"compressed\":{},\"mem_mb\":{},\"expiry\":{},",
+                "\"reserved_pd\":{}}}"
+            ),
+            tag,
+            at.as_micros(),
+            id.slot(),
+            id.generation(),
+            function.index(),
+            node.index(),
+            arch_label(arch),
+            compressed,
+            memory.as_mb(),
+            expiry.as_micros(),
+            reserved.as_picodollars()
+        ),
+        Event::InstanceReleased {
+            at,
+            id,
+            function,
+            node,
+            memory,
+            compressed,
+            since,
+            reason,
+        } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
+                "\"mem_mb\":{},\"compressed\":{},\"since\":{},\"reason\":\"{}\"}}"
+            ),
+            tag,
+            at.as_micros(),
+            id.slot(),
+            id.generation(),
+            function.index(),
+            node.index(),
+            memory.as_mb(),
+            compressed,
+            since.as_micros(),
+            reason.label()
+        ),
+        Event::CompressionStarted {
+            at,
+            id,
+            function,
+            node,
+            ready_at,
+        } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
+                "\"ready_at\":{}}}"
+            ),
+            tag,
+            at.as_micros(),
+            id.slot(),
+            id.generation(),
+            function.index(),
+            node.index(),
+            ready_at.as_micros()
+        ),
+        Event::CompressionFinished {
+            at,
+            id,
+            function,
+            node,
+        } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{}}}",
+            at.as_micros(),
+            id.slot(),
+            id.generation(),
+            function.index(),
+            node.index()
+        ),
+        Event::BudgetDebit {
+            at,
+            requested,
+            granted,
+        } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"requested_pd\":{},\"granted_pd\":{}}}",
+            at.as_micros(),
+            requested.as_picodollars(),
+            granted.as_picodollars()
+        ),
+        Event::BudgetCredit { at, amount } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"amount_pd\":{}}}",
+            at.as_micros(),
+            amount.as_picodollars()
+        ),
+        Event::PrewarmDropped { at, function, arch } => format!(
+            "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{},\"arch\":\"{}\"}}",
+            at.as_micros(),
+            function.index(),
+            arch_label(arch)
+        ),
+        Event::OptimizerRound { at, ref round } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"round\":{},\"subproblems\":{},",
+                "\"dims\":{},\"objective\":{},\"accepted\":{},\"evals\":{}}}"
+            ),
+            tag,
+            at.as_micros(),
+            round.round,
+            round.subproblems,
+            round.dimensions,
+            json_f64(round.objective),
+            round.accepted_moves,
+            round.evaluations
+        ),
+        Event::IntervalSampled { at, sample } => format!(
+            concat!(
+                "{{\"t\":\"{}\",\"at\":{},\"index\":{},\"spend_delta\":{},",
+                "\"warm_pool\":{},\"compressed\":{},\"utilization\":{},",
+                "\"compress_delta\":{},\"pending\":{}}}"
+            ),
+            tag,
+            at.as_micros(),
+            sample.index,
+            json_f64(sample.spend_delta_dollars),
+            sample.warm_pool,
+            sample.compressed,
+            json_f64(sample.utilization),
+            sample.compression_events_delta,
+            sample.pending
+        ),
+    }
+}
+
 /// Streams events as JSON Lines to any [`Write`].
 ///
 /// IO errors are latched: the first failure is stored, subsequent events are
@@ -95,186 +281,6 @@ impl<W: Write> JsonlSink<W> {
         self.out.flush()?;
         Ok(self.out)
     }
-
-    fn line_for(event: &Event) -> String {
-        let tag = event.tag();
-        match *event {
-            Event::Arrival { at, function } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{}}}",
-                at.as_micros(),
-                function.index()
-            ),
-            Event::Queued {
-                at,
-                function,
-                depth,
-            } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{},\"depth\":{depth}}}",
-                at.as_micros(),
-                function.index()
-            ),
-            Event::ExecutionStarted {
-                at,
-                function,
-                node,
-                arch,
-                kind,
-                wait,
-                start_penalty,
-                execution,
-            } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"fn\":{},\"node\":{},\"arch\":\"{}\",",
-                    "\"kind\":\"{}\",\"wait_us\":{},\"penalty_us\":{},\"exec_us\":{}}}"
-                ),
-                tag,
-                at.as_micros(),
-                function.index(),
-                node.index(),
-                arch_label(arch),
-                kind_label(kind),
-                wait.as_micros(),
-                start_penalty.as_micros(),
-                execution.as_micros()
-            ),
-            Event::InstanceAdmitted {
-                at,
-                id,
-                function,
-                node,
-                arch,
-                compressed,
-                memory,
-                expiry,
-                reserved,
-            } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
-                    "\"arch\":\"{}\",\"compressed\":{},\"mem_mb\":{},\"expiry\":{},",
-                    "\"reserved_pd\":{}}}"
-                ),
-                tag,
-                at.as_micros(),
-                id.slot(),
-                id.generation(),
-                function.index(),
-                node.index(),
-                arch_label(arch),
-                compressed,
-                memory.as_mb(),
-                expiry.as_micros(),
-                reserved.as_picodollars()
-            ),
-            Event::InstanceReleased {
-                at,
-                id,
-                function,
-                node,
-                memory,
-                compressed,
-                since,
-                reason,
-            } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
-                    "\"mem_mb\":{},\"compressed\":{},\"since\":{},\"reason\":\"{}\"}}"
-                ),
-                tag,
-                at.as_micros(),
-                id.slot(),
-                id.generation(),
-                function.index(),
-                node.index(),
-                memory.as_mb(),
-                compressed,
-                since.as_micros(),
-                reason.label()
-            ),
-            Event::CompressionStarted {
-                at,
-                id,
-                function,
-                node,
-                ready_at,
-            } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{},",
-                    "\"ready_at\":{}}}"
-                ),
-                tag,
-                at.as_micros(),
-                id.slot(),
-                id.generation(),
-                function.index(),
-                node.index(),
-                ready_at.as_micros()
-            ),
-            Event::CompressionFinished {
-                at,
-                id,
-                function,
-                node,
-            } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"id\":[{},{}],\"fn\":{},\"node\":{}}}",
-                at.as_micros(),
-                id.slot(),
-                id.generation(),
-                function.index(),
-                node.index()
-            ),
-            Event::BudgetDebit {
-                at,
-                requested,
-                granted,
-            } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"requested_pd\":{},\"granted_pd\":{}}}",
-                at.as_micros(),
-                requested.as_picodollars(),
-                granted.as_picodollars()
-            ),
-            Event::BudgetCredit { at, amount } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"amount_pd\":{}}}",
-                at.as_micros(),
-                amount.as_picodollars()
-            ),
-            Event::PrewarmDropped { at, function, arch } => format!(
-                "{{\"t\":\"{tag}\",\"at\":{},\"fn\":{},\"arch\":\"{}\"}}",
-                at.as_micros(),
-                function.index(),
-                arch_label(arch)
-            ),
-            Event::OptimizerRound { at, ref round } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"round\":{},\"subproblems\":{},",
-                    "\"dims\":{},\"objective\":{},\"accepted\":{},\"evals\":{}}}"
-                ),
-                tag,
-                at.as_micros(),
-                round.round,
-                round.subproblems,
-                round.dimensions,
-                json_f64(round.objective),
-                round.accepted_moves,
-                round.evaluations
-            ),
-            Event::IntervalSampled { at, sample } => format!(
-                concat!(
-                    "{{\"t\":\"{}\",\"at\":{},\"index\":{},\"spend_delta\":{},",
-                    "\"warm_pool\":{},\"compressed\":{},\"utilization\":{},",
-                    "\"compress_delta\":{},\"pending\":{}}}"
-                ),
-                tag,
-                at.as_micros(),
-                sample.index,
-                json_f64(sample.spend_delta_dollars),
-                sample.warm_pool,
-                sample.compressed,
-                json_f64(sample.utilization),
-                sample.compression_events_delta,
-                sample.pending
-            ),
-        }
-    }
 }
 
 impl<W: Write> EventSink for JsonlSink<W> {
@@ -282,7 +288,7 @@ impl<W: Write> EventSink for JsonlSink<W> {
         if self.error.is_some() {
             return;
         }
-        self.write_line(&Self::line_for(event));
+        self.write_line(&event_line(event));
         if self.error.is_none() {
             self.events += 1;
         }

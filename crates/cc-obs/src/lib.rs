@@ -23,7 +23,11 @@
 //!   `trace_event` JSON loadable in Perfetto, rendering node occupancy and
 //!   warm-instance lifetimes as tracks).
 //! * **Combinators** — [`Tee`] to fan out to two sinks, [`BufferSink`] to
-//!   retain events in memory, and `&mut S` which forwards to `S`.
+//!   retain events in memory, `&mut S` which forwards to `S`,
+//!   [`SamplingSink`] for deterministic 1-in-N sampling with explicit drop
+//!   accounting, and [`ChannelSink`] which streams shard-tagged events over
+//!   a bounded channel to a mux thread (the transport for the sharded
+//!   parallel driver).
 //!
 //! This crate deliberately depends only on `cc-types` and `cc-metrics`;
 //! `cc-sim` depends on it (not the reverse), and re-exports the sink
@@ -31,16 +35,20 @@
 
 #![warn(missing_docs)]
 
+mod channel;
 mod chrome;
 mod event;
 mod instruments;
 mod jsonl;
+mod sampling;
 mod telemetry;
 
+pub use channel::{ChannelSink, ChannelStats, ShardMsg};
 pub use chrome::ChromeTraceSink;
 pub use event::{
     BufferSink, Event, EventSink, IntervalSample, NullSink, OptimizerRound, ReleaseReason, Tee,
 };
 pub use instruments::{Counter, Gauge, LogHistogram};
-pub use jsonl::JsonlSink;
+pub use jsonl::{event_line, JsonlSink};
+pub use sampling::SamplingSink;
 pub use telemetry::Telemetry;

@@ -1,0 +1,128 @@
+//! Deterministic 1-in-N event sampling.
+
+use crate::event::{Event, EventSink};
+
+/// Forwards every `N`-th event to the inner sink and counts the rest.
+///
+/// Sampling is counter-based, not random: event `k` (0-indexed) is
+/// forwarded iff `k % N == 0`, so the same event stream always yields the
+/// same sample — determinism the rest of the tracing stack relies on. The
+/// skipped-event count is explicit ([`SamplingSink::dropped`]) so a
+/// sampled trace can never masquerade as a complete one.
+///
+/// With `N = 1` every event is forwarded and the sink is pure overhead
+/// accounting. `ENABLED` mirrors the inner sink, so wrapping [`NullSink`]
+/// (see [`crate::NullSink`]) still compiles emission away.
+#[derive(Debug)]
+pub struct SamplingSink<S: EventSink> {
+    inner: S,
+    every: u64,
+    seen: u64,
+    forwarded: u64,
+}
+
+impl<S: EventSink> SamplingSink<S> {
+    /// Wraps `inner`, forwarding one event in `every`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(inner: S, every: u64) -> SamplingSink<S> {
+        assert!(every > 0, "sampling interval must be at least 1");
+        SamplingSink {
+            inner,
+            every,
+            seen: 0,
+            forwarded: 0,
+        }
+    }
+
+    /// Total events observed.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Events forwarded to the inner sink.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Events skipped by sampling (`seen - forwarded`).
+    pub fn dropped(&self) -> u64 {
+        self.seen - self.forwarded
+    }
+
+    /// Returns the inner sink, discarding the sampling counters.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EventSink> EventSink for SamplingSink<S> {
+    const ENABLED: bool = S::ENABLED;
+
+    fn record(&mut self, event: &Event) {
+        let index = self.seen;
+        self.seen += 1;
+        if index.is_multiple_of(self.every) {
+            self.forwarded += 1;
+            self.inner.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{BufferSink, NullSink};
+    use cc_types::{FunctionId, SimTime};
+
+    fn arrival(us: u64) -> Event {
+        Event::Arrival {
+            at: SimTime::from_micros(us),
+            function: FunctionId::new(7),
+        }
+    }
+
+    #[test]
+    fn forwards_one_in_n_starting_with_the_first() {
+        let mut sink = SamplingSink::new(BufferSink::new(), 3);
+        for i in 0..10 {
+            sink.record(&arrival(i));
+        }
+        assert_eq!(sink.seen(), 10);
+        assert_eq!(sink.forwarded(), 4); // indices 0, 3, 6, 9
+        assert_eq!(sink.dropped(), 6);
+        let kept: Vec<u64> = sink
+            .into_inner()
+            .events
+            .iter()
+            .map(|e| e.at().as_micros())
+            .collect();
+        assert_eq!(kept, vec![0, 3, 6, 9]);
+    }
+
+    #[test]
+    fn every_one_is_lossless() {
+        let mut sink = SamplingSink::new(BufferSink::new(), 1);
+        for i in 0..5 {
+            sink.record(&arrival(i));
+        }
+        assert_eq!(sink.dropped(), 0);
+        assert_eq!(sink.into_inner().events.len(), 5);
+    }
+
+    #[test]
+    fn enabled_mirrors_inner_sink() {
+        const {
+            assert!(!<SamplingSink<NullSink> as EventSink>::ENABLED);
+            assert!(<SamplingSink<BufferSink> as EventSink>::ENABLED);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sampling interval must be at least 1")]
+    fn rejects_zero_interval() {
+        let _ = SamplingSink::new(NullSink, 0);
+    }
+}

@@ -1,0 +1,40 @@
+//! # cc-shard: sharded parallel simulation driver
+//!
+//! Runs a grid of simulation jobs (policy × seed × scenario) across a pool
+//! of `std::thread` workers while preserving the determinism guarantees the
+//! workspace is built on:
+//!
+//! * **Deterministic merge** — every job is a *shard* identified by its
+//!   index in the submitted job list. Results come back ordered by shard
+//!   id, never by completion order, so a sharded sweep's output is
+//!   byte-identical run-to-run regardless of thread scheduling.
+//! * **Panic isolation** — each shard runs under `catch_unwind`; one
+//!   diverging policy cannot take down the sweep. The panic message is
+//!   captured into the shard's [`ShardResult`].
+//! * **Cross-thread event streaming** — workers trace into a
+//!   [`ChannelSink`](cc_obs::ChannelSink) over a bounded channel; a single
+//!   mux thread ([`mux_jsonl`]) merges the per-shard streams into one
+//!   shard-ordered JSONL file. With one shard the merged bytes are
+//!   identical to a serial [`JsonlSink`](cc_obs::JsonlSink) run; with more,
+//!   each shard's block is bracketed by `shard_begin`/`shard_end` marker
+//!   lines carrying explicit event and drop counts.
+//! * **Bounded memory, explicit loss** — the channel is bounded. Blocking
+//!   mode gives lossless backpressure; lossy mode never stalls a worker
+//!   and counts every dropped event, surfacing the total in the
+//!   `shard_end` marker and the [`MuxReport`].
+//!
+//! The driver is generic over the job's result type and the sink the job
+//! traces into, so uninstrumented sweeps use [`NullSinkFactory`] and pay
+//! zero tracing cost (the engine's emission sites compile away exactly as
+//! in a serial run).
+
+#![warn(missing_docs)]
+
+mod mux;
+mod runner;
+
+pub use mux::{mux_jsonl, MuxReport, MuxShard};
+pub use runner::{
+    run_sharded, run_sharded_jsonl, ChannelSinkFactory, NullSinkFactory, ShardResult,
+    ShardedRunConfig, SinkFactory, SinkStats,
+};

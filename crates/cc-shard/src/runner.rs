@@ -1,0 +1,343 @@
+//! The worker pool: shard dispatch, panic isolation, sink lifecycle.
+
+use std::io::{self, Write};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::Mutex;
+use std::thread;
+
+use cc_obs::{ChannelSink, EventSink, NullSink, SamplingSink, ShardMsg};
+
+use crate::mux::{mux_jsonl, MuxReport};
+
+/// Per-shard sink counters collected after the job finishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SinkStats {
+    /// Events delivered to the channel (post-sampling).
+    pub sent: u64,
+    /// Events lost to channel backpressure (lossy mode) or a vanished
+    /// consumer.
+    pub channel_dropped: u64,
+    /// Events deliberately skipped by 1-in-N sampling.
+    pub sampled_out: u64,
+}
+
+/// Builds one sink per shard and tears it down when the shard finishes.
+///
+/// The factory is shared by all workers (`Sync`); `finish` runs even when
+/// the job panicked, so channel-backed sinks always deliver their
+/// end-of-shard marker and the mux can retire the shard.
+pub trait SinkFactory: Sync {
+    /// The sink type handed to each job.
+    type Sink: EventSink + Send;
+
+    /// Creates the sink for shard `shard`.
+    fn make(&self, shard: u32) -> Self::Sink;
+
+    /// Consumes the shard's sink after the job returns (or panics) and
+    /// reports its counters.
+    fn finish(&self, shard: u32, sink: Self::Sink) -> SinkStats;
+}
+
+/// The zero-cost factory: every shard traces into [`NullSink`], so the
+/// engine's emission sites compile away exactly as in a serial run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSinkFactory;
+
+impl SinkFactory for NullSinkFactory {
+    type Sink = NullSink;
+
+    fn make(&self, _shard: u32) -> NullSink {
+        NullSink
+    }
+
+    fn finish(&self, _shard: u32, _sink: NullSink) -> SinkStats {
+        SinkStats::default()
+    }
+}
+
+/// Builds a [`SamplingSink`]-wrapped [`ChannelSink`] per shard, all feeding
+/// one bounded channel toward the mux thread.
+///
+/// Drop the factory after [`run_sharded`] returns: it holds the last
+/// sender, and the mux drains until every sender is gone.
+#[derive(Debug)]
+pub struct ChannelSinkFactory {
+    tx: SyncSender<ShardMsg>,
+    lossy: bool,
+    sample_every: u64,
+}
+
+impl ChannelSinkFactory {
+    /// A factory whose sinks block on a full channel (lossless).
+    /// `sample_every` of 1 forwards every event.
+    pub fn blocking(tx: SyncSender<ShardMsg>, sample_every: u64) -> ChannelSinkFactory {
+        ChannelSinkFactory {
+            tx,
+            lossy: false,
+            sample_every,
+        }
+    }
+
+    /// A factory whose sinks drop (and count) events on a full channel.
+    pub fn lossy(tx: SyncSender<ShardMsg>, sample_every: u64) -> ChannelSinkFactory {
+        ChannelSinkFactory {
+            tx,
+            lossy: true,
+            sample_every,
+        }
+    }
+}
+
+impl SinkFactory for ChannelSinkFactory {
+    type Sink = SamplingSink<ChannelSink>;
+
+    fn make(&self, shard: u32) -> Self::Sink {
+        let channel = if self.lossy {
+            ChannelSink::lossy(shard, self.tx.clone())
+        } else {
+            ChannelSink::blocking(shard, self.tx.clone())
+        };
+        SamplingSink::new(channel, self.sample_every)
+    }
+
+    fn finish(&self, _shard: u32, sink: Self::Sink) -> SinkStats {
+        let sampled_out = sink.dropped();
+        let stats = sink.into_inner().finish();
+        SinkStats {
+            sent: stats.sent,
+            channel_dropped: stats.dropped,
+            sampled_out,
+        }
+    }
+}
+
+/// The outcome of one shard.
+#[derive(Debug)]
+pub struct ShardResult<T> {
+    /// The shard id (the job's index in the submitted list).
+    pub shard: u32,
+    /// The job's return value, or the captured panic message.
+    pub outcome: Result<T, String>,
+    /// Sink counters for the shard.
+    pub sink: SinkStats,
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `jobs` across `workers` threads, returning one [`ShardResult`] per
+/// job, **ordered by shard id** (job index), never by completion order.
+///
+/// Workers pull shards from a shared atomic counter, so load balances
+/// dynamically; each shard runs under `catch_unwind`, and its sink is
+/// finished (delivering the end-of-shard marker for channel sinks) whether
+/// the job returned or panicked. `workers` is clamped to `1..=jobs.len()`.
+pub fn run_sharded<T, J, F>(jobs: Vec<J>, workers: usize, factory: &F) -> Vec<ShardResult<T>>
+where
+    T: Send,
+    J: FnOnce(&mut F::Sink) -> T + Send,
+    F: SinkFactory,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let slots: Vec<Mutex<Option<J>>> = jobs.into_iter().map(|j| Mutex::new(Some(j))).collect();
+    let results: Vec<Mutex<Option<ShardResult<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let workers = workers.clamp(1, n);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                if index >= n {
+                    break;
+                }
+                let job = slots[index]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("shard dispatched twice");
+                let shard = index as u32;
+                let mut sink = factory.make(shard);
+                let outcome =
+                    catch_unwind(AssertUnwindSafe(|| job(&mut sink))).map_err(panic_message);
+                let sink = factory.finish(shard, sink);
+                *results[index].lock().unwrap() = Some(ShardResult {
+                    shard,
+                    outcome,
+                    sink,
+                });
+            });
+        }
+    });
+
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap()
+                .expect("every shard produces a result")
+        })
+        .collect()
+}
+
+/// Configuration for [`run_sharded_jsonl`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedRunConfig {
+    /// Worker threads (clamped to the job count).
+    pub workers: usize,
+    /// Bounded channel capacity in events (minimum 1).
+    pub channel_capacity: usize,
+    /// Drop events instead of blocking when the channel is full.
+    pub lossy: bool,
+    /// Forward one event in N to the channel (1 = all).
+    pub sample_every: u64,
+}
+
+impl Default for ShardedRunConfig {
+    fn default() -> ShardedRunConfig {
+        ShardedRunConfig {
+            workers: 2,
+            channel_capacity: 4096,
+            lossy: false,
+            sample_every: 1,
+        }
+    }
+}
+
+/// Runs `jobs` sharded while a mux thread merges their event streams into
+/// one shard-ordered JSONL stream written to `out`.
+///
+/// Convenience wrapper tying [`run_sharded`] to [`mux_jsonl`]: it wires the
+/// bounded channel, spawns the mux thread, closes the channel when the last
+/// shard finishes, and joins. Returns the shard results (ordered by shard
+/// id), the writer, and the mux's accounting.
+pub fn run_sharded_jsonl<T, J, W>(
+    jobs: Vec<J>,
+    config: &ShardedRunConfig,
+    out: W,
+) -> io::Result<(Vec<ShardResult<T>>, W, MuxReport)>
+where
+    T: Send,
+    J: FnOnce(&mut SamplingSink<ChannelSink>) -> T + Send,
+    W: Write + Send,
+{
+    let shards = jobs.len() as u32;
+    let (tx, rx) = sync_channel(config.channel_capacity.max(1));
+    let factory = if config.lossy {
+        ChannelSinkFactory::lossy(tx, config.sample_every)
+    } else {
+        ChannelSinkFactory::blocking(tx, config.sample_every)
+    };
+
+    let mut muxed = None;
+    let results = thread::scope(|scope| {
+        let mux = scope.spawn(move || mux_jsonl(rx, out, shards));
+        let results = run_sharded(jobs, config.workers, &factory);
+        // Drop the factory's sender so the mux sees end-of-stream.
+        drop(factory);
+        muxed = Some(mux.join().expect("mux thread panicked"));
+        results
+    });
+    let (out, report) = muxed.expect("mux joined before scope exit")?;
+    Ok((results, out, report))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_obs::Event;
+    use cc_types::{FunctionId, SimTime};
+
+    fn arrival(us: u64) -> Event {
+        Event::Arrival {
+            at: SimTime::from_micros(us),
+            function: FunctionId::new(9),
+        }
+    }
+
+    #[test]
+    fn results_come_back_in_shard_order() {
+        // Shards finish in reverse submission order (earlier shards sleep
+        // longer); the result vector must still be shard-ordered.
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                move |_sink: &mut NullSink| {
+                    std::thread::sleep(std::time::Duration::from_millis(8 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let results = run_sharded(jobs, 4, &NullSinkFactory);
+        let values: Vec<u64> = results
+            .iter()
+            .map(|r| *r.outcome.as_ref().unwrap())
+            .collect();
+        assert_eq!(values, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+        let shards: Vec<u32> = results.iter().map(|r| r.shard).collect();
+        assert_eq!(shards, vec![0, 1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    fn a_panicking_shard_does_not_poison_the_sweep() {
+        type BoxedJob = Box<dyn FnOnce(&mut NullSink) -> u32 + Send>;
+        let jobs: Vec<BoxedJob> = vec![
+            Box::new(|_| 1),
+            Box::new(|_| panic!("policy diverged on shard 1")),
+            Box::new(|_| 3),
+        ];
+        let results = run_sharded(jobs, 2, &NullSinkFactory);
+        assert_eq!(results[0].outcome.as_ref().unwrap(), &1);
+        assert_eq!(results[2].outcome.as_ref().unwrap(), &3);
+        let err = results[1].outcome.as_ref().unwrap_err();
+        assert!(err.contains("policy diverged"), "got {err:?}");
+    }
+
+    #[test]
+    fn empty_job_list_is_a_no_op() {
+        let jobs: Vec<fn(&mut NullSink) -> ()> = Vec::new();
+        assert!(run_sharded(jobs, 4, &NullSinkFactory).is_empty());
+    }
+
+    #[test]
+    fn channel_factory_reports_sampling_and_finishes_shards() {
+        let jobs: Vec<_> = (0..3u32)
+            .map(|_| {
+                move |sink: &mut SamplingSink<ChannelSink>| {
+                    for i in 0..10 {
+                        sink.record(&arrival(i));
+                    }
+                }
+            })
+            .collect();
+        let config = ShardedRunConfig {
+            workers: 3,
+            channel_capacity: 8,
+            lossy: false,
+            sample_every: 5,
+        };
+        let (results, bytes, report) = run_sharded_jsonl(jobs, &config, Vec::new()).unwrap();
+        for r in &results {
+            assert_eq!(r.sink.sent, 2, "10 events sampled 1-in-5");
+            assert_eq!(r.sink.sampled_out, 8);
+            assert_eq!(r.sink.channel_dropped, 0);
+        }
+        assert_eq!(report.events_written, 6);
+        let text = String::from_utf8(bytes).unwrap();
+        assert_eq!(
+            text.lines().filter(|l| l.contains("\"arrival\"")).count(),
+            6
+        );
+    }
+}

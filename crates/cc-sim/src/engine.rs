@@ -291,13 +291,17 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     /// Refunds `amount` to the ledger, emitting a budget-credit event for
-    /// non-zero refunds.
+    /// non-zero refunds. The emitted amount is what the ledger actually
+    /// credited back (the ledger clamps refunds to its outstanding
+    /// reservations; engine refunds are always pro-rata tails of real
+    /// reservations, so the clamp never bites here).
     fn credit(&mut self, amount: Cost) {
-        self.ledger.refund(amount);
-        if S::ENABLED && !amount.is_zero() {
+        let refunded = self.ledger.refund(amount);
+        debug_assert_eq!(refunded, amount, "engine refund exceeded outstanding");
+        if S::ENABLED && !refunded.is_zero() {
             self.sink.record(&ObsEvent::BudgetCredit {
                 at: self.now,
-                amount,
+                amount: refunded,
             });
         }
     }

@@ -35,6 +35,13 @@ pub struct BudgetLedger {
     balance: Cost,
     /// Net spend so far (reservations minus refunds).
     spent: Cost,
+    /// Reserved cost not yet refunded. Refunds are clamped to this, so a
+    /// double-refund (or a refund larger than what was ever granted) cannot
+    /// mint credit out of thin air or drain `spent` below its true value.
+    outstanding: Cost,
+    /// Total credit ever accrued (budgeted ledgers only). Invariant:
+    /// `balance + spent == accrued` at all times.
+    accrued: Cost,
 }
 
 impl BudgetLedger {
@@ -46,6 +53,8 @@ impl BudgetLedger {
             credited_intervals: 0,
             balance: Cost::ZERO,
             spent: Cost::ZERO,
+            outstanding: Cost::ZERO,
+            accrued: Cost::ZERO,
         }
     }
 
@@ -63,6 +72,8 @@ impl BudgetLedger {
             credited_intervals: 0,
             balance: Cost::ZERO,
             spent: Cost::ZERO,
+            outstanding: Cost::ZERO,
+            accrued: Cost::ZERO,
         }
     }
 
@@ -84,6 +95,7 @@ impl BudgetLedger {
         if due > self.credited_intervals {
             let missing = due - self.credited_intervals;
             self.balance = self.balance.saturating_add(rate * missing);
+            self.accrued = self.accrued.saturating_add(rate * missing);
             self.credited_intervals = due;
         }
     }
@@ -100,15 +112,26 @@ impl BudgetLedger {
             self.balance -= granted;
         }
         self.spent = self.spent.saturating_add(granted);
+        self.outstanding = self.outstanding.saturating_add(granted);
         granted
     }
 
-    /// Refunds an unused reservation tail (early reuse or eviction).
-    pub fn refund(&mut self, amount: Cost) {
+    /// Refunds an unused reservation tail (early reuse or eviction),
+    /// returning the amount actually credited back.
+    ///
+    /// The refund is clamped to the outstanding (not-yet-refunded) reserved
+    /// cost: refunding more than was granted — or refunding the same
+    /// reservation twice — returns only what is genuinely owed, so
+    /// `balance` can never exceed total accrued credit and `spent` never
+    /// under-reports true expenditure, no matter how callers misbehave.
+    pub fn refund(&mut self, amount: Cost) -> Cost {
+        let refunded = amount.min(self.outstanding);
+        self.outstanding -= refunded;
         if self.rate_per_interval.is_some() {
-            self.balance = self.balance.saturating_add(amount);
+            self.balance = self.balance.saturating_add(refunded);
         }
-        self.spent = self.spent.saturating_sub(amount);
+        self.spent = self.spent.saturating_sub(refunded);
+        refunded
     }
 
     /// Currently available credit (zero when unlimited — unlimited ledgers
@@ -120,6 +143,16 @@ impl BudgetLedger {
     /// Net spend so far.
     pub fn spent(&self) -> Cost {
         self.spent
+    }
+
+    /// Reserved cost that has not been refunded yet (the refund ceiling).
+    pub fn outstanding(&self) -> Cost {
+        self.outstanding
+    }
+
+    /// Total credit accrued so far (zero when unlimited).
+    pub fn accrued(&self) -> Cost {
+        self.accrued
     }
 }
 
@@ -185,6 +218,59 @@ mod tests {
         let _ = BudgetLedger::budgeted(Cost::ZERO, SimDuration::ZERO);
     }
 
+    /// Regression: a double-refund used to mint credit out of thin air —
+    /// the second refund re-inflated `balance` past total accrued credit
+    /// and drained `spent` to zero while an instance was still being paid
+    /// for. Refunds are now clamped to the outstanding reserved cost.
+    #[test]
+    fn double_refund_cannot_mint_credit() {
+        let mut l = BudgetLedger::budgeted(Cost::from_picodollars(100), minute());
+        let granted = l.reserve(at_min(0), Cost::from_picodollars(80));
+        assert_eq!(granted, Cost::from_picodollars(80));
+        assert_eq!(l.refund(granted), granted);
+        // The reservation is fully refunded: a replayed refund is owed
+        // nothing.
+        assert_eq!(l.refund(granted), Cost::ZERO);
+        assert_eq!(l.balance(), Cost::from_picodollars(100));
+        assert_eq!(l.spent(), Cost::ZERO);
+        assert!(l.balance() <= l.accrued());
+    }
+
+    /// Regression: refunding more than was ever granted used to be
+    /// accepted verbatim.
+    #[test]
+    fn refund_is_clamped_to_outstanding() {
+        let mut l = BudgetLedger::budgeted(Cost::from_picodollars(100), minute());
+        let granted = l.reserve(at_min(1), Cost::from_picodollars(150));
+        assert_eq!(granted, Cost::from_picodollars(150));
+        assert_eq!(l.outstanding(), granted);
+        let refunded = l.refund(Cost::from_picodollars(1_000_000));
+        assert_eq!(refunded, granted);
+        assert_eq!(l.outstanding(), Cost::ZERO);
+        assert_eq!(l.balance(), Cost::from_picodollars(200));
+        assert_eq!(l.balance(), l.accrued());
+        assert_eq!(l.spent(), Cost::ZERO);
+    }
+
+    #[test]
+    fn unlimited_refund_clamp_protects_spend() {
+        let mut l = BudgetLedger::unlimited(minute());
+        l.reserve(at_min(0), Cost::from_picodollars(500));
+        // A rogue over-refund cannot under-report true expenditure.
+        assert_eq!(
+            l.refund(Cost::from_picodollars(800)),
+            Cost::from_picodollars(500)
+        );
+        assert_eq!(l.spent(), Cost::ZERO);
+        l.reserve(at_min(1), Cost::from_picodollars(300));
+        assert_eq!(
+            l.refund(Cost::from_picodollars(100)),
+            Cost::from_picodollars(100)
+        );
+        assert_eq!(l.spent(), Cost::from_picodollars(200));
+        assert_eq!(l.outstanding(), Cost::from_picodollars(200));
+    }
+
     proptest! {
         #[test]
         fn budgeted_never_overspends(
@@ -200,6 +286,39 @@ mod tests {
                 // latest instant touched.
                 let max_credit = rate * (max_minute + 1);
                 prop_assert!(l.spent() <= max_credit);
+            }
+        }
+
+        // Any interleaving of reservations and refunds — including rogue
+        // refunds that exceed what was granted — keeps the conservation
+        // invariant `balance + spent == accrued` and therefore can never
+        // push `balance` above total accrued credit.
+        #[test]
+        fn refund_interleavings_never_exceed_accrued_credit(
+            ops in prop::collection::vec((0u64..120, 0u64..1_000, any::<bool>()), 1..60),
+        ) {
+            let rate = Cost::from_picodollars(100);
+            let mut l = BudgetLedger::budgeted(rate, minute());
+            let mut granted_history: Vec<Cost> = Vec::new();
+            for &(minute_at, amount, is_refund) in &ops {
+                if is_refund {
+                    // Refund either a real granted amount (possibly twice —
+                    // the second is a double-refund) or an arbitrary bogus
+                    // amount.
+                    let amount = granted_history
+                        .pop()
+                        .unwrap_or(Cost::from_picodollars(amount * 3));
+                    let refunded = l.refund(amount);
+                    prop_assert!(refunded <= amount);
+                } else {
+                    let granted = l.reserve(at_min(minute_at), Cost::from_picodollars(amount));
+                    granted_history.push(granted);
+                }
+                prop_assert_eq!(l.balance() + l.spent(), l.accrued());
+                prop_assert!(l.balance() <= l.accrued());
+                // Every picodollar of net spend is attached to a live,
+                // refundable reservation.
+                prop_assert_eq!(l.outstanding(), l.spent());
             }
         }
 

@@ -59,8 +59,8 @@ mod scheduler;
 mod view;
 
 pub use cc_obs::{
-    BufferSink, ChromeTraceSink, Event, EventSink, IntervalSample, JsonlSink, NullSink,
-    OptimizerRound, ReleaseReason, Tee, Telemetry,
+    BufferSink, ChannelSink, ChannelStats, ChromeTraceSink, Event, EventSink, IntervalSample,
+    JsonlSink, NullSink, OptimizerRound, ReleaseReason, SamplingSink, ShardMsg, Tee, Telemetry,
 };
 pub use cc_types::WarmId;
 pub use config::{ClusterConfig, RuntimeKind};
@@ -68,6 +68,6 @@ pub use engine::Simulation;
 pub use fixed::FixedKeepAlive;
 pub use ledger::BudgetLedger;
 pub use node::{NodeState, WarmInstance};
-pub use report::SimReport;
+pub use report::{fnv1a, SimReport};
 pub use scheduler::{Command, KeepDecision, Scheduler};
 pub use view::ClusterView;

@@ -1,7 +1,36 @@
 //! Output of one simulation run.
 
 use cc_metrics::ServiceStats;
-use cc_types::{Cost, ServiceRecord};
+use cc_types::{Arch, Cost, ServiceRecord, StartKind};
+
+/// FNV-1a over raw bytes. The workspace's canonical cheap digest: the
+/// golden-determinism tests use it over exported event streams, and the
+/// sharded driver uses it to prove merged outputs match serial ones.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+struct Fnv(u64);
+
+impl Fnv {
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+    fn f64(&mut self, v: f64) {
+        self.write(&v.to_bits().to_le_bytes());
+    }
+}
 
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone)]
@@ -37,6 +66,57 @@ pub struct SimReport {
 }
 
 impl SimReport {
+    /// FNV-1a digest over a canonical byte encoding of everything the
+    /// simulator measures (wall-clock `decision_time` excluded — it is the
+    /// one nondeterministic field).
+    ///
+    /// This is the workspace's equality oracle: the golden-determinism
+    /// tests pin per-policy constants to it, and `simbench --shards N`
+    /// compares sharded digests against serial ones to prove the parallel
+    /// driver is behavior-preserving. The encoding is load-bearing — any
+    /// change invalidates every recorded golden constant, so change it
+    /// only together with the constants and an explanation.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv(0xcbf29ce484222325);
+        h.write(self.policy.as_bytes());
+        h.u64(self.records.len() as u64);
+        for r in &self.records {
+            h.u64(r.function.index() as u64);
+            h.u64(r.arrival.as_micros());
+            h.u64(r.wait.as_micros());
+            h.u64(r.start_penalty.as_micros());
+            h.u64(r.execution.as_micros());
+            h.u64(match r.kind {
+                StartKind::WarmUncompressed => 0,
+                StartKind::WarmCompressed => 1,
+                StartKind::Cold => 2,
+            });
+            h.u64(match r.arch {
+                Arch::X86 => 0,
+                Arch::Arm => 1,
+            });
+        }
+        h.u64(self.keep_alive_spend.as_picodollars());
+        h.u64(self.evictions);
+        h.u64(self.dropped_prewarms);
+        h.u64(self.compression_events);
+        for series in [
+            &self.spend_per_interval,
+            &self.warm_pool_series,
+            &self.compressed_series,
+            &self.compression_events_per_interval,
+            &self.utilization_series,
+        ] {
+            h.u64(series.len() as u64);
+            for &v in series {
+                h.f64(v);
+            }
+        }
+        h.f64(self.stats.mean_service_time_secs());
+        h.f64(self.stats.warm_fraction());
+        h.0
+    }
+
     /// Mean service time in seconds — the paper's headline number.
     /// `0.0` (never NaN) for a zero-invocation run.
     pub fn mean_service_time_secs(&self) -> f64 {

@@ -148,9 +148,52 @@ impl SimDuration {
     }
 
     /// Multiplies the duration by a floating-point scale factor, rounding to
-    /// the nearest microsecond and saturating negatives to zero.
+    /// the nearest microsecond (ties away from zero), with explicit
+    /// saturation: non-finite and non-positive factors yield
+    /// [`SimDuration::ZERO`], and products beyond `u64::MAX` microseconds
+    /// clamp to `u64::MAX`.
+    ///
+    /// The product is computed in integer arithmetic on the factor's exact
+    /// binary decomposition (`mantissa × 2^exponent`, u128 intermediate), so
+    /// no precision is lost for large durations — the old
+    /// `as_secs_f64() * factor` round-trip silently truncated durations
+    /// beyond ~2⁵³ µs to the nearest representable `f64`.
     pub fn scale(self, factor: f64) -> SimDuration {
-        SimDuration::from_secs_f64(self.as_secs_f64() * factor)
+        if !factor.is_finite() || factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        // Exact decomposition of a positive finite f64: factor = mant × 2^exp
+        // with mant < 2^53 (the sign bit is known to be clear).
+        let bits = factor.to_bits();
+        let exp_bits = ((bits >> 52) & 0x7ff) as i64;
+        let frac = bits & ((1u64 << 52) - 1);
+        let (mant, exp) = if exp_bits == 0 {
+            (frac, -1074i64) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp_bits - 1075)
+        };
+        // micros × mant ≤ (2^64−1) × (2^53−1) < 2^117: exact in u128.
+        let prod = self.0 as u128 * mant as u128;
+        if prod == 0 {
+            return SimDuration::ZERO;
+        }
+        let scaled = if exp >= 0 {
+            if exp >= 64 || prod > u128::from(u64::MAX) >> exp {
+                u128::from(u64::MAX)
+            } else {
+                prod << exp
+            }
+        } else {
+            let shift = -exp;
+            if shift > 127 {
+                0 // prod < 2^117, so even the rounding half cannot reach 1
+            } else {
+                // Round half away from zero: add half the divisor before
+                // shifting. prod + 2^126 < 2^117 + 2^126 < 2^127: no overflow.
+                (prod + (1u128 << (shift - 1))) >> shift
+            }
+        };
+        SimDuration(u64::try_from(scaled).unwrap_or(u64::MAX))
     }
 }
 
@@ -308,6 +351,54 @@ mod tests {
         let d = SimDuration::from_secs(2);
         assert_eq!(d.scale(0.25), SimDuration::from_millis(500));
         assert_eq!(d.scale(-1.0), SimDuration::ZERO);
+        assert_eq!(d.scale(f64::NAN), SimDuration::ZERO);
+        assert_eq!(d.scale(0.0), SimDuration::ZERO);
+        // Ties round away from zero.
+        assert_eq!(
+            SimDuration::from_micros(3).scale(0.5),
+            SimDuration::from_micros(2)
+        );
+    }
+
+    /// Regression for the f64 round-trip: durations beyond 2⁵³ µs used to
+    /// be truncated to the nearest f64-representable value, so scaling by
+    /// exactly 1.0 (or any dyadic factor) lost the low bits.
+    #[test]
+    fn duration_scale_is_exact_beyond_f64_precision() {
+        let boundary = (1u64 << 53) + 1;
+        assert_eq!(
+            SimDuration::from_micros(boundary).scale(1.0),
+            SimDuration::from_micros(boundary),
+            "identity scale must preserve every microsecond"
+        );
+        let big = (1u64 << 60) + 3;
+        assert_eq!(
+            SimDuration::from_micros(big).scale(0.5),
+            // 2^59 + 1.5 rounds away from zero.
+            SimDuration::from_micros((1u64 << 59) + 2)
+        );
+        assert_eq!(
+            SimDuration::from_micros(big).scale(2.0),
+            SimDuration::from_micros((1u64 << 61) + 6)
+        );
+    }
+
+    #[test]
+    fn duration_scale_saturates_explicitly() {
+        let max = SimDuration::from_micros(u64::MAX);
+        assert_eq!(max.scale(2.0), max, "overflow clamps to u64::MAX");
+        assert_eq!(max.scale(f64::INFINITY), SimDuration::ZERO);
+        assert_eq!(max.scale(1.0), max);
+        // A huge factor on a small duration also clamps.
+        assert_eq!(SimDuration::from_micros(2).scale(f64::MAX), max);
+        // A subnormal factor underflows cleanly to zero.
+        assert_eq!(max.scale(f64::from_bits(1)), SimDuration::ZERO);
+        // A tiny-but-normal factor times a huge duration stays exact:
+        // 2^63 × 2^-53 = 1024.
+        assert_eq!(
+            SimDuration::from_micros(1 << 63).scale(2f64.powi(-53)),
+            SimDuration::from_micros(1024)
+        );
     }
 
     #[test]

@@ -17,7 +17,9 @@ use cc_types::{SimDuration, SimTime};
 /// reset. The more the local behaviour diverges from the global pattern,
 /// the more weight the local window gets — this is what lets CodeCrunch
 /// track functions whose period drifts. Global statistics reset every
-/// 1000 invocations, per the paper.
+/// 1000 invocations, per the paper; the reset is aligned to *recorded
+/// gaps* (the gap-less first arrival does not count, and the boundary gap
+/// completes the old window rather than leaking into the new one).
 ///
 /// `P_est` deliberately over-estimates by one standard deviation on each
 /// term: the paper found exactly one σ optimal ("considering more than one
@@ -47,8 +49,6 @@ pub struct PestEstimator {
     global_count: u64,
     global_sum: f64,
     global_sum_sq: f64,
-    /// Invocations since the last global reset.
-    invocations_since_reset: u64,
     last_arrival: Option<SimTime>,
 }
 
@@ -78,21 +78,24 @@ impl PestEstimator {
             global_count: 0,
             global_sum: 0.0,
             global_sum_sq: 0.0,
-            invocations_since_reset: 0,
             last_arrival: None,
         }
     }
 
     /// Records an invocation arrival.
+    ///
+    /// The global window is reset lazily, aligned to *recorded gaps*: once
+    /// it holds [`GLOBAL_RESET_EVERY`] gaps, the next gap clears it and
+    /// becomes the first entry of the fresh window. The gap-less first
+    /// arrival never counts toward the threshold, and the boundary gap
+    /// always lands in the window that was open when it was observed.
     pub fn record(&mut self, now: SimTime) {
-        self.invocations_since_reset += 1;
-        if self.invocations_since_reset >= GLOBAL_RESET_EVERY {
-            self.global_count = 0;
-            self.global_sum = 0.0;
-            self.global_sum_sq = 0.0;
-            self.invocations_since_reset = 0;
-        }
         if let Some(last) = self.last_arrival {
+            if self.global_count >= GLOBAL_RESET_EVERY {
+                self.global_count = 0;
+                self.global_sum = 0.0;
+                self.global_sum_sq = 0.0;
+            }
             let gap = now.saturating_since(last).as_secs_f64();
             if self.local.len() == self.local_window {
                 self.local.pop_front();
@@ -141,6 +144,12 @@ impl PestEstimator {
     /// Number of gaps currently in the local window.
     pub fn local_len(&self) -> usize {
         self.local.len()
+    }
+
+    /// Number of gaps in the current global window (resets every
+    /// [`GLOBAL_RESET_EVERY`] recorded gaps).
+    pub fn global_len(&self) -> u64 {
+        self.global_count
     }
 }
 
@@ -221,6 +230,35 @@ mod tests {
         // Still estimating after the reset.
         assert!(est.estimate().is_some());
         assert!(est.local_len() <= DEFAULT_LOCAL_WINDOW);
+    }
+
+    /// Regression for the reset off-by-one: the gap-less first arrival
+    /// used to count toward `GLOBAL_RESET_EVERY`, and the reset fired
+    /// *before* the boundary gap was recorded, dropping it into the
+    /// post-reset window. The reset is now aligned to recorded gaps: the
+    /// window fills to exactly `GLOBAL_RESET_EVERY` gaps (boundary gap
+    /// included), and the *next* gap opens the fresh window.
+    #[test]
+    fn global_reset_is_aligned_to_recorded_gaps() {
+        let mut est = PestEstimator::new();
+        est.record(at(0));
+        assert_eq!(est.global_len(), 0, "first arrival records no gap");
+        for i in 1..=GLOBAL_RESET_EVERY {
+            est.record(at(i * 2));
+        }
+        assert_eq!(
+            est.global_len(),
+            GLOBAL_RESET_EVERY,
+            "window immediately before reset holds the full 1000 gaps"
+        );
+        est.record(at((GLOBAL_RESET_EVERY + 1) * 2));
+        assert_eq!(
+            est.global_len(),
+            1,
+            "window immediately after reset holds only the fresh gap"
+        );
+        // The estimator never goes dark across the reset.
+        assert!(est.estimate().is_some());
     }
 
     #[test]

@@ -54,6 +54,7 @@ pub use cc_metrics as metrics;
 pub use cc_obs as obs;
 pub use cc_opt as opt;
 pub use cc_policies as policies;
+pub use cc_shard as shard;
 pub use cc_sim as sim;
 pub use cc_trace as trace;
 pub use cc_types as types;
@@ -64,9 +65,14 @@ pub use codecrunch;
 pub mod prelude {
     pub use cc_compress::{Codec, CompressionModel, CrunchFast, EntropyClass, FsImage};
     pub use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
+    pub use cc_shard::{
+        mux_jsonl, run_sharded, run_sharded_jsonl, ChannelSinkFactory, MuxReport, NullSinkFactory,
+        ShardResult, ShardedRunConfig, SinkFactory,
+    };
     pub use cc_sim::{
-        BufferSink, ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink,
-        NullSink, RuntimeKind, Scheduler, SimReport, Simulation, Tee, Telemetry,
+        fnv1a, BufferSink, ChannelSink, ChromeTraceSink, ClusterConfig, Event, EventSink,
+        FixedKeepAlive, JsonlSink, NullSink, RuntimeKind, SamplingSink, Scheduler, SimReport,
+        Simulation, Tee, Telemetry,
     };
     pub use cc_trace::{Perturbation, SyntheticTrace, Trace};
     pub use cc_types::{Arch, Cost, FunctionId, MemoryMb, SimDuration, SimTime, StartKind};

@@ -16,62 +16,12 @@
 
 use codecrunch_suite::prelude::*;
 
-/// FNV-1a over a canonical byte encoding of everything the simulator
-/// measures (wall-clock `decision_time` excluded).
+/// Canonical report digest, now provided by [`SimReport::digest`] so the
+/// bench binaries and the sharded driver share the exact encoding this
+/// test pins. Kept as a local alias so the assertions below read the same
+/// as when the encoding lived here.
 fn report_digest(report: &SimReport) -> u64 {
-    struct Fnv(u64);
-    impl Fnv {
-        fn write(&mut self, bytes: &[u8]) {
-            for &b in bytes {
-                self.0 ^= u64::from(b);
-                self.0 = self.0.wrapping_mul(0x100000001b3);
-            }
-        }
-        fn u64(&mut self, v: u64) {
-            self.write(&v.to_le_bytes());
-        }
-        fn f64(&mut self, v: f64) {
-            self.write(&v.to_bits().to_le_bytes());
-        }
-    }
-    let mut h = Fnv(0xcbf29ce484222325);
-    h.write(report.policy.as_bytes());
-    h.u64(report.records.len() as u64);
-    for r in &report.records {
-        h.u64(r.function.index() as u64);
-        h.u64(r.arrival.as_micros());
-        h.u64(r.wait.as_micros());
-        h.u64(r.start_penalty.as_micros());
-        h.u64(r.execution.as_micros());
-        h.u64(match r.kind {
-            StartKind::WarmUncompressed => 0,
-            StartKind::WarmCompressed => 1,
-            StartKind::Cold => 2,
-        });
-        h.u64(match r.arch {
-            Arch::X86 => 0,
-            Arch::Arm => 1,
-        });
-    }
-    h.u64(report.keep_alive_spend.as_picodollars());
-    h.u64(report.evictions);
-    h.u64(report.dropped_prewarms);
-    h.u64(report.compression_events);
-    for series in [
-        &report.spend_per_interval,
-        &report.warm_pool_series,
-        &report.compressed_series,
-        &report.compression_events_per_interval,
-        &report.utilization_series,
-    ] {
-        h.u64(series.len() as u64);
-        for &v in series {
-            h.f64(v);
-        }
-    }
-    h.f64(report.stats.mean_service_time_secs());
-    h.f64(report.stats.warm_fraction());
-    h.0
+    report.digest()
 }
 
 /// Mid-size scenario: large enough to exercise eviction, make-room,
@@ -146,12 +96,7 @@ fn every_policy_is_deterministic_and_matches_golden() {
 
 /// FNV-1a over raw bytes (for digesting exported event streams).
 fn bytes_digest(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
+    fnv1a(bytes)
 }
 
 fn run_with_jsonl(policy: &mut dyn Scheduler) -> (SimReport, Vec<u8>) {
@@ -194,6 +139,76 @@ fn jsonl_event_stream_is_deterministic_and_sink_is_inert() {
             "attaching an event sink perturbed the simulation"
         );
     }
+}
+
+/// The sharded driver is behavior-preserving: running every policy as a
+/// parallel shard (uninstrumented, like a `--shards N` sweep) reproduces
+/// the exact golden digests, and the results come back ordered by shard id.
+#[test]
+fn sharded_sweep_reproduces_golden_digests() {
+    let jobs: Vec<_> = GOLDEN
+        .iter()
+        .map(|&(name, _)| {
+            move |_sink: &mut NullSink| {
+                let (trace, workload, config) = scenario();
+                let mut policy = policy_under_test(name);
+                Simulation::new(config, &trace, &workload).run(policy.as_mut())
+            }
+        })
+        .collect();
+    let results = run_sharded(jobs, 3, &NullSinkFactory);
+    assert_eq!(results.len(), GOLDEN.len());
+    for (shard, (result, (name, golden))) in results.iter().zip(GOLDEN).enumerate() {
+        let report = result.outcome.as_ref().expect("shard panicked");
+        assert_eq!(result.shard as usize, shard, "results not in shard order");
+        assert_eq!(
+            report.digest(),
+            golden,
+            "sharded run of {name} diverged from the serial golden digest"
+        );
+    }
+}
+
+/// A `--shards 1` instrumented run must produce byte-identical JSONL to
+/// the serial `JsonlSink` path: same events, same encoding, no shard
+/// markers.
+#[test]
+fn single_shard_jsonl_is_byte_identical_to_serial() {
+    let (_, serial_stream) = run_with_jsonl(policy_under_test("codecrunch").as_mut());
+
+    let job = |sink: &mut SamplingSink<ChannelSink>| {
+        let (trace, workload, config) = scenario();
+        let mut policy = policy_under_test("codecrunch");
+        Simulation::new(config, &trace, &workload).run_with_sink(policy.as_mut(), sink)
+    };
+    let config = ShardedRunConfig {
+        workers: 1,
+        channel_capacity: 1024,
+        lossy: false,
+        sample_every: 1,
+    };
+    let (results, sharded_stream, mux) =
+        run_sharded_jsonl(vec![job], &config, Vec::new()).expect("in-memory mux cannot fail");
+    let report = results[0].outcome.as_ref().expect("shard panicked");
+
+    assert_eq!(
+        bytes_digest(&sharded_stream),
+        bytes_digest(&serial_stream),
+        "single-shard mux bytes diverge from the serial JSONL stream"
+    );
+    assert_eq!(sharded_stream, serial_stream);
+    assert_eq!(mux.dropped_total, 0, "blocking channel must be lossless");
+    assert_eq!(mux.events_written, results[0].sink.sent);
+    let golden = GOLDEN
+        .iter()
+        .find(|(name, _)| *name == "codecrunch")
+        .unwrap()
+        .1;
+    assert_eq!(
+        report.digest(),
+        golden,
+        "channel-sink instrumentation perturbed the simulation"
+    );
 }
 
 #[test]
