@@ -28,6 +28,15 @@
 //! when the channel backs up; both report their drop counts at the end.
 //! The live interval table is disabled in sharded mode (tables print per
 //! policy after the sweep); `--chrome` stays serial-only.
+//!
+//! `ccstat replay <file.jsonl>` works entirely offline: it decodes a
+//! previously exported event stream (serial or shard-tagged), rebuilds the
+//! per-interval table and final telemetry report from the events alone,
+//! and cross-checks the reconstruction against the recorded `snapshot`
+//! lines. `--audit` additionally runs the stream invariant auditor and
+//! exits non-zero on any violation; pass `--assume-sampled` for captures
+//! taken with `--sample N` (counter sampling leaves no marker in the
+//! file, so the auditor must be told to suppress pairing checks).
 
 use std::fs::File;
 use std::io::BufWriter;
@@ -48,7 +57,8 @@ use codecrunch::CodeCrunch;
 const USAGE: &str = "usage: ccstat [--policy NAME|all] [--functions N] [--minutes N] [--seed N] \
                      [--x86 N] [--arm N] [--warm-fraction F] [--budget DOLLARS] \
                      [--jsonl PATH] [--chrome PATH] [--no-table] [--stress] \
-                     [--shards N] [--sample N] [--lossy]";
+                     [--shards N] [--sample N] [--lossy]\n\
+                     \x20      ccstat replay FILE.jsonl [--audit] [--assume-sampled] [--no-table]";
 
 const POLICIES: [&str; 6] = [
     "fixed_keepalive",
@@ -111,7 +121,11 @@ fn main() {
     let mut sample_every: u64 = 1;
     let mut lossy = false;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("replay") {
+        args.next();
+        run_replay(args);
+    }
     while let Some(arg) = args.next() {
         let mut next = |flag: &str| {
             args.next()
@@ -277,6 +291,90 @@ fn main() {
             finish(chrome.finish(), "chrome trace");
         }
     }
+}
+
+/// `ccstat replay`: offline reconstruction (and optional audit) of an
+/// exported JSONL event stream. Exits 0 when the reconstruction is
+/// consistent (and, with `--audit`, the stream is violation-free), 1
+/// otherwise, 2 on usage errors.
+fn run_replay(args: impl Iterator<Item = String>) -> ! {
+    let mut file: Option<String> = None;
+    let mut audit = false;
+    let mut assume_sampled = false;
+    let mut table = true;
+    for arg in args {
+        match arg.as_str() {
+            "--audit" => audit = true,
+            "--assume-sampled" => assume_sampled = true,
+            "--no-table" => table = false,
+            other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
+            other => usage_error(&format!("unknown replay argument {other:?}")),
+        }
+    }
+    let path = file.unwrap_or_else(|| usage_error("replay takes a jsonl file"));
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| usage_error(&format!("cannot read {path:?}: {e}")));
+    let log = cc_replay::decode_stream(&text).unwrap_or_else(|e| {
+        eprintln!("error: {path}: {e}");
+        std::process::exit(1);
+    });
+    eprintln!(
+        "replay: {} lines, {} events, {} shard{} ({})",
+        log.lines,
+        log.events(),
+        log.shards.len(),
+        if log.shards.len() == 1 { "" } else { "s" },
+        if log.tagged {
+            "sharded stream"
+        } else {
+            "serial stream"
+        },
+    );
+
+    let mut failed = false;
+    for (i, shard) in log.shards.iter().enumerate() {
+        if log.tagged {
+            println!("=== shard {} ===", shard.shard);
+        }
+        let telemetry = cc_replay::reconstruct(shard);
+        if table {
+            println!("{}", Telemetry::interval_header());
+            for row in telemetry.interval_rows() {
+                println!("{row}");
+            }
+        }
+        println!("{}", telemetry.report());
+        println!("telemetry digest: {:#018x}", telemetry.digest());
+        // The exporters append one snapshot line per shard, in shard
+        // order; when the counts line up, cross-check the reconstruction
+        // against the recorded totals. A sampled or lossy capture can
+        // never reproduce the live totals, so the check is informational
+        // only there.
+        let lossless = !assume_sampled && shard.end.is_none_or(|e| e.dropped == 0);
+        if !lossless {
+            println!("snapshot: cross-check skipped (sampled or lossy stream)");
+        } else if log.snapshots.len() == log.shards.len() {
+            let (line_no, recorded) = &log.snapshots[i];
+            let rebuilt = telemetry.snapshot_line();
+            if recorded == &rebuilt {
+                println!("snapshot: matches the recorded line {line_no}");
+            } else {
+                println!(
+                    "snapshot MISMATCH against line {line_no}:\n  recorded: {recorded}\n  replayed: {rebuilt}"
+                );
+                failed = true;
+            }
+        }
+        println!();
+    }
+    if audit {
+        let report = cc_replay::audit_log(&log, assume_sampled);
+        print!("{}", report.summary());
+        if !report.is_clean() {
+            failed = true;
+        }
+    }
+    std::process::exit(i32::from(failed));
 }
 
 fn make_policy(name: &str, trace: &Trace) -> Box<dyn Scheduler> {

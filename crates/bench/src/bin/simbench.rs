@@ -31,6 +31,13 @@
 //! policy's canonical report digest, and `--digests-match PATH` asserts
 //! they equal the digests in a previously written file — the CI proof that
 //! `--shards N` is behavior-preserving with respect to a serial run.
+//!
+//! `--audit` (jsonl sink only) captures the serialized stream in memory
+//! instead of discarding it, then runs the `cc-replay` invariant auditor
+//! over every replay and exits non-zero on any violation — a cheap CI
+//! smoke test that the live event stream obeys the engine's conservation
+//! laws. Throughput measured under `--audit` includes the capture cost, so
+//! don't compare those figures against `--baseline` numbers.
 
 use std::time::Instant;
 
@@ -47,7 +54,7 @@ use codecrunch::CodeCrunch;
 const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small] \
                      [--sink null|jsonl|chrome] [--policies a,b,..] \
                      [--baseline PATH] [--tolerance FRAC] \
-                     [--shards N] [--digests-match PATH]";
+                     [--shards N] [--digests-match PATH] [--audit]";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum SinkMode {
@@ -106,6 +113,7 @@ fn main() {
     let mut tolerance: f64 = 0.03;
     let mut shards: Option<usize> = None;
     let mut digests_match: Option<String> = None;
+    let mut audit = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -164,6 +172,7 @@ fn main() {
                     None => usage_error("--digests-match takes a path"),
                 };
             }
+            "--audit" => audit = true,
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
@@ -172,6 +181,9 @@ fn main() {
     }
     if shards.is_some() && baseline.is_some() {
         usage_error("--baseline compares per-policy serial throughput; use it without --shards");
+    }
+    if audit && sink != SinkMode::Jsonl {
+        usage_error("--audit checks the serialized event stream; add --sink jsonl");
     }
 
     let scenario = if scenario_name == "small" {
@@ -214,11 +226,11 @@ fn main() {
     if let Some(workers) = shards {
         // Sharded mode: one shard per policy, `workers` threads, one
         // warm-up sweep, then best-of-`runs` on the sweep wall-clock.
-        sharded_sweep(&scenario, &selected, workers, sink); // warm-up
+        sharded_sweep(&scenario, &selected, workers, sink, audit); // warm-up
         let mut best_wall = f64::INFINITY;
         let mut best_shards: Vec<(u64, f64)> = Vec::new();
         for _ in 0..runs {
-            let (wall, per_shard) = sharded_sweep(&scenario, &selected, workers, sink);
+            let (wall, per_shard) = sharded_sweep(&scenario, &selected, workers, sink, audit);
             if !best_shards.is_empty() {
                 let prev: Vec<u64> = best_shards.iter().map(|(d, _)| *d).collect();
                 let this: Vec<u64> = per_shard.iter().map(|(d, _)| *d).collect();
@@ -254,12 +266,22 @@ fn main() {
     } else {
         for name in &selected {
             // Warm-up replay (page in the trace, fault in allocator arenas).
-            run_once(&scenario, make_policy(name, &scenario.trace).as_mut(), sink);
+            run_once(
+                &scenario,
+                make_policy(name, &scenario.trace).as_mut(),
+                sink,
+                audit,
+            );
             let mut best = f64::INFINITY;
             let mut digest: Option<u64> = None;
             for _ in 0..runs {
                 let started = Instant::now();
-                let d = run_once(&scenario, make_policy(name, &scenario.trace).as_mut(), sink);
+                let d = run_once(
+                    &scenario,
+                    make_policy(name, &scenario.trace).as_mut(),
+                    sink,
+                    audit,
+                );
                 best = best.min(started.elapsed().as_secs_f64());
                 if let Some(prev) = digest {
                     assert_eq!(prev, d, "policy {name} is not run-to-run deterministic");
@@ -391,10 +413,24 @@ fn check_report(scenario: &BenchScenario, report: &SimReport) -> u64 {
     report.digest()
 }
 
-fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode) -> u64 {
+fn run_once(
+    scenario: &BenchScenario,
+    policy: &mut dyn Scheduler,
+    sink: SinkMode,
+    audit: bool,
+) -> u64 {
     let sim = Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload);
     let report = match sink {
         SinkMode::Null => sim.run(policy),
+        SinkMode::Jsonl if audit => {
+            // Audit mode keeps the serialized stream in memory and runs
+            // the invariant auditor over it after the replay.
+            let mut sink = JsonlSink::new(Vec::new());
+            let report = sim.run_with_sink(policy, &mut sink);
+            let bytes = sink.finish().expect("writing to memory cannot fail");
+            audit_stream(&bytes);
+            report
+        }
         SinkMode::Jsonl => {
             let mut sink = JsonlSink::new(std::io::sink());
             let report = sim.run_with_sink(policy, &mut sink);
@@ -409,6 +445,26 @@ fn run_once(scenario: &BenchScenario, policy: &mut dyn Scheduler, sink: SinkMode
     check_report(scenario, &report)
 }
 
+/// Decodes and audits one captured JSONL stream; exits non-zero on a
+/// malformed stream or any invariant violation.
+fn audit_stream(bytes: &[u8]) {
+    let text = std::str::from_utf8(bytes).expect("jsonl output is utf-8");
+    let log = cc_replay::decode_stream(text).unwrap_or_else(|e| {
+        eprintln!("audit: stream failed to decode: {e}");
+        std::process::exit(1);
+    });
+    let report = cc_replay::audit_log(&log, false);
+    if !report.is_clean() {
+        eprint!("{}", report.summary());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "audit: {} events across {} shard(s), 0 violations",
+        log.events(),
+        log.shards.len()
+    );
+}
+
 /// One sharded sweep: each selected policy is a shard, dispatched across
 /// `workers` threads. Returns the sweep wall-clock and per-shard
 /// `(report digest, seconds inside the shard)` in policy order.
@@ -417,6 +473,7 @@ fn sharded_sweep(
     selected: &[&str],
     workers: usize,
     sink: SinkMode,
+    audit: bool,
 ) -> (f64, Vec<(u64, f64)>) {
     let started = Instant::now();
     let per_shard: Vec<(u64, f64)> = match sink {
@@ -471,16 +528,30 @@ fn sharded_sweep(
                 lossy: false,
                 sample_every: 1,
             };
-            let (results, _, mux) = run_sharded_jsonl(jobs, &config, std::io::sink())
-                .expect("writing to io::sink cannot fail");
-            assert!(
-                mux.events_written > 0,
-                "sharded jsonl run emitted no events"
-            );
-            results
-                .into_iter()
-                .map(|r| r.outcome.expect("shard panicked"))
-                .collect()
+            if audit {
+                let (results, merged, mux) = run_sharded_jsonl(jobs, &config, Vec::new())
+                    .expect("writing to memory cannot fail");
+                assert!(
+                    mux.events_written > 0,
+                    "sharded jsonl run emitted no events"
+                );
+                audit_stream(&merged);
+                results
+                    .into_iter()
+                    .map(|r| r.outcome.expect("shard panicked"))
+                    .collect()
+            } else {
+                let (results, _, mux) = run_sharded_jsonl(jobs, &config, std::io::sink())
+                    .expect("writing to io::sink cannot fail");
+                assert!(
+                    mux.events_written > 0,
+                    "sharded jsonl run emitted no events"
+                );
+                results
+                    .into_iter()
+                    .map(|r| r.outcome.expect("shard panicked"))
+                    .collect()
+            }
         }
         SinkMode::Chrome => unreachable!("rejected at argument parsing"),
     };

@@ -142,6 +142,11 @@ impl LogHistogram {
         self.max
     }
 
+    /// Exact sum of all observations.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Arithmetic mean, or 0.0 if empty.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {

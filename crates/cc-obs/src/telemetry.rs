@@ -2,7 +2,7 @@
 //! into counters, histograms, per-minute series, and a printable report.
 
 use cc_metrics::{P2Quantile, Summary, TimeSeries};
-use cc_types::{SimDuration, SimTime, StartKind};
+use cc_types::{Fnv1a, SimDuration, SimTime, StartKind};
 
 use crate::event::{Event, EventSink, IntervalSample, OptimizerRound, ReleaseReason};
 use crate::instruments::{Counter, Gauge, LogHistogram};
@@ -338,6 +338,94 @@ impl Telemetry {
             self.objective.mean(),
             self.accepted_moves.get(),
         )
+    }
+
+    /// FNV-1a digest over a canonical encoding of every field this
+    /// aggregate holds — counters, budget totals, gauges, histogram
+    /// buckets, quantile estimates, all six time series, optimizer
+    /// progress, and the raw per-interval samples.
+    ///
+    /// Two `Telemetry` values digest equal iff they observed equivalent
+    /// event streams, which is the equality oracle the replay layer's
+    /// differential tests rest on: a `Telemetry` reconstructed from a
+    /// decoded JSONL log must digest identically to the live one.
+    pub fn digest(&self) -> u64 {
+        let mut h = Fnv1a::new();
+        h.u64(self.interval.as_micros());
+        for counter in [
+            self.arrivals,
+            self.queued,
+            self.cold_starts,
+            self.warm_uncompressed,
+            self.warm_compressed,
+            self.admissions,
+            self.compressed_admissions,
+            self.releases_reused,
+            self.releases_evicted,
+            self.releases_expired,
+            self.compressions_finished,
+            self.prewarms_dropped,
+            self.budget_debits,
+            self.budget_credits,
+            self.optimizer_rounds,
+            self.accepted_moves,
+            self.optimizer_evaluations,
+        ] {
+            h.u64(counter.get());
+        }
+        h.u128(self.debit_requested_pd);
+        h.u128(self.debit_granted_pd);
+        h.u128(self.credit_pd);
+        h.i64(self.pool.get());
+        h.i64(self.pool.peak());
+        h.u64(self.queue_depth_peak);
+        for histogram in [&self.wait_us, &self.penalty_us] {
+            h.u64(histogram.count());
+            h.u64(histogram.max());
+            h.u128(histogram.sum());
+            for (lo, hi, count) in histogram.nonzero_buckets() {
+                h.u64(lo);
+                h.u64(hi);
+                h.u64(count);
+            }
+        }
+        for quantile in [&self.service_p50, &self.service_p95, &self.service_p99] {
+            h.u64(quantile.count() as u64);
+            h.f64(quantile.estimate().unwrap_or(f64::NEG_INFINITY));
+        }
+        h.u64(self.objective.count() as u64);
+        h.f64(self.objective.sum());
+        h.f64(self.objective.min().unwrap_or(f64::NEG_INFINITY));
+        h.f64(self.objective.max().unwrap_or(f64::NEG_INFINITY));
+        for series in [
+            &self.starts_per_min,
+            &self.warm_per_min,
+            &self.debit_per_min,
+            &self.credit_per_min,
+            &self.compress_per_min,
+            &self.objective_per_min,
+        ] {
+            h.u64(series.len() as u64);
+            for &sum in series.sums() {
+                h.f64(sum);
+            }
+            for &count in series.counts() {
+                h.u64(count);
+            }
+        }
+        h.f64(self.last_objective.unwrap_or(f64::NEG_INFINITY));
+        h.u64(self.samples.len() as u64);
+        for (at, sample) in &self.samples {
+            h.u64(at.as_micros());
+            h.u64(sample.index);
+            h.f64(sample.spend_delta_dollars);
+            h.u64(sample.warm_pool);
+            h.u64(sample.compressed);
+            h.f64(sample.utilization);
+            h.u64(sample.compression_events_delta);
+            h.u64(sample.pending);
+        }
+        h.finish()
     }
 
     fn observe_round(&mut self, at: SimTime, round: &OptimizerRound) {

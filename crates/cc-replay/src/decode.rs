@@ -1,0 +1,1098 @@
+//! Strict decoder for the cc-obs JSONL event encoding.
+//!
+//! [`event_line`](cc_obs::event_line) is the single source of truth for the
+//! encoding: a fixed key order per event tag, compact separators, and
+//! `Display`-formatted numbers. This decoder inverts it *strictly* — a line
+//! decodes iff it is byte-for-byte in canonical form (modulo number
+//! spellings that parse to the same value), so re-encoding a decoded event
+//! reproduces the original line and any corruption (swapped keys, truncated
+//! tails, renamed fields) surfaces as a typed [`DecodeError`] instead of a
+//! silently different event. Decoding never panics.
+//!
+//! Two layers:
+//!
+//! * [`decode_line`] — one line to one [`Line`] (event, shard marker, or
+//!   telemetry snapshot).
+//! * [`decode_stream`] — a whole file to a [`ReplayLog`], validating the
+//!   shard-marker structure the mux writes (`shard_begin`/`shard_end`
+//!   bracketing, strictly increasing shard ids, declared event counts).
+
+use std::fmt;
+
+use cc_obs::{Event, IntervalSample, OptimizerRound, ReleaseReason};
+use cc_types::{Arch, Cost, FunctionId, MemoryMb, NodeId, SimDuration, SimTime, StartKind, WarmId};
+
+/// What went wrong decoding one line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeErrorKind {
+    /// The line ended before the expected structure was complete.
+    Truncated,
+    /// The bytes at the error position did not match the canonical token
+    /// (wrong key, wrong separator, wrong quoting — anything structural).
+    ExpectedToken(&'static str),
+    /// The `"t"` tag names no known event or marker type.
+    UnknownTag(String),
+    /// A numeric field failed to parse (empty, malformed, or out of range).
+    BadNumber(&'static str),
+    /// A string-enum field carried an unknown label.
+    BadLabel {
+        /// The field whose label was unrecognized.
+        field: &'static str,
+        /// The label found.
+        found: String,
+    },
+    /// Valid structure, but bytes remained after the closing brace.
+    TrailingData,
+}
+
+/// A typed, non-panicking line decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset within the line where decoding failed.
+    pub at: usize,
+    /// What went wrong.
+    pub kind: DecodeErrorKind,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            DecodeErrorKind::Truncated => write!(f, "truncated line (byte {})", self.at),
+            DecodeErrorKind::ExpectedToken(token) => {
+                write!(f, "expected {token:?} at byte {}", self.at)
+            }
+            DecodeErrorKind::UnknownTag(tag) => write!(f, "unknown event tag {tag:?}"),
+            DecodeErrorKind::BadNumber(field) => {
+                write!(f, "malformed number for {field:?} at byte {}", self.at)
+            }
+            DecodeErrorKind::BadLabel { field, found } => {
+                write!(f, "unknown {field} label {found:?} at byte {}", self.at)
+            }
+            DecodeErrorKind::TrailingData => {
+                write!(f, "trailing data after object at byte {}", self.at)
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// One decoded JSONL line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Line {
+    /// A simulator event.
+    Event(Event),
+    /// A `shard_begin` marker (sharded streams only).
+    ShardBegin {
+        /// The shard whose block starts here.
+        shard: u32,
+    },
+    /// A `shard_end` marker with the mux's per-shard accounting.
+    ShardEnd {
+        /// The shard whose block ends here.
+        shard: u32,
+        /// Event lines the mux wrote for the shard.
+        events: u64,
+        /// Events the shard reported dropped (lossy channel backpressure).
+        dropped: u64,
+    },
+    /// A `Telemetry::snapshot_line` appended after the event stream.
+    Snapshot,
+}
+
+struct Cursor<'a> {
+    s: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(s: &'a str) -> Cursor<'a> {
+        Cursor { s, pos: 0 }
+    }
+
+    fn fail(&self, kind: DecodeErrorKind) -> DecodeError {
+        DecodeError { at: self.pos, kind }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.s[self.pos..]
+    }
+
+    /// Consumes an exact literal (a key, separator, or punctuation run).
+    fn lit(&mut self, token: &'static str) -> Result<(), DecodeError> {
+        let rest = self.rest();
+        if let Some(tail) = rest.strip_prefix(token) {
+            self.pos = self.s.len() - tail.len();
+            Ok(())
+        } else if rest.len() < token.len() && token.starts_with(rest) {
+            Err(self.fail(DecodeErrorKind::Truncated))
+        } else {
+            Err(self.fail(DecodeErrorKind::ExpectedToken(token)))
+        }
+    }
+
+    /// Consumes a decimal integer token.
+    fn u64(&mut self, field: &'static str) -> Result<u64, DecodeError> {
+        let digits: &str = {
+            let rest = self.rest();
+            let end = rest
+                .find(|c: char| !c.is_ascii_digit())
+                .unwrap_or(rest.len());
+            &rest[..end]
+        };
+        if digits.is_empty() {
+            return if self.rest().is_empty() {
+                Err(self.fail(DecodeErrorKind::Truncated))
+            } else {
+                Err(self.fail(DecodeErrorKind::BadNumber(field)))
+            };
+        }
+        let value = digits
+            .parse::<u64>()
+            .map_err(|_| self.fail(DecodeErrorKind::BadNumber(field)))?;
+        self.pos += digits.len();
+        Ok(value)
+    }
+
+    fn u32(&mut self, field: &'static str) -> Result<u32, DecodeError> {
+        let value = self.u64(field)?;
+        u32::try_from(value).map_err(|_| DecodeError {
+            at: self.pos,
+            kind: DecodeErrorKind::BadNumber(field),
+        })
+    }
+
+    /// Consumes a JSON number or `null` (the encoding of non-finite
+    /// floats); `null` decodes to NaN.
+    fn f64_or_null(&mut self, field: &'static str) -> Result<f64, DecodeError> {
+        if self.rest().starts_with("null") {
+            self.pos += 4;
+            return Ok(f64::NAN);
+        }
+        let token: &str = {
+            let rest = self.rest();
+            let end = rest
+                .find(|c: char| !matches!(c, '0'..='9' | '-' | '+' | '.' | 'e' | 'E'))
+                .unwrap_or(rest.len());
+            &rest[..end]
+        };
+        if token.is_empty() {
+            return if self.rest().is_empty() {
+                Err(self.fail(DecodeErrorKind::Truncated))
+            } else {
+                Err(self.fail(DecodeErrorKind::BadNumber(field)))
+            };
+        }
+        let value = token
+            .parse::<f64>()
+            .map_err(|_| self.fail(DecodeErrorKind::BadNumber(field)))?;
+        if !value.is_finite() {
+            // Canonical encoding spells non-finite values as `null`.
+            return Err(self.fail(DecodeErrorKind::BadNumber(field)));
+        }
+        self.pos += token.len();
+        Ok(value)
+    }
+
+    fn bool(&mut self, field: &'static str) -> Result<bool, DecodeError> {
+        if self.rest().starts_with("true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.rest().starts_with("false") {
+            self.pos += 5;
+            Ok(false)
+        } else if "true".starts_with(self.rest()) || "false".starts_with(self.rest()) {
+            Err(self.fail(DecodeErrorKind::Truncated))
+        } else {
+            Err(self.fail(DecodeErrorKind::BadNumber(field)))
+        }
+    }
+
+    /// Consumes a quoted label (the encoding never escapes).
+    fn label(&mut self) -> Result<&'a str, DecodeError> {
+        self.lit("\"")?;
+        let rest = self.rest();
+        let Some(end) = rest.find('"') else {
+            return Err(self.fail(DecodeErrorKind::Truncated));
+        };
+        let label = &rest[..end];
+        self.pos += end + 1;
+        Ok(label)
+    }
+
+    fn end(&mut self) -> Result<(), DecodeError> {
+        self.lit("}")?;
+        if self.pos != self.s.len() {
+            return Err(self.fail(DecodeErrorKind::TrailingData));
+        }
+        Ok(())
+    }
+
+    fn warm_id(&mut self) -> Result<WarmId, DecodeError> {
+        self.lit(",\"id\":[")?;
+        let slot = self.u32("id.slot")?;
+        self.lit(",")?;
+        let generation = self.u32("id.generation")?;
+        self.lit("]")?;
+        Ok(WarmId::new(slot, generation))
+    }
+
+    fn arch(&mut self, field: &'static str) -> Result<Arch, DecodeError> {
+        let at = self.pos;
+        match self.label()? {
+            "x86" => Ok(Arch::X86),
+            "arm" => Ok(Arch::Arm),
+            other => Err(DecodeError {
+                at,
+                kind: DecodeErrorKind::BadLabel {
+                    field,
+                    found: other.to_string(),
+                },
+            }),
+        }
+    }
+}
+
+/// Decodes one JSONL line into a [`Line`], strictly against the canonical
+/// encoding. Never panics; malformed input yields a typed [`DecodeError`].
+pub fn decode_line(line: &str) -> Result<Line, DecodeError> {
+    let mut c = Cursor::new(line);
+    // Telemetry snapshots are the one non-event line family ccstat appends;
+    // they are recognized (and re-derivable from the event stream) but not
+    // decoded field-by-field.
+    if line.starts_with("{\"type\":\"snapshot\"") {
+        if !line.ends_with('}') {
+            c.pos = line.len();
+            return Err(c.fail(DecodeErrorKind::Truncated));
+        }
+        return Ok(Line::Snapshot);
+    }
+    c.lit("{\"t\":")?;
+    let tag_at = c.pos;
+    let tag = c.label()?;
+    match tag {
+        "arrival" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.end()?;
+            Ok(Line::Event(Event::Arrival { at, function }))
+        }
+        "queued" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"depth\":")?;
+            let depth = c.u64("depth")?;
+            c.end()?;
+            Ok(Line::Event(Event::Queued {
+                at,
+                function,
+                depth,
+            }))
+        }
+        "exec_start" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"node\":")?;
+            let node = NodeId::new(c.u32("node")?);
+            c.lit(",\"arch\":")?;
+            let arch = c.arch("arch")?;
+            c.lit(",\"kind\":")?;
+            let kind_at = c.pos;
+            let kind = match c.label()? {
+                "cold" => StartKind::Cold,
+                "warm" => StartKind::WarmUncompressed,
+                "warm_compressed" => StartKind::WarmCompressed,
+                other => {
+                    return Err(DecodeError {
+                        at: kind_at,
+                        kind: DecodeErrorKind::BadLabel {
+                            field: "kind",
+                            found: other.to_string(),
+                        },
+                    })
+                }
+            };
+            c.lit(",\"wait_us\":")?;
+            let wait = SimDuration::from_micros(c.u64("wait_us")?);
+            c.lit(",\"penalty_us\":")?;
+            let start_penalty = SimDuration::from_micros(c.u64("penalty_us")?);
+            c.lit(",\"exec_us\":")?;
+            let execution = SimDuration::from_micros(c.u64("exec_us")?);
+            c.end()?;
+            Ok(Line::Event(Event::ExecutionStarted {
+                at,
+                function,
+                node,
+                arch,
+                kind,
+                wait,
+                start_penalty,
+                execution,
+            }))
+        }
+        "warm_admit" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            let id = c.warm_id()?;
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"node\":")?;
+            let node = NodeId::new(c.u32("node")?);
+            c.lit(",\"arch\":")?;
+            let arch = c.arch("arch")?;
+            c.lit(",\"compressed\":")?;
+            let compressed = c.bool("compressed")?;
+            c.lit(",\"mem_mb\":")?;
+            let memory = MemoryMb::new(c.u32("mem_mb")?);
+            c.lit(",\"expiry\":")?;
+            let expiry = SimTime::from_micros(c.u64("expiry")?);
+            c.lit(",\"reserved_pd\":")?;
+            let reserved = Cost::from_picodollars(c.u64("reserved_pd")?);
+            c.end()?;
+            Ok(Line::Event(Event::InstanceAdmitted {
+                at,
+                id,
+                function,
+                node,
+                arch,
+                compressed,
+                memory,
+                expiry,
+                reserved,
+            }))
+        }
+        "warm_release" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            let id = c.warm_id()?;
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"node\":")?;
+            let node = NodeId::new(c.u32("node")?);
+            c.lit(",\"mem_mb\":")?;
+            let memory = MemoryMb::new(c.u32("mem_mb")?);
+            c.lit(",\"compressed\":")?;
+            let compressed = c.bool("compressed")?;
+            c.lit(",\"since\":")?;
+            let since = SimTime::from_micros(c.u64("since")?);
+            c.lit(",\"reason\":")?;
+            let reason_at = c.pos;
+            let reason = match c.label()? {
+                "reused" => ReleaseReason::Reused,
+                "evicted" => ReleaseReason::Evicted,
+                "expired" => ReleaseReason::Expired,
+                other => {
+                    return Err(DecodeError {
+                        at: reason_at,
+                        kind: DecodeErrorKind::BadLabel {
+                            field: "reason",
+                            found: other.to_string(),
+                        },
+                    })
+                }
+            };
+            c.end()?;
+            Ok(Line::Event(Event::InstanceReleased {
+                at,
+                id,
+                function,
+                node,
+                memory,
+                compressed,
+                since,
+                reason,
+            }))
+        }
+        "compress_start" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            let id = c.warm_id()?;
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"node\":")?;
+            let node = NodeId::new(c.u32("node")?);
+            c.lit(",\"ready_at\":")?;
+            let ready_at = SimTime::from_micros(c.u64("ready_at")?);
+            c.end()?;
+            Ok(Line::Event(Event::CompressionStarted {
+                at,
+                id,
+                function,
+                node,
+                ready_at,
+            }))
+        }
+        "compress_finish" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            let id = c.warm_id()?;
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"node\":")?;
+            let node = NodeId::new(c.u32("node")?);
+            c.end()?;
+            Ok(Line::Event(Event::CompressionFinished {
+                at,
+                id,
+                function,
+                node,
+            }))
+        }
+        "budget_debit" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"requested_pd\":")?;
+            let requested = Cost::from_picodollars(c.u64("requested_pd")?);
+            c.lit(",\"granted_pd\":")?;
+            let granted = Cost::from_picodollars(c.u64("granted_pd")?);
+            c.end()?;
+            Ok(Line::Event(Event::BudgetDebit {
+                at,
+                requested,
+                granted,
+            }))
+        }
+        "budget_credit" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"amount_pd\":")?;
+            let amount = Cost::from_picodollars(c.u64("amount_pd")?);
+            c.end()?;
+            Ok(Line::Event(Event::BudgetCredit { at, amount }))
+        }
+        "prewarm_dropped" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"fn\":")?;
+            let function = FunctionId::new(c.u32("fn")?);
+            c.lit(",\"arch\":")?;
+            let arch = c.arch("arch")?;
+            c.end()?;
+            Ok(Line::Event(Event::PrewarmDropped { at, function, arch }))
+        }
+        "opt_round" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"round\":")?;
+            let round = c.u32("round")?;
+            c.lit(",\"subproblems\":")?;
+            let subproblems = c.u32("subproblems")?;
+            c.lit(",\"dims\":")?;
+            let dimensions = c.u32("dims")?;
+            c.lit(",\"objective\":")?;
+            let objective = c.f64_or_null("objective")?;
+            c.lit(",\"accepted\":")?;
+            let accepted_moves = c.u64("accepted")?;
+            c.lit(",\"evals\":")?;
+            let evaluations = c.u64("evals")?;
+            c.end()?;
+            Ok(Line::Event(Event::OptimizerRound {
+                at,
+                round: OptimizerRound {
+                    round,
+                    subproblems,
+                    dimensions,
+                    objective,
+                    accepted_moves,
+                    evaluations,
+                },
+            }))
+        }
+        "interval" => {
+            c.lit(",\"at\":")?;
+            let at = SimTime::from_micros(c.u64("at")?);
+            c.lit(",\"index\":")?;
+            let index = c.u64("index")?;
+            c.lit(",\"spend_delta\":")?;
+            let spend_delta_dollars = c.f64_or_null("spend_delta")?;
+            c.lit(",\"warm_pool\":")?;
+            let warm_pool = c.u64("warm_pool")?;
+            c.lit(",\"compressed\":")?;
+            let compressed = c.u64("compressed")?;
+            c.lit(",\"utilization\":")?;
+            let utilization = c.f64_or_null("utilization")?;
+            c.lit(",\"compress_delta\":")?;
+            let compression_events_delta = c.u64("compress_delta")?;
+            c.lit(",\"pending\":")?;
+            let pending = c.u64("pending")?;
+            c.end()?;
+            Ok(Line::Event(Event::IntervalSampled {
+                at,
+                sample: IntervalSample {
+                    index,
+                    spend_delta_dollars,
+                    warm_pool,
+                    compressed,
+                    utilization,
+                    compression_events_delta,
+                    pending,
+                },
+            }))
+        }
+        "shard_begin" => {
+            c.lit(",\"shard\":")?;
+            let shard = c.u32("shard")?;
+            c.end()?;
+            Ok(Line::ShardBegin { shard })
+        }
+        "shard_end" => {
+            c.lit(",\"shard\":")?;
+            let shard = c.u32("shard")?;
+            c.lit(",\"events\":")?;
+            let events = c.u64("events")?;
+            c.lit(",\"dropped\":")?;
+            let dropped = c.u64("dropped")?;
+            c.end()?;
+            Ok(Line::ShardEnd {
+                shard,
+                events,
+                dropped,
+            })
+        }
+        other => Err(DecodeError {
+            at: tag_at,
+            kind: DecodeErrorKind::UnknownTag(other.to_string()),
+        }),
+    }
+}
+
+/// The mux's per-shard accounting from a `shard_end` marker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardEndInfo {
+    /// Event lines the marker declared for the shard.
+    pub events: u64,
+    /// Events the shard dropped (lossy channel backpressure); a non-zero
+    /// value marks the shard's stream as knowingly incomplete.
+    pub dropped: u64,
+}
+
+/// One shard's slice of a decoded log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardStream {
+    /// The shard id (0 for serial, untagged streams).
+    pub shard: u32,
+    /// The shard's events with their 1-based line numbers in the file.
+    pub events: Vec<(u64, Event)>,
+    /// The `shard_end` accounting; `None` in untagged streams.
+    pub end: Option<ShardEndInfo>,
+}
+
+/// A fully decoded JSONL log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayLog {
+    /// Whether the stream carried shard markers (`--shards` with more than
+    /// one job). Untagged streams decode as a single implicit shard 0.
+    pub tagged: bool,
+    /// Per-shard event streams, in shard-id order.
+    pub shards: Vec<ShardStream>,
+    /// Raw telemetry snapshot lines with their 1-based line numbers, in
+    /// file order (ccstat appends one per shard after the event blocks).
+    pub snapshots: Vec<(u64, String)>,
+    /// Total lines read.
+    pub lines: u64,
+}
+
+impl ReplayLog {
+    /// Total decoded events across all shards.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events.len() as u64).sum()
+    }
+}
+
+/// What went wrong assembling a stream of valid lines into a [`ReplayLog`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamErrorKind {
+    /// A line failed to decode.
+    Line(DecodeError),
+    /// A `shard_begin` appeared where none was legal: inside an open
+    /// shard block, in an untagged stream, or with a shard id out of
+    /// sequence (blocks are strictly `0, 1, 2, …`).
+    UnexpectedShardBegin {
+        /// The marker's shard id.
+        shard: u32,
+    },
+    /// A `shard_end` appeared with no matching open block — including the
+    /// duplicated-marker case where a block is ended twice.
+    UnexpectedShardEnd {
+        /// The marker's shard id.
+        shard: u32,
+    },
+    /// In a tagged stream, an event line appeared outside any
+    /// `shard_begin`/`shard_end` block.
+    EventOutsideShard,
+    /// A `shard_end` declared a different event count than the block held.
+    EventCountMismatch {
+        /// The shard whose accounting disagrees.
+        shard: u32,
+        /// The count the marker declared.
+        declared: u64,
+        /// The events actually decoded in the block.
+        counted: u64,
+    },
+    /// The stream ended inside an open shard block (the file was cut off
+    /// before the mux's `shard_end`).
+    UnterminatedShard {
+        /// The shard left open.
+        shard: u32,
+    },
+}
+
+/// A typed, non-panicking stream decode failure, located by line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamError {
+    /// 1-based line number (one past the end for end-of-stream errors).
+    pub line: u64,
+    /// What went wrong.
+    pub kind: StreamErrorKind,
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            StreamErrorKind::Line(e) => write!(f, "{e}"),
+            StreamErrorKind::UnexpectedShardBegin { shard } => {
+                write!(f, "unexpected shard_begin for shard {shard}")
+            }
+            StreamErrorKind::UnexpectedShardEnd { shard } => {
+                write!(f, "unexpected shard_end for shard {shard}")
+            }
+            StreamErrorKind::EventOutsideShard => {
+                write!(f, "event outside any shard block in a tagged stream")
+            }
+            StreamErrorKind::EventCountMismatch {
+                shard,
+                declared,
+                counted,
+            } => write!(
+                f,
+                "shard {shard} declared {declared} events but the block held {counted}"
+            ),
+            StreamErrorKind::UnterminatedShard { shard } => {
+                write!(f, "stream ended inside shard {shard}'s block")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+/// Decodes a whole JSONL stream (the contents of a `--jsonl` export) into a
+/// [`ReplayLog`], validating the shard-marker grammar.
+///
+/// Serial exports have no markers and decode as one implicit shard 0;
+/// sharded exports must follow the mux's structure exactly: blocks
+/// bracketed by `shard_begin`/`shard_end`, shard ids strictly increasing
+/// from 0, declared event counts matching the block contents. Snapshot
+/// lines are collected (not decoded) wherever they appear. Empty lines are
+/// rejected as truncated; the trailing newline of the last line is
+/// tolerated.
+pub fn decode_stream(input: &str) -> Result<ReplayLog, StreamError> {
+    let mut log = ReplayLog {
+        tagged: false,
+        shards: Vec::new(),
+        snapshots: Vec::new(),
+        lines: 0,
+    };
+    // Index into `log.shards` of the open block, if any.
+    let mut open: Option<usize> = None;
+    let mut saw_untagged_content = false;
+
+    for (index, raw) in input.lines().enumerate() {
+        let line_no = index as u64 + 1;
+        log.lines = line_no;
+        let fail = |kind| {
+            Err(StreamError {
+                line: line_no,
+                kind,
+            })
+        };
+        let line = match decode_line(raw) {
+            Ok(line) => line,
+            Err(e) => return fail(StreamErrorKind::Line(e)),
+        };
+        match line {
+            Line::Snapshot => {
+                log.snapshots.push((line_no, raw.to_string()));
+                if !log.tagged {
+                    saw_untagged_content = true;
+                }
+            }
+            Line::ShardBegin { shard } => {
+                if saw_untagged_content || open.is_some() || shard != log.shards.len() as u32 {
+                    return fail(StreamErrorKind::UnexpectedShardBegin { shard });
+                }
+                log.tagged = true;
+                log.shards.push(ShardStream {
+                    shard,
+                    events: Vec::new(),
+                    end: None,
+                });
+                open = Some(log.shards.len() - 1);
+            }
+            Line::ShardEnd {
+                shard,
+                events,
+                dropped,
+            } => {
+                let Some(current) = open else {
+                    return fail(StreamErrorKind::UnexpectedShardEnd { shard });
+                };
+                if log.shards[current].shard != shard {
+                    return fail(StreamErrorKind::UnexpectedShardEnd { shard });
+                }
+                let counted = log.shards[current].events.len() as u64;
+                if counted != events {
+                    return fail(StreamErrorKind::EventCountMismatch {
+                        shard,
+                        declared: events,
+                        counted,
+                    });
+                }
+                log.shards[current].end = Some(ShardEndInfo { events, dropped });
+                open = None;
+            }
+            Line::Event(event) => {
+                if log.tagged {
+                    let Some(current) = open else {
+                        return fail(StreamErrorKind::EventOutsideShard);
+                    };
+                    log.shards[current].events.push((line_no, event));
+                } else {
+                    if log.shards.is_empty() {
+                        log.shards.push(ShardStream {
+                            shard: 0,
+                            events: Vec::new(),
+                            end: None,
+                        });
+                    }
+                    saw_untagged_content = true;
+                    log.shards[0].events.push((line_no, event));
+                }
+            }
+        }
+    }
+
+    if let Some(current) = open {
+        return Err(StreamError {
+            line: log.lines + 1,
+            kind: StreamErrorKind::UnterminatedShard {
+                shard: log.shards[current].shard,
+            },
+        });
+    }
+    Ok(log)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_obs::event_line;
+
+    fn sample_events() -> Vec<Event> {
+        vec![
+            Event::Arrival {
+                at: SimTime::from_micros(0),
+                function: FunctionId::new(7),
+            },
+            Event::Queued {
+                at: SimTime::from_micros(5),
+                function: FunctionId::new(7),
+                depth: 3,
+            },
+            Event::ExecutionStarted {
+                at: SimTime::from_micros(10),
+                function: FunctionId::new(7),
+                node: NodeId::new(2),
+                arch: Arch::Arm,
+                kind: StartKind::WarmCompressed,
+                wait: SimDuration::from_micros(10),
+                start_penalty: SimDuration::from_micros(250),
+                execution: SimDuration::from_micros(9000),
+            },
+            Event::InstanceAdmitted {
+                at: SimTime::from_micros(20),
+                id: WarmId::new(3, 1),
+                function: FunctionId::new(7),
+                node: NodeId::new(2),
+                arch: Arch::X86,
+                compressed: true,
+                memory: MemoryMb::new(512),
+                expiry: SimTime::from_micros(600_000_020),
+                reserved: Cost::from_picodollars(987654321),
+            },
+            Event::InstanceReleased {
+                at: SimTime::from_micros(30),
+                id: WarmId::new(3, 1),
+                function: FunctionId::new(7),
+                node: NodeId::new(2),
+                memory: MemoryMb::new(512),
+                compressed: false,
+                since: SimTime::from_micros(20),
+                reason: ReleaseReason::Evicted,
+            },
+            Event::CompressionStarted {
+                at: SimTime::from_micros(20),
+                id: WarmId::new(3, 1),
+                function: FunctionId::new(7),
+                node: NodeId::new(2),
+                ready_at: SimTime::from_micros(1020),
+            },
+            Event::CompressionFinished {
+                at: SimTime::from_micros(1020),
+                id: WarmId::new(3, 1),
+                function: FunctionId::new(7),
+                node: NodeId::new(2),
+            },
+            Event::BudgetDebit {
+                at: SimTime::from_micros(40),
+                requested: Cost::from_picodollars(u64::MAX),
+                granted: Cost::from_picodollars(12),
+            },
+            Event::BudgetCredit {
+                at: SimTime::from_micros(50),
+                amount: Cost::from_picodollars(1),
+            },
+            Event::PrewarmDropped {
+                at: SimTime::from_micros(60),
+                function: FunctionId::new(u32::MAX),
+                arch: Arch::X86,
+            },
+            Event::OptimizerRound {
+                at: SimTime::from_micros(70),
+                round: OptimizerRound {
+                    round: 4,
+                    subproblems: 8,
+                    dimensions: 24,
+                    objective: -12.625,
+                    accepted_moves: 11,
+                    evaluations: 4096,
+                },
+            },
+            Event::IntervalSampled {
+                at: SimTime::from_micros(u64::MAX),
+                sample: IntervalSample {
+                    index: u64::MAX,
+                    spend_delta_dollars: -0.0625,
+                    warm_pool: 42,
+                    compressed: 17,
+                    utilization: 0.75,
+                    compression_events_delta: 5,
+                    pending: 2,
+                },
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for event in sample_events() {
+            let line = event_line(&event);
+            let decoded = decode_line(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(decoded, Line::Event(event), "line {line}");
+            let Line::Event(back) = decoded else {
+                unreachable!()
+            };
+            assert_eq!(event_line(&back), line, "re-encoding diverged");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip_as_null() {
+        let event = Event::OptimizerRound {
+            at: SimTime::from_micros(1),
+            round: OptimizerRound {
+                round: 0,
+                subproblems: 1,
+                dimensions: 1,
+                objective: f64::NAN,
+                accepted_moves: 0,
+                evaluations: 0,
+            },
+        };
+        let line = event_line(&event);
+        assert!(line.contains("\"objective\":null"), "{line}");
+        let Line::Event(decoded) = decode_line(&line).unwrap() else {
+            panic!("expected event");
+        };
+        let Event::OptimizerRound { round, .. } = decoded else {
+            panic!("wrong variant");
+        };
+        assert!(round.objective.is_nan());
+        assert_eq!(event_line(&decoded), line, "null must re-encode as null");
+    }
+
+    #[test]
+    fn markers_and_snapshots_decode() {
+        assert_eq!(
+            decode_line("{\"t\":\"shard_begin\",\"shard\":3}").unwrap(),
+            Line::ShardBegin { shard: 3 }
+        );
+        assert_eq!(
+            decode_line("{\"t\":\"shard_end\",\"shard\":3,\"events\":10,\"dropped\":2}").unwrap(),
+            Line::ShardEnd {
+                shard: 3,
+                events: 10,
+                dropped: 2
+            }
+        );
+        assert_eq!(
+            decode_line("{\"type\":\"snapshot\",\"arrivals\":5}").unwrap(),
+            Line::Snapshot
+        );
+    }
+
+    #[test]
+    fn every_prefix_of_every_line_is_a_typed_error() {
+        let mut lines: Vec<String> = sample_events().iter().map(event_line).collect();
+        lines.push("{\"t\":\"shard_begin\",\"shard\":0}".into());
+        lines.push("{\"t\":\"shard_end\",\"shard\":0,\"events\":1,\"dropped\":0}".into());
+        for line in &lines {
+            for cut in 0..line.len() {
+                let prefix = &line[..cut];
+                assert!(
+                    decode_line(prefix).is_err(),
+                    "prefix {prefix:?} of {line:?} decoded"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn swapped_keys_are_rejected() {
+        // Canonical: {"t":"arrival","at":N,"fn":N}
+        let swapped = "{\"t\":\"arrival\",\"fn\":7,\"at\":0}";
+        let err = decode_line(swapped).unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::ExpectedToken(",\"at\":"));
+    }
+
+    #[test]
+    fn unknown_tags_and_trailing_data_are_rejected() {
+        let err = decode_line("{\"t\":\"warp_core\",\"at\":1}").unwrap_err();
+        assert!(matches!(err.kind, DecodeErrorKind::UnknownTag(ref t) if t == "warp_core"));
+        let err = decode_line("{\"t\":\"arrival\",\"at\":1,\"fn\":2}garbage").unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::TrailingData);
+        let err = decode_line("{\"t\":\"arrival\",\"at\":1,\"fn\":99999999999}").unwrap_err();
+        assert_eq!(err.kind, DecodeErrorKind::BadNumber("fn"));
+        let err = decode_line("{\"t\":\"prewarm_dropped\",\"at\":1,\"fn\":2,\"arch\":\"mips\"}")
+            .unwrap_err();
+        assert!(matches!(
+            err.kind,
+            DecodeErrorKind::BadLabel { field: "arch", .. }
+        ));
+    }
+
+    #[test]
+    fn untagged_stream_decodes_as_one_shard() {
+        let events = sample_events();
+        let mut input = String::new();
+        for e in &events {
+            input.push_str(&event_line(e));
+            input.push('\n');
+        }
+        input.push_str("{\"type\":\"snapshot\",\"arrivals\":1}\n");
+        let log = decode_stream(&input).unwrap();
+        assert!(!log.tagged);
+        assert_eq!(log.shards.len(), 1);
+        assert_eq!(log.shards[0].shard, 0);
+        assert_eq!(log.shards[0].end, None);
+        assert_eq!(log.events(), events.len() as u64);
+        assert_eq!(log.snapshots.len(), 1);
+        // Line numbers are 1-based and sequential.
+        assert_eq!(log.shards[0].events[0].0, 1);
+    }
+
+    #[test]
+    fn tagged_stream_decodes_shard_blocks() {
+        let input = concat!(
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+            "{\"t\":\"arrival\",\"at\":1,\"fn\":0}\n",
+            "{\"t\":\"shard_end\",\"shard\":0,\"events\":1,\"dropped\":0}\n",
+            "{\"t\":\"shard_begin\",\"shard\":1}\n",
+            "{\"t\":\"shard_end\",\"shard\":1,\"events\":0,\"dropped\":4}\n",
+            "{\"type\":\"snapshot\"}\n",
+        );
+        let log = decode_stream(input).unwrap();
+        assert!(log.tagged);
+        assert_eq!(log.shards.len(), 2);
+        assert_eq!(log.shards[0].events.len(), 1);
+        assert_eq!(
+            log.shards[1].end,
+            Some(ShardEndInfo {
+                events: 0,
+                dropped: 4
+            })
+        );
+        assert_eq!(log.snapshots, vec![(6, "{\"type\":\"snapshot\"}".into())]);
+    }
+
+    #[test]
+    fn marker_grammar_violations_are_typed() {
+        // Duplicated end marker.
+        let dup_end = concat!(
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+            "{\"t\":\"shard_end\",\"shard\":0,\"events\":0,\"dropped\":0}\n",
+            "{\"t\":\"shard_end\",\"shard\":0,\"events\":0,\"dropped\":0}\n",
+        );
+        let err = decode_stream(dup_end).unwrap_err();
+        assert_eq!(err.line, 3);
+        assert_eq!(err.kind, StreamErrorKind::UnexpectedShardEnd { shard: 0 });
+
+        // Interleaved begin before the open block ends.
+        let interleaved = concat!(
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+            "{\"t\":\"shard_begin\",\"shard\":1}\n",
+        );
+        let err = decode_stream(interleaved).unwrap_err();
+        assert_eq!(err.kind, StreamErrorKind::UnexpectedShardBegin { shard: 1 });
+
+        // Out-of-sequence shard id.
+        let skipped = "{\"t\":\"shard_begin\",\"shard\":1}\n";
+        let err = decode_stream(skipped).unwrap_err();
+        assert_eq!(err.kind, StreamErrorKind::UnexpectedShardBegin { shard: 1 });
+
+        // Marker in an untagged stream.
+        let late_marker = concat!(
+            "{\"t\":\"arrival\",\"at\":1,\"fn\":0}\n",
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+        );
+        let err = decode_stream(late_marker).unwrap_err();
+        assert_eq!(err.kind, StreamErrorKind::UnexpectedShardBegin { shard: 0 });
+
+        // Event between blocks of a tagged stream.
+        let stray = concat!(
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+            "{\"t\":\"shard_end\",\"shard\":0,\"events\":0,\"dropped\":0}\n",
+            "{\"t\":\"arrival\",\"at\":1,\"fn\":0}\n",
+        );
+        let err = decode_stream(stray).unwrap_err();
+        assert_eq!(err.kind, StreamErrorKind::EventOutsideShard);
+
+        // Declared count disagreeing with the block.
+        let miscount = concat!(
+            "{\"t\":\"shard_begin\",\"shard\":0}\n",
+            "{\"t\":\"arrival\",\"at\":1,\"fn\":0}\n",
+            "{\"t\":\"shard_end\",\"shard\":0,\"events\":5,\"dropped\":0}\n",
+        );
+        let err = decode_stream(miscount).unwrap_err();
+        assert_eq!(
+            err.kind,
+            StreamErrorKind::EventCountMismatch {
+                shard: 0,
+                declared: 5,
+                counted: 1
+            }
+        );
+
+        // Stream cut off inside a block.
+        let cut = "{\"t\":\"shard_begin\",\"shard\":0}\n";
+        let err = decode_stream(cut).unwrap_err();
+        assert_eq!(err.kind, StreamErrorKind::UnterminatedShard { shard: 0 });
+    }
+}

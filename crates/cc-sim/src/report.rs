@@ -1,36 +1,12 @@
 //! Output of one simulation run.
 
 use cc_metrics::ServiceStats;
-use cc_types::{Arch, Cost, ServiceRecord, StartKind};
+use cc_types::{Arch, Cost, Fnv1a, ServiceRecord, StartKind};
 
-/// FNV-1a over raw bytes. The workspace's canonical cheap digest: the
-/// golden-determinism tests use it over exported event streams, and the
-/// sharded driver uses it to prove merged outputs match serial ones.
-pub fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf29ce484222325u64;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x100000001b3);
-    }
-    h
-}
-
-struct Fnv(u64);
-
-impl Fnv {
-    fn write(&mut self, bytes: &[u8]) {
-        for &b in bytes {
-            self.0 ^= u64::from(b);
-            self.0 = self.0.wrapping_mul(0x100000001b3);
-        }
-    }
-    fn u64(&mut self, v: u64) {
-        self.write(&v.to_le_bytes());
-    }
-    fn f64(&mut self, v: f64) {
-        self.write(&v.to_bits().to_le_bytes());
-    }
-}
+// The canonical byte digest now lives in `cc_types::hash` so the replay
+// layer (which must not depend on cc-sim) can share it; re-exported here
+// because this crate's API established the name.
+pub use cc_types::fnv1a;
 
 /// Everything measured during one simulation run.
 #[derive(Debug, Clone)]
@@ -77,8 +53,8 @@ impl SimReport {
     /// change invalidates every recorded golden constant, so change it
     /// only together with the constants and an explanation.
     pub fn digest(&self) -> u64 {
-        let mut h = Fnv(0xcbf29ce484222325);
-        h.write(self.policy.as_bytes());
+        let mut h = Fnv1a::new();
+        h.bytes(self.policy.as_bytes());
         h.u64(self.records.len() as u64);
         for r in &self.records {
             h.u64(r.function.index() as u64);
@@ -114,7 +90,7 @@ impl SimReport {
         }
         h.f64(self.stats.mean_service_time_secs());
         h.f64(self.stats.warm_fraction());
-        h.0
+        h.finish()
     }
 
     /// Mean service time in seconds — the paper's headline number.

@@ -25,6 +25,71 @@
 use std::collections::{HashMap, HashSet};
 use std::hash::{BuildHasherDefault, Hasher};
 
+/// FNV-1a over raw bytes. The workspace's canonical cheap digest: the
+/// golden-determinism tests use it over exported event streams, the sharded
+/// driver uses it to prove merged outputs match serial ones, and the replay
+/// layer uses it to compare reconstructed telemetry against live runs.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = Fnv1a::new();
+    h.bytes(bytes);
+    h.finish()
+}
+
+/// Incremental FNV-1a writer for building canonical digests field by field.
+///
+/// The byte encoding fed to this hasher is load-bearing wherever a golden
+/// constant is pinned to it (see `SimReport::digest`): every word is
+/// little-endian, floats hash their IEEE bit patterns, and callers must
+/// length-prefix variable-size sequences themselves.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Fnv1a {
+    /// A fresh hasher at the standard FNV-1a offset basis.
+    pub fn new() -> Fnv1a {
+        Fnv1a(0xcbf29ce484222325)
+    }
+
+    /// Hashes raw bytes.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100000001b3);
+        }
+    }
+
+    /// Hashes a `u64` (little-endian).
+    pub fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes a `u128` (little-endian).
+    pub fn u128(&mut self, v: u128) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `i64` (little-endian two's complement).
+    pub fn i64(&mut self, v: i64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    /// Hashes an `f64` by its IEEE-754 bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
+    }
+
+    /// The digest so far.
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
 /// Multiplicative constant from the FxHash scheme (a 64-bit truncation of
 /// the golden ratio, the classic Knuth multiplicative-hashing constant).
 const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;

@@ -37,7 +37,7 @@ mod time;
 pub use arch::Arch;
 pub use choice::{FnChoice, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
 pub use cost::{Cost, CostRate};
-pub use hash::{FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
+pub use hash::{fnv1a, Fnv1a, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FunctionId, NodeId, WarmId};
 pub use memory::MemoryMb;
 pub use record::{Invocation, ServiceRecord, StartKind};

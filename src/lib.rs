@@ -17,6 +17,8 @@
 //! - [`compress`] — from-scratch LZ77/Huffman codecs, synthetic images,
 //!   and the compression latency model.
 //! - [`opt`] — discrete optimizers including Sequential Random Embedding.
+//! - [`replay`] — offline event-log replay: JSONL decoding, stream
+//!   invariant auditing, and exact telemetry reconstruction.
 //! - [`fft`] — the FFT substrate behind the IceBreaker baseline.
 //! - [`metrics`] / [`types`] — measurement and vocabulary types.
 //!
@@ -54,6 +56,7 @@ pub use cc_metrics as metrics;
 pub use cc_obs as obs;
 pub use cc_opt as opt;
 pub use cc_policies as policies;
+pub use cc_replay as replay;
 pub use cc_shard as shard;
 pub use cc_sim as sim;
 pub use cc_trace as trace;
@@ -65,6 +68,10 @@ pub use codecrunch;
 pub mod prelude {
     pub use cc_compress::{Codec, CompressionModel, CrunchFast, EntropyClass, FsImage};
     pub use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
+    pub use cc_replay::{
+        audit_log, audit_shard, decode_line, decode_stream, reconstruct, reconstruct_with_interval,
+        AuditReport, ReplayLog, ShardStream,
+    };
     pub use cc_shard::{
         mux_jsonl, run_sharded, run_sharded_jsonl, ChannelSinkFactory, MuxReport, NullSinkFactory,
         ShardResult, ShardedRunConfig, SinkFactory,
