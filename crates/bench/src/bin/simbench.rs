@@ -38,23 +38,34 @@
 //! smoke test that the live event stream obeys the engine's conservation
 //! laws. Throughput measured under `--audit` includes the capture cost, so
 //! don't compare those figures against `--baseline` numbers.
+//!
+//! `--workers N` switches to the *intra-run* parallel engine
+//! (`cc_sim::run_parallel`): ONE simulation per policy, with the
+//! instrumentation pipeline (arrival prefetch, JSONL encoding, ordered
+//! write-out, telemetry folding) spread across N encoder workers plus the
+//! feeder/writer/telemetry threads. Results are worker-count-independent;
+//! CI compares `--workers 1` against `--workers 2` digests via
+//! `--digests-match`. The streaming scenarios (`--scenario stream|1m`)
+//! require this mode: their invocation streams are generated on the fly
+//! and never materialize, so `simulate_1m` (one million functions, two
+//! simulated days, ~12M invocations) runs in O(#functions) memory.
 
 use std::time::Instant;
 
-use bench::BenchScenario;
+use bench::{BenchScenario, StreamScenario};
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
 use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
 use cc_sim::{
-    ChannelSink, ChromeTraceSink, FixedKeepAlive, JsonlSink, NullSink, SamplingSink, Scheduler,
-    SimReport, Simulation,
+    ChannelSink, ChromeTraceSink, FixedKeepAlive, JsonlSink, NullSink, ParallelOptions,
+    SamplingSink, Scheduler, SimReport, Simulation, SliceSource,
 };
 use cc_trace::Trace;
 use codecrunch::CodeCrunch;
 
-const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small] \
+const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small|stream|1m] \
                      [--sink null|jsonl|chrome] [--policies a,b,..] \
                      [--baseline PATH] [--tolerance FRAC] \
-                     [--shards N] [--digests-match PATH] [--audit]";
+                     [--shards N] [--workers N] [--digests-match PATH] [--audit]";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum SinkMode {
@@ -90,17 +101,32 @@ const POLICY_NAMES: [&str; 6] = [
 ];
 
 /// Builds a policy by name. Runs inside worker threads in sharded mode, so
-/// it takes the trace rather than capturing pre-built boxes.
-fn make_policy(name: &str, trace: &Trace) -> Box<dyn Scheduler> {
+/// it takes the trace rather than capturing pre-built boxes. The trace is
+/// `None` for streaming scenarios, where the invocation stream is never
+/// materialized — the clairvoyant oracle is unavailable there.
+fn make_policy(name: &str, trace: Option<&Trace>) -> Box<dyn Scheduler> {
     match name {
         "fixed_keepalive" => Box::new(FixedKeepAlive::ten_minutes()),
         "sitw" => Box::new(SitW::new()),
         "faascache" => Box::new(FaasCache::new()),
         "icebreaker" => Box::new(IceBreaker::new()),
-        "oracle" => Box::new(Oracle::new(trace)),
+        "oracle" => match trace {
+            Some(trace) => Box::new(Oracle::new(trace)),
+            None => usage_error(
+                "oracle needs a materialized trace (not available with --scenario stream|1m)",
+            ),
+        },
         "codecrunch" => Box::new(CodeCrunch::new()),
         other => panic!("unknown policy {other:?}"),
     }
+}
+
+/// Which scenario family the bench drives.
+enum Bench {
+    /// Materialized trace (the classic path).
+    Batch(BenchScenario),
+    /// On-the-fly invocation stream (requires `--workers`).
+    Stream(StreamScenario),
 }
 
 fn main() {
@@ -112,6 +138,7 @@ fn main() {
     let mut baseline: Option<String> = None;
     let mut tolerance: f64 = 0.03;
     let mut shards: Option<usize> = None;
+    let mut workers_opt: Option<usize> = None;
     let mut digests_match: Option<String> = None;
     let mut audit = false;
     let mut args = std::env::args().skip(1);
@@ -130,9 +157,10 @@ fn main() {
                 };
             }
             "--scenario" => match args.next().as_deref() {
-                Some("large") => scenario_name = "large".into(),
-                Some("small") => scenario_name = "small".into(),
-                _ => usage_error("--scenario takes large or small"),
+                Some(name @ ("large" | "small" | "stream" | "1m")) => {
+                    scenario_name = name.into();
+                }
+                _ => usage_error("--scenario takes large, small, stream, or 1m"),
             },
             "--sink" => {
                 sink = match args.next().as_deref() {
@@ -166,6 +194,12 @@ fn main() {
                     _ => usage_error("--shards takes a positive worker count"),
                 };
             }
+            "--workers" => {
+                workers_opt = match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => Some(n),
+                    _ => usage_error("--workers takes a positive worker count"),
+                };
+            }
             "--digests-match" => {
                 digests_match = match args.next() {
                     Some(path) => Some(path),
@@ -185,19 +219,45 @@ fn main() {
     if audit && sink != SinkMode::Jsonl {
         usage_error("--audit checks the serialized event stream; add --sink jsonl");
     }
+    if workers_opt.is_some() && shards.is_some() {
+        usage_error(
+            "--workers (intra-run pipeline) and --shards (run-level sharding) are exclusive",
+        );
+    }
+    if workers_opt.is_some() && sink == SinkMode::Chrome {
+        usage_error("--workers supports null and jsonl sinks (chrome is serial-only)");
+    }
+    if workers_opt.is_some() && baseline.is_some() {
+        usage_error("--baseline compares per-policy serial throughput; use it without --workers");
+    }
 
-    let scenario = if scenario_name == "small" {
-        BenchScenario::new()
-    } else {
-        BenchScenario::large()
+    let bench = match scenario_name.as_str() {
+        "small" => Bench::Batch(BenchScenario::new()),
+        "large" => Bench::Batch(BenchScenario::large()),
+        "stream" => Bench::Stream(StreamScenario::smoke()),
+        "1m" => Bench::Stream(StreamScenario::million()),
+        _ => unreachable!("scenario name validated at parse time"),
     };
-    let invocations = scenario.trace.invocations().len() as u64;
-    eprintln!(
-        "scenario: {scenario_name} ({} functions, {invocations} invocations, {} nodes), sink: {}",
-        scenario.trace.functions().len(),
-        scenario.config.total_nodes(),
-        sink.label(),
-    );
+    if matches!(bench, Bench::Stream(_)) && workers_opt.is_none() {
+        usage_error("streaming scenarios run on the intra-run pipeline; add --workers N");
+    }
+    match &bench {
+        Bench::Batch(scenario) => eprintln!(
+            "scenario: {scenario_name} ({} functions, {} invocations, {} nodes), sink: {}",
+            scenario.trace.functions().len(),
+            scenario.trace.invocations().len(),
+            scenario.config.total_nodes(),
+            sink.label(),
+        ),
+        Bench::Stream(scenario) => eprintln!(
+            "scenario: {scenario_name} ({} functions, ~{} invocations expected, {} nodes, \
+             streaming), sink: {}",
+            scenario.functions,
+            scenario.expected_invocations,
+            scenario.config.total_nodes(),
+            sink.label(),
+        ),
+    }
 
     if let Some(filter) = &policy_filter {
         for name in filter {
@@ -211,10 +271,13 @@ fn main() {
     let selected: Vec<&str> = POLICY_NAMES
         .iter()
         .copied()
-        .filter(|name| {
-            policy_filter
-                .as_ref()
-                .is_none_or(|filter| filter.iter().any(|f| f == name))
+        .filter(|name| match &policy_filter {
+            Some(filter) => filter.iter().any(|f| f == name),
+            // Streaming scale defaults to the cheapest policy: the point
+            // is the engine pipeline, not a policy sweep, and the oracle
+            // cannot run without a materialized trace anyway.
+            None if matches!(bench, Bench::Stream(_)) => *name == "fixed_keepalive",
+            None => true,
         })
         .collect();
 
@@ -222,15 +285,66 @@ fn main() {
     let mut measured: Vec<(String, f64)> = Vec::new();
     let mut digests: Vec<(String, u64)> = Vec::new();
     let mut aggregate = None;
+    let mut actual_invocations: Option<u64> = None;
 
-    if let Some(workers) = shards {
+    if let Some(workers) = workers_opt {
+        // Intra-run parallel mode: one simulation per policy on the
+        // pipelined engine. Results are worker-count-independent, so the
+        // recorded digests double as the parity reference.
+        let options = ParallelOptions::default().with_workers(workers);
+        for name in &selected {
+            if matches!(bench, Bench::Batch(_)) {
+                // Warm-up replay; streaming replays are long enough to
+                // amortize cold caches, and each one rebuilds the source.
+                parallel_once(&bench, name, &options, sink, audit);
+            }
+            let mut best = f64::INFINITY;
+            let mut reference: Option<(u64, u64, u64)> = None;
+            for _ in 0..runs {
+                let started = Instant::now();
+                let result = parallel_once(&bench, name, &options, sink, audit);
+                best = best.min(started.elapsed().as_secs_f64());
+                if let Some(prev) = reference {
+                    assert_eq!(
+                        prev, result,
+                        "policy {name} is not run-to-run deterministic under --workers"
+                    );
+                }
+                reference = Some(result);
+            }
+            let (digest, tel_digest, inv) = reference.expect("at least one run");
+            let throughput = inv as f64 / best;
+            eprintln!(
+                "{name:>16}: {best:7.3} s  ({throughput:11.0} inv/s, {inv} invocations, \
+                 {workers} workers)"
+            );
+            entries.push(serde_json::json!({
+                "policy": *name,
+                "seconds_per_replay": best,
+                "invocations_per_sec": throughput,
+                "report_digest": format!("{digest:#018x}"),
+                "telemetry_digest": format!("{tel_digest:#018x}"),
+            }));
+            digests.push((name.to_string(), digest));
+            actual_invocations = Some(inv);
+        }
+        aggregate = Some(serde_json::json!({
+            "workers": workers as u64,
+            "mode": "intra_run",
+            "window_secs": options.window.as_secs_f64(),
+        }));
+    } else if let Some(workers) = shards {
+        let Bench::Batch(scenario) = &bench else {
+            unreachable!("streaming scenarios were rejected without --workers");
+        };
+        let invocations = scenario.trace.invocations().len() as u64;
         // Sharded mode: one shard per policy, `workers` threads, one
         // warm-up sweep, then best-of-`runs` on the sweep wall-clock.
-        sharded_sweep(&scenario, &selected, workers, sink, audit); // warm-up
+        sharded_sweep(scenario, &selected, workers, sink, audit); // warm-up
         let mut best_wall = f64::INFINITY;
         let mut best_shards: Vec<(u64, f64)> = Vec::new();
         for _ in 0..runs {
-            let (wall, per_shard) = sharded_sweep(&scenario, &selected, workers, sink, audit);
+            let (wall, per_shard) = sharded_sweep(scenario, &selected, workers, sink, audit);
             if !best_shards.is_empty() {
                 let prev: Vec<u64> = best_shards.iter().map(|(d, _)| *d).collect();
                 let this: Vec<u64> = per_shard.iter().map(|(d, _)| *d).collect();
@@ -264,11 +378,15 @@ fn main() {
             "invocations_per_sec": sweep_throughput,
         }));
     } else {
+        let Bench::Batch(scenario) = &bench else {
+            unreachable!("streaming scenarios were rejected without --workers");
+        };
+        let invocations = scenario.trace.invocations().len() as u64;
         for name in &selected {
             // Warm-up replay (page in the trace, fault in allocator arenas).
             run_once(
-                &scenario,
-                make_policy(name, &scenario.trace).as_mut(),
+                scenario,
+                make_policy(name, Some(&scenario.trace)).as_mut(),
                 sink,
                 audit,
             );
@@ -277,8 +395,8 @@ fn main() {
             for _ in 0..runs {
                 let started = Instant::now();
                 let d = run_once(
-                    &scenario,
-                    make_policy(name, &scenario.trace).as_mut(),
+                    scenario,
+                    make_policy(name, Some(&scenario.trace)).as_mut(),
                     sink,
                     audit,
                 );
@@ -302,15 +420,34 @@ fn main() {
         }
     }
 
+    let (benchmark, functions, nodes, invocations_doc) = match &bench {
+        Bench::Batch(s) => (
+            "simulate_10k",
+            s.trace.functions().len() as u64,
+            s.config.total_nodes() as u64,
+            s.trace.invocations().len() as u64,
+        ),
+        Bench::Stream(s) => (
+            if scenario_name == "1m" {
+                "simulate_1m"
+            } else {
+                "simulate_stream"
+            },
+            s.functions as u64,
+            s.config.total_nodes() as u64,
+            actual_invocations.unwrap_or(s.expected_invocations as u64),
+        ),
+    };
     let doc = serde_json::json!({
-        "benchmark": "simulate_10k",
+        "benchmark": benchmark,
         "scenario_name": scenario_name,
         "sink": sink.label(),
-        "functions": scenario.trace.functions().len() as u64,
-        "invocations": invocations,
-        "nodes": scenario.config.total_nodes() as u64,
+        "functions": functions,
+        "invocations": invocations_doc,
+        "nodes": nodes,
         "runs_per_policy": runs as u64,
         "shards": shards.unwrap_or(0) as u64,
+        "workers": workers_opt.unwrap_or(0) as u64,
         "aggregate": aggregate,
         "results": entries,
     });
@@ -405,6 +542,99 @@ fn parse_baseline(text: &str) -> Vec<(String, f64)> {
     pairs
 }
 
+/// One replay on the intra-run parallel engine. Returns
+/// `(report digest, telemetry digest, invocations)` — the tuple the
+/// determinism assertion and the digest file both key on.
+fn parallel_once(
+    bench: &Bench,
+    name: &str,
+    options: &ParallelOptions,
+    sink: SinkMode,
+    audit: bool,
+) -> (u64, u64, u64) {
+    match bench {
+        Bench::Batch(s) => {
+            let mut policy = make_policy(name, Some(&s.trace));
+            run_parallel_once(
+                &s.config,
+                SliceSource::from_trace(&s.trace),
+                &s.workload,
+                policy.as_mut(),
+                options,
+                sink,
+                audit,
+            )
+        }
+        Bench::Stream(s) => {
+            let mut policy = make_policy(name, None);
+            // Per-invocation records at streaming scale would defeat the
+            // constant-memory point; the digest then covers stats only.
+            let options = options.clone().without_records();
+            run_parallel_once(
+                &s.config,
+                s.source(),
+                &s.workload,
+                policy.as_mut(),
+                &options,
+                sink,
+                audit,
+            )
+        }
+    }
+}
+
+fn run_parallel_once<Src: cc_sim::ArrivalSource + Send>(
+    config: &cc_sim::ClusterConfig,
+    source: Src,
+    workload: &cc_workload::Workload,
+    policy: &mut dyn Scheduler,
+    options: &ParallelOptions,
+    sink: SinkMode,
+    audit: bool,
+) -> (u64, u64, u64) {
+    let (outcome, captured): (_, Option<Vec<u8>>) = match sink {
+        SinkMode::Null => {
+            let (outcome, _) = cc_sim::run_parallel(
+                config,
+                source,
+                workload,
+                policy,
+                None::<std::io::Sink>,
+                options,
+            )
+            .expect("pipeline io");
+            (outcome, None)
+        }
+        SinkMode::Jsonl if audit => {
+            let (outcome, bytes) =
+                cc_sim::run_parallel(config, source, workload, policy, Some(Vec::new()), options)
+                    .expect("writing to memory cannot fail");
+            (outcome, bytes)
+        }
+        SinkMode::Jsonl => {
+            let (outcome, _) = cc_sim::run_parallel(
+                config,
+                source,
+                workload,
+                policy,
+                Some(std::io::sink()),
+                options,
+            )
+            .expect("writing to io::sink cannot fail");
+            (outcome, None)
+        }
+        SinkMode::Chrome => unreachable!("rejected at argument parsing"),
+    };
+    if let Some(bytes) = captured {
+        audit_stream(&bytes);
+    }
+    (
+        outcome.report.digest(),
+        outcome.telemetry.digest(),
+        outcome.report.stats.invocations(),
+    )
+}
+
 fn check_report(scenario: &BenchScenario, report: &SimReport) -> u64 {
     assert_eq!(
         report.records.len() as u64,
@@ -483,7 +713,7 @@ fn sharded_sweep(
                 .map(|&name| {
                     move |_sink: &mut NullSink| {
                         let shard_started = Instant::now();
-                        let mut policy = make_policy(name, &scenario.trace);
+                        let mut policy = make_policy(name, Some(&scenario.trace));
                         let report = Simulation::new(
                             scenario.config.clone(),
                             &scenario.trace,
@@ -508,7 +738,7 @@ fn sharded_sweep(
                 .map(|&name| {
                     move |sink: &mut SamplingSink<ChannelSink>| {
                         let shard_started = Instant::now();
-                        let mut policy = make_policy(name, &scenario.trace);
+                        let mut policy = make_policy(name, Some(&scenario.trace));
                         let report = Simulation::new(
                             scenario.config.clone(),
                             &scenario.trace,

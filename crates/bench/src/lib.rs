@@ -5,7 +5,7 @@
 
 use cc_compress::CompressionModel;
 use cc_sim::ClusterConfig;
-use cc_trace::{SyntheticTrace, Trace};
+use cc_trace::{StreamingTrace, StreamingTraceBuilder, SyntheticTrace, Trace};
 use cc_types::SimDuration;
 use cc_workload::{Catalog, Workload};
 
@@ -72,5 +72,67 @@ impl BenchScenario {
 impl Default for BenchScenario {
     fn default() -> Self {
         BenchScenario::new()
+    }
+}
+
+/// A streaming benchmark scenario: the invocation stream is generated on
+/// the fly (O(#functions) memory) instead of being materialized, which is
+/// what makes the million-function scale reachable at all. Each replay
+/// pulls a fresh, identically-seeded stream from [`StreamScenario::source`].
+pub struct StreamScenario {
+    builder: StreamingTraceBuilder,
+    /// The resolved workload (from the function table alone).
+    pub workload: Workload,
+    /// The cluster configuration.
+    pub config: ClusterConfig,
+    /// Number of unique functions.
+    pub functions: usize,
+    /// Expected invocation count (Poisson mean) — the actual count is
+    /// deterministic per seed but only known after a replay.
+    pub expected_invocations: usize,
+}
+
+impl StreamScenario {
+    /// The headline scale: one million functions over two simulated days,
+    /// ~12M invocations, on the 124-node stress cluster.
+    pub fn million() -> StreamScenario {
+        StreamScenario::sized(1_000_000, 48 * 60, 8 * 60)
+    }
+
+    /// A CI-sized streaming scenario: 20k functions over half a day,
+    /// ~250k invocations — large enough to exercise the feeder/encoder
+    /// pipeline, small enough for a per-push smoke run.
+    pub fn smoke() -> StreamScenario {
+        StreamScenario::sized(20_000, 12 * 60, 2 * 60)
+    }
+
+    /// Builds a streaming scenario with `functions` functions over
+    /// `duration_mins` minutes and a median per-function mean gap of
+    /// `gap_mins` minutes.
+    pub fn sized(functions: usize, duration_mins: u64, gap_mins: u64) -> StreamScenario {
+        let mut builder = StreamingTrace::builder();
+        builder
+            .functions(functions)
+            .duration(SimDuration::from_mins(duration_mins))
+            .seed(31)
+            .mean_gap_median(SimDuration::from_mins(gap_mins));
+        let probe = builder.build();
+        let workload = Workload::from_functions(
+            probe.functions(),
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        StreamScenario {
+            expected_invocations: probe.expected_invocations(),
+            functions,
+            builder,
+            workload,
+            config: ClusterConfig::small(52, 72).with_warm_memory_fraction(0.4),
+        }
+    }
+
+    /// A fresh, identically-seeded arrival stream (one per replay).
+    pub fn source(&self) -> StreamingTrace {
+        self.builder.build()
     }
 }

@@ -25,9 +25,11 @@
 //! * **Combinators** — [`Tee`] to fan out to two sinks, [`BufferSink`] to
 //!   retain events in memory, `&mut S` which forwards to `S`,
 //!   [`SamplingSink`] for deterministic 1-in-N sampling with explicit drop
-//!   accounting, and [`ChannelSink`] which streams shard-tagged events over
+//!   accounting, [`ChannelSink`] which streams shard-tagged events over
 //!   a bounded channel to a mux thread (the transport for the sharded
-//!   parallel driver).
+//!   parallel driver), and [`BatchSink`] which flushes window-aligned,
+//!   index-tagged event batches to multiple subscribers (the transport
+//!   for the intra-run parallel pipeline).
 //!
 //! This crate deliberately depends only on `cc-types` and `cc-metrics`;
 //! `cc-sim` depends on it (not the reverse), and re-exports the sink
@@ -35,6 +37,7 @@
 
 #![warn(missing_docs)]
 
+mod batch;
 mod channel;
 mod chrome;
 mod event;
@@ -43,6 +46,7 @@ mod jsonl;
 mod sampling;
 mod telemetry;
 
+pub use batch::{BatchSink, EventBatch};
 pub use channel::{ChannelSink, ChannelStats, ShardMsg};
 pub use chrome::ChromeTraceSink;
 pub use event::{

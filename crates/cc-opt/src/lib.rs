@@ -58,5 +58,8 @@ pub use classic::{brute_force, CoordinateDescent, NewtonDescent, RandomSearch};
 pub use genetic::GeneticAlgorithm;
 pub use objective::{Objective, OptOutcome};
 pub use separable::{SeparableObjective, SeparableView};
-pub use space::{combine_solutions, sample_subproblems, search_space_size};
-pub use sre::{Sre, SreRoundStats};
+pub use space::{
+    combine_solutions, sample_subproblems, sample_subproblems_into, search_space_size,
+    SubproblemScratch,
+};
+pub use sre::{Sre, SreRoundStats, SreScratch};

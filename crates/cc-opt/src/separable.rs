@@ -131,12 +131,14 @@ impl CoordinateDescent {
         let mut cost_sum: f64 = cost.iter().sum();
         let budget = objective.budget();
         let mut evaluations = (n as u64).max(1);
+        // (service_sum', cost', mem_delta, choice); hoisted out of the
+        // sweep so the descent allocates once, not once per coordinate.
+        let mut candidates: Vec<(f64, f64, f64, FnChoice)> = Vec::new();
 
         'rounds: for _ in 0..self.max_rounds {
             let mut improved = false;
             for &idx in active {
-                // (service_sum', cost', mem_delta, choice)
-                let mut candidates: Vec<(f64, f64, f64, FnChoice)> = Vec::new();
+                candidates.clear();
                 let current_mem = objective.memory_term(idx, &current[idx]);
                 for neighbor in current[idx].neighbors() {
                     if evaluations >= self.eval_budget {
@@ -171,7 +173,7 @@ impl CoordinateDescent {
                 };
                 let threshold = best + 0.1 * best.abs();
                 let (new_service_sum, new_cost, _, choice) = candidates
-                    .into_iter()
+                    .drain(..)
                     .filter(|&(s, _, _, _)| s <= threshold)
                     .min_by(|a, b| a.2.total_cmp(&b.2).then(a.0.total_cmp(&b.0)))
                     .expect("best candidate satisfies its own threshold");

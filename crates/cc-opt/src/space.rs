@@ -21,6 +21,23 @@ pub fn search_space_size(n: usize) -> u128 {
     total
 }
 
+/// Reusable buffers for [`sample_subproblems_into`]: the sampling-weight
+/// vector and a free list of retired group vectors. A caller that holds one
+/// of these across rounds (and intervals) pays the allocation cost once.
+#[derive(Debug, Default)]
+pub struct SubproblemScratch {
+    weights: Vec<f64>,
+    spare: Vec<Vec<usize>>,
+}
+
+impl SubproblemScratch {
+    /// Hands an index vector back for reuse; its contents are discarded.
+    pub(crate) fn recycle_group(&mut self, mut group: Vec<usize>) {
+        group.clear();
+        self.spare.push(group);
+    }
+}
+
 /// Samples disjoint sub-problems for one SRE round.
 ///
 /// Each of the `num_subproblems` groups receives up to
@@ -34,12 +51,47 @@ pub fn sample_subproblems(
     num_subproblems: usize,
     funcs_per_subproblem: usize,
 ) -> Vec<Vec<usize>> {
-    let n = opt_counts.len();
-    let mut weights: Vec<f64> = opt_counts.iter().map(|&c| 1.0 / (1.0 + c as f64)).collect();
+    let mut scratch = SubproblemScratch::default();
     let mut groups = Vec::with_capacity(num_subproblems);
+    sample_subproblems_into(
+        rng,
+        opt_counts,
+        num_subproblems,
+        funcs_per_subproblem,
+        &mut scratch,
+        &mut groups,
+    );
+    groups
+}
+
+/// [`sample_subproblems`] into caller-provided storage.
+///
+/// `groups` is cleared and refilled; vectors it held (and any retired
+/// earlier) are recycled through `scratch` together with the weight buffer,
+/// so steady-state rounds allocate nothing. The RNG draw sequence — and
+/// therefore the sampled groups — is identical to [`sample_subproblems`].
+pub fn sample_subproblems_into(
+    rng: &mut StdRng,
+    opt_counts: &[u32],
+    num_subproblems: usize,
+    funcs_per_subproblem: usize,
+    scratch: &mut SubproblemScratch,
+    groups: &mut Vec<Vec<usize>>,
+) {
+    for group in groups.drain(..) {
+        scratch.recycle_group(group);
+    }
+    let n = opt_counts.len();
+    scratch.weights.clear();
+    scratch
+        .weights
+        .extend(opt_counts.iter().map(|&c| 1.0 / (1.0 + c as f64)));
+    let weights = &mut scratch.weights;
     let mut remaining = n;
     for _ in 0..num_subproblems {
-        let mut group = Vec::with_capacity(funcs_per_subproblem);
+        let mut group = scratch.spare.pop().unwrap_or_default();
+        debug_assert!(group.is_empty(), "recycled group must arrive empty");
+        group.reserve(funcs_per_subproblem);
         for _ in 0..funcs_per_subproblem {
             if remaining == 0 {
                 break;
@@ -70,11 +122,12 @@ pub fn sample_subproblems(
             weights[idx] = 0.0;
             remaining -= 1;
         }
-        if !group.is_empty() {
+        if group.is_empty() {
+            scratch.spare.push(group);
+        } else {
             groups.push(group);
         }
     }
-    groups
 }
 
 /// Recombines the per-round solutions into SRE's final answer: the paper
@@ -168,6 +221,21 @@ mod tests {
         let groups = sample_subproblems(&mut rng, &counts, 5, 3);
         let total: usize = groups.iter().map(Vec::len).sum();
         assert_eq!(total, 2, "cannot sample more than exists");
+    }
+
+    #[test]
+    fn scratch_sampling_matches_allocating_sampling() {
+        let counts: Vec<u32> = (0..40).map(|i| i % 5).collect();
+        let mut scratch = SubproblemScratch::default();
+        let mut groups = Vec::new();
+        for seed in 0..8 {
+            let mut rng_a = StdRng::seed_from_u64(seed);
+            let mut rng_b = StdRng::seed_from_u64(seed);
+            let fresh = sample_subproblems(&mut rng_a, &counts, 4, 6);
+            // Reused buffers across iterations — results must not differ.
+            sample_subproblems_into(&mut rng_b, &counts, 4, 6, &mut scratch, &mut groups);
+            assert_eq!(fresh, groups, "seed {seed} diverged");
+        }
     }
 
     #[test]

@@ -5,8 +5,27 @@ use rand::SeedableRng;
 
 use cc_types::FnChoice;
 
-use crate::space::{combine_solutions, sample_subproblems};
+use crate::space::{combine_solutions, sample_subproblems_into, SubproblemScratch};
 use crate::{CoordinateDescent, Objective, OptOutcome};
+
+/// Reusable working storage for [`Sre`]'s round loop.
+///
+/// One SRE run churns through a family of short-lived vectors — sampling
+/// weights, sub-problem index groups, per-group solution copies, the
+/// touched-index list, and the per-round snapshots. A long-lived scheduler
+/// that re-optimizes every interval can hold one `SreScratch` and pass it
+/// to the `_with_scratch` entry points so those buffers are allocated once
+/// and recycled forever after. Results are bit-identical with or without
+/// scratch reuse; the scratch carries no state between runs other than
+/// spare capacity.
+#[derive(Debug, Default)]
+pub struct SreScratch {
+    subproblems: SubproblemScratch,
+    groups: Vec<Vec<usize>>,
+    touched: Vec<usize>,
+    round_solutions: Vec<Vec<FnChoice>>,
+    spare_solutions: Vec<Vec<FnChoice>>,
+}
 
 /// Per-round progress snapshot, reported through the optional probe of
 /// [`Sre::optimize_probed`] / [`Sre::optimize_separable_probed`].
@@ -129,9 +148,15 @@ impl Sre {
         opt_counts: &mut [u32],
     ) -> OptOutcome {
         let inner = self.inner.clone();
-        self.run_rounds(objective, start, opt_counts, None, &move |s, group| {
-            inner.optimize_subset(objective, s, group)
-        })
+        let mut scratch = SreScratch::default();
+        self.run_rounds(
+            objective,
+            start,
+            opt_counts,
+            None,
+            &move |s, group| inner.optimize_subset(objective, s, group),
+            &mut scratch,
+        )
     }
 
     /// [`Sre::optimize`] with a per-round progress probe (observation only;
@@ -144,12 +169,14 @@ impl Sre {
         probe: &mut dyn FnMut(SreRoundStats),
     ) -> OptOutcome {
         let inner = self.inner.clone();
+        let mut scratch = SreScratch::default();
         self.run_rounds(
             objective,
             start,
             opt_counts,
             Some(probe),
             &move |s, group| inner.optimize_subset(objective, s, group),
+            &mut scratch,
         )
     }
 
@@ -163,11 +190,32 @@ impl Sre {
         start: Vec<FnChoice>,
         opt_counts: &mut [u32],
     ) -> OptOutcome {
+        let mut scratch = SreScratch::default();
+        self.optimize_separable_with_scratch(objective, start, opt_counts, &mut scratch)
+    }
+
+    /// [`Sre::optimize_separable`] reusing caller-held working storage.
+    ///
+    /// Identical result to the plain variant; a scheduler that optimizes
+    /// every interval should hold one [`SreScratch`] and pass it here so
+    /// the round loop stops allocating in steady state.
+    pub fn optimize_separable_with_scratch<T: crate::SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+        scratch: &mut SreScratch,
+    ) -> OptOutcome {
         let view = crate::SeparableView(objective);
         let inner = self.inner.clone();
-        self.run_rounds(&view, start, opt_counts, None, &move |s, group| {
-            inner.optimize_separable_subset(objective, s, group)
-        })
+        self.run_rounds(
+            &view,
+            start,
+            opt_counts,
+            None,
+            &move |s, group| inner.optimize_separable_subset(objective, s, group),
+            scratch,
+        )
     }
 
     /// [`Sre::optimize_separable`] with a per-round progress probe
@@ -180,14 +228,45 @@ impl Sre {
         opt_counts: &mut [u32],
         probe: &mut dyn FnMut(SreRoundStats),
     ) -> OptOutcome {
+        let mut scratch = SreScratch::default();
+        self.optimize_separable_probed_with_scratch(
+            objective,
+            start,
+            opt_counts,
+            probe,
+            &mut scratch,
+        )
+    }
+
+    /// [`Sre::optimize_separable_probed`] reusing caller-held working
+    /// storage (see [`Sre::optimize_separable_with_scratch`]).
+    pub fn optimize_separable_probed_with_scratch<T: crate::SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        opt_counts: &mut [u32],
+        probe: &mut dyn FnMut(SreRoundStats),
+        scratch: &mut SreScratch,
+    ) -> OptOutcome {
         let view = crate::SeparableView(objective);
         let inner = self.inner.clone();
-        self.run_rounds(&view, start, opt_counts, Some(probe), &move |s, group| {
-            inner.optimize_separable_subset(objective, s, group)
-        })
+        self.run_rounds(
+            &view,
+            start,
+            opt_counts,
+            Some(probe),
+            &move |s, group| inner.optimize_separable_subset(objective, s, group),
+            scratch,
+        )
     }
 
     /// Shared SRE machinery, parameterized over the sub-problem optimizer.
+    ///
+    /// All transient vectors (groups, per-group solution copies, touched
+    /// indices, round snapshots) live in `scratch` and are recycled, so a
+    /// caller reusing one scratch across intervals allocates only in the
+    /// parallel path (threads need owned solutions) and in
+    /// `combine_solutions`.
     fn run_rounds(
         &self,
         objective: &dyn Objective,
@@ -195,6 +274,7 @@ impl Sre {
         opt_counts: &mut [u32],
         mut probe: Option<&mut dyn FnMut(SreRoundStats)>,
         optimize_subset: &(dyn Fn(Vec<FnChoice>, &[usize]) -> OptOutcome + Sync),
+        scratch: &mut SreScratch,
     ) -> OptOutcome {
         let n = objective.num_functions();
         assert_eq!(start.len(), n, "start length must match objective");
@@ -214,7 +294,19 @@ impl Sre {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut current = start;
         let mut evaluations = 0u64;
-        let mut round_solutions: Vec<Vec<FnChoice>> = Vec::with_capacity(self.rounds);
+        // Split-borrow the scratch once: the round loop needs the group
+        // list and the spare pools live at the same time.
+        let SreScratch {
+            subproblems,
+            groups,
+            touched,
+            round_solutions,
+            spare_solutions,
+        } = scratch;
+        for mut stale in round_solutions.drain(..) {
+            stale.clear();
+            spare_solutions.push(stale);
+        }
 
         for round in 0..self.rounds {
             // Probe-only bookkeeping: a pre-round snapshot for the
@@ -222,11 +314,13 @@ impl Sre {
             // exists on the unprobed path.
             let round_start = probe.as_ref().map(|_| current.clone());
             let evals_before = evaluations;
-            let groups = sample_subproblems(
+            sample_subproblems_into(
                 &mut rng,
                 opt_counts,
                 self.num_subproblems,
                 self.funcs_per_subproblem,
+                subproblems,
+                groups,
             );
             let outcomes: Vec<OptOutcome> = if self.parallel && groups.len() > 1 {
                 let current_ref = &current;
@@ -245,13 +339,18 @@ impl Sre {
             } else {
                 groups
                     .iter()
-                    .map(|group| optimize_subset(current.clone(), group))
+                    .map(|group| {
+                        let mut copy = spare_solutions.pop().unwrap_or_default();
+                        copy.clear();
+                        copy.extend_from_slice(&current);
+                        optimize_subset(copy, group)
+                    })
                     .collect()
             };
 
             // Splice each sub-problem's optimized choices back in (groups
             // are disjoint, so order does not matter).
-            let mut touched: Vec<usize> = Vec::new();
+            touched.clear();
             for (group, outcome) in groups.iter().zip(&outcomes) {
                 evaluations += outcome.evaluations;
                 for &idx in group {
@@ -260,6 +359,11 @@ impl Sre {
                     touched.push(idx);
                 }
             }
+            for outcome in outcomes {
+                let mut buf = outcome.solution;
+                buf.clear();
+                spare_solutions.push(buf);
+            }
             // The sub-problems ran in parallel against the same budget
             // headroom, so the spliced solution can jointly overspend even
             // though each piece was feasible. Repair by scaling the
@@ -267,7 +371,7 @@ impl Sre {
             evaluations += 1;
             if !objective.is_feasible(&current) {
                 for _ in 0..24 {
-                    for &idx in &touched {
+                    for &idx in touched.iter() {
                         current[idx].keep_alive = current[idx].keep_alive.scale(0.8);
                     }
                     evaluations += 1;
@@ -276,14 +380,14 @@ impl Sre {
                     }
                 }
                 if !objective.is_feasible(&current) {
-                    for &idx in &touched {
+                    for &idx in touched.iter() {
                         current[idx].keep_alive = cc_types::SimDuration::ZERO;
                     }
                 }
             }
             if let (Some(probe), Some(before)) = (probe.as_deref_mut(), round_start) {
                 let mut accepted_moves = 0u64;
-                for &idx in &touched {
+                for &idx in touched.iter() {
                     let (a, b) = (before[idx], current[idx]);
                     accepted_moves += u64::from(a.arch != b.arch)
                         + u64::from(a.compress != b.compress)
@@ -300,27 +404,39 @@ impl Sre {
                     evaluations: evaluations - evals_before,
                 });
             }
-            round_solutions.push(current.clone());
+            let mut snap = spare_solutions.pop().unwrap_or_default();
+            snap.clear();
+            snap.extend_from_slice(&current);
+            round_solutions.push(snap);
         }
+        current.clear();
+        spare_solutions.push(current);
 
         // Final answer: the mean of the round solutions — unless it is
         // infeasible or worse than the best round, in which case that
         // round wins.
-        let combined = combine_solutions(&round_solutions);
+        let combined = combine_solutions(round_solutions);
         evaluations += 1;
         let combined_cost = if objective.is_feasible(&combined) {
             objective.evaluate(&combined)
         } else {
             f64::INFINITY
         };
-        let (best_round_cost, best_round) = round_solutions
-            .into_iter()
-            .map(|s| {
-                evaluations += 1;
-                (objective.evaluate(&s), s)
-            })
-            .min_by(|a, b| a.0.total_cmp(&b.0))
-            .expect("at least one round ran");
+        // First-minimum-wins, matching `Iterator::min_by` over the rounds
+        // in order; the snapshots stay in the scratch for the next run.
+        let mut best: Option<(f64, usize)> = None;
+        for (idx, solution) in round_solutions.iter().enumerate() {
+            evaluations += 1;
+            let cost = objective.evaluate(solution);
+            let better = match best {
+                None => true,
+                Some((best_cost, _)) => cost.total_cmp(&best_cost) == std::cmp::Ordering::Less,
+            };
+            if better {
+                best = Some((cost, idx));
+            }
+        }
+        let (best_round_cost, best_idx) = best.expect("at least one round ran");
 
         if combined_cost <= best_round_cost {
             OptOutcome {
@@ -330,7 +446,7 @@ impl Sre {
             }
         } else {
             OptOutcome {
-                solution: best_round,
+                solution: std::mem::take(&mut round_solutions[best_idx]),
                 cost: best_round_cost,
                 evaluations,
             }
@@ -441,6 +557,47 @@ mod tests {
         }
         // The descent actually moves coordinates on a bowl objective.
         assert!(rounds.iter().any(|r| r.accepted_moves > 0));
+    }
+
+    #[test]
+    fn scratch_reuse_is_behavior_preserving() {
+        use crate::SeparableObjective;
+
+        /// Minimal separable bowl for exercising the scratch paths.
+        struct SepBowl;
+        impl SeparableObjective for SepBowl {
+            fn num_functions(&self) -> usize {
+                24
+            }
+            fn service_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+                let d = c.keep_alive.as_mins_f64() - 7.0;
+                d * d + if c.compress { 0.0 } else { 2.0 }
+            }
+            fn cost_term(&self, _idx: usize, c: &FnChoice) -> f64 {
+                c.keep_alive.as_mins_f64()
+            }
+            fn budget(&self) -> Option<f64> {
+                Some(150.0)
+            }
+        }
+
+        let start = vec![FnChoice::production_default(); 24];
+        let mut scratch = SreScratch::default();
+        // A dirty scratch (reused across differently-seeded runs) must
+        // reproduce the allocating path bit-for-bit every time.
+        for seed in 0..4 {
+            let sre = Sre::scaled_to(24).with_seed(seed);
+            let fresh = sre.optimize_separable(&SepBowl, start.clone(), &mut [0; 24]);
+            let reused = sre.optimize_separable_with_scratch(
+                &SepBowl,
+                start.clone(),
+                &mut [0; 24],
+                &mut scratch,
+            );
+            assert_eq!(fresh.solution, reused.solution, "seed {seed} diverged");
+            assert_eq!(fresh.cost, reused.cost);
+            assert_eq!(fresh.evaluations, reused.evaluations);
+        }
     }
 
     #[test]

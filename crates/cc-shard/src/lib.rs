@@ -33,7 +33,7 @@
 mod mux;
 mod runner;
 
-pub use mux::{mux_jsonl, MuxReport, MuxShard};
+pub use mux::{mux_chunks, mux_jsonl, MuxReport, MuxShard};
 pub use runner::{
     run_sharded, run_sharded_jsonl, ChannelSinkFactory, NullSinkFactory, ShardResult,
     ShardedRunConfig, SinkFactory, SinkStats,

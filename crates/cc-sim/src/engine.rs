@@ -8,13 +8,14 @@ use cc_metrics::ServiceStats;
 use cc_obs::{Event as ObsEvent, EventSink, IntervalSample, NullSink, ReleaseReason};
 use cc_trace::{Perturbation, Trace};
 use cc_types::{
-    Arch, Cost, FunctionId, MemoryMb, NodeId, ServiceRecord, SimDuration, SimTime, StartKind,
-    WarmId, KEEP_ALIVE_MAX,
+    Arch, Cost, FunctionId, Invocation, MemoryMb, NodeId, ServiceRecord, SimDuration, SimTime,
+    StartKind, WarmId, KEEP_ALIVE_MAX,
 };
 use cc_workload::Workload;
 
 use crate::node::{NodeState, WarmInstance};
 use crate::pool::WarmPool;
+use crate::source::{ArrivalSource, SliceSource};
 use crate::{BudgetLedger, ClusterConfig, ClusterView, Command, Scheduler, SimReport};
 
 /// Placement-order key for one node: least busy first, most free memory
@@ -100,23 +101,56 @@ impl<'a> Simulation<'a> {
     ) -> SimReport {
         let mut engine = Engine::new(
             &self.config,
-            self.trace,
+            SliceSource::from_trace(self.trace),
             self.workload,
             &self.perturbations,
             sink,
+            true,
         );
         engine.run(policy)
     }
 }
 
+/// Runs a policy over an arbitrary [`ArrivalSource`] — e.g. a
+/// constant-memory streaming trace — without materializing the invocation
+/// stream. Behaviorally identical to [`Simulation::run_with_sink`] fed the
+/// same invocations in the same order.
+///
+/// `collect_records` controls whether per-invocation [`ServiceRecord`]s
+/// are kept in the report: a multi-day million-function replay would
+/// otherwise hold every record in RAM. With `false` the report's `records`
+/// vector stays empty (aggregated stats, series, and counters are
+/// unaffected, but [`SimReport::digest`] covers records, so compare
+/// digests only between runs using the same setting).
+///
+/// # Panics
+///
+/// As for [`Simulation::run`].
+pub fn run_streaming<Src: ArrivalSource, S: EventSink>(
+    config: &ClusterConfig,
+    source: Src,
+    workload: &Workload,
+    policy: &mut dyn Scheduler,
+    sink: &mut S,
+    collect_records: bool,
+) -> SimReport {
+    config.validate();
+    let mut engine = Engine::new(config, source, workload, &[], sink, collect_records);
+    engine.run(policy)
+}
+
 /// Event classes, in processing-priority order at equal timestamps:
 /// capacity-freeing events run before capacity-consuming ones.
+///
+/// Class 1 (keep-alive expiry) has no heap variant: expirations are served
+/// straight from the warm pool's expiry calendar ([`WarmPool::next_expiry`]),
+/// which the main loop merges into the event order at exactly the position
+/// the per-admission `Expiry` heap events used to occupy — see
+/// [`EXPIRY_CLASS`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
     /// Optimization-interval tick.
     Tick,
-    /// A warm instance's keep-alive expires.
-    Expiry(WarmId),
     /// An execution completes.
     Completion {
         function: FunctionId,
@@ -134,11 +168,15 @@ enum EventKind {
     Arrival(usize),
 }
 
+/// The event class of a keep-alive expiry. Expirations live in the pool's
+/// calendar rather than the heap, so the class constant is what slots them
+/// between ticks (class 0) and completions (class 2) at equal timestamps.
+const EXPIRY_CLASS: u8 = 1;
+
 impl EventKind {
     fn class(&self) -> u8 {
         match self {
             EventKind::Tick => 0,
-            EventKind::Expiry(_) => 1,
             EventKind::Completion { .. } => 2,
             EventKind::PrewarmReady { .. } => 3,
             EventKind::Arrival(_) => 4,
@@ -166,9 +204,15 @@ impl PartialOrd for Event {
     }
 }
 
-struct Engine<'a, S: EventSink> {
+struct Engine<'a, Src: ArrivalSource, S: EventSink> {
     config: &'a ClusterConfig,
-    trace: &'a Trace,
+    source: Src,
+    /// The invocation behind the next `Arrival` heap event, pulled from
+    /// the source when its predecessor was handled. The engine never needs
+    /// more lookahead than this one slot.
+    upcoming: Option<Invocation>,
+    /// Invocations pulled from the source so far.
+    arrived: usize,
     workload: &'a Workload,
     perturbations: &'a [Perturbation],
     /// Event sink; every `sink.record` call is guarded by `S::ENABLED`, so
@@ -182,7 +226,9 @@ struct Engine<'a, S: EventSink> {
     /// sync with every node-state mutation through [`Engine::mutate_node`].
     node_order: [BTreeSet<NodeOrderKey>; 2],
     ledger: BudgetLedger,
-    pending: VecDeque<usize>,
+    /// Queued invocations as `(arrival index, invocation)`: the invocation
+    /// rides along so retries never need to re-address the source.
+    pending: VecDeque<(usize, Invocation)>,
     /// Bumped whenever placement capacity is freed or the evictable set
     /// grows (execution finish, instance removal, warm admission). Lets
     /// [`Engine::drain_pending`] skip re-running a placement attempt that
@@ -201,6 +247,8 @@ struct Engine<'a, S: EventSink> {
     scratch_ranked: Vec<(f64, u64, WarmId)>,
 
     stats: ServiceStats,
+    /// Whether per-invocation records are retained (see [`run_streaming`]).
+    collect_records: bool,
     records: Vec<ServiceRecord>,
     spend_per_interval: Vec<f64>,
     last_spent: Cost,
@@ -216,13 +264,14 @@ struct Engine<'a, S: EventSink> {
     completed: usize,
 }
 
-impl<'a, S: EventSink> Engine<'a, S> {
+impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     fn new(
         config: &'a ClusterConfig,
-        trace: &'a Trace,
+        source: Src,
         workload: &'a Workload,
         perturbations: &'a [Perturbation],
         sink: &'a mut S,
+        collect_records: bool,
     ) -> Self {
         let mut nodes = Vec::with_capacity(config.total_nodes() as usize);
         for arch in Arch::ALL {
@@ -245,9 +294,16 @@ impl<'a, S: EventSink> Engine<'a, S> {
             node_order[node.arch.index()].insert(node_order_key(node));
         }
         let pool = WarmPool::new(workload.len(), nodes.len());
+        let len_hint = if collect_records {
+            source.len_hint()
+        } else {
+            0
+        };
         Engine {
             config,
-            trace,
+            source,
+            upcoming: None,
+            arrived: 0,
             workload,
             perturbations,
             sink,
@@ -265,7 +321,8 @@ impl<'a, S: EventSink> Engine<'a, S> {
             scratch_nodes: Vec::new(),
             scratch_ranked: Vec::new(),
             stats: ServiceStats::new(config.interval),
-            records: Vec::with_capacity(trace.invocations().len()),
+            collect_records,
+            records: Vec::with_capacity(len_hint),
             spend_per_interval: Vec::new(),
             last_spent: Cost::ZERO,
             warm_pool_series: Vec::new(),
@@ -333,24 +390,31 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn run(&mut self, policy: &mut dyn Scheduler) -> SimReport {
-        let horizon = self.trace.duration();
+        let horizon = self.source.horizon();
         if S::ENABLED {
             // Introspection recording must not change policy decisions
             // (golden-tested), only make round telemetry available.
             policy.enable_introspection(true);
         }
         self.push(SimTime::ZERO, EventKind::Tick);
-        if !self.trace.invocations().is_empty() {
-            let first = self.trace.invocations()[0].arrival;
-            self.push(first, EventKind::Arrival(0));
+        if let Some(first) = self.source.next_invocation() {
+            self.push(first.arrival, EventKind::Arrival(0));
+            self.upcoming = Some(first);
         }
 
-        while let Some(event) = self.events.pop() {
+        loop {
+            // The expiry calendar is the heap's class-1 lane: drain every
+            // expiration strictly ordered before the next heap event (by
+            // the usual `(at, class)` key) in one pass, then pop the heap.
+            let next_heap = self.events.peek().map(|e| (e.at, e.kind.class()));
+            self.drain_due_expiries(next_heap);
+            let Some(event) = self.events.pop() else {
+                break;
+            };
             debug_assert!(event.at >= self.now, "time must not run backwards");
             self.now = event.at;
             match event.kind {
                 EventKind::Tick => self.handle_tick(horizon, policy),
-                EventKind::Expiry(id) => self.handle_expiry(id),
                 EventKind::Completion {
                     function,
                     node,
@@ -372,8 +436,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             self.pending.len()
         );
         assert_eq!(
-            self.completed,
-            self.trace.invocations().len(),
+            self.completed, self.arrived,
             "every invocation must complete exactly once"
         );
 
@@ -397,12 +460,19 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn handle_arrival(&mut self, index: usize, policy: &mut dyn Scheduler) {
+        let inv = self
+            .upcoming
+            .take()
+            .expect("arrival event without a pulled invocation");
+        debug_assert_eq!(inv.arrival, self.now, "arrival event out of step");
+        self.arrived += 1;
         // Chain the next arrival.
-        if index + 1 < self.trace.invocations().len() {
-            let next = self.trace.invocations()[index + 1].arrival;
-            self.push(next, EventKind::Arrival(index + 1));
+        if let Some(next) = self.source.next_invocation() {
+            debug_assert!(next.arrival >= inv.arrival, "source must be time-sorted");
+            self.push(next.arrival, EventKind::Arrival(index + 1));
+            self.upcoming = Some(next);
         }
-        let function = self.trace.invocations()[index].function;
+        let function = inv.function;
         if S::ENABLED {
             self.sink.record(&ObsEvent::Arrival {
                 at: self.now,
@@ -413,10 +483,10 @@ impl<'a, S: EventSink> Engine<'a, S> {
         policy.on_arrival(function, self.now);
         self.decision_time += started.elapsed();
 
-        if self.pending.is_empty() && self.try_start(index, policy) {
+        if self.pending.is_empty() && self.try_start(inv, policy) {
             return;
         }
-        self.pending.push_back(index);
+        self.pending.push_back((index, inv));
         if S::ENABLED {
             self.sink.record(&ObsEvent::Queued {
                 at: self.now,
@@ -426,10 +496,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
         }
     }
 
-    /// Attempts to start invocation `index` right now. Returns false if no
-    /// capacity exists anywhere.
-    fn try_start(&mut self, index: usize, policy: &mut dyn Scheduler) -> bool {
-        let inv = self.trace.invocations()[index];
+    /// Attempts to start `inv` right now. Returns false if no capacity
+    /// exists anywhere.
+    fn try_start(&mut self, inv: Invocation, policy: &mut dyn Scheduler) -> bool {
         let memory = self.workload.spec(inv.function).memory;
         self.try_reuse(inv.function, inv.arrival, memory, policy)
             || self.try_cold(inv.function, inv.arrival, memory, policy)
@@ -671,7 +740,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
         let started = Instant::now();
         policy.on_record(&record);
         self.decision_time += started.elapsed();
-        self.records.push(record);
+        if self.collect_records {
+            self.records.push(record);
+        }
 
         let memory = spec.memory;
         self.mutate_node(node, |n| n.start_execution(memory));
@@ -842,9 +913,9 @@ impl<'a, S: EventSink> Engine<'a, S> {
             }
         }
         // A new warm instance enlarges the evictable set, which can turn a
-        // previously impossible cold placement possible.
+        // previously impossible cold placement possible. Its expiration is
+        // tracked by the pool's expiry calendar, not a heap event.
         self.capacity_epoch += 1;
-        self.push(expiry, EventKind::Expiry(id));
     }
 
     fn remove_instance(&mut self, id: WarmId, reason: ReleaseReason) {
@@ -865,14 +936,30 @@ impl<'a, S: EventSink> Engine<'a, S> {
         self.capacity_epoch += 1;
     }
 
-    fn handle_expiry(&mut self, id: WarmId) {
-        let Some(inst) = self.pool.get(id) else {
-            return; // stale handle: already reused or evicted (generation check)
-        };
-        if inst.expiry > self.now {
-            return; // defensive: a live instance's expiry event is never early
+    /// Drains every due keep-alive expiration that sorts strictly before
+    /// `limit` (the next heap event's `(at, class)` key; `None` means the
+    /// heap is empty and the calendar drains completely).
+    ///
+    /// The calendar orders entries by `(expiry, admission seq)`, which is
+    /// exactly how the retired per-admission `Expiry` heap events sorted:
+    /// at equal timestamps the expiry class (1) runs after ticks (0) and
+    /// before completions (2), and two expirations at the same instant
+    /// fire in admission order — engine event seqs were assigned in
+    /// admission order too. Unlike the heap events, the calendar only ever
+    /// holds *live* instances (reuse and eviction remove the entry), so a
+    /// boundary drains its whole batch in one pass with no stale
+    /// generation-check pops in between.
+    fn drain_due_expiries(&mut self, limit: Option<(SimTime, u8)>) {
+        while let Some((at, _seq, id)) = self.pool.next_expiry() {
+            if let Some(next) = limit {
+                if (at, EXPIRY_CLASS) >= next {
+                    break;
+                }
+            }
+            debug_assert!(at >= self.now, "time must not run backwards");
+            self.now = at;
+            self.remove_instance(id, ReleaseReason::Expired);
         }
-        self.remove_instance(id, ReleaseReason::Expired);
     }
 
     fn handle_prewarm_ready(
@@ -1006,7 +1093,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
     }
 
     fn drain_pending(&mut self, policy: &mut dyn Scheduler) {
-        while let Some(&index) = self.pending.front() {
+        while let Some(&(index, inv)) = self.pending.front() {
             // The placement attempt is a pure function of cluster capacity
             // (for a fixed head-of-line invocation): if this exact entry
             // already failed at the current capacity epoch, retrying would
@@ -1014,7 +1101,7 @@ impl<'a, S: EventSink> Engine<'a, S> {
             if self.last_retry_failure == Some((index, self.capacity_epoch)) {
                 break;
             }
-            if self.try_start(index, policy) {
+            if self.try_start(inv, policy) {
                 self.pending.pop_front();
                 self.last_retry_failure = None;
             } else {

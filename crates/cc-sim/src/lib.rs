@@ -53,9 +53,11 @@ mod engine;
 mod fixed;
 mod ledger;
 mod node;
+mod parallel;
 mod pool;
 mod report;
 mod scheduler;
+mod source;
 mod view;
 
 pub use cc_obs::{
@@ -64,10 +66,12 @@ pub use cc_obs::{
 };
 pub use cc_types::WarmId;
 pub use config::{ClusterConfig, RuntimeKind};
-pub use engine::Simulation;
+pub use engine::{run_streaming, Simulation};
 pub use fixed::FixedKeepAlive;
 pub use ledger::BudgetLedger;
 pub use node::{NodeState, WarmInstance};
+pub use parallel::{run_parallel, ParallelOptions, ParallelOutcome};
 pub use report::{fnv1a, SimReport};
 pub use scheduler::{Command, KeepDecision, Scheduler};
+pub use source::{ArrivalSource, SliceSource};
 pub use view::ClusterView;

@@ -81,6 +81,13 @@ pub(crate) struct WarmPool {
     /// Compressed instances whose candidate key still carries a zero
     /// penalty but must be re-keyed at `(compressed_ready_at, seq, id)`.
     transitions: BTreeSet<(SimTime, u64, WarmId)>,
+    /// Expiry calendar: every live instance keyed by
+    /// `(expiry, seq, id)`. The engine serves keep-alive expirations
+    /// straight from this index instead of pushing one heap event per
+    /// admission, so a window boundary drains all due expiries in one
+    /// ordered pass and reused/evicted instances never leave stale
+    /// tombstone events behind.
+    expiries: BTreeSet<(SimTime, u64, WarmId)>,
 }
 
 impl WarmPool {
@@ -96,6 +103,7 @@ impl WarmPool {
             functions: (0..functions).map(|_| FunctionEntry::default()).collect(),
             residents: (0..nodes).map(|_| BTreeSet::new()).collect(),
             transitions: BTreeSet::new(),
+            expiries: BTreeSet::new(),
         }
     }
 
@@ -178,6 +186,7 @@ impl WarmPool {
             self.compressed += 1;
         }
         self.residents[inst.node.index()].insert((inst.seq, id));
+        self.expiries.insert((inst.expiry, inst.seq, id));
 
         self.slots[slot_index as usize].state = SlotState::Occupied(inst);
         self.len += 1;
@@ -239,10 +248,20 @@ impl WarmPool {
         entry.order.remove(position);
         let removed = self.residents[inst.node.index()].remove(&(inst.seq, id));
         debug_assert!(removed, "residency index out of sync");
+        let removed = self.expiries.remove(&(inst.expiry, inst.seq, id));
+        debug_assert!(removed, "expiry calendar out of sync");
         if inst.compressed {
             self.compressed -= 1;
         }
         inst
+    }
+
+    /// The earliest keep-alive expiration among live instances, as
+    /// `(expiry, seq, id)`. `seq` is the admission number, so equal-time
+    /// expirations come out in admission order — the same order the
+    /// per-admission heap events used to impose.
+    pub fn next_expiry(&self) -> Option<(SimTime, u64, WarmId)> {
+        self.expiries.iter().next().copied()
     }
 
     /// Re-keys every compressed instance whose `compressed_ready_at` has
@@ -430,6 +449,22 @@ mod tests {
         assert_eq!(pool.len(), 0);
         assert_eq!(pool.compressed_count(), 0);
         assert!(pool.candidates_of(FunctionId::new(0)).next().is_none());
+    }
+
+    #[test]
+    fn expiry_calendar_orders_by_time_then_admission() {
+        let mut pool = WarmPool::new(2, 2);
+        let late = pool.insert(instance(0, 0, 90));
+        let early_a = pool.insert(instance(1, 1, 30));
+        let early_b = pool.insert(instance(0, 0, 30));
+        // Earliest expiry first; equal-time entries in admission order.
+        assert_eq!(pool.next_expiry(), Some((at(30), 2, early_a)));
+        pool.remove(early_a);
+        assert_eq!(pool.next_expiry(), Some((at(30), 3, early_b)));
+        pool.remove(early_b);
+        assert_eq!(pool.next_expiry(), Some((at(90), 1, late)));
+        pool.remove(late);
+        assert_eq!(pool.next_expiry(), None, "empty pool has no expiries");
     }
 
     #[test]

@@ -1,0 +1,113 @@
+//! Arrival sources: where the engine's invocation stream comes from.
+//!
+//! The engine consumes arrivals strictly in order and never looks more
+//! than one invocation ahead (the next arrival is chained as a heap event
+//! while the current one is being placed), so the full trace never needs
+//! to be addressable — a source is just a fallible iterator plus a fixed
+//! horizon. [`SliceSource`] adapts a materialized [`Trace`]'s invocation
+//! slice (the classic path, zero behavior change); a streaming generator
+//! such as `cc_trace::StreamingTrace` plugs in the same way with O(#
+//! functions) memory, which is what makes million-function multi-day
+//! replays possible without materializing the invocation stream in RAM.
+
+use cc_trace::{StreamingTrace, Trace};
+use cc_types::{Invocation, SimDuration};
+
+/// A strictly-ordered stream of invocations driving one simulation.
+///
+/// Implementations must yield invocations in nondecreasing arrival order;
+/// the engine debug-asserts this. [`ArrivalSource::horizon`] is the
+/// logical trace length that bounds the interval-tick chain and must not
+/// change across calls.
+pub trait ArrivalSource {
+    /// The next invocation, or `None` when the stream is exhausted.
+    fn next_invocation(&mut self) -> Option<Invocation>;
+
+    /// The logical trace duration (last arrival offset). Ticks stop after
+    /// this horizon.
+    fn horizon(&self) -> SimDuration;
+
+    /// Expected total invocation count, if cheaply known. Used only to
+    /// pre-size the record buffer; `0` is always safe.
+    fn len_hint(&self) -> usize {
+        0
+    }
+}
+
+/// An [`ArrivalSource`] over a materialized invocation slice — the adapter
+/// [`Simulation`](crate::Simulation) uses for an in-memory [`Trace`].
+#[derive(Debug)]
+pub struct SliceSource<'a> {
+    invocations: &'a [Invocation],
+    next: usize,
+    horizon: SimDuration,
+}
+
+impl<'a> SliceSource<'a> {
+    /// Wraps a sorted invocation slice with an explicit horizon.
+    pub fn new(invocations: &'a [Invocation], horizon: SimDuration) -> Self {
+        SliceSource {
+            invocations,
+            next: 0,
+            horizon,
+        }
+    }
+
+    /// Wraps a whole trace (horizon = the trace's duration).
+    pub fn from_trace(trace: &'a Trace) -> Self {
+        SliceSource::new(trace.invocations(), trace.duration())
+    }
+}
+
+impl ArrivalSource for SliceSource<'_> {
+    fn next_invocation(&mut self) -> Option<Invocation> {
+        let inv = self.invocations.get(self.next).copied();
+        if inv.is_some() {
+            self.next += 1;
+        }
+        inv
+    }
+
+    fn horizon(&self) -> SimDuration {
+        self.horizon
+    }
+
+    fn len_hint(&self) -> usize {
+        self.invocations.len()
+    }
+}
+
+impl ArrivalSource for StreamingTrace {
+    fn next_invocation(&mut self) -> Option<Invocation> {
+        StreamingTrace::next_invocation(self)
+    }
+
+    fn horizon(&self) -> SimDuration {
+        StreamingTrace::horizon(self)
+    }
+
+    fn len_hint(&self) -> usize {
+        self.expected_invocations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{FunctionId, SimTime};
+
+    #[test]
+    fn slice_source_yields_in_order_and_exhausts() {
+        let invocations = vec![
+            Invocation::new(FunctionId::new(0), SimTime::from_micros(10)),
+            Invocation::new(FunctionId::new(1), SimTime::from_micros(20)),
+        ];
+        let mut source = SliceSource::new(&invocations, SimDuration::from_micros(20));
+        assert_eq!(source.len_hint(), 2);
+        assert_eq!(source.horizon(), SimDuration::from_micros(20));
+        assert_eq!(source.next_invocation(), Some(invocations[0]));
+        assert_eq!(source.next_invocation(), Some(invocations[1]));
+        assert_eq!(source.next_invocation(), None);
+        assert_eq!(source.next_invocation(), None);
+    }
+}

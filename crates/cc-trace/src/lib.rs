@@ -11,6 +11,9 @@
 //!   classes the Serverless-in-the-Wild characterization reports (periodic,
 //!   multi-periodic, Poisson, bursty on/off, rare) under a diurnal load
 //!   envelope with configurable peak periods.
+//! - [`StreamingTrace`] — a constant-memory variant for million-function
+//!   multi-day runs: per-function arrival streams merged on the fly, so
+//!   the invocation stream never materializes in RAM.
 //! - [`azure`] — reader/writer for the Azure per-minute-counts CSV schema,
 //!   so a user with access to the real dataset can drop it in.
 //! - [`Perturbation`] — burst injection and input-change events for the
@@ -37,10 +40,12 @@
 pub mod azure;
 mod function;
 mod perturb;
+mod stream;
 mod synth;
 mod trace;
 
 pub use function::TraceFunction;
 pub use perturb::Perturbation;
+pub use stream::{StreamingTrace, StreamingTraceBuilder};
 pub use synth::{Pattern, PatternMix, SyntheticTrace, SyntheticTraceBuilder};
 pub use trace::{Trace, TraceError};

@@ -1,7 +1,7 @@
 //! Binding a trace to the catalog: resolved per-function specs.
 
 use cc_compress::{CodecKind, CompressionModel};
-use cc_trace::Trace;
+use cc_trace::{Trace, TraceFunction};
 use cc_types::{Arch, FunctionId, MemoryMb, SimDuration};
 
 use crate::{Catalog, ARM_DECOMPRESS_FACTOR};
@@ -114,8 +114,28 @@ impl Workload {
         model: &CompressionModel,
         codec: CodecKind,
     ) -> Workload {
-        let specs = trace
-            .functions()
+        Workload::from_functions_with_codec(trace.functions(), catalog, model, codec)
+    }
+
+    /// Resolves a bare function table (no invocation stream required) —
+    /// the entry point for streaming traces, whose invocations are
+    /// generated on the fly and never materialized.
+    pub fn from_functions(
+        functions: &[TraceFunction],
+        catalog: &Catalog,
+        model: &CompressionModel,
+    ) -> Workload {
+        Workload::from_functions_with_codec(functions, catalog, model, CodecKind::Fast)
+    }
+
+    /// [`Workload::from_functions`] with an explicit codec choice.
+    pub fn from_functions_with_codec(
+        functions: &[TraceFunction],
+        catalog: &Catalog,
+        model: &CompressionModel,
+        codec: CodecKind,
+    ) -> Workload {
+        let specs = functions
             .iter()
             .map(|f| {
                 let profile = catalog.nearest(f.mean_exec, f.memory);

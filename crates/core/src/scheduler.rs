@@ -2,7 +2,7 @@
 
 use std::collections::{BTreeSet, HashMap};
 
-use cc_opt::{CoordinateDescent, Objective, Sre, SreRoundStats};
+use cc_opt::{CoordinateDescent, Objective, Sre, SreRoundStats, SreScratch};
 use cc_sim::{ClusterView, Command, KeepDecision, OptimizerRound, Scheduler};
 use cc_types::{Arch, FnChoice, FunctionId, ServiceRecord, SimDuration, SimTime};
 
@@ -31,6 +31,9 @@ pub struct CodeCrunch {
     /// and never changes the optimized plan.
     introspect: bool,
     opt_rounds: Vec<OptimizerRound>,
+    /// Recycled SRE working buffers, reused across intervals so the
+    /// per-interval optimization allocates nothing in steady state.
+    sre_scratch: SreScratch,
 }
 
 impl CodeCrunch {
@@ -59,6 +62,7 @@ impl CodeCrunch {
             interval_index: 0,
             introspect: false,
             opt_rounds: Vec::new(),
+            sre_scratch: SreScratch::default(),
         }
     }
 
@@ -353,16 +357,18 @@ impl Scheduler for CodeCrunch {
             // work; thread spawn-per-group would dominate the decision
             // overhead the paper measures, so run them serially.
             sre.parallel = false;
+            let scratch = &mut self.sre_scratch;
             let outcome = if self.introspect {
                 let opt_rounds = &mut self.opt_rounds;
-                sre.optimize_separable_probed(
+                sre.optimize_separable_probed_with_scratch(
                     &objective,
                     start,
                     &mut local_counts,
                     &mut |stats: SreRoundStats| opt_rounds.push(convert_round(stats)),
+                    scratch,
                 )
             } else {
-                sre.optimize_separable(&objective, start, &mut local_counts)
+                sre.optimize_separable_with_scratch(&objective, start, &mut local_counts, scratch)
             };
             for (i, &f) in functions.iter().enumerate() {
                 self.opt_counts[f.index()] = local_counts[i];

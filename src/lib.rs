@@ -77,11 +77,12 @@ pub mod prelude {
         ShardResult, ShardedRunConfig, SinkFactory,
     };
     pub use cc_sim::{
-        fnv1a, BufferSink, ChannelSink, ChromeTraceSink, ClusterConfig, Event, EventSink,
-        FixedKeepAlive, JsonlSink, NullSink, RuntimeKind, SamplingSink, Scheduler, SimReport,
-        Simulation, Tee, Telemetry,
+        fnv1a, run_parallel, run_streaming, ArrivalSource, BufferSink, ChannelSink,
+        ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink, NullSink,
+        ParallelOptions, ParallelOutcome, RuntimeKind, SamplingSink, Scheduler, SimReport,
+        Simulation, SliceSource, Tee, Telemetry,
     };
-    pub use cc_trace::{Perturbation, SyntheticTrace, Trace};
+    pub use cc_trace::{Perturbation, StreamingTrace, SyntheticTrace, Trace};
     pub use cc_types::{Arch, Cost, FunctionId, MemoryMb, SimDuration, SimTime, StartKind};
     pub use cc_workload::{Catalog, Workload};
     pub use codecrunch::{ArchPolicy, CodeCrunch, CodeCrunchConfig};
