@@ -38,8 +38,16 @@
 //! taken with `--sample N` (counter sampling leaves no marker in the
 //! file, so the auditor must be told to suppress pairing checks).
 
+//! `--profile` (serial mode only) replays each policy under `cc-prof`'s
+//! wall-clock profiler and prints the per-phase self-time table after the
+//! telemetry report. `--stress` prints a resource line — wall clock,
+//! throughput, peak RSS, and total allocations; the allocation figures
+//! need the `alloc-profile` feature (which installs the counting global
+//! allocator) and print as "n/a" otherwise.
+
 use std::fs::File;
 use std::io::BufWriter;
+use std::time::Instant;
 
 use bench::BenchScenario;
 use cc_compress::CompressionModel;
@@ -47,16 +55,22 @@ use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
 use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
 use cc_sim::{
     ChannelSink, ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink,
-    NullSink, SamplingSink, Scheduler, SimReport, Simulation, Tee, Telemetry,
+    NullSink, SamplingSink, Scheduler, SimReport, Simulation, Tee, Telemetry, WallProfiler,
 };
 use cc_trace::{SyntheticTrace, Trace};
 use cc_types::{Cost, SimDuration};
 use cc_workload::{Catalog, Workload};
 use codecrunch::CodeCrunch;
 
+/// With the `alloc-profile` feature, every allocation in this binary is
+/// counted and attributed to the active profiling phase.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: cc_prof::CountingAllocator = cc_prof::CountingAllocator::new();
+
 const USAGE: &str = "usage: ccstat [--policy NAME|all] [--functions N] [--minutes N] [--seed N] \
                      [--x86 N] [--arm N] [--warm-fraction F] [--budget DOLLARS] \
-                     [--jsonl PATH] [--chrome PATH] [--no-table] [--stress] \
+                     [--jsonl PATH] [--chrome PATH] [--no-table] [--stress] [--profile] \
                      [--shards N] [--sample N] [--lossy]\n\
                      \x20      ccstat replay FILE.jsonl [--audit] [--assume-sampled] [--no-table]";
 
@@ -117,6 +131,7 @@ fn main() {
     let mut chrome_path: Option<String> = None;
     let mut live = true;
     let mut stress = false;
+    let mut profile = false;
     let mut shards: Option<usize> = None;
     let mut sample_every: u64 = 1;
     let mut lossy = false;
@@ -176,6 +191,7 @@ fn main() {
             "--chrome" => chrome_path = Some(next("--chrome")),
             "--no-table" => live = false,
             "--stress" => stress = true,
+            "--profile" => profile = true,
             "--shards" => {
                 shards = match next("--shards").parse() {
                     Ok(n) if n > 0 => Some(n),
@@ -197,6 +213,9 @@ fn main() {
     }
     if shards.is_none() && (sample_every != 1 || lossy) {
         usage_error("--sample and --lossy apply to the sharded channel; add --shards N");
+    }
+    if profile && shards.is_some() {
+        usage_error("--profile prints one per-policy phase table; use it without --shards");
     }
 
     let names: Vec<&str> = if policy_arg == "all" {
@@ -270,8 +289,18 @@ fn main() {
                 .as_deref()
                 .map(|p| ChromeTraceSink::new(open(&policy_path(p, name, multi)))),
         };
-        let report = Simulation::new(config.clone(), &trace, &workload)
-            .run_with_sink(policy.as_mut(), &mut sink);
+        if profile {
+            cc_prof::reset();
+            cc_prof::set_wall_enabled(true);
+        }
+        let started = Instant::now();
+        let sim = Simulation::new(config.clone(), &trace, &workload);
+        let report = if profile {
+            sim.run_with_sink_profiled::<_, WallProfiler>(policy.as_mut(), &mut sink)
+        } else {
+            sim.run_with_sink(policy.as_mut(), &mut sink)
+        };
+        let elapsed = started.elapsed();
         if !live {
             // Batch mode: print the whole table at the end instead.
             println!("{}", Telemetry::interval_header());
@@ -281,6 +310,14 @@ fn main() {
         }
         println!("{}", sink.telemetry.report());
         print_report_summary(&report);
+        if stress {
+            print_stress_line(&report, elapsed);
+        }
+        if profile {
+            let self_profile = cc_prof::take_profile(name, elapsed.as_nanos() as u64);
+            cc_prof::set_wall_enabled(false);
+            println!("{}", self_profile.render_table());
+        }
         if let Some(mut jsonl) = sink.jsonl {
             jsonl.write_line(&sink.telemetry.snapshot_line());
             let events = jsonl.events_written();
@@ -496,6 +533,29 @@ fn run_sharded_mode(
             mux.events_written, mux.dropped_total
         );
     }
+}
+
+/// The `--stress` resource line: wall clock, throughput, peak RSS (from
+/// `/proc/self/status`), and total allocations. The allocation figures are
+/// only measured when the counting global allocator is compiled in
+/// (`--features alloc-profile`); otherwise they print as "n/a".
+fn print_stress_line(report: &SimReport, elapsed: std::time::Duration) {
+    let secs = elapsed.as_secs_f64();
+    let throughput = if secs > 0.0 {
+        report.stats.invocations() as f64 / secs
+    } else {
+        0.0
+    };
+    let rss = match cc_prof::peak_rss_bytes() {
+        Some(bytes) => cc_prof::fmt_bytes(bytes),
+        None => "n/a".to_string(),
+    };
+    let allocs = match cc_prof::alloc_totals() {
+        Some((count, bytes)) => format!("{count} allocations / {}", cc_prof::fmt_bytes(bytes)),
+        None => "allocations n/a (build with --features alloc-profile)".to_string(),
+    };
+    println!("stress: {secs:.3}s wall ({throughput:.0} inv/s), peak RSS {rss}, {allocs}");
+    println!();
 }
 
 fn print_report_summary(report: &SimReport) {

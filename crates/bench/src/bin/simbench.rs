@@ -39,6 +39,17 @@
 //! laws. Throughput measured under `--audit` includes the capture cost, so
 //! don't compare those figures against `--baseline` numbers.
 //!
+//! `--profile` runs the *measured* replays (never the warm-ups) under
+//! `cc-prof`'s wall-clock profiler and prints the per-phase self-time
+//! table after the results. `--profile-out PATH` writes the self-profile
+//! JSON (the input to `ccprof diff`), `--profile-trace PATH` writes a
+//! Chrome/Perfetto trace of the simulator's own threads, and
+//! `--profile-baseline PATH` names a previously recorded self-profile:
+//! when the `--baseline` throughput gate fails, the failure output then
+//! attributes the regression to the phase whose share of wall clock grew
+//! the most. Build with `--features alloc-profile` to also attribute
+//! allocations per phase.
+//!
 //! `--workers N` switches to the *intra-run* parallel engine
 //! (`cc_sim::run_parallel`): ONE simulation per policy, with the
 //! instrumentation pipeline (arrival prefetch, JSONL encoding, ordered
@@ -56,16 +67,25 @@ use bench::{BenchScenario, StreamScenario};
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
 use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
 use cc_sim::{
-    ChannelSink, ChromeTraceSink, FixedKeepAlive, JsonlSink, NullSink, ParallelOptions,
-    SamplingSink, Scheduler, SimReport, Simulation, SliceSource,
+    ChannelSink, ChromeTraceSink, FixedKeepAlive, JsonlSink, NullProfiler, NullSink,
+    ParallelOptions, Profiler, SamplingSink, Scheduler, SimReport, Simulation, SliceSource,
+    WallProfiler,
 };
 use cc_trace::Trace;
 use codecrunch::CodeCrunch;
 
+/// With the `alloc-profile` feature, every allocation in this binary is
+/// counted and attributed to the active profiling phase.
+#[cfg(feature = "alloc-profile")]
+#[global_allocator]
+static ALLOC: cc_prof::CountingAllocator = cc_prof::CountingAllocator::new();
+
 const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|small|stream|1m] \
                      [--sink null|jsonl|chrome] [--policies a,b,..] \
                      [--baseline PATH] [--tolerance FRAC] \
-                     [--shards N] [--workers N] [--digests-match PATH] [--audit]";
+                     [--shards N] [--workers N] [--digests-match PATH] [--audit] \
+                     [--profile] [--profile-out PATH] [--profile-trace PATH] \
+                     [--profile-baseline PATH]";
 
 #[derive(Clone, Copy, PartialEq, Eq)]
 enum SinkMode {
@@ -141,6 +161,10 @@ fn main() {
     let mut workers_opt: Option<usize> = None;
     let mut digests_match: Option<String> = None;
     let mut audit = false;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
+    let mut profile_trace: Option<String> = None;
+    let mut profile_baseline: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -207,6 +231,25 @@ fn main() {
                 };
             }
             "--audit" => audit = true,
+            "--profile" => profile = true,
+            "--profile-out" => {
+                profile_out = match args.next() {
+                    Some(path) => Some(path),
+                    None => usage_error("--profile-out takes a path"),
+                };
+            }
+            "--profile-trace" => {
+                profile_trace = match args.next() {
+                    Some(path) => Some(path),
+                    None => usage_error("--profile-trace takes a path"),
+                };
+            }
+            "--profile-baseline" => {
+                profile_baseline = match args.next() {
+                    Some(path) => Some(path),
+                    None => usage_error("--profile-baseline takes a path"),
+                };
+            }
             other => usage_error(&format!("unknown argument {other:?}")),
         }
     }
@@ -230,6 +273,22 @@ fn main() {
     if workers_opt.is_some() && baseline.is_some() {
         usage_error("--baseline compares per-policy serial throughput; use it without --workers");
     }
+
+    // Profiling session: discard any residue, arm the DynScope probe sites,
+    // and (when a Perfetto trace was requested) retain raw spans. Warm-up
+    // replays run with profiling force-disabled, so only measured replays
+    // land in the profile and `measured_wall_ns` is exactly the wall clock
+    // the recorded spans must cover.
+    let profiling =
+        profile || profile_out.is_some() || profile_trace.is_some() || profile_baseline.is_some();
+    if profiling {
+        cc_prof::reset();
+        cc_prof::set_wall_enabled(true);
+        if profile_trace.is_some() {
+            cc_prof::set_trace_capture(true);
+        }
+    }
+    let mut measured_wall_ns: u64 = 0;
 
     let bench = match scenario_name.as_str() {
         "small" => Bench::Batch(BenchScenario::new()),
@@ -296,14 +355,16 @@ fn main() {
             if matches!(bench, Bench::Batch(_)) {
                 // Warm-up replay; streaming replays are long enough to
                 // amortize cold caches, and each one rebuilds the source.
-                parallel_once(&bench, name, &options, sink, audit);
+                unprofiled(|| parallel_once(&bench, name, &options, sink, audit, false));
             }
             let mut best = f64::INFINITY;
             let mut reference: Option<(u64, u64, u64)> = None;
             for _ in 0..runs {
                 let started = Instant::now();
-                let result = parallel_once(&bench, name, &options, sink, audit);
-                best = best.min(started.elapsed().as_secs_f64());
+                let result = parallel_once(&bench, name, &options, sink, audit, profiling);
+                let elapsed = started.elapsed();
+                best = best.min(elapsed.as_secs_f64());
+                measured_wall_ns += elapsed.as_nanos() as u64;
                 if let Some(prev) = reference {
                     assert_eq!(
                         prev, result,
@@ -340,11 +401,13 @@ fn main() {
         let invocations = scenario.trace.invocations().len() as u64;
         // Sharded mode: one shard per policy, `workers` threads, one
         // warm-up sweep, then best-of-`runs` on the sweep wall-clock.
-        sharded_sweep(scenario, &selected, workers, sink, audit); // warm-up
+        unprofiled(|| sharded_sweep(scenario, &selected, workers, sink, audit, false)); // warm-up
         let mut best_wall = f64::INFINITY;
         let mut best_shards: Vec<(u64, f64)> = Vec::new();
         for _ in 0..runs {
-            let (wall, per_shard) = sharded_sweep(scenario, &selected, workers, sink, audit);
+            let (wall, per_shard) =
+                sharded_sweep(scenario, &selected, workers, sink, audit, profiling);
+            measured_wall_ns += (wall * 1e9) as u64;
             if !best_shards.is_empty() {
                 let prev: Vec<u64> = best_shards.iter().map(|(d, _)| *d).collect();
                 let this: Vec<u64> = per_shard.iter().map(|(d, _)| *d).collect();
@@ -384,12 +447,15 @@ fn main() {
         let invocations = scenario.trace.invocations().len() as u64;
         for name in &selected {
             // Warm-up replay (page in the trace, fault in allocator arenas).
-            run_once(
-                scenario,
-                make_policy(name, Some(&scenario.trace)).as_mut(),
-                sink,
-                audit,
-            );
+            unprofiled(|| {
+                run_once(
+                    scenario,
+                    make_policy(name, Some(&scenario.trace)).as_mut(),
+                    sink,
+                    audit,
+                    false,
+                )
+            });
             let mut best = f64::INFINITY;
             let mut digest: Option<u64> = None;
             for _ in 0..runs {
@@ -399,8 +465,11 @@ fn main() {
                     make_policy(name, Some(&scenario.trace)).as_mut(),
                     sink,
                     audit,
+                    profiling,
                 );
-                best = best.min(started.elapsed().as_secs_f64());
+                let elapsed = started.elapsed();
+                best = best.min(elapsed.as_secs_f64());
+                measured_wall_ns += elapsed.as_nanos() as u64;
                 if let Some(prev) = digest {
                     assert_eq!(prev, d, "policy {name} is not run-to-run deterministic");
                 }
@@ -455,6 +524,26 @@ fn main() {
     std::fs::write(&out, body + "\n").expect("write output file");
     eprintln!("wrote {out}");
 
+    let captured_profile = if profiling {
+        let label = format!("simbench-{scenario_name}");
+        let self_profile = cc_prof::take_profile(&label, measured_wall_ns);
+        eprintln!();
+        eprint!("{}", self_profile.render_table());
+        if let Some(path) = &profile_out {
+            std::fs::write(path, cc_prof::to_json(&self_profile))
+                .unwrap_or_else(|e| usage_error(&format!("cannot write {path:?}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        if let Some(path) = &profile_trace {
+            std::fs::write(path, cc_prof::to_chrome_trace(&self_profile))
+                .unwrap_or_else(|e| usage_error(&format!("cannot write {path:?}: {e}")));
+            eprintln!("wrote {path}");
+        }
+        Some(self_profile)
+    } else {
+        None
+    };
+
     if let Some(path) = digests_match {
         let text = std::fs::read_to_string(&path)
             .unwrap_or_else(|e| usage_error(&format!("cannot read digest file {path:?}: {e}")));
@@ -485,7 +574,7 @@ fn main() {
         if reference.is_empty() {
             usage_error(&format!("no per-policy throughput entries in {path:?}"));
         }
-        let mut failed = false;
+        let mut regressed: Vec<String> = Vec::new();
         for (name, throughput) in &measured {
             let Some((_, base)) = reference.iter().find(|(n, _)| n == name) else {
                 eprintln!("baseline: {name} not in {path}, skipping");
@@ -501,13 +590,80 @@ fn main() {
                 "baseline: {name:>16} measured {throughput:11.0} inv/s vs floor {floor:11.0} \
                  (recorded {base:.0}, tolerance {tolerance}) {verdict}"
             );
-            failed |= *throughput < floor;
+            if *throughput < floor {
+                regressed.push(name.clone());
+            }
         }
-        if failed {
-            eprintln!("baseline check failed: throughput regressed beyond tolerance");
+        if !regressed.is_empty() {
+            eprintln!(
+                "baseline check failed on scenario '{scenario_name}': throughput regressed \
+                 beyond tolerance for {}",
+                regressed.join(", ")
+            );
+            attribute_regression(captured_profile.as_ref(), profile_baseline.as_deref());
             std::process::exit(1);
         }
     }
+}
+
+/// When a throughput gate fails under `--profile`, points at the phase
+/// whose share of wall clock grew the most relative to the recorded
+/// self-profile — "codecrunch regressed" becomes "pool_evict's share of
+/// wall doubled".
+fn attribute_regression(new_profile: Option<&cc_prof::SelfProfile>, baseline: Option<&str>) {
+    let Some(new_profile) = new_profile else {
+        return;
+    };
+    let Some(path) = baseline else {
+        eprintln!(
+            "baseline: rerun with --profile-baseline SELF_PROFILE.json to attribute the \
+             regression to a phase"
+        );
+        return;
+    };
+    let base = match std::fs::read_to_string(path)
+        .map_err(|e| e.to_string())
+        .and_then(|text| cc_prof::from_json(&text))
+    {
+        Ok(base) => base,
+        Err(e) => {
+            eprintln!("baseline: cannot attribute regression ({path}: {e})");
+            return;
+        }
+    };
+    // Shares, not nanoseconds: the recorded profile may come from another
+    // host or another run count.
+    let report = cc_prof::diff_profiles(
+        &base,
+        new_profile,
+        cc_prof::DiffOptions {
+            relative: true,
+            ..cc_prof::DiffOptions::default()
+        },
+    );
+    let top = report.rows.iter().max_by(|a, b| {
+        (a.new_share - a.base_share)
+            .partial_cmp(&(b.new_share - b.base_share))
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    if let Some(row) = top {
+        eprintln!(
+            "baseline: top self-time delta: phase '{}' went {:.1}% -> {:.1}% of wall clock",
+            row.phase.label(),
+            row.base_share * 100.0,
+            row.new_share * 100.0,
+        );
+    }
+}
+
+/// Runs `f` with the DynScope probe sites force-disabled — warm-up replays
+/// must not leak spans into the measured profile.
+fn unprofiled<T>(f: impl FnOnce() -> T) -> T {
+    let was = cc_prof::wall_enabled();
+    cc_prof::set_wall_enabled(false);
+    let result = f();
+    cc_prof::set_wall_enabled(was);
+    result
 }
 
 /// Pulls `(policy, invocations_per_sec)` pairs out of a recorded
@@ -551,11 +707,26 @@ fn parallel_once(
     options: &ParallelOptions,
     sink: SinkMode,
     audit: bool,
+    profiled: bool,
+) -> (u64, u64, u64) {
+    if profiled {
+        parallel_once_p::<WallProfiler>(bench, name, options, sink, audit)
+    } else {
+        parallel_once_p::<NullProfiler>(bench, name, options, sink, audit)
+    }
+}
+
+fn parallel_once_p<P: Profiler>(
+    bench: &Bench,
+    name: &str,
+    options: &ParallelOptions,
+    sink: SinkMode,
+    audit: bool,
 ) -> (u64, u64, u64) {
     match bench {
         Bench::Batch(s) => {
             let mut policy = make_policy(name, Some(&s.trace));
-            run_parallel_once(
+            run_parallel_once::<_, P>(
                 &s.config,
                 SliceSource::from_trace(&s.trace),
                 &s.workload,
@@ -570,7 +741,7 @@ fn parallel_once(
             // Per-invocation records at streaming scale would defeat the
             // constant-memory point; the digest then covers stats only.
             let options = options.clone().without_records();
-            run_parallel_once(
+            run_parallel_once::<_, P>(
                 &s.config,
                 s.source(),
                 &s.workload,
@@ -583,7 +754,7 @@ fn parallel_once(
     }
 }
 
-fn run_parallel_once<Src: cc_sim::ArrivalSource + Send>(
+fn run_parallel_once<Src: cc_sim::ArrivalSource + Send, P: Profiler>(
     config: &cc_sim::ClusterConfig,
     source: Src,
     workload: &cc_workload::Workload,
@@ -594,7 +765,7 @@ fn run_parallel_once<Src: cc_sim::ArrivalSource + Send>(
 ) -> (u64, u64, u64) {
     let (outcome, captured): (_, Option<Vec<u8>>) = match sink {
         SinkMode::Null => {
-            let (outcome, _) = cc_sim::run_parallel(
+            let (outcome, _) = cc_sim::run_parallel_profiled::<_, _, P>(
                 config,
                 source,
                 workload,
@@ -606,13 +777,19 @@ fn run_parallel_once<Src: cc_sim::ArrivalSource + Send>(
             (outcome, None)
         }
         SinkMode::Jsonl if audit => {
-            let (outcome, bytes) =
-                cc_sim::run_parallel(config, source, workload, policy, Some(Vec::new()), options)
-                    .expect("writing to memory cannot fail");
+            let (outcome, bytes) = cc_sim::run_parallel_profiled::<_, _, P>(
+                config,
+                source,
+                workload,
+                policy,
+                Some(Vec::new()),
+                options,
+            )
+            .expect("writing to memory cannot fail");
             (outcome, bytes)
         }
         SinkMode::Jsonl => {
-            let (outcome, _) = cc_sim::run_parallel(
+            let (outcome, _) = cc_sim::run_parallel_profiled::<_, _, P>(
                 config,
                 source,
                 workload,
@@ -648,28 +825,42 @@ fn run_once(
     policy: &mut dyn Scheduler,
     sink: SinkMode,
     audit: bool,
+    profiled: bool,
+) -> u64 {
+    if profiled {
+        run_once_p::<WallProfiler>(scenario, policy, sink, audit)
+    } else {
+        run_once_p::<NullProfiler>(scenario, policy, sink, audit)
+    }
+}
+
+fn run_once_p<P: Profiler>(
+    scenario: &BenchScenario,
+    policy: &mut dyn Scheduler,
+    sink: SinkMode,
+    audit: bool,
 ) -> u64 {
     let sim = Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload);
     let report = match sink {
-        SinkMode::Null => sim.run(policy),
+        SinkMode::Null => sim.run_with_sink_profiled::<_, P>(policy, &mut NullSink),
         SinkMode::Jsonl if audit => {
             // Audit mode keeps the serialized stream in memory and runs
             // the invariant auditor over it after the replay.
             let mut sink = JsonlSink::new(Vec::new());
-            let report = sim.run_with_sink(policy, &mut sink);
+            let report = sim.run_with_sink_profiled::<_, P>(policy, &mut sink);
             let bytes = sink.finish().expect("writing to memory cannot fail");
             audit_stream(&bytes);
             report
         }
         SinkMode::Jsonl => {
             let mut sink = JsonlSink::new(std::io::sink());
-            let report = sim.run_with_sink(policy, &mut sink);
+            let report = sim.run_with_sink_profiled::<_, P>(policy, &mut sink);
             assert!(sink.events_written() > 0);
             report
         }
         SinkMode::Chrome => {
             let mut sink = ChromeTraceSink::new(std::io::sink());
-            sim.run_with_sink(policy, &mut sink)
+            sim.run_with_sink_profiled::<_, P>(policy, &mut sink)
         }
     };
     check_report(scenario, &report)
@@ -704,6 +895,21 @@ fn sharded_sweep(
     workers: usize,
     sink: SinkMode,
     audit: bool,
+    profiled: bool,
+) -> (f64, Vec<(u64, f64)>) {
+    if profiled {
+        sharded_sweep_p::<WallProfiler>(scenario, selected, workers, sink, audit)
+    } else {
+        sharded_sweep_p::<NullProfiler>(scenario, selected, workers, sink, audit)
+    }
+}
+
+fn sharded_sweep_p<P: Profiler>(
+    scenario: &BenchScenario,
+    selected: &[&str],
+    workers: usize,
+    sink: SinkMode,
+    audit: bool,
 ) -> (f64, Vec<(u64, f64)>) {
     let started = Instant::now();
     let per_shard: Vec<(u64, f64)> = match sink {
@@ -719,7 +925,7 @@ fn sharded_sweep(
                             &scenario.trace,
                             &scenario.workload,
                         )
-                        .run(policy.as_mut());
+                        .run_with_sink_profiled::<_, P>(policy.as_mut(), &mut NullSink);
                         (
                             check_report(scenario, &report),
                             shard_started.elapsed().as_secs_f64(),
@@ -744,7 +950,7 @@ fn sharded_sweep(
                             &scenario.trace,
                             &scenario.workload,
                         )
-                        .run_with_sink(policy.as_mut(), sink);
+                        .run_with_sink_profiled::<_, P>(policy.as_mut(), sink);
                         (
                             check_report(scenario, &report),
                             shard_started.elapsed().as_secs_f64(),

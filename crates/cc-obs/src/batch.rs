@@ -83,6 +83,12 @@ impl BatchSink {
         if self.buffer.is_empty() {
             return;
         }
+        // Dynamic probe (this sink is used behind `&mut dyn`-style
+        // composition, so no profiler type parameter reaches it): one
+        // relaxed atomic load when profiling is off. Blocked fan-out sends
+        // (subscriber backpressure) are inside the span.
+        let _span = cc_prof::DynScope::new(cc_prof::Phase::BatchFlush);
+        cc_prof::dyn_add(cc_prof::PerfCounter::BatchFlushes, 1);
         let events: Arc<[Event]> = self.buffer.drain(..).collect();
         let index = self.next_index;
         self.next_index += 1;

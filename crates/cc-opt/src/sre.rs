@@ -309,6 +309,10 @@ impl Sre {
         }
 
         for round in 0..self.rounds {
+            // Wall-clock probe (one relaxed atomic when profiling is off):
+            // the optimizer is reached through `dyn Scheduler`, so the
+            // engine's monomorphized profiler type cannot flow here.
+            let _round_span = cc_prof::DynScope::new(cc_prof::Phase::SreRound);
             // Probe-only bookkeeping: a pre-round snapshot for the
             // accepted-move diff, and the evaluation watermark. Neither
             // exists on the unprobed path.

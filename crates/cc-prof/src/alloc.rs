@@ -1,0 +1,253 @@
+//! Allocation accounting: a counting `GlobalAlloc` wrapper that attributes
+//! every allocation to the profiling phase open on the allocating thread.
+//!
+//! The counters are plain process-global atomics — always compiled, always
+//! cheap to read — but they only ever move once a binary *installs*
+//! [`CountingAllocator`] as its `#[global_allocator]`. The bench binaries
+//! do that behind their `alloc-profile` cargo feature, so ordinary builds
+//! keep the system allocator untouched and [`alloc_totals`] reports `None`
+//! ("n/a" in ccstat) instead of zeros that look like a measurement.
+//!
+//! Constraints inside `GlobalAlloc` shape everything here: the hooks must
+//! never allocate and never touch lazily-initialized TLS (both can
+//! re-enter the allocator). The phase attribution channel is therefore a
+//! const-initialized `Cell<u8>` — no drop glue, no lazy init — written by
+//! the span runtime on every enter/exit and read here with plain loads.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use crate::phase::Phase;
+use crate::profile::AllocSummary;
+
+/// Attribution index meaning "no profiling span open on this thread".
+pub(crate) const UNATTRIBUTED_PHASE: u8 = Phase::COUNT as u8;
+
+/// Attribution buckets: one per phase plus the unattributed slot.
+const BUCKETS: usize = Phase::COUNT + 1;
+
+thread_local! {
+    /// The phase open on this thread, as a bucket index. Const-initialized
+    /// and drop-free so reading it inside `GlobalAlloc` is re-entrancy
+    /// safe even during TLS teardown.
+    static CURRENT_PHASE: Cell<u8> = const { Cell::new(UNATTRIBUTED_PHASE) };
+}
+
+/// Records the phase now open on the calling thread (span runtime only).
+#[inline]
+pub(crate) fn set_current_phase(bucket: u8) {
+    let _ = CURRENT_PHASE.try_with(|cell| cell.set(bucket));
+}
+
+#[allow(clippy::declare_interior_mutable_const)]
+const ZERO: AtomicU64 = AtomicU64::new(0);
+
+static INSTALLED: AtomicBool = AtomicBool::new(false);
+static ALLOC_COUNT: [AtomicU64; BUCKETS] = [ZERO; BUCKETS];
+static ALLOC_BYTES: [AtomicU64; BUCKETS] = [ZERO; BUCKETS];
+static LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+static PEAK_LIVE_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A `#[global_allocator]` wrapper around [`System`] that counts
+/// allocations per phase. Install from a binary crate:
+///
+/// ```ignore
+/// #[global_allocator]
+/// static ALLOC: cc_prof::CountingAllocator = cc_prof::CountingAllocator::new();
+/// ```
+pub struct CountingAllocator;
+
+impl CountingAllocator {
+    /// A new counting allocator (stateless; state is in module statics).
+    pub const fn new() -> CountingAllocator {
+        CountingAllocator
+    }
+}
+
+impl Default for CountingAllocator {
+    fn default() -> CountingAllocator {
+        CountingAllocator::new()
+    }
+}
+
+#[inline]
+fn record_alloc(bytes: usize) {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        INSTALLED.store(true, Ordering::Relaxed);
+    }
+    let bucket = CURRENT_PHASE
+        .try_with(Cell::get)
+        .unwrap_or(UNATTRIBUTED_PHASE) as usize;
+    let bucket = bucket.min(BUCKETS - 1);
+    ALLOC_COUNT[bucket].fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES[bucket].fetch_add(bytes as u64, Ordering::Relaxed);
+    let live = LIVE_BYTES.fetch_add(bytes as u64, Ordering::Relaxed) + bytes as u64;
+    PEAK_LIVE_BYTES.fetch_max(live, Ordering::Relaxed);
+}
+
+#[inline]
+fn record_dealloc(bytes: usize) {
+    // Saturating: frees of allocations made before a counter reset would
+    // otherwise wrap the live gauge.
+    let _ = LIVE_BYTES.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |live| {
+        Some(live.saturating_sub(bytes as u64))
+    });
+}
+
+// SAFETY: delegates every operation to `System`; the bookkeeping around
+// the delegation is atomics and const-init TLS only, neither of which can
+// allocate or unwind.
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) };
+        record_dealloc(layout.size());
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        let ptr = unsafe { System.alloc_zeroed(layout) };
+        if !ptr.is_null() {
+            record_alloc(layout.size());
+        }
+        ptr
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        let new_ptr = unsafe { System.realloc(ptr, layout, new_size) };
+        if !new_ptr.is_null() {
+            // Model a realloc as free+alloc so per-phase byte totals stay
+            // an over-approximation rather than missing growth entirely.
+            record_dealloc(layout.size());
+            record_alloc(new_size);
+        }
+        new_ptr
+    }
+}
+
+/// Per-phase and total allocation counters read at collection time.
+pub(crate) struct AllocSnapshot {
+    /// `(count, bytes)` attributed to each phase, indexed by discriminant.
+    pub per_phase: [(u64, u64); Phase::COUNT],
+    /// Totals and peaks for the profile header.
+    pub summary: AllocSummary,
+}
+
+/// Reads *and resets* the attribution counters (peak-live and the live
+/// gauge persist: they describe the process, not the session).
+pub(crate) fn take_snapshot() -> AllocSnapshot {
+    let mut per_phase = [(0u64, 0u64); Phase::COUNT];
+    let mut total_count = 0u64;
+    let mut total_bytes = 0u64;
+    for (bucket, slot) in per_phase.iter_mut().enumerate() {
+        let count = ALLOC_COUNT[bucket].swap(0, Ordering::Relaxed);
+        let bytes = ALLOC_BYTES[bucket].swap(0, Ordering::Relaxed);
+        *slot = (count, bytes);
+        total_count += count;
+        total_bytes += bytes;
+    }
+    let unattributed_count = ALLOC_COUNT[BUCKETS - 1].swap(0, Ordering::Relaxed);
+    let unattributed_bytes = ALLOC_BYTES[BUCKETS - 1].swap(0, Ordering::Relaxed);
+    AllocSnapshot {
+        per_phase,
+        summary: AllocSummary {
+            installed: INSTALLED.load(Ordering::Relaxed),
+            total_count: total_count + unattributed_count,
+            total_bytes: total_bytes + unattributed_bytes,
+            unattributed_count,
+            unattributed_bytes,
+            peak_live_bytes: PEAK_LIVE_BYTES.load(Ordering::Relaxed),
+        },
+    }
+}
+
+/// `(total allocations, total bytes)` since the last profile collection,
+/// or `None` when no counting allocator is installed in this binary.
+pub fn alloc_totals() -> Option<(u64, u64)> {
+    if !INSTALLED.load(Ordering::Relaxed) {
+        return None;
+    }
+    let mut count = 0u64;
+    let mut bytes = 0u64;
+    for bucket in 0..BUCKETS {
+        count += ALLOC_COUNT[bucket].load(Ordering::Relaxed);
+        bytes += ALLOC_BYTES[bucket].load(Ordering::Relaxed);
+    }
+    Some((count, bytes))
+}
+
+/// Peak live heap bytes seen by the counting allocator, or `None` when it
+/// is not installed.
+pub fn peak_live_bytes() -> Option<u64> {
+    if INSTALLED.load(Ordering::Relaxed) {
+        Some(PEAK_LIVE_BYTES.load(Ordering::Relaxed))
+    } else {
+        None
+    }
+}
+
+/// Peak resident set size of this process in bytes, from
+/// `/proc/self/status` `VmHWM` (`None` off Linux or if unreadable).
+/// Independent of the counting allocator: works in any build.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+            return Some(kb * 1024);
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_resets_attribution_but_not_peaks() {
+        let _guard = crate::testutil::lock();
+        // Simulate the allocator hooks directly (the test binary does not
+        // install the global allocator).
+        take_snapshot();
+        set_current_phase(Phase::PolicyDecision.index() as u8);
+        record_alloc(100);
+        record_alloc(28);
+        set_current_phase(UNATTRIBUTED_PHASE);
+        record_alloc(16);
+        record_dealloc(28);
+
+        let snap = take_snapshot();
+        let (count, bytes) = snap.per_phase[Phase::PolicyDecision.index()];
+        assert_eq!(count, 2);
+        assert_eq!(bytes, 128);
+        assert_eq!(snap.summary.unattributed_count, 1);
+        assert_eq!(snap.summary.unattributed_bytes, 16);
+        assert_eq!(snap.summary.total_count, 3);
+        assert_eq!(snap.summary.total_bytes, 144);
+        assert!(snap.summary.peak_live_bytes >= 128);
+        assert!(snap.summary.installed, "recording marks installation");
+
+        let again = take_snapshot();
+        assert_eq!(again.summary.total_count, 0, "snapshot resets counters");
+        assert!(
+            again.summary.peak_live_bytes >= 128,
+            "peak persists across snapshots"
+        );
+    }
+
+    #[test]
+    fn peak_rss_is_readable_on_linux() {
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! ccprof: inspect and compare self-profile JSON documents.
+//!
+//! ```text
+//! ccprof show PROFILE.json
+//! ccprof diff BASELINE.json NEW.json [--threshold F] [--relative] [--min-share F]
+//! ```
+//!
+//! `diff` exits 0 when every phase is within threshold, 1 on a detected
+//! regression (the CI gate), and 2 on usage or I/O errors.
+
+use std::process::ExitCode;
+
+use cc_prof::{diff_profiles, from_json, DiffOptions, SelfProfile, Verdict};
+
+const USAGE: &str = "usage:
+  ccprof show PROFILE.json
+  ccprof diff BASELINE.json NEW.json [options]
+
+diff options:
+  --threshold F   allowed growth ratio (default 0.5 = up to 1.5x baseline)
+  --relative      compare shares of wall clock instead of absolute ns
+                  (use across hosts, e.g. CI vs a committed baseline)
+  --min-share F   noise floor: min share of new wall clock for a phase
+                  to regress (default 0.01)
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("show") => show(&args[1..]),
+        Some("diff") => diff(&args[1..]),
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &str) -> Result<SelfProfile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    from_json(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn show(args: &[String]) -> ExitCode {
+    let [path] = args else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match load(path) {
+        Ok(profile) => {
+            print!("{}", profile.render_table());
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("ccprof: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn diff(args: &[String]) -> ExitCode {
+    let mut paths = Vec::new();
+    let mut options = DiffOptions::default();
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--relative" => options.relative = true,
+            "--threshold" | "--min-share" => {
+                let Some(value) = iter.next().and_then(|v| v.parse::<f64>().ok()) else {
+                    eprintln!("ccprof: {arg} needs a numeric value");
+                    return ExitCode::from(2);
+                };
+                if arg == "--threshold" {
+                    options.threshold = value;
+                } else {
+                    options.min_share = value;
+                }
+            }
+            other if other.starts_with("--") => {
+                eprintln!("ccprof: unknown option {other}");
+                eprint!("{USAGE}");
+                return ExitCode::from(2);
+            }
+            path => paths.push(path.to_string()),
+        }
+    }
+    let [base_path, new_path] = paths.as_slice() else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let (base, new) = match (load(base_path), load(new_path)) {
+        (Ok(base), Ok(new)) => (base, new),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("ccprof: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = diff_profiles(&base, &new, options);
+    print!("{}", report.render());
+    if report.has_regressions() {
+        if let Some(top) = report.top_regression() {
+            let what = match (top.wall_verdict, top.alloc_verdict) {
+                (Verdict::Ok, _) => "allocation bytes",
+                _ => "self time",
+            };
+            println!(
+                "REGRESSION: phase '{}' {} grew past the {:.2}x threshold \
+                 ({:.1}% -> {:.1}% of wall)",
+                top.phase.label(),
+                what,
+                1.0 + report.options.threshold,
+                100.0 * top.base_share,
+                100.0 * top.new_share,
+            );
+        } else {
+            println!(
+                "REGRESSION: total wall clock grew past the {:.2}x threshold",
+                1.0 + report.options.threshold
+            );
+        }
+        return ExitCode::FAILURE;
+    }
+    println!(
+        "OK: no phase regressed past the {:.2}x threshold",
+        1.0 + options.threshold
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,276 @@
+//! The collected self-profile data model and its human-readable table.
+
+use std::fmt::Write as _;
+
+use crate::phase::{PerfCounter, Phase};
+
+/// Per-phase aggregate row of a collected profile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseRow {
+    /// Which phase this row aggregates.
+    pub phase: Phase,
+    /// Spans closed.
+    pub count: u64,
+    /// Total wall nanoseconds inside the phase (children included).
+    pub total_ns: u64,
+    /// Wall nanoseconds exclusive of child phases.
+    pub self_ns: u64,
+    /// Longest single span.
+    pub max_ns: u64,
+    /// Heap allocations attributed to the phase (0 unless the counting
+    /// allocator is installed).
+    pub alloc_count: u64,
+    /// Heap bytes attributed to the phase.
+    pub alloc_bytes: u64,
+}
+
+/// Allocation totals for a profile (see `cc_prof::alloc`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AllocSummary {
+    /// Whether the counting allocator was installed in this binary; when
+    /// false every other field is structurally zero, not measured-zero.
+    pub installed: bool,
+    /// Total allocations during the session.
+    pub total_count: u64,
+    /// Total bytes allocated during the session.
+    pub total_bytes: u64,
+    /// Allocations made with no profiling span open.
+    pub unattributed_count: u64,
+    /// Bytes allocated with no profiling span open.
+    pub unattributed_bytes: u64,
+    /// Peak live heap bytes over the process lifetime.
+    pub peak_live_bytes: u64,
+}
+
+/// A thread that recorded spans, with its display label.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadInfo {
+    /// Profiler-assigned thread id (dense, first-use order).
+    pub tid: u32,
+    /// Display label (explicit via `thread_label`, else the std thread
+    /// name, else `thread-<tid>`).
+    pub label: String,
+}
+
+/// One retained wall-trace span (only when trace capture was on).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceSpan {
+    /// Phase of the span.
+    pub phase: Phase,
+    /// Recording thread.
+    pub tid: u32,
+    /// Start, nanoseconds since the profiling epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// A collected self-profile: everything the exporters serialize.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SelfProfile {
+    /// Session label (scenario + configuration).
+    pub label: String,
+    /// Caller-measured wall clock of the profiled session, nanoseconds.
+    pub wall_ns: u64,
+    /// Per-phase rows, in canonical phase order; phases with no spans and
+    /// no attributed allocations are omitted.
+    pub phases: Vec<PhaseRow>,
+    /// Nonzero hot-path counters, in canonical counter order.
+    pub counters: Vec<(PerfCounter, u64)>,
+    /// Allocation totals.
+    pub alloc: AllocSummary,
+    /// Threads that recorded spans, ordered by tid.
+    pub threads: Vec<ThreadInfo>,
+    /// Retained wall-trace spans ordered by start time (empty unless
+    /// trace capture was on).
+    pub trace: Vec<TraceSpan>,
+    /// Spans dropped past the per-thread trace cap.
+    pub trace_events_dropped: u64,
+    /// `exit` calls with no matching `enter` (probe bugs; should be 0).
+    pub unbalanced_exits: u64,
+}
+
+impl SelfProfile {
+    /// The row for `phase`, if it recorded anything.
+    pub fn row(&self, phase: Phase) -> Option<&PhaseRow> {
+        self.phases.iter().find(|r| r.phase == phase)
+    }
+
+    /// The value of `counter` (0 if it never moved).
+    pub fn counter(&self, counter: PerfCounter) -> u64 {
+        self.counters
+            .iter()
+            .find(|(c, _)| *c == counter)
+            .map_or(0, |&(_, v)| v)
+    }
+
+    /// Sum of per-phase self time — the profile's coverage of wall clock.
+    pub fn total_self_ns(&self) -> u64 {
+        self.phases.iter().map(|r| r.self_ns).sum()
+    }
+
+    /// `self` time of `phase` as a share of wall clock (0 when wall is
+    /// unknown). The unit `ccprof diff --relative` compares across hosts.
+    pub fn self_share(&self, phase: Phase) -> f64 {
+        if self.wall_ns == 0 {
+            return 0.0;
+        }
+        self.row(phase).map_or(0.0, |r| r.self_ns as f64) / self.wall_ns as f64
+    }
+
+    /// Renders the human-readable table printed by `--profile` and
+    /// `ccprof show`, sorted by descending self time.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "self-profile: {}", self.label);
+        let _ = writeln!(
+            out,
+            "  wall {:>12}   self-coverage {:>5.1}%",
+            fmt_ns(self.wall_ns),
+            if self.wall_ns == 0 {
+                0.0
+            } else {
+                100.0 * self.total_self_ns() as f64 / self.wall_ns as f64
+            }
+        );
+        let _ = writeln!(
+            out,
+            "  {:<16} {:>10} {:>12} {:>12} {:>10} {:>6} {:>12} {:>10}",
+            "phase", "count", "total", "self", "max", "self%", "allocs", "bytes"
+        );
+        let mut rows = self.phases.clone();
+        rows.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.phase.cmp(&b.phase)));
+        for row in &rows {
+            let share = if self.wall_ns == 0 {
+                0.0
+            } else {
+                100.0 * row.self_ns as f64 / self.wall_ns as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:<16} {:>10} {:>12} {:>12} {:>10} {:>5.1}% {:>12} {:>10}",
+                row.phase.label(),
+                row.count,
+                fmt_ns(row.total_ns),
+                fmt_ns(row.self_ns),
+                fmt_ns(row.max_ns),
+                share,
+                row.alloc_count,
+                fmt_bytes(row.alloc_bytes),
+            );
+        }
+        if !self.counters.is_empty() {
+            let _ = writeln!(out, "  counters:");
+            for &(counter, value) in &self.counters {
+                let _ = writeln!(out, "    {:<24} {:>14}", counter.label(), value);
+            }
+        }
+        if self.alloc.installed {
+            let _ = writeln!(
+                out,
+                "  alloc: {} allocations, {} total, {} peak live ({} / {} unattributed)",
+                self.alloc.total_count,
+                fmt_bytes(self.alloc.total_bytes),
+                fmt_bytes(self.alloc.peak_live_bytes),
+                self.alloc.unattributed_count,
+                fmt_bytes(self.alloc.unattributed_bytes),
+            );
+        } else {
+            let _ = writeln!(out, "  alloc: n/a (counting allocator not installed)");
+        }
+        if self.unbalanced_exits > 0 {
+            let _ = writeln!(out, "  WARNING: {} unbalanced exits", self.unbalanced_exits);
+        }
+        if self.trace_events_dropped > 0 {
+            let _ = writeln!(
+                out,
+                "  note: {} trace events dropped past per-thread cap",
+                self.trace_events_dropped
+            );
+        }
+        out
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit (ns/µs/ms/s).
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+/// Formats a byte count with an adaptive unit (B/KiB/MiB/GiB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= KIB * KIB * KIB {
+        format!("{:.2}GiB", b / (KIB * KIB * KIB))
+    } else if b >= KIB * KIB {
+        format!("{:.2}MiB", b / (KIB * KIB))
+    } else if b >= KIB {
+        format!("{:.1}KiB", b / KIB)
+    } else {
+        format!("{bytes}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_sorts_by_self_time_and_reports_coverage() {
+        let profile = SelfProfile {
+            label: "unit".to_string(),
+            wall_ns: 1_000_000,
+            phases: vec![
+                PhaseRow {
+                    phase: Phase::Arrival,
+                    count: 10,
+                    total_ns: 200_000,
+                    self_ns: 150_000,
+                    max_ns: 40_000,
+                    alloc_count: 0,
+                    alloc_bytes: 0,
+                },
+                PhaseRow {
+                    phase: Phase::Completion,
+                    count: 10,
+                    total_ns: 700_000,
+                    self_ns: 650_000,
+                    max_ns: 90_000,
+                    alloc_count: 3,
+                    alloc_bytes: 4096,
+                },
+            ],
+            counters: vec![(PerfCounter::PoolInsert, 42)],
+            ..SelfProfile::default()
+        };
+        assert_eq!(profile.total_self_ns(), 800_000);
+        assert!((profile.self_share(Phase::Completion) - 0.65).abs() < 1e-9);
+        let table = profile.render_table();
+        let completion_at = table.find("completion").unwrap();
+        let arrival_at = table.find("arrival").unwrap();
+        assert!(completion_at < arrival_at, "sorted by self time desc");
+        assert!(table.contains("80.0%"), "coverage line:\n{table}");
+        assert!(table.contains("pool_insert"));
+        assert!(table.contains("n/a"), "allocator not installed");
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(fmt_ns(999), "999ns");
+        assert_eq!(fmt_ns(1_500), "1.5us");
+        assert_eq!(fmt_ns(2_500_000), "2.500ms");
+        assert_eq!(fmt_ns(3_000_000_000), "3.000s");
+        assert_eq!(fmt_bytes(512), "512B");
+        assert_eq!(fmt_bytes(2048), "2.0KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00MiB");
+    }
+}

@@ -1,0 +1,122 @@
+//! Chrome/Perfetto trace export of the simulator's *own* threads.
+//!
+//! This is wall-clock time of the simulator process — deliberately
+//! distinct from cc-obs's simulated-time trace export, which draws the
+//! modeled cluster. Load the output in `ui.perfetto.dev` or
+//! `chrome://tracing`. Format: the Trace Event JSON array with `M`
+//! (thread_name metadata) records followed by `X` (complete span)
+//! records; `ts`/`dur` are microseconds since the profiling epoch.
+
+use std::fmt::Write as _;
+
+use crate::profile::SelfProfile;
+
+/// Process id stamped on every record (single-process tracer).
+const PID: u32 = 1;
+
+/// Renders the profile's retained wall-trace spans as a Chrome Trace
+/// Event JSON array. Empty trace → a valid two-byte `[]` document.
+pub fn to_chrome_trace(profile: &SelfProfile) -> String {
+    let mut out = String::new();
+    out.push('[');
+    let mut first = true;
+    let mut sep = |out: &mut String| {
+        if first {
+            first = false;
+            out.push('\n');
+        } else {
+            out.push_str(",\n");
+        }
+    };
+    for thread in &profile.threads {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\": \"M\", \"pid\": {PID}, \"tid\": {}, \"name\": \"thread_name\", \
+             \"args\": {{\"name\": \"{}\"}}}}",
+            thread.tid,
+            escape(&thread.label),
+        );
+    }
+    for span in &profile.trace {
+        sep(&mut out);
+        let _ = write!(
+            out,
+            "{{\"ph\": \"X\", \"pid\": {PID}, \"tid\": {}, \"ts\": {}, \"dur\": {}, \
+             \"name\": \"{}\", \"cat\": \"cc-prof\"}}",
+            span.tid,
+            micros(span.start_ns),
+            micros(span.dur_ns),
+            span.phase.label(),
+        );
+    }
+    out.push_str(if first { "]" } else { "\n]" });
+    out.push('\n');
+    out
+}
+
+/// Nanoseconds → microseconds with sub-µs precision kept as decimals.
+fn micros(ns: u64) -> String {
+    if ns.is_multiple_of(1000) {
+        format!("{}", ns / 1000)
+    } else {
+        format!("{}.{:03}", ns / 1000, ns % 1000)
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            c if (c as u32) < 0x20 => ' '.to_string().chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+    use crate::profile::{ThreadInfo, TraceSpan};
+
+    #[test]
+    fn trace_export_emits_metadata_then_spans() {
+        let profile = SelfProfile {
+            threads: vec![ThreadInfo {
+                tid: 1,
+                label: "main".to_string(),
+            }],
+            trace: vec![
+                TraceSpan {
+                    phase: Phase::Arrival,
+                    tid: 1,
+                    start_ns: 1_500,
+                    dur_ns: 250,
+                },
+                TraceSpan {
+                    phase: Phase::Completion,
+                    tid: 1,
+                    start_ns: 2_000,
+                    dur_ns: 1_000,
+                },
+            ],
+            ..SelfProfile::default()
+        };
+        let trace = to_chrome_trace(&profile);
+        assert!(trace.starts_with('['));
+        assert!(trace.trim_end().ends_with(']'));
+        assert!(trace.contains("\"thread_name\""));
+        assert!(trace.contains("\"ts\": 1.500, \"dur\": 0.250"));
+        assert!(trace.contains("\"ts\": 2, \"dur\": 1"));
+        let meta_at = trace.find("\"M\"").unwrap();
+        let span_at = trace.find("\"X\"").unwrap();
+        assert!(meta_at < span_at);
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json_array() {
+        assert_eq!(to_chrome_trace(&SelfProfile::default()), "[]\n");
+    }
+}

@@ -1,0 +1,658 @@
+//! The profiling runtime: monomorphized probes, thread-local span stacks,
+//! and the global aggregation registry.
+//!
+//! The design mirrors `cc-obs`'s `EventSink`: code that wants to be
+//! profiled is generic over a [`Profiler`] type, every probe site is
+//! guarded by the profiler's `ENABLED` associated constant, and the
+//! [`NullProfiler`] instantiation compiles every probe away — no `Instant`
+//! reads, no thread-local access, no branch. The [`WallProfiler`]
+//! instantiation records into a per-thread span stack and flat aggregation
+//! tables (arrays indexed by [`Phase`] discriminant, no hashing).
+//!
+//! Type-erased call sites (policies behind `dyn Scheduler`, the shard
+//! driver's closures) cannot receive the generic parameter; they use
+//! [`DynScope`], which checks one relaxed atomic ([`wall_enabled`]) per
+//! span. Those sites are coarse — an SRE round, a whole shard job — so the
+//! load is amortized over millions of probe-free instructions.
+//!
+//! Aggregation: each thread accumulates into its own table; a thread's
+//! table merges into the global registry when the thread exits (TLS drop)
+//! or when [`take_profile`] flushes the calling thread explicitly. The
+//! pattern fits the simulator's thread topology: scoped worker threads
+//! (feeder, encoders, mux, telemetry, shard workers) all join before the
+//! run returns, so by collection time every table has landed.
+
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::alloc::{self, UNATTRIBUTED_PHASE};
+use crate::phase::{PerfCounter, Phase};
+use crate::profile::{PhaseRow, SelfProfile, ThreadInfo, TraceSpan};
+
+/// Cap on retained wall-trace spans per thread (~48 MB at the cap); spans
+/// beyond it are counted in `trace_events_dropped`, never silently lost.
+const TRACE_CAP_PER_THREAD: usize = 1 << 21;
+
+/// Receives profiling probes. Monomorphized: probe sites are generic over
+/// the profiler type and guarded by [`Profiler::ENABLED`], so the
+/// [`NullProfiler`] instantiation contains no profiling code at all.
+///
+/// All methods are static — the profiler carries no value. State lives in
+/// thread-local storage, which is what lets one type parameter cover every
+/// thread of a pipelined run without plumbing handles around.
+pub trait Profiler: 'static {
+    /// Whether this profiler observes anything. Probe sites skip all work
+    /// (including `Instant` reads) when `false`.
+    const ENABLED: bool;
+
+    /// Opens a span of `phase` on the calling thread.
+    fn enter(phase: Phase);
+
+    /// Closes the most recently opened span on the calling thread.
+    fn exit();
+
+    /// Accumulates `n` onto a hot-path counter.
+    fn add(counter: PerfCounter, n: u64);
+
+    /// Labels the calling thread for the wall-trace export.
+    fn thread_label(label: &'static str);
+
+    /// RAII span: enters now, exits on drop.
+    #[inline(always)]
+    fn scope(phase: Phase) -> Scope<Self>
+    where
+        Self: Sized,
+    {
+        Scope::new(phase)
+    }
+}
+
+/// The disabled profiler: observes nothing, costs nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullProfiler;
+
+impl Profiler for NullProfiler {
+    const ENABLED: bool = false;
+
+    #[inline(always)]
+    fn enter(_phase: Phase) {}
+
+    #[inline(always)]
+    fn exit() {}
+
+    #[inline(always)]
+    fn add(_counter: PerfCounter, _n: u64) {}
+
+    #[inline(always)]
+    fn thread_label(_label: &'static str) {}
+}
+
+/// The recording profiler: wall-clock spans into thread-local tables.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WallProfiler;
+
+impl Profiler for WallProfiler {
+    const ENABLED: bool = true;
+
+    #[inline]
+    fn enter(phase: Phase) {
+        enter_impl(phase);
+    }
+
+    #[inline]
+    fn exit() {
+        exit_impl();
+    }
+
+    #[inline]
+    fn add(counter: PerfCounter, n: u64) {
+        LOCAL.with_borrow_mut(|local| local.counters[counter.index()] += n);
+    }
+
+    fn thread_label(label: &'static str) {
+        LOCAL.with_borrow_mut(|local| local.label = Some(label.to_string()));
+    }
+}
+
+/// RAII span guard, monomorphized over the profiler. Not `Send`: a span
+/// must close on the thread that opened it (each thread has its own
+/// stack).
+pub struct Scope<P: Profiler> {
+    _profiler: PhantomData<fn() -> P>,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<P: Profiler> Scope<P> {
+    /// Opens a span of `phase` (a no-op when `P::ENABLED` is false).
+    #[inline(always)]
+    pub fn new(phase: Phase) -> Scope<P> {
+        if P::ENABLED {
+            P::enter(phase);
+        }
+        Scope {
+            _profiler: PhantomData,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl<P: Profiler> Drop for Scope<P> {
+    #[inline(always)]
+    fn drop(&mut self) {
+        if P::ENABLED {
+            P::exit();
+        }
+    }
+}
+
+/// RAII span guard for type-erased call sites (code that cannot carry the
+/// `Profiler` type parameter, e.g. behind `dyn` traits). Records through
+/// [`WallProfiler`] iff [`wall_enabled`] — one relaxed atomic load when
+/// profiling is off, so it belongs on coarse spans (an optimizer round, a
+/// shard job), not per-event hot paths.
+pub struct DynScope {
+    active: bool,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl DynScope {
+    /// Opens a span of `phase` iff profiling is enabled.
+    #[inline]
+    pub fn new(phase: Phase) -> DynScope {
+        let active = wall_enabled();
+        if active {
+            WallProfiler::enter(phase);
+        }
+        DynScope {
+            active,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for DynScope {
+    #[inline]
+    fn drop(&mut self) {
+        if self.active {
+            WallProfiler::exit();
+        }
+    }
+}
+
+/// Counter accumulation for type-erased call sites (see [`DynScope`]).
+#[inline]
+pub fn dyn_add(counter: PerfCounter, n: u64) {
+    if wall_enabled() {
+        WallProfiler::add(counter, n);
+    }
+}
+
+/// Thread labeling for type-erased call sites (see [`DynScope`]).
+pub fn dyn_thread_label(label: &'static str) {
+    if wall_enabled() {
+        WallProfiler::thread_label(label);
+    }
+}
+
+static WALL_ENABLED: AtomicBool = AtomicBool::new(false);
+static TRACE_CAPTURE: AtomicBool = AtomicBool::new(false);
+static NEXT_TID: AtomicU32 = AtomicU32::new(1);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+/// Turns the runtime profiling flag on or off. The flag gates only the
+/// *dynamic* probes ([`DynScope`], [`dyn_add`]); monomorphized
+/// [`WallProfiler`] probes record unconditionally. Binaries running a
+/// profiled session set it so both families record together.
+pub fn set_wall_enabled(on: bool) {
+    if on {
+        epoch();
+    }
+    WALL_ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether a profiled session is active (the dynamic-probe gate).
+#[inline]
+pub fn wall_enabled() -> bool {
+    WALL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns per-span wall-trace retention on or off (off by default: the
+/// aggregate tables are always maintained, individual spans only when a
+/// Perfetto export is wanted).
+pub fn set_trace_capture(on: bool) {
+    if on {
+        epoch();
+    }
+    TRACE_CAPTURE.store(on, Ordering::Relaxed);
+}
+
+fn epoch() -> Instant {
+    *EPOCH.get_or_init(Instant::now)
+}
+
+#[derive(Clone, Copy, Default)]
+struct PhaseStat {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+    max_ns: u64,
+}
+
+struct Frame {
+    phase: Phase,
+    start: Instant,
+    child_ns: u64,
+}
+
+struct RawSpan {
+    phase: Phase,
+    start_ns: u64,
+    dur_ns: u64,
+}
+
+/// One thread's profiling state. Merges into [`GLOBAL`] on thread exit.
+struct LocalProf {
+    tid: u32,
+    label: Option<String>,
+    registered: bool,
+    stack: Vec<Frame>,
+    stats: [PhaseStat; Phase::COUNT],
+    counters: [u64; PerfCounter::COUNT],
+    trace: Vec<RawSpan>,
+    trace_dropped: u64,
+    unbalanced_exits: u64,
+}
+
+impl LocalProf {
+    fn new() -> LocalProf {
+        LocalProf {
+            tid: NEXT_TID.fetch_add(1, Ordering::Relaxed),
+            label: std::thread::current().name().map(str::to_string),
+            registered: false,
+            stack: Vec::new(),
+            stats: [PhaseStat::default(); Phase::COUNT],
+            counters: [0; PerfCounter::COUNT],
+            trace: Vec::new(),
+            trace_dropped: 0,
+            unbalanced_exits: 0,
+        }
+    }
+
+    /// Moves everything recorded so far into the global registry, leaving
+    /// open frames on the stack (they land when they close).
+    fn flush_into(&mut self, global: &mut GlobalData) {
+        for (into, from) in global.stats.iter_mut().zip(&mut self.stats) {
+            into.count += from.count;
+            into.total_ns += from.total_ns;
+            into.self_ns += from.self_ns;
+            into.max_ns = into.max_ns.max(from.max_ns);
+            *from = PhaseStat::default();
+        }
+        for (into, from) in global.counters.iter_mut().zip(&mut self.counters) {
+            *into += *from;
+            *from = 0;
+        }
+        if !self.registered || self.label.is_some() {
+            let label = self
+                .label
+                .take()
+                .unwrap_or_else(|| format!("thread-{}", self.tid));
+            match global.threads.iter_mut().find(|t| t.tid == self.tid) {
+                Some(info) => info.label = label,
+                None => global.threads.push(ThreadInfo {
+                    tid: self.tid,
+                    label,
+                }),
+            }
+            self.registered = true;
+        }
+        global.trace.extend(self.trace.drain(..).map(|s| TraceSpan {
+            phase: s.phase,
+            tid: self.tid,
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+        }));
+        global.trace_dropped += std::mem::take(&mut self.trace_dropped);
+        global.unbalanced_exits += std::mem::take(&mut self.unbalanced_exits);
+    }
+}
+
+impl Drop for LocalProf {
+    fn drop(&mut self) {
+        let mut global = lock_global();
+        self.flush_into(&mut global);
+    }
+}
+
+thread_local! {
+    static LOCAL: RefCell<LocalProf> = RefCell::new(LocalProf::new());
+}
+
+struct GlobalData {
+    stats: [PhaseStat; Phase::COUNT],
+    counters: [u64; PerfCounter::COUNT],
+    threads: Vec<ThreadInfo>,
+    trace: Vec<TraceSpan>,
+    trace_dropped: u64,
+    unbalanced_exits: u64,
+}
+
+impl GlobalData {
+    const fn new() -> GlobalData {
+        GlobalData {
+            stats: [PhaseStat {
+                count: 0,
+                total_ns: 0,
+                self_ns: 0,
+                max_ns: 0,
+            }; Phase::COUNT],
+            counters: [0; PerfCounter::COUNT],
+            threads: Vec::new(),
+            trace: Vec::new(),
+            trace_dropped: 0,
+            unbalanced_exits: 0,
+        }
+    }
+}
+
+static GLOBAL: Mutex<GlobalData> = Mutex::new(GlobalData::new());
+
+fn lock_global() -> std::sync::MutexGuard<'static, GlobalData> {
+    GLOBAL.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+fn enter_impl(phase: Phase) {
+    let start = Instant::now();
+    LOCAL.with_borrow_mut(|local| {
+        local.stack.push(Frame {
+            phase,
+            start,
+            child_ns: 0,
+        });
+    });
+    alloc::set_current_phase(phase.index() as u8);
+}
+
+fn exit_impl() {
+    let end = Instant::now();
+    LOCAL.with_borrow_mut(|local| {
+        let Some(frame) = local.stack.pop() else {
+            local.unbalanced_exits += 1;
+            alloc::set_current_phase(UNATTRIBUTED_PHASE);
+            return;
+        };
+        let dur_ns = end
+            .saturating_duration_since(frame.start)
+            .as_nanos()
+            .min(u128::from(u64::MAX)) as u64;
+        // Profiler-internal bookkeeping below can allocate (the trace
+        // buffer's capacity doublings are MiB-scale); park attribution on
+        // the unattributed bucket so a `--profile-trace` capture charges
+        // identical per-phase bytes to a plain `--profile-out` one.
+        alloc::set_current_phase(UNATTRIBUTED_PHASE);
+        let stat = &mut local.stats[frame.phase.index()];
+        stat.count += 1;
+        stat.total_ns += dur_ns;
+        stat.self_ns += dur_ns.saturating_sub(frame.child_ns);
+        stat.max_ns = stat.max_ns.max(dur_ns);
+        if TRACE_CAPTURE.load(Ordering::Relaxed) {
+            if local.trace.len() < TRACE_CAP_PER_THREAD {
+                let start_ns = frame
+                    .start
+                    .saturating_duration_since(epoch())
+                    .as_nanos()
+                    .min(u128::from(u64::MAX)) as u64;
+                local.trace.push(RawSpan {
+                    phase: frame.phase,
+                    start_ns,
+                    dur_ns,
+                });
+            } else {
+                local.trace_dropped += 1;
+            }
+        }
+        if let Some(parent) = local.stack.last_mut() {
+            parent.child_ns += dur_ns;
+            alloc::set_current_phase(parent.phase.index() as u8);
+        }
+    });
+}
+
+/// Merges the calling thread's tables into the global registry now.
+///
+/// Thread-local state also merges when a thread exits, but a parent
+/// waiting on `std::thread::scope` can resume *before* the children's TLS
+/// destructors run — so a worker closure that should be visible in a
+/// profile collected right after the scope must end with an explicit
+/// flush. Cheap enough for per-job use (one mutex lock); gate on
+/// `P::ENABLED` / [`wall_enabled`] at probe sites.
+pub fn flush_thread() {
+    LOCAL.with_borrow_mut(|local| {
+        let mut global = lock_global();
+        local.flush_into(&mut global);
+    });
+}
+
+/// Flushes the calling thread's tables into the registry and drains the
+/// registry into a [`SelfProfile`].
+///
+/// `label` names the captured session (scenario, sink, flags — whatever
+/// makes the profile comparable later); `wall_ns` is the caller-measured
+/// wall clock the profile accounts against (the self-time coverage ratio
+/// in the human table divides by it). Allocation totals are read *and
+/// reset* along with the span tables, so back-to-back sessions don't
+/// bleed into each other.
+///
+/// Worker threads merge when they exit; call this after every profiled
+/// thread has joined (true for the engine's scoped pipelines) or their
+/// spans land in the *next* profile.
+pub fn take_profile(label: &str, wall_ns: u64) -> SelfProfile {
+    LOCAL.with_borrow_mut(|local| {
+        let mut global = lock_global();
+        local.flush_into(&mut global);
+    });
+    let mut global = lock_global();
+    let data = std::mem::replace(&mut *global, GlobalData::new());
+    drop(global);
+    let alloc = alloc::take_snapshot();
+
+    let mut phases = Vec::new();
+    for phase in Phase::ALL {
+        let stat = data.stats[phase.index()];
+        let (alloc_count, alloc_bytes) = alloc.per_phase[phase.index()];
+        if stat.count == 0 && alloc_count == 0 {
+            continue;
+        }
+        phases.push(PhaseRow {
+            phase,
+            count: stat.count,
+            total_ns: stat.total_ns,
+            self_ns: stat.self_ns,
+            max_ns: stat.max_ns,
+            alloc_count,
+            alloc_bytes,
+        });
+    }
+    let counters = PerfCounter::ALL
+        .iter()
+        .map(|&c| (c, data.counters[c.index()]))
+        .filter(|&(_, v)| v != 0)
+        .collect();
+
+    let mut threads = data.threads;
+    threads.sort_by_key(|t| t.tid);
+    let mut trace = data.trace;
+    trace.sort_by_key(|s| (s.start_ns, s.tid, std::cmp::Reverse(s.dur_ns)));
+
+    SelfProfile {
+        label: label.to_string(),
+        wall_ns,
+        phases,
+        counters,
+        alloc: alloc.summary,
+        threads,
+        trace,
+        trace_events_dropped: data.trace_dropped,
+        unbalanced_exits: data.unbalanced_exits,
+    }
+}
+
+/// Discards everything recorded so far: the calling thread's tables, the
+/// global registry, and the allocation counters. Call before a profiled
+/// session so warm-up runs don't pollute it. Other *live* threads' local
+/// tables are untouched (dead threads have already merged and are
+/// discarded here) — reset between pipelines, not during one.
+pub fn reset() {
+    LOCAL.with_borrow_mut(|local| {
+        let mut global = lock_global();
+        local.flush_into(&mut global);
+    });
+    *lock_global() = GlobalData::new();
+    alloc::take_snapshot();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use crate::testutil::lock as locked;
+
+    #[test]
+    fn null_profiler_is_disabled_and_records_nothing() {
+        let _guard = locked();
+        reset();
+        {
+            let _scope = NullProfiler::scope(Phase::Arrival);
+            NullProfiler::add(PerfCounter::PoolInsert, 5);
+        }
+        let profile = take_profile("null", 0);
+        assert!(profile.phases.is_empty());
+        assert!(profile.counters.is_empty());
+    }
+
+    #[test]
+    fn nested_spans_split_self_time() {
+        let _guard = locked();
+        reset();
+        {
+            let _outer = WallProfiler::scope(Phase::Completion);
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _inner = WallProfiler::scope(Phase::PoolAdmit);
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        let profile = take_profile("nested", 0);
+        let outer = profile.row(Phase::Completion).expect("outer recorded");
+        let inner = profile.row(Phase::PoolAdmit).expect("inner recorded");
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(inner.total_ns >= 3_000_000);
+        assert!(
+            outer.total_ns >= inner.total_ns + 3_000_000,
+            "outer total must cover the inner span plus its own work"
+        );
+        assert!(
+            outer.self_ns <= outer.total_ns - inner.total_ns,
+            "self time must exclude the child"
+        );
+        assert_eq!(inner.self_ns, inner.total_ns, "leaf self == total");
+        assert!(outer.max_ns >= outer.total_ns);
+    }
+
+    #[test]
+    fn unbalanced_exit_is_counted_not_fatal() {
+        let _guard = locked();
+        reset();
+        WallProfiler::exit();
+        WallProfiler::exit();
+        {
+            let _scope = WallProfiler::scope(Phase::Tick);
+        }
+        let profile = take_profile("unbalanced", 0);
+        assert_eq!(profile.unbalanced_exits, 2);
+        assert_eq!(profile.row(Phase::Tick).expect("span recorded").count, 1);
+    }
+
+    #[test]
+    fn cross_thread_spans_merge_with_distinct_threads() {
+        let _guard = locked();
+        reset();
+        {
+            let _main = WallProfiler::scope(Phase::EngineRun);
+            std::thread::scope(|scope| {
+                for _ in 0..2 {
+                    scope.spawn(|| {
+                        WallProfiler::thread_label("worker");
+                        {
+                            let _span = WallProfiler::scope(Phase::ShardWorker);
+                            WallProfiler::add(PerfCounter::PoolInsert, 3);
+                        }
+                        // Parents can outrun child TLS destructors past a
+                        // scope join; workers flush explicitly.
+                        flush_thread();
+                    });
+                }
+            });
+        }
+        let profile = take_profile("threads", 0);
+        let workers = profile.row(Phase::ShardWorker).expect("worker spans");
+        assert_eq!(workers.count, 2, "one span per worker thread");
+        assert_eq!(profile.counter(PerfCounter::PoolInsert), 6);
+        let labeled = profile
+            .threads
+            .iter()
+            .filter(|t| t.label == "worker")
+            .count();
+        assert_eq!(labeled, 2, "each worker registered its label");
+        // A worker's span must not siphon the main thread's self time:
+        // stacks are per-thread, so EngineRun keeps its full duration.
+        let run = profile.row(Phase::EngineRun).expect("root span");
+        assert_eq!(run.self_ns, run.total_ns);
+    }
+
+    #[test]
+    fn dyn_scope_obeys_the_runtime_flag() {
+        let _guard = locked();
+        reset();
+        set_wall_enabled(false);
+        {
+            let _off = DynScope::new(Phase::SreRound);
+            dyn_add(PerfCounter::BatchFlushes, 1);
+        }
+        let profile = take_profile("off", 0);
+        assert!(profile.row(Phase::SreRound).is_none());
+
+        set_wall_enabled(true);
+        {
+            let _on = DynScope::new(Phase::SreRound);
+            dyn_add(PerfCounter::BatchFlushes, 1);
+        }
+        set_wall_enabled(false);
+        let profile = take_profile("on", 0);
+        assert_eq!(profile.row(Phase::SreRound).expect("recorded").count, 1);
+        assert_eq!(profile.counter(PerfCounter::BatchFlushes), 1);
+    }
+
+    #[test]
+    fn trace_capture_records_spans_in_start_order() {
+        let _guard = locked();
+        reset();
+        set_trace_capture(true);
+        {
+            let _a = WallProfiler::scope(Phase::Arrival);
+        }
+        {
+            let _b = WallProfiler::scope(Phase::Completion);
+        }
+        set_trace_capture(false);
+        let profile = take_profile("trace", 0);
+        assert_eq!(profile.trace.len(), 2);
+        assert!(profile.trace[0].start_ns <= profile.trace[1].start_ns);
+        assert_eq!(profile.trace[0].phase, Phase::Arrival);
+        assert_eq!(profile.trace_events_dropped, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! End-to-end exit-code contract of the `ccprof` binary: `diff` exits 0
+//! when the new profile is within tolerance, 1 on a synthetic injected
+//! regression, and 2 on unusable input.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+use cc_prof::{to_json, Phase, PhaseRow, SelfProfile};
+
+fn profile(label: &str, wall_ns: u64, evict_self_ns: u64) -> SelfProfile {
+    SelfProfile {
+        label: label.to_string(),
+        wall_ns,
+        phases: vec![
+            PhaseRow {
+                phase: Phase::EngineRun,
+                count: 1,
+                total_ns: wall_ns,
+                self_ns: wall_ns - evict_self_ns,
+                max_ns: wall_ns,
+                alloc_count: 0,
+                alloc_bytes: 0,
+            },
+            PhaseRow {
+                phase: Phase::PoolEvict,
+                count: 1000,
+                total_ns: evict_self_ns,
+                self_ns: evict_self_ns,
+                max_ns: evict_self_ns / 100,
+                alloc_count: 0,
+                alloc_bytes: 0,
+            },
+        ],
+        ..SelfProfile::default()
+    }
+}
+
+fn write_profile(name: &str, profile: &SelfProfile) -> PathBuf {
+    let mut path = std::env::temp_dir();
+    path.push(format!("ccprof-cli-{}-{name}.json", std::process::id()));
+    std::fs::write(&path, to_json(profile)).expect("write temp profile");
+    path
+}
+
+fn run_diff(args: &[&str]) -> (i32, String) {
+    let output = Command::new(env!("CARGO_BIN_EXE_ccprof"))
+        .arg("diff")
+        .args(args)
+        .output()
+        .expect("spawn ccprof");
+    let text = format!(
+        "{}{}",
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+    (output.status.code().expect("exit code"), text)
+}
+
+#[test]
+fn diff_passes_within_tolerance_and_fails_on_injected_regression() {
+    let base = write_profile("base", &profile("stress", 1_000_000_000, 100_000_000));
+    // Within tolerance: pool_evict grows 20% against a 50% threshold.
+    let ok = write_profile("ok", &profile("stress", 1_020_000_000, 120_000_000));
+    // The injected regression: pool_evict's self time quadruples.
+    let bad = write_profile("bad", &profile("stress", 1_300_000_000, 400_000_000));
+
+    let base_s = base.to_str().unwrap();
+    let (code, text) = run_diff(&[base_s, ok.to_str().unwrap()]);
+    assert_eq!(code, 0, "in-tolerance diff must exit 0:\n{text}");
+
+    let (code, text) = run_diff(&[base_s, bad.to_str().unwrap()]);
+    assert_eq!(code, 1, "injected regression must exit 1:\n{text}");
+    assert!(
+        text.contains("pool_evict"),
+        "the failure must name the regressed phase:\n{text}"
+    );
+
+    // Relative mode flags the same shape change.
+    let (code, text) = run_diff(&[base_s, bad.to_str().unwrap(), "--relative"]);
+    assert_eq!(code, 1, "relative-mode regression must exit 1:\n{text}");
+
+    for path in [base, ok, bad] {
+        let _ = std::fs::remove_file(path);
+    }
+}
+
+#[test]
+fn diff_rejects_unusable_input_with_exit_two() {
+    let (code, _) = run_diff(&["/nonexistent/base.json", "/nonexistent/new.json"]);
+    assert_eq!(code, 2, "unreadable input is a usage error");
+
+    let mut garbage = std::env::temp_dir();
+    garbage.push(format!("ccprof-cli-{}-garbage.json", std::process::id()));
+    std::fs::write(&garbage, "not json").expect("write temp file");
+    let (code, _) = run_diff(&[garbage.to_str().unwrap(), garbage.to_str().unwrap()]);
+    assert_eq!(code, 2, "malformed input is a usage error");
+    let _ = std::fs::remove_file(garbage);
+}

@@ -158,26 +158,39 @@ where
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next.fetch_add(1, Ordering::Relaxed);
-                if index >= n {
-                    break;
+            scope.spawn(|| {
+                // Jobs are opaque closures, so the profiler cannot flow in
+                // as a type parameter; the dynamic probe costs one relaxed
+                // atomic load per shard when profiling is off.
+                cc_prof::dyn_thread_label("shard_worker");
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    if index >= n {
+                        break;
+                    }
+                    let _span = cc_prof::DynScope::new(cc_prof::Phase::ShardWorker);
+                    let job = slots[index]
+                        .lock()
+                        .unwrap()
+                        .take()
+                        .expect("shard dispatched twice");
+                    let shard = index as u32;
+                    let mut sink = factory.make(shard);
+                    let outcome =
+                        catch_unwind(AssertUnwindSafe(|| job(&mut sink))).map_err(panic_message);
+                    let sink = factory.finish(shard, sink);
+                    *results[index].lock().unwrap() = Some(ShardResult {
+                        shard,
+                        outcome,
+                        sink,
+                    });
                 }
-                let job = slots[index]
-                    .lock()
-                    .unwrap()
-                    .take()
-                    .expect("shard dispatched twice");
-                let shard = index as u32;
-                let mut sink = factory.make(shard);
-                let outcome =
-                    catch_unwind(AssertUnwindSafe(|| job(&mut sink))).map_err(panic_message);
-                let sink = factory.finish(shard, sink);
-                *results[index].lock().unwrap() = Some(ShardResult {
-                    shard,
-                    outcome,
-                    sink,
-                });
+                // `thread::scope` can resume the parent before this
+                // thread's TLS destructors run; merge eagerly so a profile
+                // taken right after run_sharded() sees every worker.
+                if cc_prof::wall_enabled() {
+                    cc_prof::flush_thread();
+                }
             });
         }
     });

@@ -6,6 +6,7 @@ use std::time::{Duration, Instant};
 
 use cc_metrics::ServiceStats;
 use cc_obs::{Event as ObsEvent, EventSink, IntervalSample, NullSink, ReleaseReason};
+use cc_prof::{NullProfiler, PerfCounter, Phase, Profiler, Scope};
 use cc_trace::{Perturbation, Trace};
 use cc_types::{
     Arch, Cost, FunctionId, Invocation, MemoryMb, NodeId, ServiceRecord, SimDuration, SimTime,
@@ -99,7 +100,27 @@ impl<'a> Simulation<'a> {
         policy: &mut dyn Scheduler,
         sink: &mut S,
     ) -> SimReport {
-        let mut engine = Engine::new(
+        self.run_with_sink_profiled::<S, NullProfiler>(policy, sink)
+    }
+
+    /// Runs the policy with both an [`EventSink`] and a
+    /// [`cc_prof::Profiler`] observing the engine's own wall-clock phases.
+    ///
+    /// Mirrors the sink contract: the engine is monomorphized over `P` and
+    /// every probe is guarded by `P::ENABLED`, so the
+    /// [`NullProfiler`] instantiation (what [`Simulation::run_with_sink`]
+    /// uses) is the exact uninstrumented hot path, and profiling never
+    /// changes simulation behavior or its report.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Simulation::run`].
+    pub fn run_with_sink_profiled<S: EventSink, P: Profiler>(
+        &self,
+        policy: &mut dyn Scheduler,
+        sink: &mut S,
+    ) -> SimReport {
+        let mut engine = Engine::<_, _, P>::new(
             &self.config,
             SliceSource::from_trace(self.trace),
             self.workload,
@@ -134,8 +155,32 @@ pub fn run_streaming<Src: ArrivalSource, S: EventSink>(
     sink: &mut S,
     collect_records: bool,
 ) -> SimReport {
+    run_streaming_profiled::<Src, S, NullProfiler>(
+        config,
+        source,
+        workload,
+        policy,
+        sink,
+        collect_records,
+    )
+}
+
+/// [`run_streaming`] with a [`cc_prof::Profiler`] observing the engine's
+/// own wall-clock phases (see [`Simulation::run_with_sink_profiled`]).
+///
+/// # Panics
+///
+/// As for [`Simulation::run`].
+pub fn run_streaming_profiled<Src: ArrivalSource, S: EventSink, P: Profiler>(
+    config: &ClusterConfig,
+    source: Src,
+    workload: &Workload,
+    policy: &mut dyn Scheduler,
+    sink: &mut S,
+    collect_records: bool,
+) -> SimReport {
     config.validate();
-    let mut engine = Engine::new(config, source, workload, &[], sink, collect_records);
+    let mut engine = Engine::<_, _, P>::new(config, source, workload, &[], sink, collect_records);
     engine.run(policy)
 }
 
@@ -204,7 +249,10 @@ impl PartialOrd for Event {
     }
 }
 
-struct Engine<'a, Src: ArrivalSource, S: EventSink> {
+struct Engine<'a, Src: ArrivalSource, S: EventSink, P: Profiler> {
+    /// Wall-clock profiler; every probe is guarded by `P::ENABLED`, so the
+    /// [`NullProfiler`] instantiation contains no profiling code at all.
+    _profiler: std::marker::PhantomData<P>,
     config: &'a ClusterConfig,
     source: Src,
     /// The invocation behind the next `Arrival` heap event, pulled from
@@ -264,7 +312,7 @@ struct Engine<'a, Src: ArrivalSource, S: EventSink> {
     completed: usize,
 }
 
-impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
+impl<'a, Src: ArrivalSource, S: EventSink, P: Profiler> Engine<'a, Src, S, P> {
     fn new(
         config: &'a ClusterConfig,
         source: Src,
@@ -300,6 +348,7 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
             0
         };
         Engine {
+            _profiler: std::marker::PhantomData,
             config,
             source,
             upcoming: None,
@@ -390,6 +439,10 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     }
 
     fn run(&mut self, policy: &mut dyn Scheduler) -> SimReport {
+        // Root span: everything below (arrivals, completions, ticks,
+        // expiry drains) nests under it, so a profile's self-time sum
+        // covers the whole run by construction.
+        let _run_span = P::scope(Phase::EngineRun);
         let horizon = self.source.horizon();
         if S::ENABLED {
             // Introspection recording must not change policy decisions
@@ -460,6 +513,7 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     }
 
     fn handle_arrival(&mut self, index: usize, policy: &mut dyn Scheduler) {
+        let _span = P::scope(Phase::Arrival);
         let inv = self
             .upcoming
             .take()
@@ -479,9 +533,12 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
                 function,
             });
         }
-        let started = Instant::now();
-        policy.on_arrival(function, self.now);
-        self.decision_time += started.elapsed();
+        {
+            let _decision = P::scope(Phase::PolicyDecision);
+            let started = Instant::now();
+            policy.on_arrival(function, self.now);
+            self.decision_time += started.elapsed();
+        }
 
         if self.pending.is_empty() && self.try_start(inv, policy) {
             return;
@@ -520,6 +577,9 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         let mut candidates = std::mem::take(&mut self.scratch_candidates);
         candidates.clear();
         candidates.extend(self.pool.candidates_of(function));
+        if P::ENABLED {
+            P::add(PerfCounter::CandidateProbes, candidates.len() as u64);
+        }
 
         let mut started = false;
         for &id in &candidates {
@@ -568,9 +628,13 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         memory: MemoryMb,
         policy: &mut dyn Scheduler,
     ) -> bool {
-        let started = Instant::now();
-        let preferred = policy.place(function, &self.view());
-        self.decision_time += started.elapsed();
+        let preferred = {
+            let _decision = P::scope(Phase::PolicyDecision);
+            let started = Instant::now();
+            let preferred = policy.place(function, &self.view());
+            self.decision_time += started.elapsed();
+            preferred
+        };
 
         for arch in [preferred, preferred.other()] {
             let Some(&(_, _, first)) = self.node_order[arch.index()].iter().next() else {
@@ -596,6 +660,9 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
                     .take_while(|&&(busy, _, _)| busy < self.config.cores_per_node)
                     .map(|&(_, _, id)| id),
             );
+            if P::ENABLED {
+                P::add(PerfCounter::NodeScanProbes, node_ids.len() as u64);
+            }
             let mut placed = false;
             for &node_id in &node_ids {
                 let free = self.nodes[node_id.index()].free_memory();
@@ -655,9 +722,11 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         if evictable < deficit {
             return false;
         }
+        let _span = P::scope(Phase::PoolEvict);
         let mut ranked = std::mem::take(&mut self.scratch_ranked);
         ranked.clear();
         {
+            let _decision = P::scope(Phase::PolicyDecision);
             let view = self.view();
             let started = Instant::now();
             for id in self.pool.residents_of(node) {
@@ -671,6 +740,9 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
                 ranked.push((policy.eviction_rank(inst, &view), inst.seq, id));
             }
             self.decision_time += started.elapsed();
+        }
+        if P::ENABLED {
+            P::add(PerfCounter::EvictionsRanked, ranked.len() as u64);
         }
         ranked.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
         let mut freed = MemoryMb::ZERO;
@@ -737,9 +809,12 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
                 execution,
             });
         }
-        let started = Instant::now();
-        policy.on_record(&record);
-        self.decision_time += started.elapsed();
+        {
+            let _decision = P::scope(Phase::PolicyDecision);
+            let started = Instant::now();
+            policy.on_record(&record);
+            self.decision_time += started.elapsed();
+        }
         if self.collect_records {
             self.records.push(record);
         }
@@ -764,12 +839,14 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         memory: MemoryMb,
         policy: &mut dyn Scheduler,
     ) {
+        let _span = P::scope(Phase::Completion);
         self.mutate_node(node, |n| n.finish_execution(memory));
         self.capacity_epoch += 1;
         self.completed += 1;
 
         let arch = self.nodes[node.index()].arch;
         let decision = {
+            let _decision = P::scope(Phase::PolicyDecision);
             let view = self.view();
             let started = Instant::now();
             let d = policy.on_completion(function, arch, &view);
@@ -800,6 +877,7 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         if keep_alive.is_zero() {
             return;
         }
+        let _span = P::scope(Phase::PoolAdmit);
         let spec = self.workload.spec(function);
         let footprint = if compress {
             spec.compressed_memory
@@ -877,6 +955,9 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
                 SimDuration::ZERO
             },
         });
+        if P::ENABLED {
+            P::add(PerfCounter::PoolInsert, 1);
+        }
         if compress {
             self.compression_events += 1;
         }
@@ -919,6 +1000,9 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     }
 
     fn remove_instance(&mut self, id: WarmId, reason: ReleaseReason) {
+        if P::ENABLED {
+            P::add(PerfCounter::PoolRemove, 1);
+        }
         let inst = self.pool.remove(id);
         if S::ENABLED {
             self.sink.record(&ObsEvent::InstanceReleased {
@@ -950,15 +1034,24 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     /// boundary drains its whole batch in one pass with no stale
     /// generation-check pops in between.
     fn drain_due_expiries(&mut self, limit: Option<(SimTime, u8)>) {
+        // Lazy span: the common case drains nothing, and opening a span
+        // per main-loop iteration would swamp the phase table.
+        let mut span: Option<Scope<P>> = None;
         while let Some((at, _seq, id)) = self.pool.next_expiry() {
             if let Some(next) = limit {
                 if (at, EXPIRY_CLASS) >= next {
                     break;
                 }
             }
+            if P::ENABLED && span.is_none() {
+                span = Some(P::scope(Phase::ExpiryDrain));
+            }
             debug_assert!(at >= self.now, "time must not run backwards");
             self.now = at;
             self.remove_instance(id, ReleaseReason::Expired);
+            if P::ENABLED {
+                P::add(PerfCounter::ExpiryDrained, 1);
+            }
         }
     }
 
@@ -978,6 +1071,7 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     }
 
     fn handle_tick(&mut self, horizon: SimDuration, policy: &mut dyn Scheduler) {
+        let _span = P::scope(Phase::Tick);
         self.ledger.accrue(self.now);
 
         // Sample per-interval metrics.
@@ -1012,6 +1106,7 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
         }
 
         let commands = {
+            let _decision = P::scope(Phase::PolicyDecision);
             let view = self.view();
             let started = Instant::now();
             let commands = policy.on_interval(&view);
@@ -1093,6 +1188,12 @@ impl<'a, Src: ArrivalSource, S: EventSink> Engine<'a, Src, S> {
     }
 
     fn drain_pending(&mut self, policy: &mut dyn Scheduler) {
+        // Lazy span: most completions find nothing queued.
+        let _span = if P::ENABLED && !self.pending.is_empty() {
+            Some(P::scope(Phase::PendingDrain))
+        } else {
+            None
+        };
         while let Some(&(index, inv)) = self.pending.front() {
             // The placement attempt is a pure function of cluster capacity
             // (for a fixed head-of-line invocation): if this exact entry

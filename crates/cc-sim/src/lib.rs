@@ -64,13 +64,14 @@ pub use cc_obs::{
     BufferSink, ChannelSink, ChannelStats, ChromeTraceSink, Event, EventSink, IntervalSample,
     JsonlSink, NullSink, OptimizerRound, ReleaseReason, SamplingSink, ShardMsg, Tee, Telemetry,
 };
+pub use cc_prof::{NullProfiler, Phase, Profiler, WallProfiler};
 pub use cc_types::WarmId;
 pub use config::{ClusterConfig, RuntimeKind};
-pub use engine::{run_streaming, Simulation};
+pub use engine::{run_streaming, run_streaming_profiled, Simulation};
 pub use fixed::FixedKeepAlive;
 pub use ledger::BudgetLedger;
 pub use node::{NodeState, WarmInstance};
-pub use parallel::{run_parallel, ParallelOptions, ParallelOutcome};
+pub use parallel::{run_parallel, run_parallel_profiled, ParallelOptions, ParallelOutcome};
 pub use report::{fnv1a, SimReport};
 pub use scheduler::{Command, KeepDecision, Scheduler};
 pub use source::{ArrivalSource, SliceSource};

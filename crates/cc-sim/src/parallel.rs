@@ -34,14 +34,16 @@
 use std::io::{self, Write};
 use std::sync::mpsc::{sync_channel, Receiver};
 use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 use cc_obs::{event_line, BatchSink, EventBatch, EventSink, Telemetry};
+use cc_prof::{NullProfiler, PerfCounter, Phase, Profiler};
 use cc_shard::mux_chunks;
 use cc_types::{Invocation, SimDuration};
 use cc_workload::Workload;
 
 use crate::config::ClusterConfig;
-use crate::engine::run_streaming;
+use crate::engine::run_streaming_profiled;
 use crate::report::SimReport;
 use crate::scheduler::Scheduler;
 use crate::source::ArrivalSource;
@@ -121,6 +123,26 @@ pub struct ParallelOutcome {
     pub chunks_written: u64,
 }
 
+/// Bounded-channel send with its blocking time accumulated onto
+/// [`PerfCounter::ChannelSendBlockNs`] when `P` is enabled (backpressure
+/// attribution); a plain send otherwise.
+fn timed_send<T, P: Profiler>(
+    tx: &std::sync::mpsc::SyncSender<T>,
+    value: T,
+) -> Result<(), std::sync::mpsc::SendError<T>> {
+    if P::ENABLED {
+        let started = Instant::now();
+        let result = tx.send(value);
+        P::add(
+            PerfCounter::ChannelSendBlockNs,
+            started.elapsed().as_nanos() as u64,
+        );
+        result
+    } else {
+        tx.send(value)
+    }
+}
+
 /// [`ArrivalSource`] fed by a prefetch thread over a bounded channel.
 struct ChunkedSource {
     rx: Receiver<Vec<Invocation>>,
@@ -174,6 +196,27 @@ where
     Src: ArrivalSource + Send,
     W: Write + Send,
 {
+    run_parallel_profiled::<Src, W, NullProfiler>(config, source, workload, policy, jsonl, options)
+}
+
+/// [`run_parallel`] with a [`cc_prof::Profiler`] observing every pipeline
+/// thread: the decision core's engine phases plus feeder, encoder,
+/// telemetry-folder, and mux spans (with channel send/recv blocking-time
+/// counters). [`NullProfiler`] (what [`run_parallel`] uses) compiles every
+/// probe away; results are bit-identical regardless of profiler.
+pub fn run_parallel_profiled<Src, W, P>(
+    config: &ClusterConfig,
+    source: Src,
+    workload: &Workload,
+    policy: &mut dyn Scheduler,
+    jsonl: Option<W>,
+    options: &ParallelOptions,
+) -> io::Result<(ParallelOutcome, Option<W>)>
+where
+    Src: ArrivalSource + Send,
+    W: Write + Send,
+    P: Profiler,
+{
     let workers = options.workers.max(1);
     let queue_depth = options.queue_depth.max(1);
     let arrival_chunk = options.arrival_chunk.max(1);
@@ -191,18 +234,32 @@ where
         let (chunk_tx, chunk_rx) = sync_channel::<Vec<Invocation>>(queue_depth);
         let mut source = source;
         scope.spawn(move || {
-            let mut chunk = Vec::with_capacity(arrival_chunk);
-            while let Some(inv) = source.next_invocation() {
-                chunk.push(inv);
-                if chunk.len() >= arrival_chunk {
-                    let full = std::mem::replace(&mut chunk, Vec::with_capacity(arrival_chunk));
-                    if chunk_tx.send(full).is_err() {
-                        return; // engine hung up (panic unwind) — stop feeding
+            if P::ENABLED {
+                P::thread_label("feeder");
+            }
+            {
+                // One span for the whole feed: blocked-send time (engine
+                // backpressure) is deliberately inside it.
+                let _span = P::scope(Phase::Feeder);
+                let mut chunk = Vec::with_capacity(arrival_chunk);
+                while let Some(inv) = source.next_invocation() {
+                    chunk.push(inv);
+                    if chunk.len() >= arrival_chunk {
+                        let full = std::mem::replace(&mut chunk, Vec::with_capacity(arrival_chunk));
+                        if timed_send::<_, P>(&chunk_tx, full).is_err() {
+                            // Engine hung up (panic unwind) — stop feeding.
+                            break;
+                        }
                     }
                 }
+                if !chunk.is_empty() {
+                    let _ = timed_send::<_, P>(&chunk_tx, chunk);
+                }
             }
-            if !chunk.is_empty() {
-                let _ = chunk_tx.send(chunk);
+            if P::ENABLED {
+                // A scope join can resume the parent before this thread's
+                // TLS destructors merge; flush explicitly.
+                cc_prof::flush_thread();
             }
         });
         let chunked = ChunkedSource {
@@ -217,15 +274,27 @@ where
         // serial emission order (P² quantiles are order-sensitive).
         let (tel_tx, tel_rx) = sync_channel::<EventBatch>(queue_depth);
         let telemetry_handle = scope.spawn(move || {
-            let mut telemetry = Telemetry::new(interval);
-            let mut events = 0u64;
-            for batch in tel_rx {
-                for event in batch.events.iter() {
-                    telemetry.record(event);
-                }
-                events += batch.events.len() as u64;
+            if P::ENABLED {
+                P::thread_label("telemetry");
             }
-            (telemetry, events)
+            let result = {
+                // One span per run: time blocked waiting on batches is
+                // part of this thread's story, not noise.
+                let _span = P::scope(Phase::TelemetryFold);
+                let mut telemetry = Telemetry::new(interval);
+                let mut events = 0u64;
+                for batch in tel_rx {
+                    for event in batch.events.iter() {
+                        telemetry.record(event);
+                    }
+                    events += batch.events.len() as u64;
+                }
+                (telemetry, events)
+            };
+            if P::ENABLED {
+                cc_prof::flush_thread();
+            }
+            result
         });
 
         // Stage 3b: encoder pool + ordered writer, only when JSONL output
@@ -243,29 +312,65 @@ where
                 let shared = Arc::clone(&shared);
                 let bytes_tx = bytes_tx.clone();
                 scope.spawn(move || {
-                    while let Ok(batch) = {
-                        let rx = shared.lock().expect("encoder receiver poisoned");
-                        rx.recv()
-                    } {
+                    if P::ENABLED {
+                        P::thread_label("encoder");
+                    }
+                    loop {
+                        let recv_started = P::ENABLED.then(Instant::now);
+                        let received = {
+                            let rx = shared.lock().expect("encoder receiver poisoned");
+                            rx.recv()
+                        };
+                        if let Some(started) = recv_started {
+                            P::add(
+                                PerfCounter::ChannelRecvBlockNs,
+                                started.elapsed().as_nanos() as u64,
+                            );
+                        }
+                        let Ok(batch) = received else {
+                            break;
+                        };
+                        let _span = P::scope(Phase::Encode);
                         let mut buf = String::with_capacity(batch.events.len() * 64);
                         for event in batch.events.iter() {
                             buf.push_str(&event_line(event));
                             buf.push('\n');
                         }
-                        if bytes_tx.send((batch.index, buf.into_bytes())).is_err() {
+                        if timed_send::<_, P>(&bytes_tx, (batch.index, buf.into_bytes())).is_err() {
                             break;
                         }
+                    }
+                    if P::ENABLED {
+                        cc_prof::flush_thread();
                     }
                 });
             }
             drop(bytes_tx);
-            scope.spawn(move || mux_chunks(bytes_rx, out))
+            scope.spawn(move || {
+                if P::ENABLED {
+                    P::thread_label("mux");
+                }
+                let result = {
+                    let _span = P::scope(Phase::MuxWrite);
+                    mux_chunks(bytes_rx, out)
+                };
+                if P::ENABLED {
+                    if let Ok((_, written)) = &result {
+                        P::add(PerfCounter::ChunksWritten, *written);
+                    }
+                    cc_prof::flush_thread();
+                }
+                result
+            })
         });
 
         // Stage 2: the decision core — the exact serial loop, on this
         // thread, recording into the batching sink.
         let mut sink = BatchSink::new(window, options.batch_events.max(1), subscribers);
-        let report = run_streaming(
+        if P::ENABLED {
+            P::thread_label("decision");
+        }
+        let report = run_streaming_profiled::<_, _, P>(
             config,
             chunked,
             workload,
@@ -303,6 +408,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::run_streaming;
     use crate::source::SliceSource;
     use crate::{FixedKeepAlive, Simulation};
     use crate::{JsonlSink, Tee};
