@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 
-use cc_compress::{Codec, CrunchDense, CrunchFast, EntropyClass, FsImage};
+use cc_compress::{parse_sequences, Codec, CrunchDense, CrunchFast, EntropyClass, FsImage};
 
 const IMAGE_SIZE: usize = 256 * 1024;
 
@@ -48,5 +48,28 @@ fn bench_decompress(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_compress, bench_decompress);
+/// The greedy LZ77 parse in isolation — the match-extension loop this
+/// isolates is the compression half's hot kernel, shared by both codecs.
+fn bench_parse_sequences(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parse_sequences");
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(3));
+    group.throughput(Throughput::Bytes(IMAGE_SIZE as u64));
+    for class in EntropyClass::ALL {
+        let image = FsImage::generate(1, IMAGE_SIZE, class);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(class),
+            image.bytes(),
+            |b, data| b.iter(|| parse_sequences(data)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_compress,
+    bench_decompress,
+    bench_parse_sequences
+);
 criterion_main!(benches);

@@ -5,6 +5,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use cc_opt::{
     CoordinateDescent, GeneticAlgorithm, Objective, RandomSearch, SeparableObjective, Sre,
+    SreScratch,
 };
 use cc_types::{Arch, FnChoice, SimDuration};
 
@@ -104,5 +105,31 @@ fn bench_optimizers(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_optimizers);
+/// One SRE round at the stress scenario's dimensions (10 000 functions,
+/// the `ccstat --stress` planning scale), serial inner descent, scratch
+/// held across iterations — the scheduler's steady-state hot path. Each
+/// iteration pays one `start` clone (the scheduler hands SRE an owned
+/// start vector the same way), so the comparison across commits is fair.
+fn bench_sre_round(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sre_round");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    let n = 10_000usize;
+    let bowls = Bowls::new(n);
+    let mut sre = Sre::scaled_to(n);
+    sre.rounds = 1;
+    sre.parallel = false;
+    let seed = start(n);
+    let mut scratch = SreScratch::default();
+    let mut counts = vec![0u32; n];
+    group.bench_function(BenchmarkId::new("separable_scratch", n), |b| {
+        b.iter(|| {
+            sre.optimize_separable_with_scratch(&bowls, seed.clone(), &mut counts, &mut scratch)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers, bench_sre_round);
 criterion_main!(benches);

@@ -551,7 +551,20 @@ fn print_stress_line(report: &SimReport, elapsed: std::time::Duration) {
         None => "n/a".to_string(),
     };
     let allocs = match cc_prof::alloc_totals() {
-        Some((count, bytes)) => format!("{count} allocations / {}", cc_prof::fmt_bytes(bytes)),
+        Some((count, bytes)) => {
+            let per_inv = if report.stats.invocations() > 0 {
+                format!(
+                    ", {:.2} allocs/invocation",
+                    count as f64 / report.stats.invocations() as f64
+                )
+            } else {
+                String::new()
+            };
+            format!(
+                "{count} allocations / {}{per_inv}",
+                cc_prof::fmt_bytes(bytes)
+            )
+        }
         None => "allocations n/a (build with --features alloc-profile)".to_string(),
     };
     println!("stress: {secs:.3}s wall ({throughput:.0} inv/s), peak RSS {rss}, {allocs}");

@@ -124,7 +124,8 @@ fn read_extended_len(input: &[u8], pos: &mut usize, nibble: usize) -> Result<usi
 
 /// One LZ77 sequence: a run of literals followed by an optional match.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct Sequence {
+#[doc(hidden)]
+pub struct Sequence {
     /// Start of the literal run in the input.
     pub literal_start: usize,
     /// Length of the literal run.
@@ -135,8 +136,37 @@ pub(crate) struct Sequence {
     pub match_len: usize,
 }
 
+/// Length of the common prefix of `input[a..]` and `input[b..]`, compared
+/// eight bytes at a time (`a < b`, so every in-bounds read on the `b` side
+/// guarantees the `a` side is in bounds too). The first differing word
+/// locates the mismatching byte via the XOR's trailing zeros; the last
+/// `< 8` bytes fall back to a byte loop.
+fn match_extension(input: &[u8], mut a: usize, mut b: usize) -> usize {
+    debug_assert!(a < b);
+    let n = input.len();
+    let mut ext = 0usize;
+    while b + 8 <= n {
+        let wa = u64::from_le_bytes(input[a..a + 8].try_into().expect("8 bytes"));
+        let wb = u64::from_le_bytes(input[b..b + 8].try_into().expect("8 bytes"));
+        let diff = wa ^ wb;
+        if diff != 0 {
+            return ext + (diff.trailing_zeros() / 8) as usize;
+        }
+        a += 8;
+        b += 8;
+        ext += 8;
+    }
+    while b < n && input[a] == input[b] {
+        a += 1;
+        b += 1;
+        ext += 1;
+    }
+    ext
+}
+
 /// Greedy LZ77 parse shared by both codecs.
-pub(crate) fn parse_sequences(input: &[u8]) -> Vec<Sequence> {
+#[doc(hidden)]
+pub fn parse_sequences(input: &[u8]) -> Vec<Sequence> {
     let n = input.len();
     let mut sequences = Vec::new();
     if n == 0 {
@@ -157,11 +187,8 @@ pub(crate) fn parse_sequences(input: &[u8]) -> Vec<Sequence> {
             i += 1;
             continue;
         }
-        // Extend the match as far as it goes.
-        let mut len = MIN_MATCH;
-        while i + len < n && input[candidate + len] == input[i + len] {
-            len += 1;
-        }
+        // Extend the match as far as it goes (word-at-a-time).
+        let len = MIN_MATCH + match_extension(input, candidate + MIN_MATCH, i + MIN_MATCH);
         sequences.push(Sequence {
             literal_start: anchor,
             literal_len: i - anchor,
@@ -283,6 +310,15 @@ impl Codec for CrunchFast {
 }
 
 /// Copies an overlapping LZ77 match (`offset` may be less than `len`).
+///
+/// Non-overlapping matches (`offset >= len`) are a single
+/// `extend_from_within` (a memcpy). Overlapping matches — the RLE-style
+/// case — are materialized in doubling chunks: the stream being produced
+/// is periodic with period `offset`, so any copy whose source lags the
+/// write position by a *multiple of the period* preserves the bytes
+/// exactly, and each chunk can be as large as everything materialized so
+/// far (rounded down to a period multiple). `O(log(len/offset))` memcpys
+/// instead of `len` byte pushes, no `unsafe`.
 pub(crate) fn copy_match(out: &mut Vec<u8>, offset: usize, len: usize) -> Result<(), DecodeError> {
     if offset == 0 || offset > out.len() {
         return Err(DecodeError::BadMatchOffset {
@@ -291,9 +327,19 @@ pub(crate) fn copy_match(out: &mut Vec<u8>, offset: usize, len: usize) -> Result
         });
     }
     let start = out.len() - offset;
-    for k in 0..len {
-        let byte = out[start + k];
-        out.push(byte);
+    if offset >= len {
+        out.extend_from_within(start..start + len);
+        return Ok(());
+    }
+    // Seed one full period, then double.
+    out.extend_from_within(start..start + offset);
+    let mut filled = offset;
+    while filled < len {
+        let lag = filled - filled % offset;
+        let take = (len - filled).min(lag);
+        let end = out.len();
+        out.extend_from_within(end - lag..end - lag + take);
+        filled += take;
     }
     Ok(())
 }
@@ -306,6 +352,79 @@ mod tests {
     fn roundtrip(data: &[u8]) -> Vec<u8> {
         let frame = CrunchFast.compress(data);
         CrunchFast.decompress(&frame).expect("roundtrip decode")
+    }
+
+    /// Byte-at-a-time reference for [`match_extension`]: the loop the
+    /// word-wise version replaced, kept as the differential oracle.
+    fn match_extension_scalar(input: &[u8], a: usize, b: usize) -> usize {
+        let n = input.len();
+        let mut ext = 0;
+        while b + ext < n && input[a + ext] == input[b + ext] {
+            ext += 1;
+        }
+        ext
+    }
+
+    /// Byte-at-a-time reference for [`copy_match`], kept as the
+    /// differential oracle for the chunked version.
+    fn copy_match_scalar(out: &mut Vec<u8>, offset: usize, len: usize) {
+        assert!(offset != 0 && offset <= out.len());
+        let start = out.len() - offset;
+        for k in 0..len {
+            let byte = out[start + k];
+            out.push(byte);
+        }
+    }
+
+    /// Reference greedy parse using the scalar extension loop; must emit
+    /// the exact sequence list the vectorized parse does (the frame bytes
+    /// — and therefore every golden digest downstream — depend on it).
+    fn parse_sequences_scalar(input: &[u8]) -> Vec<Sequence> {
+        let n = input.len();
+        let mut sequences = Vec::new();
+        if n == 0 {
+            return sequences;
+        }
+        let mut table = vec![usize::MAX; 1 << HASH_BITS];
+        let mut anchor = 0usize;
+        let mut i = 0usize;
+        while i + MIN_MATCH <= n {
+            let h = hash4(&input[i..]);
+            let candidate = table[h];
+            table[h] = i;
+            let found = candidate != usize::MAX
+                && i - candidate <= MAX_OFFSET
+                && input[candidate..candidate + MIN_MATCH] == input[i..i + MIN_MATCH];
+            if !found {
+                i += 1;
+                continue;
+            }
+            let mut len = MIN_MATCH;
+            while i + len < n && input[candidate + len] == input[i + len] {
+                len += 1;
+            }
+            sequences.push(Sequence {
+                literal_start: anchor,
+                literal_len: i - anchor,
+                offset: i - candidate,
+                match_len: len,
+            });
+            let end = i + len;
+            let mut j = i + 1;
+            while j + MIN_MATCH <= n && j < end {
+                table[hash4(&input[j..])] = j;
+                j += 2;
+            }
+            i = end;
+            anchor = end;
+        }
+        sequences.push(Sequence {
+            literal_start: anchor,
+            literal_len: n - anchor,
+            offset: 0,
+            match_len: 0,
+        });
+        sequences
     }
 
     #[test]
@@ -463,10 +582,78 @@ mod tests {
         assert_eq!(seqs.last().unwrap().offset, 0);
     }
 
+    #[test]
+    fn overlap_copy_matches_scalar_at_every_offset_len() {
+        // Exhaustive small cases: every (offset, len) pair up to a few
+        // periods, over a non-periodic seed, covers the seed/double/tail
+        // chunk boundaries of the vectorized copy.
+        let seed: Vec<u8> = (0u8..37).collect();
+        for offset in 1..=seed.len() {
+            for len in 0..120 {
+                let mut fast = seed.clone();
+                let mut scalar = seed.clone();
+                copy_match(&mut fast, offset, len).expect("valid offset");
+                copy_match_scalar(&mut scalar, offset, len);
+                assert_eq!(fast, scalar, "offset={offset} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn word_extension_matches_scalar_near_boundaries() {
+        // Mismatch placed at every lane of the 8-byte word, plus
+        // end-of-input cutoffs in the byte-wise tail.
+        for mismatch_at in 0..20 {
+            for tail in 0..10 {
+                let mut data = vec![5u8; 8 + mismatch_at + tail];
+                let b = 8;
+                if b + mismatch_at < data.len() {
+                    data[b + mismatch_at] = 6;
+                }
+                assert_eq!(
+                    match_extension(&data, 0, b),
+                    match_extension_scalar(&data, 0, b),
+                    "mismatch_at={mismatch_at} tail={tail}"
+                );
+            }
+        }
+    }
+
     proptest! {
         #[test]
         fn roundtrip_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4096)) {
             prop_assert_eq!(roundtrip(&data), data);
+        }
+
+        #[test]
+        fn parse_matches_scalar_on_arbitrary(data in prop::collection::vec(any::<u8>(), 0..4096)) {
+            prop_assert_eq!(parse_sequences(&data), parse_sequences_scalar(&data));
+        }
+
+        #[test]
+        fn parse_matches_scalar_on_low_entropy(
+            alphabet in 1u8..8,
+            data in prop::collection::vec(any::<u8>(), 0..4096),
+        ) {
+            let data: Vec<u8> = data.into_iter().map(|b| b % alphabet).collect();
+            prop_assert_eq!(parse_sequences(&data), parse_sequences_scalar(&data));
+        }
+
+        #[test]
+        fn copy_match_matches_scalar_on_adversarial_overlaps(
+            seed in prop::collection::vec(any::<u8>(), 1..64),
+            offset in 1usize..64,
+            len in 0usize..512,
+        ) {
+            // Self-referential copies where offset < len are the hard
+            // case: each output byte may read bytes produced earlier in
+            // the same match.
+            let offset = offset.min(seed.len());
+            let mut fast = seed.clone();
+            let mut scalar = seed;
+            copy_match(&mut fast, offset, len).expect("offset clamped to seed length");
+            copy_match_scalar(&mut scalar, offset, len);
+            prop_assert_eq!(fast, scalar);
         }
 
         #[test]

@@ -46,6 +46,8 @@ pub use checksum::fnv1a64;
 pub use dense::CrunchDense;
 pub use error::DecodeError;
 pub use fast::CrunchFast;
+#[doc(hidden)]
+pub use fast::{parse_sequences, Sequence};
 pub use image::{EntropyClass, FsImage};
 pub use model::{measure_size_fractions, CodecKind, CompressionModel, CompressionProfile};
 

@@ -57,6 +57,9 @@ impl CoordinateDescent {
         let mut current = start;
         let mut current_cost = objective.evaluate(&current);
         let mut evaluations = 1u64;
+        // Hoisted out of the sweep so the descent allocates once per call,
+        // not once per coordinate visit.
+        let mut candidates: Vec<(f64, f64, FnChoice)> = Vec::new();
 
         // Gauss–Seidel sweeps: each round visits every active coordinate
         // and immediately applies its best improving move, so a window can
@@ -68,8 +71,8 @@ impl CoordinateDescent {
                 // Best improving feasible neighbor of this coordinate, with
                 // the paper's tie-break: among moves within 10% of the
                 // best, take the one minimizing keep-alive memory.
-                let mut candidates: Vec<(f64, f64, FnChoice)> = Vec::new();
-                for neighbor in current[idx].neighbors() {
+                candidates.clear();
+                for neighbor in &current[idx].neighbors_inline() {
                     if evaluations >= self.eval_budget {
                         break 'rounds;
                     }
@@ -90,7 +93,7 @@ impl CoordinateDescent {
                 };
                 let threshold = best_cost + 0.1 * best_cost.abs();
                 let (_, _, choice) = candidates
-                    .into_iter()
+                    .drain(..)
                     .filter(|&(c, _, _)| c <= threshold)
                     .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.total_cmp(&b.0)))
                     .expect("best candidate satisfies its own threshold");

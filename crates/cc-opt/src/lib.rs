@@ -57,9 +57,9 @@ mod sre;
 pub use classic::{brute_force, CoordinateDescent, NewtonDescent, RandomSearch};
 pub use genetic::GeneticAlgorithm;
 pub use objective::{Objective, OptOutcome};
-pub use separable::{SeparableObjective, SeparableView};
+pub use separable::{DescentScratch, SeparableObjective, SeparableView, TermBaseline};
 pub use space::{
-    combine_solutions, sample_subproblems, sample_subproblems_into, search_space_size,
-    SubproblemScratch,
+    combine_solutions, combine_solutions_into, sample_subproblems, sample_subproblems_into,
+    search_space_size, IndexGroups, SubproblemScratch,
 };
 pub use sre::{Sre, SreRoundStats, SreScratch};

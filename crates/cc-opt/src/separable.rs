@@ -101,6 +101,81 @@ impl<T: SeparableObjective + ?Sized> Objective for SeparableView<'_, T> {
     }
 }
 
+/// Recycled working vectors for the separable coordinate descent: the
+/// per-function `service`/`cost` term caches and the per-coordinate
+/// candidate list. One of these threaded through repeated descent calls
+/// makes steady-state sweeps allocation-free.
+#[derive(Debug, Default)]
+pub struct DescentScratch {
+    service: Vec<f64>,
+    cost: Vec<f64>,
+    candidates: Vec<(f64, f64, f64, FnChoice)>,
+}
+
+/// Per-function term tables of a [`SeparableObjective`] evaluated at one
+/// fixed solution, shared across descents that all start there.
+///
+/// SRE's pending-splice design means every sub-problem in a round descends
+/// from the *same* pre-round working solution — yet each descent call used
+/// to re-derive the full `O(N)` service/cost tables (one `exp()`-bearing
+/// term per function) on entry. Computing the tables once per round and
+/// seeding each descent with a memcpy removes the dominant share of that
+/// initialization. Seeding is bit-identical to recomputing: the tables are
+/// the same floats (same terms, same order), and the cached sums are the
+/// same in-order `iter().sum()` reductions the descent would have formed
+/// itself — load-bearing because the 10% tie threshold compares *absolute*
+/// service sums.
+///
+/// Buffers are recycled across [`TermBaseline::compute`] calls, so a
+/// steady-state round loop refreshing one baseline allocates nothing.
+#[derive(Debug, Default)]
+pub struct TermBaseline {
+    service: Vec<f64>,
+    cost: Vec<f64>,
+    service_sum: f64,
+    cost_sum: f64,
+}
+
+impl TermBaseline {
+    /// Fills the tables (and their sums) from `solution`. The evaluation
+    /// order matches what
+    /// [`CoordinateDescent::optimize_separable_subset_with_scratch`] does
+    /// on entry, so a descent seeded from this baseline is bit-identical
+    /// to one that recomputed the terms itself.
+    pub fn compute<T: SeparableObjective + ?Sized>(
+        &mut self,
+        objective: &T,
+        solution: &[FnChoice],
+    ) {
+        self.service.clear();
+        self.service.extend(
+            solution
+                .iter()
+                .enumerate()
+                .map(|(i, c)| objective.service_term(i, c)),
+        );
+        self.cost.clear();
+        self.cost.extend(
+            solution
+                .iter()
+                .enumerate()
+                .map(|(i, c)| objective.cost_term(i, c)),
+        );
+        self.service_sum = self.service.iter().sum();
+        self.cost_sum = self.cost.iter().sum();
+    }
+
+    /// Number of functions the tables cover.
+    pub fn len(&self) -> usize {
+        self.service.len()
+    }
+
+    /// Whether the baseline is empty (never computed, or zero functions).
+    pub fn is_empty(&self) -> bool {
+        self.service.is_empty()
+    }
+}
+
 impl CoordinateDescent {
     /// [`CoordinateDescent::optimize_subset`] specialized for separable
     /// objectives: every neighbor is scored with an O(1) term delta, so a
@@ -114,33 +189,106 @@ impl CoordinateDescent {
         start: Vec<FnChoice>,
         active: &[usize],
     ) -> OptOutcome {
+        self.optimize_separable_subset_with_scratch(
+            objective,
+            start,
+            active,
+            &mut DescentScratch::default(),
+        )
+    }
+
+    /// [`CoordinateDescent::optimize_separable_subset`] with caller-owned
+    /// working vectors, so repeated calls allocate nothing once the
+    /// scratch capacities have grown to fit.
+    pub fn optimize_separable_subset_with_scratch<T: SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        active: &[usize],
+        scratch: &mut DescentScratch,
+    ) -> OptOutcome {
         let n = objective.num_functions();
         assert_eq!(start.len(), n, "solution length must match the objective");
+        scratch.service.clear();
+        scratch.service.extend(
+            start
+                .iter()
+                .enumerate()
+                .map(|(i, c)| objective.service_term(i, c)),
+        );
+        scratch.cost.clear();
+        scratch.cost.extend(
+            start
+                .iter()
+                .enumerate()
+                .map(|(i, c)| objective.cost_term(i, c)),
+        );
+        let service_sum: f64 = scratch.service.iter().sum();
+        let cost_sum: f64 = scratch.cost.iter().sum();
+        self.descend_loaded(objective, start, active, scratch, service_sum, cost_sum)
+    }
+
+    /// [`CoordinateDescent::optimize_separable_subset_with_scratch`] seeded
+    /// from a precomputed [`TermBaseline`], skipping the O(N) per-function
+    /// term recomputation on entry.
+    ///
+    /// `start` **must** be the solution the baseline was computed from —
+    /// the seed is a straight copy of the baseline's tables and sums, so a
+    /// mismatched start would descend against stale terms. Given that, the
+    /// outcome (solution, cost, and `evaluations` — the `N`-term
+    /// initialization charge is still levied) is bit-identical to the
+    /// unseeded call.
+    pub fn optimize_separable_subset_seeded<T: SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        active: &[usize],
+        scratch: &mut DescentScratch,
+        baseline: &TermBaseline,
+    ) -> OptOutcome {
+        let n = objective.num_functions();
+        assert_eq!(start.len(), n, "solution length must match the objective");
+        assert_eq!(baseline.len(), n, "baseline must cover every function");
+        scratch.service.clear();
+        scratch.service.extend_from_slice(&baseline.service);
+        scratch.cost.clear();
+        scratch.cost.extend_from_slice(&baseline.cost);
+        self.descend_loaded(
+            objective,
+            start,
+            active,
+            scratch,
+            baseline.service_sum,
+            baseline.cost_sum,
+        )
+    }
+
+    /// The descent loop proper, once `scratch.service` / `scratch.cost`
+    /// hold the per-function terms of `start` and the sums are their
+    /// in-order reductions.
+    fn descend_loaded<T: SeparableObjective + ?Sized>(
+        &self,
+        objective: &T,
+        start: Vec<FnChoice>,
+        active: &[usize],
+        scratch: &mut DescentScratch,
+        mut service_sum: f64,
+        mut cost_sum: f64,
+    ) -> OptOutcome {
+        let n = objective.num_functions();
         let mut current = start;
-        let mut service: Vec<f64> = current
-            .iter()
-            .enumerate()
-            .map(|(i, c)| objective.service_term(i, c))
-            .collect();
-        let mut cost: Vec<f64> = current
-            .iter()
-            .enumerate()
-            .map(|(i, c)| objective.cost_term(i, c))
-            .collect();
-        let mut service_sum: f64 = service.iter().sum();
-        let mut cost_sum: f64 = cost.iter().sum();
+        let service = &mut scratch.service;
+        let cost = &mut scratch.cost;
+        let candidates = &mut scratch.candidates;
         let budget = objective.budget();
         let mut evaluations = (n as u64).max(1);
-        // (service_sum', cost', mem_delta, choice); hoisted out of the
-        // sweep so the descent allocates once, not once per coordinate.
-        let mut candidates: Vec<(f64, f64, f64, FnChoice)> = Vec::new();
 
         'rounds: for _ in 0..self.max_rounds {
             let mut improved = false;
             for &idx in active {
                 candidates.clear();
                 let current_mem = objective.memory_term(idx, &current[idx]);
-                for neighbor in current[idx].neighbors() {
+                for neighbor in &current[idx].neighbors_inline() {
                     if evaluations >= self.eval_budget {
                         break 'rounds;
                     }
@@ -302,6 +450,43 @@ mod tests {
             "21 minutes exceeds the 15-minute budget"
         );
         assert_eq!(view.memory_cost(&sol), 21.0);
+    }
+
+    #[test]
+    fn seeded_descent_is_bit_identical_to_unseeded() {
+        let bowl = SepBowl {
+            n: 8,
+            target_mins: 12.0,
+            budget_mins: Some(50.0),
+        };
+        let start = vec![FnChoice::production_default(); 8];
+        // Disjoint "sub-problem" groups all descending from the same start,
+        // the way an SRE round dispatches them.
+        let groups: [&[usize]; 3] = [&[0, 3], &[1, 4, 7], &[2, 5, 6]];
+        let mut baseline = TermBaseline::default();
+        baseline.compute(&bowl, &start);
+        assert_eq!(baseline.len(), 8);
+        assert!(!baseline.is_empty());
+        let descent = CoordinateDescent::default();
+        let mut scratch = DescentScratch::default();
+        for group in groups {
+            let plain = descent.optimize_separable_subset_with_scratch(
+                &bowl,
+                start.clone(),
+                group,
+                &mut scratch,
+            );
+            let seeded = descent.optimize_separable_subset_seeded(
+                &bowl,
+                start.clone(),
+                group,
+                &mut scratch,
+                &baseline,
+            );
+            assert_eq!(plain.solution, seeded.solution);
+            assert_eq!(plain.cost.to_bits(), seeded.cost.to_bits());
+            assert_eq!(plain.evaluations, seeded.evaluations);
+        }
     }
 
     #[test]

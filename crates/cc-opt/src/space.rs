@@ -21,20 +21,69 @@ pub fn search_space_size(n: usize) -> u128 {
     total
 }
 
-/// Reusable buffers for [`sample_subproblems_into`]: the sampling-weight
-/// vector and a free list of retired group vectors. A caller that holds one
-/// of these across rounds (and intervals) pays the allocation cost once.
+/// Reusable buffer for [`sample_subproblems_into`]: the sampling-weight
+/// vector. A caller that holds one of these across rounds (and intervals)
+/// pays the allocation cost once.
 #[derive(Debug, Default)]
 pub struct SubproblemScratch {
     weights: Vec<f64>,
-    spare: Vec<Vec<usize>>,
 }
 
-impl SubproblemScratch {
-    /// Hands an index vector back for reuse; its contents are discarded.
-    pub(crate) fn recycle_group(&mut self, mut group: Vec<usize>) {
-        group.clear();
-        self.spare.push(group);
+/// Disjoint sub-problem index groups in one flat buffer.
+///
+/// Group `g` is the slice `indices[bounds[g]..bounds[g + 1]]`. The nested
+/// `Vec<Vec<usize>>` layout this replaces kept every group in its own heap
+/// block; the flat layout keeps one round's entire sampling in two
+/// contiguous arrays, so refilling it in steady state allocates nothing
+/// and iterating it walks a single cache-friendly run of indices.
+#[derive(Debug, Default)]
+pub struct IndexGroups {
+    indices: Vec<usize>,
+    /// Group boundaries: `len() + 1` entries, starting at 0.
+    bounds: Vec<usize>,
+}
+
+impl IndexGroups {
+    /// Removes all groups, keeping capacity.
+    pub fn clear(&mut self) {
+        self.indices.clear();
+        self.bounds.clear();
+        self.bounds.push(0);
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.bounds.len().saturating_sub(1)
+    }
+
+    /// Whether there are no groups.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The `g`-th group's function indices.
+    pub fn group(&self, g: usize) -> &[usize] {
+        &self.indices[self.bounds[g]..self.bounds[g + 1]]
+    }
+
+    /// Iterates the groups in sampling order.
+    pub fn iter(&self) -> impl Iterator<Item = &[usize]> + '_ {
+        (0..self.len()).map(|g| self.group(g))
+    }
+
+    /// Appends an index to the group currently being built (the span past
+    /// the last committed bound).
+    fn push(&mut self, idx: usize) {
+        self.indices.push(idx);
+    }
+
+    /// Commits the indices pushed since the last commit as one group —
+    /// unless none were, in which case nothing changes.
+    fn commit_group(&mut self) {
+        let last = *self.bounds.last().expect("bounds start at 0");
+        if self.indices.len() > last {
+            self.bounds.push(self.indices.len());
+        }
     }
 }
 
@@ -52,7 +101,7 @@ pub fn sample_subproblems(
     funcs_per_subproblem: usize,
 ) -> Vec<Vec<usize>> {
     let mut scratch = SubproblemScratch::default();
-    let mut groups = Vec::with_capacity(num_subproblems);
+    let mut groups = IndexGroups::default();
     sample_subproblems_into(
         rng,
         opt_counts,
@@ -61,26 +110,24 @@ pub fn sample_subproblems(
         &mut scratch,
         &mut groups,
     );
-    groups
+    groups.iter().map(|g| g.to_vec()).collect()
 }
 
-/// [`sample_subproblems`] into caller-provided storage.
+/// [`sample_subproblems`] into caller-provided flat storage.
 ///
-/// `groups` is cleared and refilled; vectors it held (and any retired
-/// earlier) are recycled through `scratch` together with the weight buffer,
-/// so steady-state rounds allocate nothing. The RNG draw sequence — and
-/// therefore the sampled groups — is identical to [`sample_subproblems`].
+/// `groups` is cleared and refilled in place, and the weight buffer lives
+/// in `scratch`, so steady-state rounds allocate nothing. The RNG draw
+/// sequence — and therefore the sampled groups — is identical to
+/// [`sample_subproblems`].
 pub fn sample_subproblems_into(
     rng: &mut StdRng,
     opt_counts: &[u32],
     num_subproblems: usize,
     funcs_per_subproblem: usize,
     scratch: &mut SubproblemScratch,
-    groups: &mut Vec<Vec<usize>>,
+    groups: &mut IndexGroups,
 ) {
-    for group in groups.drain(..) {
-        scratch.recycle_group(group);
-    }
+    groups.clear();
     let n = opt_counts.len();
     scratch.weights.clear();
     scratch
@@ -89,13 +136,12 @@ pub fn sample_subproblems_into(
     let weights = &mut scratch.weights;
     let mut remaining = n;
     for _ in 0..num_subproblems {
-        let mut group = scratch.spare.pop().unwrap_or_default();
-        debug_assert!(group.is_empty(), "recycled group must arrive empty");
-        group.reserve(funcs_per_subproblem);
         for _ in 0..funcs_per_subproblem {
             if remaining == 0 {
                 break;
             }
+            // Recomputed per draw on purpose: a running total would change
+            // the float rounding of the thresholds and thus the draws.
             let total: f64 = weights.iter().sum();
             if total <= 0.0 {
                 break;
@@ -118,15 +164,11 @@ pub fn sample_subproblems_into(
                     .rposition(|&w| w > 0.0)
                     .expect("total > 0 implies a positive weight")
             });
-            group.push(idx);
+            groups.push(idx);
             weights[idx] = 0.0;
             remaining -= 1;
         }
-        if group.is_empty() {
-            scratch.spare.push(group);
-        } else {
-            groups.push(group);
-        }
+        groups.commit_group();
     }
 }
 
@@ -144,29 +186,59 @@ pub fn combine_solutions(rounds: &[Vec<FnChoice>]) -> Vec<FnChoice> {
     for r in rounds {
         assert_eq!(r.len(), n, "rounds must agree on the function count");
     }
-    (0..n)
-        .map(|i| {
-            let mean_mins = rounds
-                .iter()
-                .map(|r| r[i].keep_alive.as_mins_f64())
-                .sum::<f64>()
-                / rounds.len() as f64;
-            let compress_votes = rounds.iter().filter(|r| r[i].compress).count() * 2;
-            let arm_votes = rounds.iter().filter(|r| r[i].arch == Arch::Arm).count() * 2;
-            let last = rounds.last().expect("non-empty")[i];
-            let compress = match compress_votes.cmp(&rounds.len()) {
-                std::cmp::Ordering::Greater => true,
-                std::cmp::Ordering::Less => false,
-                std::cmp::Ordering::Equal => last.compress,
-            };
-            let arch = match arm_votes.cmp(&rounds.len()) {
-                std::cmp::Ordering::Greater => Arch::Arm,
-                std::cmp::Ordering::Less => Arch::X86,
-                std::cmp::Ordering::Equal => last.arch,
-            };
-            FnChoice::new(arch, compress, SimDuration::from_secs_f64(mean_mins * 60.0))
-        })
-        .collect()
+    let mut out = Vec::with_capacity(n);
+    combine_impl(rounds.len(), n, |r, i| rounds[r][i], &mut out);
+    out
+}
+
+/// [`combine_solutions`] over a flat rounds-major buffer (round `r` is
+/// `flat[r * n..(r + 1) * n]`), writing into a recycled output vector.
+///
+/// # Panics
+///
+/// Panics if `flat` is empty or its length is not a multiple of `n`.
+pub fn combine_solutions_into(flat: &[FnChoice], n: usize, out: &mut Vec<FnChoice>) {
+    assert!(!flat.is_empty(), "need at least one round to combine");
+    assert_eq!(
+        flat.len() % n.max(1),
+        0,
+        "rounds must agree on the function count"
+    );
+    let rounds = flat.len().checked_div(n).unwrap_or(1);
+    combine_impl(rounds, n, |r, i| flat[r * n + i], &mut *out);
+}
+
+fn combine_impl(
+    rounds: usize,
+    n: usize,
+    get: impl Fn(usize, usize) -> FnChoice,
+    out: &mut Vec<FnChoice>,
+) {
+    out.clear();
+    for i in 0..n {
+        let mean_mins = (0..rounds)
+            .map(|r| get(r, i).keep_alive.as_mins_f64())
+            .sum::<f64>()
+            / rounds as f64;
+        let compress_votes = (0..rounds).filter(|&r| get(r, i).compress).count() * 2;
+        let arm_votes = (0..rounds).filter(|&r| get(r, i).arch == Arch::Arm).count() * 2;
+        let last = get(rounds - 1, i);
+        let compress = match compress_votes.cmp(&rounds) {
+            std::cmp::Ordering::Greater => true,
+            std::cmp::Ordering::Less => false,
+            std::cmp::Ordering::Equal => last.compress,
+        };
+        let arch = match arm_votes.cmp(&rounds) {
+            std::cmp::Ordering::Greater => Arch::Arm,
+            std::cmp::Ordering::Less => Arch::X86,
+            std::cmp::Ordering::Equal => last.arch,
+        };
+        out.push(FnChoice::new(
+            arch,
+            compress,
+            SimDuration::from_secs_f64(mean_mins * 60.0),
+        ));
+    }
 }
 
 #[cfg(test)]
@@ -227,15 +299,42 @@ mod tests {
     fn scratch_sampling_matches_allocating_sampling() {
         let counts: Vec<u32> = (0..40).map(|i| i % 5).collect();
         let mut scratch = SubproblemScratch::default();
-        let mut groups = Vec::new();
+        let mut groups = IndexGroups::default();
         for seed in 0..8 {
             let mut rng_a = StdRng::seed_from_u64(seed);
             let mut rng_b = StdRng::seed_from_u64(seed);
             let fresh = sample_subproblems(&mut rng_a, &counts, 4, 6);
             // Reused buffers across iterations — results must not differ.
             sample_subproblems_into(&mut rng_b, &counts, 4, 6, &mut scratch, &mut groups);
-            assert_eq!(fresh, groups, "seed {seed} diverged");
+            let flat: Vec<Vec<usize>> = groups.iter().map(|g| g.to_vec()).collect();
+            assert_eq!(fresh, flat, "seed {seed} diverged");
         }
+    }
+
+    #[test]
+    fn combine_into_matches_nested_combine() {
+        let rounds: Vec<Vec<FnChoice>> = (0..3)
+            .map(|r| {
+                (0..5)
+                    .map(|i| {
+                        FnChoice::new(
+                            if (r + i) % 2 == 0 {
+                                Arch::X86
+                            } else {
+                                Arch::Arm
+                            },
+                            (r * i) % 3 == 0,
+                            SimDuration::from_mins((r as u64 * 7 + i as u64) % 61),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let nested = combine_solutions(&rounds);
+        let flat: Vec<FnChoice> = rounds.iter().flatten().copied().collect();
+        let mut out = Vec::new();
+        combine_solutions_into(&flat, 5, &mut out);
+        assert_eq!(nested, out);
     }
 
     #[test]

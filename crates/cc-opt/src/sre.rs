@@ -5,27 +5,62 @@ use rand::SeedableRng;
 
 use cc_types::FnChoice;
 
-use crate::space::{combine_solutions, sample_subproblems_into, SubproblemScratch};
+use crate::separable::{DescentScratch, TermBaseline};
+use crate::space::{
+    combine_solutions_into, sample_subproblems_into, IndexGroups, SubproblemScratch,
+};
 use crate::{CoordinateDescent, Objective, OptOutcome};
 
 /// Reusable working storage for [`Sre`]'s round loop.
 ///
-/// One SRE run churns through a family of short-lived vectors — sampling
-/// weights, sub-problem index groups, per-group solution copies, the
-/// touched-index list, and the per-round snapshots. A long-lived scheduler
-/// that re-optimizes every interval can hold one `SreScratch` and pass it
-/// to the `_with_scratch` entry points so those buffers are allocated once
-/// and recycled forever after. Results are bit-identical with or without
-/// scratch reuse; the scratch carries no state between runs other than
-/// spare capacity.
+/// One SRE run churns through a family of short-lived buffers — sampling
+/// weights, sub-problem index groups, the working-solution copy handed to
+/// the inner descent, the touched-index list, the per-round snapshots, and
+/// the descent's own working vectors. A long-lived scheduler that
+/// re-optimizes every interval can hold one `SreScratch` and pass it to
+/// the `_with_scratch` entry points so those buffers are allocated once
+/// and recycled forever after: a steady-state serial round performs
+/// **zero** heap allocations (the parallel path still allocates per-thread
+/// copies). Groups and round snapshots are flat index-range-over-buffer
+/// layouts rather than nested `Vec<Vec<_>>`, so refilling them never
+/// re-allocates. Results are bit-identical with or without scratch reuse;
+/// the scratch carries no state between runs other than spare capacity.
 #[derive(Debug, Default)]
 pub struct SreScratch {
     subproblems: SubproblemScratch,
-    groups: Vec<Vec<usize>>,
+    groups: IndexGroups,
     touched: Vec<usize>,
-    round_solutions: Vec<Vec<FnChoice>>,
-    spare_solutions: Vec<Vec<FnChoice>>,
+    /// Round snapshots, rounds-major: round `r` is `[r * n, (r + 1) * n)`.
+    round_solutions: Vec<FnChoice>,
+    /// The solution copy handed to the serial inner descent; recycled from
+    /// the returned outcome after every group.
+    work: Vec<FnChoice>,
+    /// Per-round pending splice list `(function index, optimized choice)`,
+    /// applied only after every group has optimized against the same
+    /// pre-round working solution.
+    splices: Vec<(usize, FnChoice)>,
+    /// Output buffer for the final mean/majority combination.
+    combined: Vec<FnChoice>,
+    /// Pre-round snapshot used by the probe's accepted-move diff.
+    probe_snapshot: Vec<FnChoice>,
+    descent: DescentScratch,
+    /// Shared per-round term tables: every sub-problem in a round descends
+    /// from the same pre-round solution, so the separable path computes
+    /// the O(N) service/cost baseline once per round here instead of once
+    /// per sub-problem (see [`TermBaseline`]).
+    baseline: TermBaseline,
 }
+
+/// The inner sub-problem optimizer handed to the round loop: takes a copy
+/// of the working solution, the sampled function-index group, the caller's
+/// descent scratch, and the round's shared term baseline (empty on the
+/// generic, non-separable paths); returns the optimized copy.
+type SubsetOptimizer<'a> =
+    dyn Fn(Vec<FnChoice>, &[usize], &mut DescentScratch, &TermBaseline) -> OptOutcome + Sync + 'a;
+
+/// Refreshes the shared [`TermBaseline`] from the round's starting
+/// solution; `None` on the generic paths, which have no term structure.
+type BaselinePrepare<'a> = dyn Fn(&[FnChoice], &mut TermBaseline) + 'a;
 
 /// Per-round progress snapshot, reported through the optional probe of
 /// [`Sre::optimize_probed`] / [`Sre::optimize_separable_probed`].
@@ -154,7 +189,8 @@ impl Sre {
             start,
             opt_counts,
             None,
-            &move |s, group| inner.optimize_subset(objective, s, group),
+            &move |s, group, _scratch, _baseline| inner.optimize_subset(objective, s, group),
+            None,
             &mut scratch,
         )
     }
@@ -175,7 +211,8 @@ impl Sre {
             start,
             opt_counts,
             Some(probe),
-            &move |s, group| inner.optimize_subset(objective, s, group),
+            &move |s, group, _scratch, _baseline| inner.optimize_subset(objective, s, group),
+            None,
             &mut scratch,
         )
     }
@@ -208,12 +245,18 @@ impl Sre {
     ) -> OptOutcome {
         let view = crate::SeparableView(objective);
         let inner = self.inner.clone();
+        let prepare = |solution: &[FnChoice], baseline: &mut TermBaseline| {
+            baseline.compute(objective, solution)
+        };
         self.run_rounds(
             &view,
             start,
             opt_counts,
             None,
-            &move |s, group| inner.optimize_separable_subset(objective, s, group),
+            &move |s, group, scratch, baseline| {
+                inner.optimize_separable_subset_seeded(objective, s, group, scratch, baseline)
+            },
+            Some(&prepare),
             scratch,
         )
     }
@@ -250,30 +293,53 @@ impl Sre {
     ) -> OptOutcome {
         let view = crate::SeparableView(objective);
         let inner = self.inner.clone();
+        let prepare = |solution: &[FnChoice], baseline: &mut TermBaseline| {
+            baseline.compute(objective, solution)
+        };
         self.run_rounds(
             &view,
             start,
             opt_counts,
             Some(probe),
-            &move |s, group| inner.optimize_separable_subset(objective, s, group),
+            &move |s, group, scratch, baseline| {
+                inner.optimize_separable_subset_seeded(objective, s, group, scratch, baseline)
+            },
+            Some(&prepare),
             scratch,
         )
     }
 
     /// Shared SRE machinery, parameterized over the sub-problem optimizer.
     ///
-    /// All transient vectors (groups, per-group solution copies, touched
-    /// indices, round snapshots) live in `scratch` and are recycled, so a
-    /// caller reusing one scratch across intervals allocates only in the
-    /// parallel path (threads need owned solutions) and in
-    /// `combine_solutions`.
+    /// All transient buffers (the flat group index list, the working
+    /// solution handed to the descent, the pending-splice list, touched
+    /// indices, the flat round snapshots, and the combination output) live
+    /// in `scratch` and are recycled, so a caller reusing one scratch
+    /// across intervals performs zero steady-state allocations on the
+    /// serial path. Only the parallel path allocates (threads need owned
+    /// solutions and their own descent scratch).
+    ///
+    /// Every group optimizes against the same pre-round working solution:
+    /// splices are collected and applied only after the whole round, on
+    /// both the serial and parallel paths, so the two agree bit-for-bit
+    /// (a budget-constrained descent reads the *total* cost of its start,
+    /// which an early in-place splice would perturb).
+    ///
+    /// That shared starting point is also why `prepare` exists: on the
+    /// separable paths it refreshes the round's [`TermBaseline`] from the
+    /// working solution exactly once, and every sub-problem descent seeds
+    /// from it instead of re-deriving the O(N) term tables. Bit-identical
+    /// either way — the baseline holds the very floats each descent would
+    /// have computed.
+    #[allow(clippy::too_many_arguments)]
     fn run_rounds(
         &self,
         objective: &dyn Objective,
         start: Vec<FnChoice>,
         opt_counts: &mut [u32],
         mut probe: Option<&mut dyn FnMut(SreRoundStats)>,
-        optimize_subset: &(dyn Fn(Vec<FnChoice>, &[usize]) -> OptOutcome + Sync),
+        optimize_subset: &SubsetOptimizer<'_>,
+        prepare: Option<&BaselinePrepare<'_>>,
         scratch: &mut SreScratch,
     ) -> OptOutcome {
         let n = objective.num_functions();
@@ -294,19 +360,21 @@ impl Sre {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut current = start;
         let mut evaluations = 0u64;
-        // Split-borrow the scratch once: the round loop needs the group
-        // list and the spare pools live at the same time.
+        // Split-borrow the scratch once: the round loop needs several of
+        // its buffers live at the same time.
         let SreScratch {
             subproblems,
             groups,
             touched,
             round_solutions,
-            spare_solutions,
+            work,
+            splices,
+            combined,
+            probe_snapshot,
+            descent,
+            baseline,
         } = scratch;
-        for mut stale in round_solutions.drain(..) {
-            stale.clear();
-            spare_solutions.push(stale);
-        }
+        round_solutions.clear();
 
         for round in 0..self.rounds {
             // Wall-clock probe (one relaxed atomic when profiling is off):
@@ -315,8 +383,11 @@ impl Sre {
             let _round_span = cc_prof::DynScope::new(cc_prof::Phase::SreRound);
             // Probe-only bookkeeping: a pre-round snapshot for the
             // accepted-move diff, and the evaluation watermark. Neither
-            // exists on the unprobed path.
-            let round_start = probe.as_ref().map(|_| current.clone());
+            // costs anything on the unprobed path.
+            if probe.is_some() {
+                probe_snapshot.clear();
+                probe_snapshot.extend_from_slice(&current);
+            }
             let evals_before = evaluations;
             sample_subproblems_into(
                 &mut rng,
@@ -326,47 +397,65 @@ impl Sre {
                 subproblems,
                 groups,
             );
-            let outcomes: Vec<OptOutcome> = if self.parallel && groups.len() > 1 {
+            splices.clear();
+            // The term baseline is a function of the working solution, so
+            // it must be refreshed after the previous round's splices and
+            // repair — i.e. exactly once here, then shared by every group.
+            if let Some(prepare) = prepare {
+                prepare(&current, baseline);
+            }
+            if self.parallel && groups.len() > 1 {
                 let current_ref = &current;
-                std::thread::scope(|scope| {
+                let baseline_ref: &TermBaseline = baseline;
+                let outcomes: Vec<OptOutcome> = std::thread::scope(|scope| {
                     let handles: Vec<_> = groups
                         .iter()
                         .map(|group| {
-                            scope.spawn(move || optimize_subset(current_ref.clone(), group))
+                            scope.spawn(move || {
+                                let mut descent = DescentScratch::default();
+                                optimize_subset(
+                                    current_ref.clone(),
+                                    group,
+                                    &mut descent,
+                                    baseline_ref,
+                                )
+                            })
                         })
                         .collect();
                     handles
                         .into_iter()
                         .map(|h| h.join().expect("sub-problem thread panicked"))
                         .collect()
-                })
+                });
+                for (group, outcome) in groups.iter().zip(&outcomes) {
+                    evaluations += outcome.evaluations;
+                    for &idx in group {
+                        splices.push((idx, outcome.solution[idx]));
+                    }
+                }
             } else {
-                groups
-                    .iter()
-                    .map(|group| {
-                        let mut copy = spare_solutions.pop().unwrap_or_default();
-                        copy.clear();
-                        copy.extend_from_slice(&current);
-                        optimize_subset(copy, group)
-                    })
-                    .collect()
-            };
-
-            // Splice each sub-problem's optimized choices back in (groups
-            // are disjoint, so order does not matter).
-            touched.clear();
-            for (group, outcome) in groups.iter().zip(&outcomes) {
-                evaluations += outcome.evaluations;
-                for &idx in group {
-                    current[idx] = outcome.solution[idx];
-                    opt_counts[idx] += 1;
-                    touched.push(idx);
+                for group in groups.iter() {
+                    let mut buf = std::mem::take(work);
+                    buf.clear();
+                    buf.extend_from_slice(&current);
+                    let outcome = optimize_subset(buf, group, descent, baseline);
+                    evaluations += outcome.evaluations;
+                    for &idx in group {
+                        splices.push((idx, outcome.solution[idx]));
+                    }
+                    // Recycle the descent's solution as the next group's
+                    // working copy — the serial loop owns exactly one.
+                    *work = outcome.solution;
                 }
             }
-            for outcome in outcomes {
-                let mut buf = outcome.solution;
-                buf.clear();
-                spare_solutions.push(buf);
+
+            // Splice each sub-problem's optimized choices back in (groups
+            // are disjoint, so every index appears at most once).
+            touched.clear();
+            for &(idx, choice) in splices.iter() {
+                current[idx] = choice;
+                opt_counts[idx] += 1;
+                touched.push(idx);
             }
             // The sub-problems ran in parallel against the same budget
             // headroom, so the spliced solution can jointly overspend even
@@ -389,10 +478,10 @@ impl Sre {
                     }
                 }
             }
-            if let (Some(probe), Some(before)) = (probe.as_deref_mut(), round_start) {
+            if let Some(probe) = probe.as_deref_mut() {
                 let mut accepted_moves = 0u64;
                 for &idx in touched.iter() {
-                    let (a, b) = (before[idx], current[idx]);
+                    let (a, b) = (probe_snapshot[idx], current[idx]);
                     accepted_moves += u64::from(a.arch != b.arch)
                         + u64::from(a.compress != b.compress)
                         + u64::from(a.keep_alive != b.keep_alive);
@@ -408,30 +497,25 @@ impl Sre {
                     evaluations: evaluations - evals_before,
                 });
             }
-            let mut snap = spare_solutions.pop().unwrap_or_default();
-            snap.clear();
-            snap.extend_from_slice(&current);
-            round_solutions.push(snap);
+            round_solutions.extend_from_slice(&current);
         }
-        current.clear();
-        spare_solutions.push(current);
 
         // Final answer: the mean of the round solutions — unless it is
         // infeasible or worse than the best round, in which case that
         // round wins.
-        let combined = combine_solutions(round_solutions);
+        combine_solutions_into(round_solutions, n, combined);
         evaluations += 1;
-        let combined_cost = if objective.is_feasible(&combined) {
-            objective.evaluate(&combined)
+        let combined_cost = if objective.is_feasible(combined) {
+            objective.evaluate(combined)
         } else {
             f64::INFINITY
         };
         // First-minimum-wins, matching `Iterator::min_by` over the rounds
         // in order; the snapshots stay in the scratch for the next run.
         let mut best: Option<(f64, usize)> = None;
-        for (idx, solution) in round_solutions.iter().enumerate() {
+        for idx in 0..self.rounds {
             evaluations += 1;
-            let cost = objective.evaluate(solution);
+            let cost = objective.evaluate(&round_solutions[idx * n..(idx + 1) * n]);
             let better = match best {
                 None => true,
                 Some((best_cost, _)) => cost.total_cmp(&best_cost) == std::cmp::Ordering::Less,
@@ -442,15 +526,21 @@ impl Sre {
         }
         let (best_round_cost, best_idx) = best.expect("at least one round ran");
 
+        // Reuse `current` (already the right length and capacity) as the
+        // returned solution buffer: the caller gave us `start` and gets it
+        // back refilled, so the whole run is allocation-neutral.
+        current.clear();
         if combined_cost <= best_round_cost {
+            current.extend_from_slice(combined);
             OptOutcome {
-                solution: combined,
+                solution: current,
                 cost: combined_cost,
                 evaluations,
             }
         } else {
+            current.extend_from_slice(&round_solutions[best_idx * n..(best_idx + 1) * n]);
             OptOutcome {
-                solution: std::mem::take(&mut round_solutions[best_idx]),
+                solution: current,
                 cost: best_round_cost,
                 evaluations,
             }

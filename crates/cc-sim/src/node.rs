@@ -62,6 +62,21 @@ impl WarmInstance {
     pub fn pays_decompression(&self, now: SimTime) -> bool {
         self.compressed && now >= self.compressed_ready_at
     }
+
+    /// The candidate-key penalty class this instance enters the pool
+    /// with: a compressed instance whose compression is already complete
+    /// at admission pays decompression from the start; everything else
+    /// enters the zero-penalty class (a reuse before
+    /// `compressed_ready_at` still finds the uncompressed copy) and is
+    /// re-keyed by the pool's transition migration once compression
+    /// completes.
+    pub(crate) fn admission_key_penalty(&self) -> SimDuration {
+        if self.compressed && self.compressed_ready_at <= self.since {
+            self.decompress_penalty
+        } else {
+            SimDuration::ZERO
+        }
+    }
 }
 
 /// Mutable state of one worker node.

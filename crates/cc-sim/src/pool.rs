@@ -43,16 +43,36 @@ type CandidateKey = (SimDuration, SimTime, u64, WarmId);
 
 const NO_SLOT: u32 = u32::MAX;
 
-#[derive(Debug)]
-struct Slot {
-    /// Bumped every time the slot is freed; a handle is live iff its
-    /// generation matches.
-    generation: u32,
-    state: SlotState,
+/// Hot per-slot fields, split struct-of-arrays style from the full
+/// [`WarmInstance`]: everything the per-arrival paths (candidate-key
+/// computation on removal, transition migration, expiry drain) need, in
+/// one 24-byte record so those reads touch a dense array instead of
+/// dragging whole instances through the cache.
+#[derive(Debug, Clone, Copy)]
+struct SlotHot {
+    /// Keep-alive expiry of the occupying instance.
+    expiry: SimTime,
+    /// Admission number of the occupying instance.
+    seq: u64,
+    /// The penalty class the instance's candidate key currently carries:
+    /// zero until the compression re-key transition migrates it, the
+    /// decompression penalty after. Maintained by insert/migrate so
+    /// removal reads the current key in O(1) instead of inferring it from
+    /// the transition set.
+    key_penalty: SimDuration,
 }
 
+impl SlotHot {
+    const VACANT: SlotHot = SlotHot {
+        expiry: SimTime::ZERO,
+        seq: 0,
+        key_penalty: SimDuration::ZERO,
+    };
+}
+
+/// Cold per-slot payload: the full instance, or the free-list link.
 #[derive(Debug)]
-enum SlotState {
+enum SlotCold {
     Occupied(WarmInstance),
     Vacant { next_free: u32 },
 }
@@ -68,9 +88,23 @@ struct FunctionEntry {
 }
 
 /// The warm-instance arena and its indexes. See the module docs.
+///
+/// The arena is laid out struct-of-arrays: `generations`, `hot`, and
+/// `cold` are parallel vectors indexed by slot. The generational
+/// [`WarmId`] contract is unchanged — a handle is live iff its generation
+/// matches `generations[slot]` — and candidate ordering is bit-identical
+/// to the former array-of-structs layout (the ordered indexes are the
+/// same; only the backing storage moved).
 #[derive(Debug)]
 pub(crate) struct WarmPool {
-    slots: Vec<Slot>,
+    /// Per slot: bumped every time the slot is freed; a handle is live iff
+    /// its generation matches.
+    generations: Vec<u32>,
+    /// Per slot: the hot fields of the occupying instance (garbage while
+    /// vacant).
+    hot: Vec<SlotHot>,
+    /// Per slot: the full instance, or the free-list link while vacant.
+    cold: Vec<SlotCold>,
     free_head: u32,
     len: usize,
     compressed: usize,
@@ -95,7 +129,9 @@ impl WarmPool {
     /// `functions` distinct functions.
     pub fn new(functions: usize, nodes: usize) -> WarmPool {
         WarmPool {
-            slots: Vec::new(),
+            generations: Vec::new(),
+            hot: Vec::new(),
+            cold: Vec::new(),
             free_head: NO_SLOT,
             len: 0,
             compressed: 0,
@@ -126,13 +162,12 @@ impl WarmPool {
     /// (the instance was reused, evicted, or expired; the slot may by now
     /// hold a different instance of a newer generation).
     pub fn get(&self, id: WarmId) -> Option<&WarmInstance> {
-        let slot = self.slots.get(id.slot())?;
-        if slot.generation != id.generation() {
+        if *self.generations.get(id.slot())? != id.generation() {
             return None;
         }
-        match &slot.state {
-            SlotState::Occupied(inst) => Some(inst),
-            SlotState::Vacant { .. } => None,
+        match &self.cold[id.slot()] {
+            SlotCold::Occupied(inst) => Some(inst),
+            SlotCold::Vacant { .. } => None,
         }
     }
 
@@ -145,23 +180,22 @@ impl WarmPool {
 
         let slot_index = if self.free_head != NO_SLOT {
             let index = self.free_head;
-            let SlotState::Vacant { next_free } = self.slots[index as usize].state else {
+            let SlotCold::Vacant { next_free } = self.cold[index as usize] else {
                 unreachable!("free list points at an occupied slot");
             };
             self.free_head = next_free;
             index
         } else {
             assert!(
-                self.slots.len() < NO_SLOT as usize,
+                self.cold.len() < NO_SLOT as usize,
                 "warm pool slot space exhausted"
             );
-            self.slots.push(Slot {
-                generation: 0,
-                state: SlotState::Vacant { next_free: NO_SLOT },
-            });
-            (self.slots.len() - 1) as u32
+            self.generations.push(0);
+            self.hot.push(SlotHot::VACANT);
+            self.cold.push(SlotCold::Vacant { next_free: NO_SLOT });
+            (self.cold.len() - 1) as u32
         };
-        let id = WarmId::new(slot_index, self.slots[slot_index as usize].generation);
+        let id = WarmId::new(slot_index, self.generations[slot_index as usize]);
         inst.id = id;
 
         let entry = &mut self.functions[inst.function.index()];
@@ -170,11 +204,7 @@ impl WarmPool {
         // the uncompressed copy until compression completes) and is parked
         // for re-keying — unless compression is instantaneous, in which
         // case it pays decompression from the start.
-        let key_penalty = if inst.compressed && inst.compressed_ready_at <= inst.since {
-            inst.decompress_penalty
-        } else {
-            SimDuration::ZERO
-        };
+        let key_penalty = inst.admission_key_penalty();
         entry
             .candidates
             .insert((key_penalty, inst.expiry, inst.seq, id));
@@ -188,7 +218,12 @@ impl WarmPool {
         self.residents[inst.node.index()].insert((inst.seq, id));
         self.expiries.insert((inst.expiry, inst.seq, id));
 
-        self.slots[slot_index as usize].state = SlotState::Occupied(inst);
+        self.hot[slot_index as usize] = SlotHot {
+            expiry: inst.expiry,
+            seq: inst.seq,
+            key_penalty,
+        };
+        self.cold[slot_index as usize] = SlotCold::Occupied(inst);
         self.len += 1;
         id
     }
@@ -201,44 +236,54 @@ impl WarmPool {
     /// Panics if the handle is stale — engine invariants guarantee removal
     /// targets are alive, so a stale handle here is a bug.
     pub fn remove(&mut self, id: WarmId) -> WarmInstance {
-        let slot = &mut self.slots[id.slot()];
         assert_eq!(
-            slot.generation,
+            self.generations[id.slot()],
             id.generation(),
             "instance must exist to be removed"
         );
+        // All three ordered-index removals key off the hot array — the
+        // candidate key's current penalty class (maintained by insert and
+        // `migrate_due`, so no probing the transition set to infer it),
+        // the expiry, and the admission seq — one dense 24-byte read
+        // instead of dragging the whole instance through the cache first.
+        let SlotHot {
+            expiry,
+            seq,
+            key_penalty,
+        } = self.hot[id.slot()];
         let state = std::mem::replace(
-            &mut slot.state,
-            SlotState::Vacant {
+            &mut self.cold[id.slot()],
+            SlotCold::Vacant {
                 next_free: self.free_head,
             },
         );
-        let SlotState::Occupied(inst) = state else {
+        let SlotCold::Occupied(inst) = state else {
             panic!("instance must exist to be removed");
         };
-        slot.generation += 1;
+        debug_assert_eq!(
+            (expiry, seq),
+            (inst.expiry, inst.seq),
+            "hot array out of sync"
+        );
+        self.generations[id.slot()] += 1;
+        self.hot[id.slot()] = SlotHot::VACANT;
         self.free_head = id.slot() as u32;
         self.len -= 1;
 
-        // The candidate key's penalty class depends on whether the re-key
-        // transition has already happened; removing the parked transition
-        // entry tells us which key is current.
-        let key_penalty = if inst.compressed {
+        if inst.compressed {
+            // Drop the parked re-key transition if it never fired; a
+            // no-op for instances that already migrated (or entered the
+            // penalty class at admission).
             let parked = self
                 .transitions
-                .remove(&(inst.compressed_ready_at, inst.seq, id));
-            if parked {
-                SimDuration::ZERO
-            } else {
-                inst.decompress_penalty
-            }
-        } else {
-            SimDuration::ZERO
-        };
+                .remove(&(inst.compressed_ready_at, seq, id));
+            debug_assert!(
+                !parked || key_penalty.is_zero(),
+                "hot penalty class out of sync with the transition set"
+            );
+        }
         let entry = &mut self.functions[inst.function.index()];
-        let removed = entry
-            .candidates
-            .remove(&(key_penalty, inst.expiry, inst.seq, id));
+        let removed = entry.candidates.remove(&(key_penalty, expiry, seq, id));
         debug_assert!(removed, "candidate index out of sync");
         let position = entry
             .order
@@ -246,9 +291,9 @@ impl WarmPool {
             .position(|&i| i == id)
             .expect("order index out of sync");
         entry.order.remove(position);
-        let removed = self.residents[inst.node.index()].remove(&(inst.seq, id));
+        let removed = self.residents[inst.node.index()].remove(&(seq, id));
         debug_assert!(removed, "residency index out of sync");
-        let removed = self.expiries.remove(&(inst.expiry, inst.seq, id));
+        let removed = self.expiries.remove(&(expiry, seq, id));
         debug_assert!(removed, "expiry calendar out of sync");
         if inst.compressed {
             self.compressed -= 1;
@@ -276,6 +321,7 @@ impl WarmPool {
             self.transitions.remove(&(ready_at, seq, id));
             let inst = self.get(id).expect("parked transition for a dead instance");
             let (function, expiry, penalty) = (inst.function, inst.expiry, inst.decompress_penalty);
+            self.hot[id.slot()].key_penalty = penalty;
             let entry = &mut self.functions[function.index()];
             let removed = entry
                 .candidates
@@ -501,7 +547,10 @@ mod tests {
                 1..24,
             ),
             removals in prop::collection::vec(any::<u16>(), 0..8),
-            query_s in 0u64..260,
+            // Monotonically applied query times: migration is incremental
+            // (each instance re-keys at most once), so the index must match
+            // the sort-based reference at EVERY step, not just the last.
+            query_steps in prop::collection::vec(0u64..130, 1..4),
         ) {
             let mut pool = WarmPool::new(1, 4);
             let mut ids = Vec::new();
@@ -519,29 +568,39 @@ mod tests {
                 pool.remove(victim);
             }
 
-            let now = at(query_s);
-            pool.migrate_due(now);
-            let indexed: Vec<WarmId> =
-                pool.candidates_of(FunctionId::new(0)).collect();
+            // Removals interleaved between migration steps exercise the
+            // penalty-class read on both sides of each re-key.
+            let mut now_s = 0u64;
+            for (step, &advance) in query_steps.iter().enumerate() {
+                now_s += advance;
+                let now = at(now_s);
+                pool.migrate_due(now);
+                if step > 0 && !ids.is_empty() {
+                    let victim = ids.swap_remove(step % ids.len());
+                    pool.remove(victim);
+                }
+                let indexed: Vec<WarmId> =
+                    pool.candidates_of(FunctionId::new(0)).collect();
 
-            // Pre-refactor selection: collect live instances, compute the
-            // penalty a reuse at `now` would pay, sort.
-            let mut brute: Vec<(SimDuration, SimTime, u64, WarmId)> = ids
-                .iter()
-                .map(|&id| {
-                    let inst = pool.get(id).expect("live");
-                    let penalty = if inst.pays_decompression(now) {
-                        inst.decompress_penalty
-                    } else {
-                        SimDuration::ZERO
-                    };
-                    (penalty, inst.expiry, inst.seq, id)
-                })
-                .collect();
-            brute.sort();
-            let brute: Vec<WarmId> = brute.into_iter().map(|(_, _, _, id)| id).collect();
+                // Pre-refactor selection: collect live instances, compute
+                // the penalty a reuse at `now` would pay, sort.
+                let mut brute: Vec<(SimDuration, SimTime, u64, WarmId)> = ids
+                    .iter()
+                    .map(|&id| {
+                        let inst = pool.get(id).expect("live");
+                        let penalty = if inst.pays_decompression(now) {
+                            inst.decompress_penalty
+                        } else {
+                            SimDuration::ZERO
+                        };
+                        (penalty, inst.expiry, inst.seq, id)
+                    })
+                    .collect();
+                brute.sort();
+                let brute: Vec<WarmId> = brute.into_iter().map(|(_, _, _, id)| id).collect();
 
-            prop_assert_eq!(indexed, brute);
+                prop_assert_eq!(indexed, brute, "diverged at step {} (now={}s)", step, now_s);
+            }
         }
 
         // Slab bookkeeping stays consistent under arbitrary interleavings

@@ -78,7 +78,15 @@ impl FnChoice {
     /// affordable. Without them, gradient descent could never route
     /// through compression.
     pub fn neighbors(&self) -> Vec<FnChoice> {
-        let mut out = Vec::with_capacity(8);
+        self.neighbors_inline().as_slice().to_vec()
+    }
+
+    /// [`FnChoice::neighbors`] without the heap: the lattice degree is at
+    /// most six, so the list fits a fixed-capacity inline buffer. The hot
+    /// descent loops use this so a steady-state optimizer round performs
+    /// zero allocations. Order is identical to [`FnChoice::neighbors`].
+    pub fn neighbors_inline(&self) -> NeighborList {
+        let mut out = NeighborList::default();
         out.push(FnChoice {
             compress: !self.compress,
             ..*self
@@ -112,6 +120,36 @@ impl FnChoice {
             });
         }
         out
+    }
+}
+
+/// Inline, allocation-free neighbor list (see
+/// [`FnChoice::neighbors_inline`]): at most six lattice neighbors in a
+/// fixed buffer.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NeighborList {
+    buf: [FnChoice; 6],
+    len: u8,
+}
+
+impl NeighborList {
+    fn push(&mut self, choice: FnChoice) {
+        self.buf[self.len as usize] = choice;
+        self.len += 1;
+    }
+
+    /// The populated neighbors, in lattice order.
+    pub fn as_slice(&self) -> &[FnChoice] {
+        &self.buf[..self.len as usize]
+    }
+}
+
+impl<'a> IntoIterator for &'a NeighborList {
+    type Item = FnChoice;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, FnChoice>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter().copied()
     }
 }
 
@@ -187,6 +225,20 @@ mod tests {
             .neighbors()
             .iter()
             .all(|n| n.keep_alive <= KEEP_ALIVE_MAX));
+    }
+
+    #[test]
+    fn inline_neighbors_match_allocating_neighbors() {
+        for mins in [0u64, 1, 10, 59, 60] {
+            for compress in [false, true] {
+                for arch in [Arch::X86, Arch::Arm] {
+                    let c = FnChoice::new(arch, compress, SimDuration::from_mins(mins));
+                    assert_eq!(c.neighbors_inline().as_slice(), &c.neighbors()[..]);
+                    let iterated: Vec<FnChoice> = c.neighbors_inline().into_iter().collect();
+                    assert_eq!(iterated, c.neighbors());
+                }
+            }
+        }
     }
 
     #[test]

@@ -35,7 +35,7 @@ mod record;
 mod time;
 
 pub use arch::Arch;
-pub use choice::{FnChoice, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
+pub use choice::{FnChoice, NeighborList, KEEP_ALIVE_MAX, KEEP_ALIVE_STEP};
 pub use cost::{Cost, CostRate};
 pub use hash::{fnv1a, Fnv1a, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use ids::{FunctionId, NodeId, WarmId};

@@ -1,7 +1,5 @@
 //! The CodeCrunch scheduler: SRE-driven per-interval planning.
 
-use std::collections::{BTreeSet, HashMap};
-
 use cc_opt::{CoordinateDescent, Objective, Sre, SreRoundStats, SreScratch};
 use cc_sim::{ClusterView, Command, KeepDecision, OptimizerRound, Scheduler};
 use cc_types::{Arch, FnChoice, FunctionId, ServiceRecord, SimDuration, SimTime};
@@ -22,8 +20,17 @@ pub struct CodeCrunch {
     pest: Vec<PestEstimator>,
     exec: ExecObserver,
     opt_counts: Vec<u32>,
-    plan: HashMap<FunctionId, FnChoice>,
-    invoked_this_interval: BTreeSet<FunctionId>,
+    /// The planned choice per function, indexed by [`FunctionId::index`]
+    /// (function ids are dense). `place`/`on_completion` run once per
+    /// invocation, so the lookup must be an array index, not a hash.
+    plan: Vec<Option<FnChoice>>,
+    /// Dense membership flags + insertion list standing in for an ordered
+    /// set of the functions invoked this interval: `on_arrival` tests and
+    /// sets a flag (O(1), no tree walk), and the interval tick sorts the
+    /// distinct-id list — [`FunctionId`]'s `Ord` is its dense index, so
+    /// the sorted order matches what a `BTreeSet` would have iterated.
+    invoked_flags: Vec<bool>,
+    invoked_list: Vec<FunctionId>,
     interval_index: u64,
     /// When set (by the engine, only while a real event sink is attached),
     /// per-round optimizer progress is buffered in `opt_rounds` for
@@ -34,6 +41,13 @@ pub struct CodeCrunch {
     /// Recycled SRE working buffers, reused across intervals so the
     /// per-interval optimization allocates nothing in steady state.
     sre_scratch: SreScratch,
+    /// Recycled interval-tick buffers (invoked-function list, P_est
+    /// column, start solution, local opt-counts); like `sre_scratch`,
+    /// these make the steady-state tick allocation-free.
+    scratch_functions: Vec<FunctionId>,
+    scratch_pest: Vec<Option<SimDuration>>,
+    scratch_start: Vec<FnChoice>,
+    scratch_counts: Vec<u32>,
 }
 
 impl CodeCrunch {
@@ -57,12 +71,17 @@ impl CodeCrunch {
             pest: Vec::new(),
             exec: ExecObserver::new(0, exec_alpha),
             opt_counts: Vec::new(),
-            plan: HashMap::new(),
-            invoked_this_interval: BTreeSet::new(),
+            plan: Vec::new(),
+            invoked_flags: Vec::new(),
+            invoked_list: Vec::new(),
             interval_index: 0,
             introspect: false,
             opt_rounds: Vec::new(),
             sre_scratch: SreScratch::default(),
+            scratch_functions: Vec::new(),
+            scratch_pest: Vec::new(),
+            scratch_start: Vec::new(),
+            scratch_counts: Vec::new(),
         }
     }
 
@@ -73,7 +92,7 @@ impl CodeCrunch {
 
     /// The current planned choice for a function, if any.
     pub fn planned(&self, function: FunctionId) -> Option<FnChoice> {
-        self.plan.get(&function).copied()
+        self.plan.get(function.index()).copied().flatten()
     }
 
     /// The current `P_est` re-invocation estimate for a function, if the
@@ -89,6 +108,8 @@ impl CodeCrunch {
                 self.config.pest_local_window,
             ));
             self.opt_counts.push(0);
+            self.plan.push(None);
+            self.invoked_flags.push(false);
         }
         if !self.exec.covers(needed) {
             self.exec.grow(needed);
@@ -237,8 +258,12 @@ impl Scheduler for CodeCrunch {
 
     fn on_arrival(&mut self, function: FunctionId, now: SimTime) {
         self.ensure_capacity(function);
-        self.pest[function.index()].record(now);
-        self.invoked_this_interval.insert(function);
+        let idx = function.index();
+        self.pest[idx].record(now);
+        if !self.invoked_flags[idx] {
+            self.invoked_flags[idx] = true;
+            self.invoked_list.push(function);
+        }
     }
 
     fn on_record(&mut self, record: &ServiceRecord) {
@@ -248,7 +273,7 @@ impl Scheduler for CodeCrunch {
 
     fn place(&mut self, function: FunctionId, view: &ClusterView<'_>) -> Arch {
         self.ensure_capacity(function);
-        match self.plan.get(&function) {
+        match self.plan[function.index()] {
             Some(choice) => self.config.arch_policy.clamp(choice.arch),
             None => self.default_choice(function, view).arch,
         }
@@ -261,11 +286,8 @@ impl Scheduler for CodeCrunch {
         view: &ClusterView<'_>,
     ) -> KeepDecision {
         self.ensure_capacity(function);
-        let choice = self
-            .plan
-            .get(&function)
-            .copied()
-            .unwrap_or_else(|| self.default_choice(function, view));
+        let choice =
+            self.plan[function.index()].unwrap_or_else(|| self.default_choice(function, view));
         let choice = self.finalize_choice(choice);
         KeepDecision {
             keep_alive: choice.keep_alive,
@@ -275,20 +297,31 @@ impl Scheduler for CodeCrunch {
 
     fn on_interval(&mut self, view: &ClusterView<'_>) -> Vec<Command> {
         self.interval_index += 1;
-        let functions: Vec<FunctionId> = std::mem::take(&mut self.invoked_this_interval)
-            .into_iter()
-            .collect();
+        // All interval-tick working vectors are recycled through the
+        // scratch fields: taken here, returned before every exit, so the
+        // steady-state tick performs no heap allocation.
+        let mut functions = std::mem::take(&mut self.scratch_functions);
+        functions.clear();
+        // Sorting the distinct-id list reproduces the ascending iteration
+        // order of the ordered set this replaces (ids sort by dense index).
+        self.invoked_list.sort_unstable();
+        functions.extend(self.invoked_list.iter().copied());
+        for &f in &self.invoked_list {
+            self.invoked_flags[f.index()] = false;
+        }
+        self.invoked_list.clear();
         if functions.is_empty() {
+            self.scratch_functions = functions;
             return Vec::new();
         }
         for &f in &functions {
             self.ensure_capacity(f);
         }
 
-        let pest: Vec<Option<SimDuration>> = functions
-            .iter()
-            .map(|f| self.pest[f.index()].estimate())
-            .collect();
+        let mut pest = std::mem::take(&mut self.scratch_pest);
+        pest.clear();
+        pest.extend(functions.iter().map(|f| self.pest[f.index()].estimate()));
+        let pest = pest;
         let budget = view.ledger.is_budgeted().then(|| view.ledger.balance());
         let objective = IntervalObjective {
             functions: &functions,
@@ -304,17 +337,13 @@ impl Scheduler for CodeCrunch {
 
         // Start from the current plans (or defaults), coerced feasible:
         // dropping everything always fits any budget.
-        let mut start: Vec<FnChoice> = functions
-            .iter()
-            .map(|&f| {
-                self.finalize_choice(
-                    self.plan
-                        .get(&f)
-                        .copied()
-                        .unwrap_or_else(|| self.default_choice(f, view)),
-                )
-            })
-            .collect();
+        let mut start = std::mem::take(&mut self.scratch_start);
+        start.clear();
+        start.extend(functions.iter().map(|&f| {
+            self.finalize_choice(
+                self.plan[f.index()].unwrap_or_else(|| self.default_choice(f, view)),
+            )
+        }));
         if !objective.is_feasible(&start) {
             // Scale every window down proportionally until the carried-over
             // plan fits the currently available credit; zeroing everything
@@ -345,10 +374,9 @@ impl Scheduler for CodeCrunch {
         }
 
         let outcome = if self.config.use_sre {
-            let mut local_counts: Vec<u32> = functions
-                .iter()
-                .map(|f| self.opt_counts[f.index()])
-                .collect();
+            let mut local_counts = std::mem::take(&mut self.scratch_counts);
+            local_counts.clear();
+            local_counts.extend(functions.iter().map(|f| self.opt_counts[f.index()]));
             let mut sre =
                 Sre::scaled_to(functions.len()).with_seed(self.config.seed ^ self.interval_index);
             sre.inner.eval_budget =
@@ -373,6 +401,7 @@ impl Scheduler for CodeCrunch {
             for (i, &f) in functions.iter().enumerate() {
                 self.opt_counts[f.index()] = local_counts[i];
             }
+            self.scratch_counts = local_counts;
             outcome
         } else {
             // The Fig. 12 "without SRE" arm: full-space descent under the
@@ -410,9 +439,13 @@ impl Scheduler for CodeCrunch {
         };
 
         for (i, &f) in functions.iter().enumerate() {
-            self.plan
-                .insert(f, self.finalize_choice(outcome.solution[i]));
+            self.plan[f.index()] = Some(self.finalize_choice(outcome.solution[i]));
         }
+        // The optimizer hands the start buffer back as its solution;
+        // recycle everything for the next tick.
+        self.scratch_start = outcome.solution;
+        self.scratch_pest = pest;
+        self.scratch_functions = functions;
         Vec::new()
     }
 
