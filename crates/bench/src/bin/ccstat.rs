@@ -37,6 +37,18 @@
 //! exits non-zero on any violation; pass `--assume-sampled` for captures
 //! taken with `--sample N` (counter sampling leaves no marker in the
 //! file, so the auditor must be told to suppress pairing checks).
+//!
+//! `ccstat replay <file.jsonl> --gap` computes each shard's optimality gap
+//! post-hoc, without re-simulating: service records and net keep-alive
+//! spend are reconstructed from the recorded events, priced with
+//! `cc-bound`'s cost model, and compared against the hindsight-optimal DP
+//! lower bound over the *recorded* arrivals. The capture's scenario is not
+//! stored in the stream, so pass the same `--functions/--minutes/--seed/`
+//! `--x86/--arm` (and `--warm-fraction/--budget` if used) flags the
+//! capture was taken with; they default to the live mode's defaults. A
+//! negative gap means the recorded run beat the bound — a conservation
+//! violation — and exits non-zero. Sampled or lossy captures cannot be
+//! priced faithfully and are rejected.
 
 //! `--profile` (serial mode only) replays each policy under `cc-prof`'s
 //! wall-clock profiler and prints the per-phase self-time table after the
@@ -50,6 +62,7 @@ use std::io::BufWriter;
 use std::time::Instant;
 
 use bench::BenchScenario;
+use cc_bound::{measured_cost_of_records, GapReport, HindsightInput};
 use cc_compress::CompressionModel;
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
 use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
@@ -72,7 +85,9 @@ const USAGE: &str = "usage: ccstat [--policy NAME|all] [--functions N] [--minute
                      [--x86 N] [--arm N] [--warm-fraction F] [--budget DOLLARS] \
                      [--jsonl PATH] [--chrome PATH] [--no-table] [--stress] [--profile] \
                      [--shards N] [--sample N] [--lossy]\n\
-                     \x20      ccstat replay FILE.jsonl [--audit] [--assume-sampled] [--no-table]";
+                     \x20      ccstat replay FILE.jsonl [--audit] [--assume-sampled] [--no-table] \
+                     [--gap] [--functions N] [--minutes N] [--seed N] [--x86 N] [--arm N] \
+                     [--warm-fraction F] [--budget DOLLARS]";
 
 const POLICIES: [&str; 6] = [
     "fixed_keepalive",
@@ -339,11 +354,66 @@ fn run_replay(args: impl Iterator<Item = String>) -> ! {
     let mut audit = false;
     let mut assume_sampled = false;
     let mut table = true;
-    for arg in args {
+    let mut gap = false;
+    // Scenario flags for `--gap`: must match the capture (defaults mirror
+    // the live mode's defaults).
+    let mut functions: usize = 200;
+    let mut minutes: u64 = 20;
+    let mut seed: u64 = 7;
+    let mut x86: u32 = 2;
+    let mut arm: u32 = 2;
+    let mut warm_fraction: Option<f64> = None;
+    let mut budget: Option<f64> = None;
+    let mut args = args;
+    while let Some(arg) = args.next() {
+        let mut next = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| usage_error(&format!("{flag} takes a value")))
+        };
         match arg.as_str() {
             "--audit" => audit = true,
             "--assume-sampled" => assume_sampled = true,
             "--no-table" => table = false,
+            "--gap" => gap = true,
+            "--functions" => {
+                functions = next("--functions")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--functions takes an integer"));
+            }
+            "--minutes" => {
+                minutes = next("--minutes")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--minutes takes an integer"));
+            }
+            "--seed" => {
+                seed = next("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--seed takes an integer"));
+            }
+            "--x86" => {
+                x86 = next("--x86")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--x86 takes an integer"));
+            }
+            "--arm" => {
+                arm = next("--arm")
+                    .parse()
+                    .unwrap_or_else(|_| usage_error("--arm takes an integer"));
+            }
+            "--warm-fraction" => {
+                warm_fraction = Some(
+                    next("--warm-fraction")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--warm-fraction takes a fraction")),
+                );
+            }
+            "--budget" => {
+                budget = Some(
+                    next("--budget")
+                        .parse()
+                        .unwrap_or_else(|_| usage_error("--budget takes dollars per interval")),
+                );
+            }
             other if !other.starts_with("--") && file.is_none() => file = Some(other.to_string()),
             other => usage_error(&format!("unknown replay argument {other:?}")),
         }
@@ -368,6 +438,30 @@ fn run_replay(args: impl Iterator<Item = String>) -> ! {
         },
     );
 
+    // Rebuild the capture's workload and cluster once; the gap pricing of
+    // every shard shares them. Arrivals come from the recorded events, so
+    // the trace itself is only needed to resolve the workload catalog.
+    let gap_ctx = gap.then(|| {
+        let trace = SyntheticTrace::builder()
+            .functions(functions)
+            .duration(SimDuration::from_mins(minutes))
+            .seed(seed)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        let mut config = ClusterConfig::small(x86, arm);
+        if let Some(fraction) = warm_fraction {
+            config = config.with_warm_memory_fraction(fraction);
+        }
+        if let Some(dollars) = budget {
+            config = config.with_budget(Cost::from_dollars(dollars));
+        }
+        (workload, config)
+    });
+
     let mut failed = false;
     for (i, shard) in log.shards.iter().enumerate() {
         if log.tagged {
@@ -388,6 +482,39 @@ fn run_replay(args: impl Iterator<Item = String>) -> ! {
         // never reproduce the live totals, so the check is informational
         // only there.
         let lossless = !assume_sampled && shard.end.is_none_or(|e| e.dropped == 0);
+        if let Some((workload, config)) = &gap_ctx {
+            if !lossless {
+                println!("gap: cannot price a sampled or lossy stream (records are incomplete)");
+                failed = true;
+            } else {
+                let (records, spend) = cc_replay::reconstruct_records(shard);
+                match HindsightInput::from_records(&records, workload, config) {
+                    Ok(input) => {
+                        let reference = GapReport::for_input(&input);
+                        let measured =
+                            measured_cost_of_records(&records, spend, input.lambda_nanos);
+                        let row = reference.policy(&format!("shard{}", shard.shard), measured);
+                        let verdict = if row.holds() { "ok" } else { "VIOLATED" };
+                        println!(
+                            "gap: measured {} lower {} gap {:+.2}% ({} invocations priced) \
+                             {verdict}",
+                            row.measured,
+                            row.lower_bound,
+                            row.gap_pct,
+                            records.len(),
+                        );
+                        failed |= !row.holds();
+                    }
+                    Err(e) => {
+                        println!(
+                            "gap: {e} (do the --functions/--minutes/--seed flags match the \
+                             capture?)"
+                        );
+                        failed = true;
+                    }
+                }
+            }
+        }
         if !lossless {
             println!("snapshot: cross-check skipped (sampled or lossy stream)");
         } else if log.snapshots.len() == log.shards.len() {

@@ -50,6 +50,16 @@
 //! the most. Build with `--features alloc-profile` to also attribute
 //! allocations per phase.
 //!
+//! `--gap` prices every selected policy's run against the hindsight-optimal
+//! lower bound from `cc-bound` and prints one gap row per policy (batch
+//! scenarios only — the estimators need the materialized trace). Any
+//! policy landing *below* the bound is a conservation violation and exits
+//! non-zero; `--gap-ceiling POLICY=PCT` additionally bounds a policy's gap
+//! from above (e.g. `--gap-ceiling oracle=50` asserts the clairvoyant
+//! oracle stays within 50% of optimal). Under `--shards` the pricing
+//! replays run on the sharded driver, so CI checks the invariant against
+//! sharded execution itself.
+//!
 //! `--workers N` switches to the *intra-run* parallel engine
 //! (`cc_sim::run_parallel`): ONE simulation per policy, with the
 //! instrumentation pipeline (arrival prefetch, JSONL encoding, ordered
@@ -64,6 +74,7 @@
 use std::time::Instant;
 
 use bench::{BenchScenario, StreamScenario};
+use cc_bound::{measured_cost_of_report, GapReport, HindsightInput, NanoCost};
 use cc_policies::{FaasCache, IceBreaker, Oracle, SitW};
 use cc_shard::{run_sharded, run_sharded_jsonl, NullSinkFactory, ShardedRunConfig};
 use cc_sim::{
@@ -84,6 +95,7 @@ const USAGE: &str = "usage: simbench [--runs N] [--out PATH] [--scenario large|s
                      [--sink null|jsonl|chrome] [--policies a,b,..] \
                      [--baseline PATH] [--tolerance FRAC] \
                      [--shards N] [--workers N] [--digests-match PATH] [--audit] \
+                     [--gap] [--gap-ceiling POLICY=PCT] \
                      [--profile] [--profile-out PATH] [--profile-trace PATH] \
                      [--profile-baseline PATH]";
 
@@ -160,6 +172,8 @@ fn main() {
     let mut shards: Option<usize> = None;
     let mut workers_opt: Option<usize> = None;
     let mut digests_match: Option<String> = None;
+    let mut gap = false;
+    let mut gap_ceilings: Vec<(String, f64)> = Vec::new();
     let mut audit = false;
     let mut profile = false;
     let mut profile_out: Option<String> = None;
@@ -230,6 +244,19 @@ fn main() {
                     None => usage_error("--digests-match takes a path"),
                 };
             }
+            "--gap" => gap = true,
+            "--gap-ceiling" => match args.next() {
+                Some(spec) => match spec.split_once('=') {
+                    Some((name, pct)) => match pct.trim().parse::<f64>() {
+                        Ok(pct) if pct >= 0.0 && pct.is_finite() => {
+                            gap_ceilings.push((name.trim().to_string(), pct));
+                        }
+                        _ => usage_error("--gap-ceiling percent must be a non-negative number"),
+                    },
+                    None => usage_error("--gap-ceiling takes POLICY=PCT (e.g. oracle=25)"),
+                },
+                None => usage_error("--gap-ceiling takes POLICY=PCT (e.g. oracle=25)"),
+            },
             "--audit" => audit = true,
             "--profile" => profile = true,
             "--profile-out" => {
@@ -273,6 +300,16 @@ fn main() {
     if workers_opt.is_some() && baseline.is_some() {
         usage_error("--baseline compares per-policy serial throughput; use it without --workers");
     }
+    if !gap_ceilings.is_empty() && !gap {
+        usage_error("--gap-ceiling needs --gap");
+    }
+    for (name, _) in &gap_ceilings {
+        if !POLICY_NAMES.contains(&name.as_str()) {
+            usage_error(&format!(
+                "--gap-ceiling names unknown policy {name:?} (known: {POLICY_NAMES:?})"
+            ));
+        }
+    }
 
     // Profiling session: discard any residue, arm the DynScope probe sites,
     // and (when a Perfetto trace was requested) retain raw spans. Warm-up
@@ -299,6 +336,9 @@ fn main() {
     };
     if matches!(bench, Bench::Stream(_)) && workers_opt.is_none() {
         usage_error("streaming scenarios run on the intra-run pipeline; add --workers N");
+    }
+    if gap && matches!(bench, Bench::Stream(_)) {
+        usage_error("--gap prices a materialized trace; streaming scenarios never build one");
     }
     match &bench {
         Bench::Batch(scenario) => eprintln!(
@@ -489,6 +529,16 @@ fn main() {
         }
     }
 
+    let (gap_block, gap_failed) = if gap {
+        let Bench::Batch(scenario) = &bench else {
+            unreachable!("streaming scenarios were rejected with --gap");
+        };
+        let (block, failed) = gap_pass(scenario, &selected, shards, &gap_ceilings);
+        (Some(block), failed)
+    } else {
+        (None, false)
+    };
+
     let (benchmark, functions, nodes, invocations_doc) = match &bench {
         Bench::Batch(s) => (
             "simulate_10k",
@@ -518,11 +568,20 @@ fn main() {
         "shards": shards.unwrap_or(0) as u64,
         "workers": workers_opt.unwrap_or(0) as u64,
         "aggregate": aggregate,
+        "gap": gap_block,
         "results": entries,
     });
     let body = serde_json::to_string_pretty(&doc).expect("serialize");
     std::fs::write(&out, body + "\n").expect("write output file");
     eprintln!("wrote {out}");
+
+    if gap_failed {
+        eprintln!(
+            "gap check failed: a policy priced below the hindsight lower bound or over its \
+             --gap-ceiling"
+        );
+        std::process::exit(1);
+    }
 
     let captured_profile = if profiling {
         let label = format!("simbench-{scenario_name}");
@@ -604,6 +663,89 @@ fn main() {
             std::process::exit(1);
         }
     }
+}
+
+/// Prices every selected policy against the scenario's hindsight-optimal
+/// DP lower bound (`cc-bound`) and prints one gap row per policy.
+///
+/// Measured costs come from a dedicated pricing replay per policy — under
+/// `--shards` those replays run on the sharded driver with the same worker
+/// count, so the invariant is checked against sharded execution itself;
+/// other modes price serially (`--workers` results are proven
+/// worker-count-independent by the digest parity check, so the serial
+/// replay prices the identical run).
+///
+/// Returns the JSON block embedded under `"gap"` in the output document
+/// and whether any row failed: a negative gap (the conservation invariant
+/// broke — the bound or the engine's accounting has a bug) or a gap above
+/// the policy's `--gap-ceiling`.
+fn gap_pass(
+    scenario: &BenchScenario,
+    selected: &[&str],
+    shards: Option<usize>,
+    ceilings: &[(String, f64)],
+) -> (serde_json::Value, bool) {
+    let input = HindsightInput::from_trace(&scenario.trace, &scenario.workload, &scenario.config)
+        .unwrap_or_else(|e| usage_error(&format!("--gap: {e}")));
+    let reference = GapReport::for_input(&input);
+    let lambda = reference.lambda_nanos;
+    let price = |name: &str| -> NanoCost {
+        let mut policy = make_policy(name, Some(&scenario.trace));
+        let report = Simulation::new(scenario.config.clone(), &scenario.trace, &scenario.workload)
+            .run(policy.as_mut());
+        measured_cost_of_report(&report, lambda)
+    };
+    let measured: Vec<(&str, NanoCost)> = match shards {
+        Some(workers) => {
+            let jobs: Vec<_> = selected
+                .iter()
+                .map(|&name| move |_sink: &mut NullSink| price(name))
+                .collect();
+            run_sharded(jobs, workers, &NullSinkFactory)
+                .into_iter()
+                .zip(selected)
+                .map(|(r, &name)| (name, r.outcome.expect("shard panicked")))
+                .collect()
+        }
+        None => selected.iter().map(|&name| (name, price(name))).collect(),
+    };
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for (name, cost) in measured {
+        let row = reference.policy(name, cost);
+        let ceiling = ceilings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, pct)| pct);
+        let over_ceiling = ceiling.is_some_and(|pct| row.gap_pct > pct);
+        let verdict = if !row.holds() {
+            "VIOLATED"
+        } else if over_ceiling {
+            "OVER CEILING"
+        } else {
+            "ok"
+        };
+        eprintln!(
+            "gap: {name:>16} measured {:>20} lower {:>20} gap {:>8.2}% {verdict}",
+            row.measured, row.lower_bound, row.gap_pct
+        );
+        failed |= !row.holds() || over_ceiling;
+        rows.push(serde_json::json!({
+            "policy": name,
+            "measured_nano": row.measured.to_string(),
+            "lower_bound_nano": row.lower_bound.to_string(),
+            "gap_nano": row.gap.to_string(),
+            "gap_pct": row.gap_pct,
+            "holds": row.holds(),
+            "ceiling_pct": ceiling,
+        }));
+    }
+    let block = serde_json::json!({
+        "lambda_nanos": lambda,
+        "lower_bound_nano": reference.lower_bound.to_string(),
+        "policies": rows,
+    });
+    (block, failed)
 }
 
 /// When a throughput gate fails under `--profile`, points at the phase

@@ -1,0 +1,507 @@
+//! The four estimators: exact DP, segment relaxation, exhaustive
+//! reference, and the schedule-seeded local search.
+
+use cc_types::{Arch, ServiceRecord, StartKind};
+
+use crate::input::{FnCase, HindsightInput};
+use crate::model::{
+    state_index, state_of, FnCtx, GapChoice, InitChoice, NanoCost, INFEASIBLE, STATES,
+};
+
+/// Exact hindsight optimum of the capacity-relaxed problem: for every
+/// function independently, the cheapest way to serve its recorded
+/// arrivals choosing keep-warm / keep-compressed / cold restart /
+/// just-in-time pre-warm (on either available architecture) between
+/// consecutive invocations. A true lower bound on the measured cost of
+/// any engine run over the same arrivals.
+pub fn dp_lower_bound(input: &HindsightInput) -> NanoCost {
+    input
+        .functions
+        .iter()
+        .map(|case| dp_function(input, case))
+        .fold(0, NanoCost::saturating_add)
+}
+
+fn dp_function(input: &HindsightInput, case: &FnCase) -> NanoCost {
+    let ctx = FnCtx::new(input, case);
+    dp_core(&ctx, &case.arrivals, false)
+}
+
+/// Runs the per-function DP over one arrival slice. With `free_entry`
+/// the chain may start in any ready state at zero cost (used by the
+/// segment relaxation); otherwise the first arrival pays a real cold
+/// start or pre-warm.
+fn dp_core(ctx: &FnCtx<'_>, arrivals: &[u64], free_entry: bool) -> NanoCost {
+    if arrivals.is_empty() {
+        return 0;
+    }
+    let mut dp = [INFEASIBLE; STATES];
+    if free_entry {
+        // Any state may be entered for free, but the first arrival still
+        // pays that state's penalty: the restriction of the full optimum
+        // then maps onto the slice exactly, minus only the (nonnegative)
+        // charge of the action that crossed the boundary — which is what
+        // makes the segment bound provably ≤ the full DP.
+        for (s, slot) in dp.iter_mut().enumerate() {
+            let (arch, entry) = state_of(s);
+            if ctx.input.archs.contains(&arch) {
+                *slot = ctx.penalty_nanos(ctx.entry_penalty(arch, entry));
+            }
+        }
+    } else {
+        for init in ctx.init_options() {
+            if let Some((charge, arch, entry)) = ctx.init_cost(init, arrivals[0]) {
+                let cost = charge.saturating_add(ctx.penalty_nanos(ctx.entry_penalty(arch, entry)));
+                let slot = &mut dp[state_index(arch, entry)];
+                *slot = (*slot).min(cost);
+            }
+        }
+    }
+    let options = ctx.gap_options();
+    for j in 0..arrivals.len() - 1 {
+        let mut next = [INFEASIBLE; STATES];
+        for (s, &cost) in dp.iter().enumerate() {
+            if cost == INFEASIBLE {
+                continue;
+            }
+            let (arch, entry) = state_of(s);
+            for &choice in &options {
+                let Some((charge, next_arch, next_entry)) =
+                    ctx.gap_cost(arrivals[j], arch, entry, arrivals[j + 1], choice)
+                else {
+                    continue;
+                };
+                let total = cost
+                    .saturating_add(charge)
+                    .saturating_add(ctx.penalty_nanos(ctx.entry_penalty(next_arch, next_entry)));
+                let slot = &mut next[state_index(next_arch, next_entry)];
+                *slot = (*slot).min(total);
+            }
+        }
+        dp = next;
+    }
+    dp.into_iter().min().unwrap_or(INFEASIBLE)
+}
+
+/// Segment relaxation: partitions time into `segments` equal slices and
+/// prices each slice independently with free entry states (the first
+/// arrival of a slice pays no penalty and no charge; cross-boundary keep
+/// gaps are uncharged). Provably ≤ [`dp_lower_bound`]: restricting the
+/// full optimum to a slice is feasible for the slice's relaxed problem
+/// and the dropped boundary terms are nonnegative. This is the bound to
+/// reach for when capacity coupling arguments (or bounded-memory
+/// streaming evaluation over long logs) make the full chain unattractive.
+pub fn segment_lower_bound(input: &HindsightInput, segments: usize) -> NanoCost {
+    let segments = segments.max(1);
+    let horizon = input
+        .functions
+        .iter()
+        .filter_map(|f| f.arrivals.last().copied())
+        .max()
+        .unwrap_or(0)
+        .saturating_add(1);
+    let seg_len = horizon.div_ceil(segments as u64).max(1);
+    let mut total: NanoCost = 0;
+    for case in &input.functions {
+        let ctx = FnCtx::new(input, case);
+        let mut start = 0;
+        while start < case.arrivals.len() {
+            let boundary = (case.arrivals[start] / seg_len + 1) * seg_len;
+            let end = case.arrivals[start..].partition_point(|&t| t < boundary) + start;
+            // The first slice keeps the real (empty-pool) entry cost:
+            // discounting it is valid but needlessly loose.
+            let free_entry = start > 0;
+            total = total.saturating_add(dp_core(&ctx, &case.arrivals[start..end], free_entry));
+            start = end;
+        }
+    }
+    total
+}
+
+/// Exhaustively enumerates every per-function plan (init choice × one
+/// gap choice per consecutive-arrival pair) and returns the cheapest
+/// total — the brute-force reference that pins the DP exactly. Returns
+/// `None` when any function's plan count exceeds `max_plans` (the input
+/// is not brute-forceable at that budget).
+pub fn exhaustive_reference(input: &HindsightInput, max_plans: u64) -> Option<NanoCost> {
+    let mut total: NanoCost = 0;
+    for case in &input.functions {
+        let ctx = FnCtx::new(input, case);
+        let inits = ctx.init_options();
+        let options = ctx.gap_options();
+        let gaps = case.arrivals.len() - 1;
+        let mut plans = inits.len() as u64;
+        for _ in 0..gaps {
+            plans = plans.checked_mul(options.len() as u64)?;
+            if plans > max_plans {
+                return None;
+            }
+        }
+        if plans > max_plans {
+            return None;
+        }
+        let mut best = INFEASIBLE;
+        let mut choices = vec![0usize; gaps];
+        for &init in &inits {
+            loop {
+                let plan: Vec<GapChoice> = choices.iter().map(|&i| options[i]).collect();
+                if let Some(cost) = ctx.eval_plan(init, &plan) {
+                    best = best.min(cost);
+                }
+                // Odometer increment over the per-gap choice indices.
+                let mut pos = 0;
+                loop {
+                    if pos == gaps {
+                        break;
+                    }
+                    choices[pos] += 1;
+                    if choices[pos] < options.len() {
+                        break;
+                    }
+                    choices[pos] = 0;
+                    pos += 1;
+                }
+                if pos == gaps {
+                    break;
+                }
+            }
+            choices.iter_mut().for_each(|c| *c = 0);
+        }
+        if best == INFEASIBLE {
+            return None;
+        }
+        total = total.saturating_add(best);
+    }
+    Some(total)
+}
+
+/// Upper bound on the relaxed optimum: seeds one feasible plan per
+/// function from the recorded schedule (recorded start kinds map to the
+/// corresponding hindsight actions, with cold restarts as the always-
+/// feasible fallback) and improves it by per-gap coordinate descent
+/// until a sweep finds no improvement (bounded passes). The result is
+/// the model cost of a concrete feasible plan, so it is ≥ the DP optimum
+/// by construction, and the descent only ever lowers the seed cost.
+pub fn local_search_upper_bound(input: &HindsightInput, records: &[ServiceRecord]) -> NanoCost {
+    let mut by_function: Vec<Vec<&ServiceRecord>> = vec![Vec::new(); input.functions.len()];
+    let index_of: std::collections::HashMap<usize, usize> = input
+        .functions
+        .iter()
+        .enumerate()
+        .map(|(i, case)| (case.id.index(), i))
+        .collect();
+    for r in records {
+        if let Some(&i) = index_of.get(&r.function.index()) {
+            by_function[i].push(r);
+        }
+    }
+    let mut total: NanoCost = 0;
+    for (case, mut recs) in input.functions.iter().zip(by_function) {
+        recs.sort_by_key(|r| r.arrival);
+        let ctx = FnCtx::new(input, case);
+        total = total.saturating_add(local_search_function(&ctx, &recs));
+    }
+    total
+}
+
+fn seed_plan(ctx: &FnCtx<'_>, records: &[&ServiceRecord]) -> (InitChoice, Vec<GapChoice>) {
+    let case = ctx.case;
+    let fallback_arch = ctx.input.archs[0];
+    let pick_arch = |arch: Arch| {
+        if ctx.input.archs.contains(&arch) {
+            arch
+        } else {
+            fallback_arch
+        }
+    };
+    let n = case.arrivals.len();
+    if records.len() != n {
+        // Arrival mismatch (e.g. the run dropped requests): seed all-cold.
+        return (
+            InitChoice::Cold(fallback_arch),
+            vec![GapChoice::Cold(fallback_arch); n - 1],
+        );
+    }
+    let init = match records[0].kind {
+        StartKind::Cold => InitChoice::Cold(pick_arch(records[0].arch)),
+        _ => InitChoice::Prewarm(pick_arch(records[0].arch)),
+    };
+    let gaps = records[1..]
+        .iter()
+        .map(|r| match r.kind {
+            StartKind::WarmUncompressed => GapChoice::KeepUncompressed,
+            StartKind::WarmCompressed => GapChoice::KeepCompressed,
+            StartKind::Cold => GapChoice::Cold(pick_arch(r.arch)),
+        })
+        .collect();
+    (init, gaps)
+}
+
+/// Repairs a seed in one forward walk: whenever the seeded action is
+/// infeasible at the state actually reached (keep over a >60 min gap, a
+/// pre-warm with no early-enough tick, an absent architecture), fall
+/// back through pre-warm then cold restart on the current architecture.
+fn repair_plan(
+    ctx: &FnCtx<'_>,
+    init: InitChoice,
+    gaps: &mut [GapChoice],
+) -> (InitChoice, NanoCost) {
+    let arrivals = &ctx.case.arrivals;
+    let fallback_arch = ctx.input.archs[0];
+    let init = match ctx.init_cost(init, arrivals[0]) {
+        Some(_) => init,
+        None => InitChoice::Cold(fallback_arch),
+    };
+    let (mut cost, mut arch, mut entry) = ctx
+        .init_cost(init, arrivals[0])
+        .expect("cold init on an available arch is always feasible");
+    cost = cost.saturating_add(ctx.penalty_nanos(ctx.entry_penalty(arch, entry)));
+    for (j, slot) in gaps.iter_mut().enumerate() {
+        let (arrival, next_arrival) = (arrivals[j], arrivals[j + 1]);
+        let candidates = [
+            *slot,
+            GapChoice::Prewarm(arch),
+            GapChoice::Cold(arch),
+            GapChoice::Cold(fallback_arch),
+        ];
+        let (choice, (charge, next_arch, next_entry)) = candidates
+            .into_iter()
+            .find_map(|c| {
+                ctx.gap_cost(arrival, arch, entry, next_arrival, c)
+                    .map(|r| (c, r))
+            })
+            .expect("cold restart on an available arch is always feasible");
+        *slot = choice;
+        arch = next_arch;
+        entry = next_entry;
+        cost = cost
+            .saturating_add(charge)
+            .saturating_add(ctx.penalty_nanos(ctx.entry_penalty(arch, entry)));
+    }
+    (init, cost)
+}
+
+const MAX_SWEEPS: usize = 8;
+
+fn local_search_function(ctx: &FnCtx<'_>, records: &[&ServiceRecord]) -> NanoCost {
+    let arrivals = &ctx.case.arrivals;
+    let (seed_init, mut gaps) = seed_plan(ctx, records);
+    let (mut init, mut total) = repair_plan(ctx, seed_init, &mut gaps);
+    if arrivals.len() == 1 {
+        // Only the init choice to optimize.
+        for candidate in ctx.init_options() {
+            if let Some((charge, arch, entry)) = ctx.init_cost(candidate, arrivals[0]) {
+                let cost = charge.saturating_add(ctx.penalty_nanos(ctx.entry_penalty(arch, entry)));
+                if cost < total {
+                    total = cost;
+                }
+            }
+        }
+        return total;
+    }
+    let options = ctx.gap_options();
+    for _ in 0..MAX_SWEEPS {
+        let mut improved = false;
+        for candidate in ctx.init_options() {
+            if candidate != init {
+                if let Some(cost) = ctx.eval_plan(candidate, &gaps) {
+                    if cost < total {
+                        init = candidate;
+                        total = cost;
+                        improved = true;
+                    }
+                }
+            }
+        }
+        for j in 0..gaps.len() {
+            for &candidate in &options {
+                if candidate == gaps[j] {
+                    continue;
+                }
+                let previous = gaps[j];
+                gaps[j] = candidate;
+                match ctx.eval_plan(init, &gaps) {
+                    Some(cost) if cost < total => {
+                        total = cost;
+                        improved = true;
+                    }
+                    _ => gaps[j] = previous,
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::test_input;
+    use cc_types::{FunctionId, SimDuration, SimTime};
+
+    fn record(arrival_us: u64, kind: StartKind, arch: Arch) -> ServiceRecord {
+        ServiceRecord {
+            function: FunctionId::new(0),
+            arrival: SimTime::ZERO + SimDuration::from_micros(arrival_us),
+            wait: SimDuration::ZERO,
+            start_penalty: SimDuration::ZERO,
+            execution: SimDuration::from_micros(1_000_000),
+            kind,
+            arch,
+        }
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_small_chains() {
+        for arrivals in [
+            vec![0],
+            vec![0, 30_000_000],
+            vec![0, 5_000_000_000],
+            vec![100, 200, 61_000_000, 61_000_100],
+            vec![0, 90_000_000, 200_000_000, 4_100_000_000, 4_200_000_000],
+        ] {
+            let input = test_input(arrivals);
+            let dp = dp_lower_bound(&input);
+            let brute = exhaustive_reference(&input, 2_000_000).expect("brute-forceable");
+            assert_eq!(dp, brute);
+        }
+    }
+
+    #[test]
+    fn exhaustive_reports_unforceable_inputs() {
+        let input = test_input((0..40).map(|i| i * 90_000_000).collect());
+        assert!(exhaustive_reference(&input, 1_000).is_none());
+    }
+
+    #[test]
+    fn segment_bound_never_exceeds_dp() {
+        let input = test_input(vec![
+            0,
+            90_000_000,
+            200_000_000,
+            4_100_000_000,
+            4_200_000_000,
+        ]);
+        let dp = dp_lower_bound(&input);
+        for segments in [1, 2, 3, 7, 50] {
+            assert!(segment_lower_bound(&input, segments) <= dp);
+        }
+    }
+
+    #[test]
+    fn single_segment_keeps_real_entry_cost() {
+        // With one segment the slicing is a no-op and the bound is the DP
+        // itself (the first slice keeps the empty-pool entry cost).
+        let input = test_input(vec![0, 90_000_000, 200_000_000]);
+        assert_eq!(segment_lower_bound(&input, 1), dp_lower_bound(&input));
+    }
+
+    #[test]
+    fn local_search_brackets_from_above() {
+        let input = test_input(vec![0, 90_000_000, 200_000_000, 4_100_000_000]);
+        let records: Vec<ServiceRecord> = [
+            (0, StartKind::Cold),
+            (90_000_000, StartKind::WarmUncompressed),
+            (200_000_000, StartKind::WarmCompressed),
+            (4_100_000_000, StartKind::Cold),
+        ]
+        .into_iter()
+        .map(|(at, kind)| record(at, kind, Arch::X86))
+        .collect();
+        let dp = dp_lower_bound(&input);
+        let upper = local_search_upper_bound(&input, &records);
+        assert!(dp <= upper);
+        // The seed itself evaluates at least as high as the descended plan.
+        let case = &input.functions[0];
+        let ctx = FnCtx::new(&input, case);
+        let refs: Vec<&ServiceRecord> = records.iter().collect();
+        let (seed_init, mut seed_gaps) = seed_plan(&ctx, &refs);
+        let (_, seed_cost) = repair_plan(&ctx, seed_init, &mut seed_gaps);
+        assert!(upper <= seed_cost);
+    }
+
+    #[test]
+    fn infeasible_seed_actions_are_repaired() {
+        // Recorded warm start over a >60 min gap cannot be kept; the
+        // repair must fall back without panicking and stay feasible.
+        let input = test_input(vec![0, 5_000_000_000]);
+        let records = vec![
+            record(0, StartKind::Cold, Arch::X86),
+            record(5_000_000_000, StartKind::WarmUncompressed, Arch::X86),
+        ];
+        let upper = local_search_upper_bound(&input, &records);
+        assert!(upper >= dp_lower_bound(&input));
+        assert!(upper < INFEASIBLE);
+    }
+
+    #[test]
+    fn mismatched_record_count_falls_back_to_cold_seed() {
+        let input = test_input(vec![0, 90_000_000]);
+        let records = vec![record(0, StartKind::Cold, Arch::X86)];
+        let upper = local_search_upper_bound(&input, &records);
+        assert!(upper >= dp_lower_bound(&input));
+        assert!(upper < INFEASIBLE);
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn arbitrary_kind() -> impl Strategy<Value = StartKind> {
+            (0u8..3).prop_map(|k| match k {
+                0 => StartKind::Cold,
+                1 => StartKind::WarmUncompressed,
+                _ => StartKind::WarmCompressed,
+            })
+        }
+
+        fn arbitrary_arch() -> impl Strategy<Value = Arch> {
+            (0u8..2).prop_map(|a| if a == 0 { Arch::X86 } else { Arch::Arm })
+        }
+
+        // The full estimator chain on randomized small traces: segment
+        // relaxation ≤ DP == exhaustive enumeration ≤ local-search upper
+        // bound, with the local search seeded from arbitrary (possibly
+        // infeasible) recorded start kinds.
+        proptest! {
+            #[test]
+            fn bound_chain_is_ordered_on_random_chains(
+                start in 0u64..120_000_000,
+                gaps in prop::collection::vec(1u64..150_000_000, 0..4),
+                seeds in prop::collection::vec(
+                    (arbitrary_kind(), arbitrary_arch()),
+                    5,
+                ),
+            ) {
+                let mut arrivals = vec![start];
+                for gap in &gaps {
+                    arrivals.push(arrivals.last().unwrap() + gap);
+                }
+                let records: Vec<ServiceRecord> = arrivals
+                    .iter()
+                    .zip(&seeds)
+                    .map(|(&at, &(kind, arch))| record(at, kind, arch))
+                    .collect();
+                let input = test_input(arrivals);
+                let dp = dp_lower_bound(&input);
+                let brute = exhaustive_reference(&input, 2_000_000)
+                    .expect("≤5 arrivals is brute-forceable");
+                prop_assert_eq!(dp, brute, "DP diverged from exhaustive enumeration");
+                let upper = local_search_upper_bound(&input, &records);
+                prop_assert!(dp <= upper);
+                prop_assert!(upper < INFEASIBLE);
+                for segments in [1usize, 2, 3, 8] {
+                    let seg = segment_lower_bound(&input, segments);
+                    prop_assert!(
+                        seg <= dp,
+                        "segment bound {} exceeds DP {} at {} segments",
+                        seg, dp, segments
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Gap-to-optimal reporting: one lower bound per run input, one signed
+//! gap per policy measured against it.
+
+use crate::estimators::dp_lower_bound;
+use crate::input::HindsightInput;
+use crate::model::NanoCost;
+
+/// The fixed reference of one run input: its hindsight lower bound.
+#[derive(Debug, Clone)]
+pub struct GapReport {
+    /// The DP lower bound, in nano-units.
+    pub lower_bound: NanoCost,
+    /// λ the bound was priced at (nano-units per picodollar).
+    pub lambda_nanos: u64,
+}
+
+impl GapReport {
+    /// Prices the input's lower bound once; reuse the report across every
+    /// policy that ran on the same trace and cluster.
+    pub fn for_input(input: &HindsightInput) -> GapReport {
+        GapReport {
+            lower_bound: dp_lower_bound(input),
+            lambda_nanos: input.lambda_nanos,
+        }
+    }
+
+    /// The gap of one measured policy cost against the bound.
+    pub fn policy(&self, policy: &str, measured: NanoCost) -> PolicyGap {
+        let gap = measured as i128 - self.lower_bound as i128;
+        let gap_pct = if self.lower_bound > 0 {
+            gap as f64 / self.lower_bound as f64 * 100.0
+        } else if gap == 0 {
+            0.0
+        } else {
+            f64::INFINITY
+        };
+        PolicyGap {
+            policy: policy.to_owned(),
+            measured,
+            lower_bound: self.lower_bound,
+            gap,
+            gap_pct,
+        }
+    }
+}
+
+/// One policy's distance from the hindsight optimum.
+#[derive(Debug, Clone)]
+pub struct PolicyGap {
+    /// Policy name.
+    pub policy: String,
+    /// Measured cost of the run, in nano-units.
+    pub measured: NanoCost,
+    /// The lower bound it is measured against.
+    pub lower_bound: NanoCost,
+    /// Signed gap (`measured − lower_bound`): negative means the
+    /// conservation invariant is violated and the bound (or the run's
+    /// accounting) has a bug.
+    pub gap: i128,
+    /// Gap as a percentage of the lower bound.
+    pub gap_pct: f64,
+}
+
+impl PolicyGap {
+    /// Whether the conservation invariant (`measured ≥ lower bound`) holds.
+    pub fn holds(&self) -> bool {
+        self.gap >= 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(lower: NanoCost) -> GapReport {
+        GapReport {
+            lower_bound: lower,
+            lambda_nanos: 1,
+        }
+    }
+
+    #[test]
+    fn gap_is_signed_and_percentage_scaled() {
+        let g = report(200).policy("sitw", 250);
+        assert!(g.holds());
+        assert_eq!(g.gap, 50);
+        assert!((g.gap_pct - 25.0).abs() < 1e-12);
+        let bad = report(200).policy("broken", 199);
+        assert!(!bad.holds());
+        assert_eq!(bad.gap, -1);
+    }
+
+    #[test]
+    fn zero_lower_bound_edge() {
+        assert_eq!(report(0).policy("idle", 0).gap_pct, 0.0);
+        assert!(report(0).policy("busy", 5).gap_pct.is_infinite());
+    }
+}

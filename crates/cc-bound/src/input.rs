@@ -1,0 +1,279 @@
+//! Estimator inputs: per-function arrival sequences plus the priced
+//! parameters of the cluster they ran on.
+
+use cc_sim::ClusterConfig;
+use cc_trace::Trace;
+use cc_types::{Arch, CostRate, FunctionId, MemoryMb, ServiceRecord, SimDuration};
+use cc_workload::Workload;
+
+/// Latency weight: nano-units per microsecond of wait + start penalty.
+///
+/// Fixed by the cost metric's definition; the tunable side of the
+/// trade-off is [`HindsightInput::lambda_nanos`] (nano-units per
+/// picodollar of keep-alive spend).
+pub const LATENCY_NANOS_PER_MICRO: u128 = 1000;
+
+/// One function's hindsight case: sorted arrival times plus the resolved
+/// spec parameters the estimators price. All times are microseconds;
+/// cold starts are already scaled by the cluster's runtime.
+#[derive(Debug, Clone)]
+pub struct FnCase {
+    /// The function this case prices.
+    pub id: FunctionId,
+    /// Arrival times in microseconds, sorted ascending.
+    pub arrivals: Vec<u64>,
+    /// Execution time per architecture (µs, indexed by [`Arch::index`]).
+    pub exec: [u64; 2],
+    /// Runtime-scaled cold-start penalty per architecture (µs).
+    pub cold: [u64; 2],
+    /// Decompression penalty per architecture (µs).
+    pub decompress: [u64; 2],
+    /// Compression latency (µs): a compressed instance reused earlier
+    /// than this after admission pays no decompression penalty.
+    pub compress: u64,
+    /// Warm-instance memory footprint (uncompressed).
+    pub memory: MemoryMb,
+    /// Memory footprint while kept compressed.
+    pub compressed_memory: MemoryMb,
+}
+
+/// Everything the estimators need about one recorded run's inputs.
+#[derive(Debug, Clone)]
+pub struct HindsightInput {
+    /// Per-function cases (functions with no arrivals are omitted).
+    pub functions: Vec<FnCase>,
+    /// Keep-alive cost rate per architecture (indexed by [`Arch::index`]).
+    pub rates: [CostRate; 2],
+    /// Architectures with at least one node in the cluster.
+    pub archs: Vec<Arch>,
+    /// Optimization-interval length in microseconds (pre-warms are
+    /// issued on this tick grid).
+    pub interval: u64,
+    /// Nano-units charged per picodollar of keep-alive spend (λ).
+    /// The default 1 weighs a dollar at 1000 latency-seconds.
+    pub lambda_nanos: u64,
+}
+
+impl HindsightInput {
+    /// Builds the input from a trace (ground-truth arrivals), the
+    /// resolved workload, and the cluster it ran on.
+    pub fn from_trace(
+        trace: &Trace,
+        workload: &Workload,
+        config: &ClusterConfig,
+    ) -> Result<HindsightInput, String> {
+        let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); workload.len()];
+        for inv in trace.invocations() {
+            let idx = inv.function.index();
+            if idx >= arrivals.len() {
+                return Err(format!(
+                    "trace invokes function #{idx} but the workload resolves only {} functions",
+                    arrivals.len()
+                ));
+            }
+            arrivals[idx].push(inv.arrival.as_micros());
+        }
+        HindsightInput::build(arrivals, workload, config)
+    }
+
+    /// Builds the input from recorded service records (e.g. reconstructed
+    /// from a cc-replay event log): arrivals are taken from the records,
+    /// so the estimators price exactly the invocations the run served.
+    pub fn from_records(
+        records: &[ServiceRecord],
+        workload: &Workload,
+        config: &ClusterConfig,
+    ) -> Result<HindsightInput, String> {
+        let mut arrivals: Vec<Vec<u64>> = vec![Vec::new(); workload.len()];
+        for r in records {
+            let idx = r.function.index();
+            if idx >= arrivals.len() {
+                return Err(format!(
+                    "record for function #{idx} but the workload resolves only {} functions",
+                    arrivals.len()
+                ));
+            }
+            arrivals[idx].push(r.arrival.as_micros());
+        }
+        HindsightInput::build(arrivals, workload, config)
+    }
+
+    fn build(
+        arrivals: Vec<Vec<u64>>,
+        workload: &Workload,
+        config: &ClusterConfig,
+    ) -> Result<HindsightInput, String> {
+        let interval = config.interval.as_micros();
+        if interval == 0 {
+            return Err("optimization interval must be positive".to_owned());
+        }
+        let mut archs = Vec::new();
+        if config.x86_nodes > 0 {
+            archs.push(Arch::X86);
+        }
+        if config.arm_nodes > 0 {
+            archs.push(Arch::Arm);
+        }
+        if archs.is_empty() {
+            return Err("cluster has no nodes".to_owned());
+        }
+        let scale = config.runtime.cold_start_scale();
+        let mut functions = Vec::new();
+        for (idx, mut times) in arrivals.into_iter().enumerate() {
+            if times.is_empty() {
+                continue;
+            }
+            times.sort_unstable();
+            let spec = workload.spec(FunctionId::new(idx as u32));
+            functions.push(FnCase {
+                id: spec.id,
+                arrivals: times,
+                exec: [
+                    spec.exec_time(Arch::X86).as_micros(),
+                    spec.exec_time(Arch::Arm).as_micros(),
+                ],
+                cold: [
+                    spec.cold_start(Arch::X86).scale(scale).as_micros(),
+                    spec.cold_start(Arch::Arm).scale(scale).as_micros(),
+                ],
+                decompress: [
+                    spec.decompress_time(Arch::X86).as_micros(),
+                    spec.decompress_time(Arch::Arm).as_micros(),
+                ],
+                compress: spec.compress.as_micros(),
+                memory: spec.memory,
+                compressed_memory: spec.compressed_memory,
+            });
+        }
+        let input = HindsightInput {
+            functions,
+            rates: [config.x86_rate, config.arm_rate],
+            archs,
+            interval,
+            lambda_nanos: 1,
+        };
+        input.validate_lambda()?;
+        Ok(input)
+    }
+
+    /// Overrides λ, the nano-units charged per picodollar of spend.
+    ///
+    /// Rejects values that would break the lower-bound argument: the DP
+    /// relaxes queueing to zero wait, which is only conservative while a
+    /// microsecond of wait (1000 nano-units) outweighs the keep-alive
+    /// dollars that microsecond of delay could save — i.e. while
+    /// λ · ρ(memory, 1 µs) ≤ 1000 nano-units for every function on every
+    /// available architecture.
+    pub fn with_lambda(mut self, lambda_nanos: u64) -> Result<HindsightInput, String> {
+        self.lambda_nanos = lambda_nanos;
+        self.validate_lambda()?;
+        Ok(self)
+    }
+
+    fn validate_lambda(&self) -> Result<(), String> {
+        if self.lambda_nanos == 0 {
+            return Err("lambda must be positive (a free dollar scale has no optimum)".to_owned());
+        }
+        for case in &self.functions {
+            for &arch in &self.archs {
+                let per_second = self.rates[arch.index()]
+                    .keep_alive_cost(case.memory, SimDuration::from_secs(1))
+                    .as_picodollars() as u128;
+                if per_second * self.lambda_nanos as u128 > 1_000_000_000 {
+                    return Err(format!(
+                        "lambda {} too large for function #{} on {arch}: keeping it warm saves \
+                         more than 1000 nano-units per microsecond, so the zero-wait relaxation \
+                         would no longer be a lower bound",
+                        self.lambda_nanos,
+                        case.id.index()
+                    ));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Total recorded invocations across all functions.
+    pub fn invocations(&self) -> usize {
+        self.functions.iter().map(|f| f.arrivals.len()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_compress::CompressionModel;
+    use cc_trace::SyntheticTrace;
+    use cc_workload::Catalog;
+
+    fn small_pieces() -> (Trace, Workload, ClusterConfig) {
+        let trace = SyntheticTrace::builder()
+            .functions(8)
+            .duration(SimDuration::from_mins(10))
+            .seed(3)
+            .build();
+        let workload = Workload::from_trace(
+            &trace,
+            &Catalog::paper_catalog(),
+            &CompressionModel::paper_default(),
+        );
+        (trace, workload, ClusterConfig::small(1, 1))
+    }
+
+    #[test]
+    fn from_trace_sorts_and_scales() {
+        let (trace, workload, config) = small_pieces();
+        let input = HindsightInput::from_trace(&trace, &workload, &config).unwrap();
+        assert_eq!(input.invocations(), trace.invocations().len());
+        for case in &input.functions {
+            assert!(case.arrivals.windows(2).all(|w| w[0] <= w[1]));
+            let spec = workload.spec(case.id);
+            let scale = config.runtime.cold_start_scale();
+            assert_eq!(
+                case.cold[0],
+                spec.cold_start(Arch::X86).scale(scale).as_micros()
+            );
+        }
+    }
+
+    #[test]
+    fn from_records_matches_trace_arrivals() {
+        let (trace, workload, config) = small_pieces();
+        let records: Vec<ServiceRecord> = trace
+            .invocations()
+            .iter()
+            .map(|inv| ServiceRecord {
+                function: inv.function,
+                arrival: inv.arrival,
+                wait: SimDuration::ZERO,
+                start_penalty: SimDuration::ZERO,
+                execution: SimDuration::from_millis(1),
+                kind: cc_types::StartKind::Cold,
+                arch: Arch::X86,
+            })
+            .collect();
+        let a = HindsightInput::from_trace(&trace, &workload, &config).unwrap();
+        let b = HindsightInput::from_records(&records, &workload, &config).unwrap();
+        assert_eq!(a.functions.len(), b.functions.len());
+        for (x, y) in a.functions.iter().zip(&b.functions) {
+            assert_eq!(x.arrivals, y.arrivals);
+        }
+    }
+
+    #[test]
+    fn oversized_lambda_is_rejected() {
+        let (trace, workload, config) = small_pieces();
+        let input = HindsightInput::from_trace(&trace, &workload, &config).unwrap();
+        assert!(input.clone().with_lambda(0).is_err());
+        assert!(input.clone().with_lambda(1).is_ok());
+        assert!(input.with_lambda(u64::MAX).is_err());
+    }
+
+    #[test]
+    fn single_arch_cluster_restricts_archs() {
+        let (trace, workload, _) = small_pieces();
+        let config = ClusterConfig::small(2, 0);
+        let input = HindsightInput::from_trace(&trace, &workload, &config).unwrap();
+        assert_eq!(input.archs, vec![Arch::X86]);
+    }
+}

@@ -1,0 +1,52 @@
+//! Hindsight-optimal cost estimators for recorded CodeCrunch runs.
+//!
+//! Every policy PR so far measured policy-vs-policy deltas; this crate
+//! supplies the missing fixed reference: the *hindsight-optimal*
+//! keep-alive/placement cost of a recorded trace, so every run can report
+//! its gap to optimal instead of its gap to another heuristic.
+//!
+//! Three estimators bracket the optimum of the relaxed offline problem
+//! (see `DESIGN.md` §15 for the formulation and exactly what each bound
+//! does and does not capture):
+//!
+//! * [`dp_lower_bound`] — an exact per-function interval dynamic program
+//!   over the four hindsight actions available between consecutive
+//!   invocations (keep warm, keep compressed, drop + cold restart,
+//!   drop + just-in-time pre-warm), including the compressed-warm third
+//!   state with its decompression penalty and compression-ready timing.
+//!   Exact for the capacity-relaxed problem; a true lower bound on any
+//!   engine run's [measured cost](measured_cost_of_report).
+//! * [`segment_lower_bound`] — the same DP run on time segments with free
+//!   entry states: provably ≤ the DP optimum, robust to capacity
+//!   coupling arguments, and evaluable with bounded memory per segment.
+//! * [`local_search_upper_bound`] — a feasible plan seeded from the
+//!   recorded schedule and improved by per-gap coordinate descent: an
+//!   upper bound on the optimum that also certifies how much of a
+//!   policy's gap is real slack rather than relaxation looseness.
+//!
+//! [`exhaustive_reference`] enumerates every per-function plan on tiny
+//! inputs and pins the DP exactly (they must agree to the unit).
+//!
+//! Costs are exact integers in *nano-units*: one microsecond of added
+//! latency (wait + start penalty) counts `1000`, and one picodollar of
+//! keep-alive spend counts [`HindsightInput::lambda_nanos`] (default 1,
+//! i.e. λ = 1000 latency-seconds per dollar). Input construction rejects
+//! λ values large enough to break the lower-bound argument (see
+//! [`HindsightInput::with_lambda`]).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod estimators;
+mod gap;
+mod input;
+mod measured;
+mod model;
+
+pub use estimators::{
+    dp_lower_bound, exhaustive_reference, local_search_upper_bound, segment_lower_bound,
+};
+pub use gap::{GapReport, PolicyGap};
+pub use input::{FnCase, HindsightInput, LATENCY_NANOS_PER_MICRO};
+pub use measured::{measured_cost_of_records, measured_cost_of_report};
+pub use model::{GapChoice, InitChoice, NanoCost};

@@ -1,0 +1,56 @@
+//! The measured side of the gap: what a recorded run actually cost, in
+//! the same nano-units the estimators price.
+
+use cc_sim::SimReport;
+use cc_types::{Cost, ServiceRecord};
+
+use crate::input::LATENCY_NANOS_PER_MICRO;
+use crate::model::NanoCost;
+
+/// Measured cost of a set of service records plus the run's net
+/// keep-alive spend: `Σ (wait + start_penalty) · 1000 + spend · λ`.
+///
+/// Execution time is excluded on both sides of the gap (it is paid
+/// identically by every schedule); queueing wait counts in full, which
+/// is what makes the zero-wait DP a true lower bound (see
+/// [`crate::HindsightInput::with_lambda`]).
+pub fn measured_cost_of_records(
+    records: &[ServiceRecord],
+    spend: Cost,
+    lambda_nanos: u64,
+) -> NanoCost {
+    let latency: NanoCost = records
+        .iter()
+        .map(|r| {
+            (r.wait.as_micros() as NanoCost + r.start_penalty.as_micros() as NanoCost)
+                * LATENCY_NANOS_PER_MICRO
+        })
+        .fold(0, NanoCost::saturating_add);
+    latency.saturating_add(spend.as_picodollars() as NanoCost * lambda_nanos as NanoCost)
+}
+
+/// Measured cost of a finished simulation run.
+pub fn measured_cost_of_report(report: &SimReport, lambda_nanos: u64) -> NanoCost {
+    measured_cost_of_records(&report.records, report.keep_alive_spend, lambda_nanos)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cc_types::{Arch, FunctionId, SimDuration, SimTime, StartKind};
+
+    #[test]
+    fn records_cost_weighs_latency_and_dollars() {
+        let records = vec![ServiceRecord {
+            function: FunctionId::new(0),
+            arrival: SimTime::ZERO,
+            wait: SimDuration::from_micros(3),
+            start_penalty: SimDuration::from_micros(7),
+            execution: SimDuration::from_secs(100),
+            kind: StartKind::Cold,
+            arch: Arch::X86,
+        }];
+        let cost = measured_cost_of_records(&records, Cost::from_picodollars(5), 2);
+        assert_eq!(cost, (3 + 7) * 1000 + 5 * 2);
+    }
+}

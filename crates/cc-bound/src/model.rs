@@ -1,0 +1,398 @@
+//! The shared relaxed cost model every estimator prices against.
+//!
+//! One function at a time, zero queueing wait, capacity ignored: between
+//! consecutive invocations the hindsight scheduler picks one of four
+//! actions (keep warm, keep compressed, drop + cold restart on either
+//! architecture, drop + just-in-time pre-warm on either architecture),
+//! and pays latency at 1000 nano-units per microsecond of start penalty
+//! plus keep-alive dollars at λ nano-units per picodollar. Every dollar
+//! charge is floored by one picodollar of slack so integer rounding in
+//! the engine's reserve/refund path can never push a real run below the
+//! bound.
+
+use cc_types::{Arch, MemoryMb, SimDuration, KEEP_ALIVE_MAX};
+
+use crate::input::{FnCase, HindsightInput, LATENCY_NANOS_PER_MICRO};
+
+/// Exact integer cost in nano-units (1 µs latency = 1000; 1 p$ = λ).
+pub type NanoCost = u128;
+
+/// Sentinel for an unreachable state / infeasible plan.
+pub(crate) const INFEASIBLE: NanoCost = NanoCost::MAX;
+
+/// How an instance reaches one arrival: the start-penalty class of the
+/// DP state (the architecture is tracked alongside).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum Entry {
+    /// Warm and ready: pre-warmed, kept uncompressed, or kept compressed
+    /// but reused before compression finished. No penalty.
+    Ready,
+    /// Cold start: pays the runtime-scaled cold penalty.
+    Cold,
+    /// Kept compressed past its compression point: pays decompression.
+    Decompress,
+}
+
+/// Number of `(arch, entry)` DP states.
+pub(crate) const STATES: usize = 6;
+
+pub(crate) fn state_index(arch: Arch, entry: Entry) -> usize {
+    arch.index() * 3
+        + match entry {
+            Entry::Ready => 0,
+            Entry::Cold => 1,
+            Entry::Decompress => 2,
+        }
+}
+
+pub(crate) fn state_of(index: usize) -> (Arch, Entry) {
+    let arch = if index < 3 { Arch::X86 } else { Arch::Arm };
+    let entry = match index % 3 {
+        0 => Entry::Ready,
+        1 => Entry::Cold,
+        _ => Entry::Decompress,
+    };
+    (arch, entry)
+}
+
+/// The hindsight action for the gap between two consecutive arrivals.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GapChoice {
+    /// Keep the instance warm (uncompressed) until reuse.
+    KeepUncompressed,
+    /// Keep the instance compressed until reuse.
+    KeepCompressed,
+    /// Drop and cold-start the next invocation on `arch`.
+    Cold(Arch),
+    /// Drop and pre-warm on `arch` from the latest feasible tick.
+    Prewarm(Arch),
+}
+
+/// How the chain starts (the pool is empty before the first arrival).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InitChoice {
+    /// Cold-start the first invocation on `arch`.
+    Cold(Arch),
+    /// Pre-warm on `arch` ahead of the first arrival.
+    Prewarm(Arch),
+}
+
+/// Per-function pricing context: the case plus the run-wide parameters.
+pub(crate) struct FnCtx<'a> {
+    pub case: &'a FnCase,
+    pub input: &'a HindsightInput,
+}
+
+impl<'a> FnCtx<'a> {
+    pub fn new(input: &'a HindsightInput, case: &'a FnCase) -> FnCtx<'a> {
+        FnCtx { case, input }
+    }
+
+    /// Latency nano-units of a start penalty.
+    pub fn penalty_nanos(&self, penalty_micros: u64) -> NanoCost {
+        penalty_micros as NanoCost * LATENCY_NANOS_PER_MICRO
+    }
+
+    /// The entry penalty (µs) of a state at this function.
+    pub fn entry_penalty(&self, arch: Arch, entry: Entry) -> u64 {
+        match entry {
+            Entry::Ready => 0,
+            Entry::Cold => self.case.cold[arch.index()],
+            Entry::Decompress => self.case.decompress[arch.index()],
+        }
+    }
+
+    /// Relaxed completion time of an arrival served from `(arch, entry)`.
+    pub fn completion(&self, arrival: u64, arch: Arch, entry: Entry) -> u64 {
+        arrival
+            .saturating_add(self.entry_penalty(arch, entry))
+            .saturating_add(self.case.exec[arch.index()])
+    }
+
+    /// Dollar charge (in nano-units, minus the 1 p$ rounding slack) for
+    /// keeping `memory` on `arch` for `micros`.
+    pub fn keep_nanos(&self, arch: Arch, memory: MemoryMb, micros: u64) -> NanoCost {
+        let pd = self.input.rates[arch.index()]
+            .keep_alive_cost(memory, SimDuration::from_micros(micros))
+            .as_picodollars()
+            .saturating_sub(1);
+        pd as NanoCost * self.input.lambda_nanos as NanoCost
+    }
+
+    /// The cheapest pre-warm residual for an instance that must be warm
+    /// on `arch` at `arrival`: pre-warms launch on interval ticks and
+    /// become ready a cold start later, so the best hindsight pre-warm
+    /// launches at the latest tick whose readiness still precedes the
+    /// arrival and pays keep-alive only for the residual wait. Returns
+    /// the residual in microseconds, or `None` when no tick is early
+    /// enough (arrival before the first possible readiness).
+    pub fn prewarm_residual(&self, arch: Arch, arrival: u64) -> Option<u64> {
+        let cold = self.case.cold[arch.index()];
+        let avail = arrival.checked_sub(cold)?;
+        Some(avail % self.input.interval)
+    }
+
+    /// Cost of starting the chain with `init` at the first arrival:
+    /// `(charge, entry)` of the resulting first state, or `None` when
+    /// infeasible (pre-warm cannot be ready in time) or the architecture
+    /// is not available.
+    pub fn init_cost(
+        &self,
+        init: InitChoice,
+        first_arrival: u64,
+    ) -> Option<(NanoCost, Arch, Entry)> {
+        match init {
+            InitChoice::Cold(arch) => {
+                self.arch_available(arch)?;
+                Some((0, arch, Entry::Cold))
+            }
+            InitChoice::Prewarm(arch) => {
+                self.arch_available(arch)?;
+                let residual = self.prewarm_residual(arch, first_arrival)?;
+                Some((
+                    self.keep_nanos(arch, self.case.memory, residual),
+                    arch,
+                    Entry::Ready,
+                ))
+            }
+        }
+    }
+
+    /// Cost of bridging the gap from the completion of one arrival
+    /// (served at `(arch, entry)`) to the next arrival with `choice`:
+    /// `(charge, next_arch, next_entry)`, or `None` when infeasible.
+    ///
+    /// When the next arrival lands at or before the completion the gap is
+    /// an overlap: the relaxation serves it free of charge and penalty
+    /// on the same architecture, whatever `choice` says (the real engine
+    /// would need a second instance; pricing that would require capacity
+    /// modelling, which the relaxation deliberately drops).
+    pub fn gap_cost(
+        &self,
+        arrival: u64,
+        arch: Arch,
+        entry: Entry,
+        next_arrival: u64,
+        choice: GapChoice,
+    ) -> Option<(NanoCost, Arch, Entry)> {
+        let completion = self.completion(arrival, arch, entry);
+        if next_arrival <= completion {
+            return Some((0, arch, Entry::Ready));
+        }
+        let gap = next_arrival - completion;
+        match choice {
+            GapChoice::KeepUncompressed => {
+                if gap > KEEP_ALIVE_MAX.as_micros() {
+                    return None;
+                }
+                Some((
+                    self.keep_nanos(arch, self.case.memory, gap),
+                    arch,
+                    Entry::Ready,
+                ))
+            }
+            GapChoice::KeepCompressed => {
+                if gap > KEEP_ALIVE_MAX.as_micros() {
+                    return None;
+                }
+                let entry = if gap >= self.case.compress {
+                    Entry::Decompress
+                } else {
+                    Entry::Ready
+                };
+                Some((
+                    self.keep_nanos(arch, self.case.compressed_memory, gap),
+                    arch,
+                    entry,
+                ))
+            }
+            GapChoice::Cold(next) => {
+                self.arch_available(next)?;
+                Some((0, next, Entry::Cold))
+            }
+            GapChoice::Prewarm(next) => {
+                self.arch_available(next)?;
+                let residual = self.prewarm_residual(next, next_arrival)?;
+                Some((
+                    self.keep_nanos(next, self.case.memory, residual),
+                    next,
+                    Entry::Ready,
+                ))
+            }
+        }
+    }
+
+    fn arch_available(&self, arch: Arch) -> Option<()> {
+        self.input.archs.contains(&arch).then_some(())
+    }
+
+    /// Every init option, in a deterministic order.
+    pub fn init_options(&self) -> Vec<InitChoice> {
+        let mut options = Vec::with_capacity(4);
+        for &arch in &self.input.archs {
+            options.push(InitChoice::Cold(arch));
+            options.push(InitChoice::Prewarm(arch));
+        }
+        options
+    }
+
+    /// Every gap option, in a deterministic order.
+    pub fn gap_options(&self) -> Vec<GapChoice> {
+        let mut options = Vec::with_capacity(6);
+        options.push(GapChoice::KeepUncompressed);
+        options.push(GapChoice::KeepCompressed);
+        for &arch in &self.input.archs {
+            options.push(GapChoice::Cold(arch));
+            options.push(GapChoice::Prewarm(arch));
+        }
+        options
+    }
+
+    /// Evaluates a full plan (init + one choice per gap) and returns its
+    /// model cost, or `None` when any step is infeasible.
+    pub fn eval_plan(&self, init: InitChoice, gaps: &[GapChoice]) -> Option<NanoCost> {
+        let arrivals = &self.case.arrivals;
+        debug_assert_eq!(gaps.len() + 1, arrivals.len());
+        let (mut cost, mut arch, mut entry) = self.init_cost(init, arrivals[0])?;
+        cost = cost.saturating_add(self.penalty_nanos(self.entry_penalty(arch, entry)));
+        for (i, &choice) in gaps.iter().enumerate() {
+            let (charge, next_arch, next_entry) =
+                self.gap_cost(arrivals[i], arch, entry, arrivals[i + 1], choice)?;
+            arch = next_arch;
+            entry = next_entry;
+            cost = cost
+                .saturating_add(charge)
+                .saturating_add(self.penalty_nanos(self.entry_penalty(arch, entry)));
+        }
+        Some(cost)
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use cc_types::FunctionId;
+
+    pub(crate) fn test_input(arrivals: Vec<u64>) -> HindsightInput {
+        HindsightInput {
+            functions: vec![FnCase {
+                id: FunctionId::new(0),
+                arrivals,
+                exec: [1_000_000, 1_200_000],
+                cold: [500_000, 600_000],
+                decompress: [100_000, 110_000],
+                compress: 200_000,
+                memory: MemoryMb::new(256),
+                compressed_memory: MemoryMb::new(64),
+            }],
+            rates: [
+                cc_types::CostRate::paper_rate(Arch::X86),
+                cc_types::CostRate::paper_rate(Arch::Arm),
+            ],
+            archs: vec![Arch::X86, Arch::Arm],
+            interval: 60_000_000,
+            lambda_nanos: 1,
+        }
+    }
+
+    #[test]
+    fn overlap_is_free_regardless_of_choice() {
+        let input = test_input(vec![0, 100]);
+        let ctx = FnCtx::new(&input, &input.functions[0]);
+        for choice in ctx.gap_options() {
+            let (charge, arch, entry) = ctx
+                .gap_cost(0, Arch::X86, Entry::Cold, 100, choice)
+                .unwrap();
+            assert_eq!(charge, 0);
+            assert_eq!(arch, Arch::X86);
+            assert_eq!(entry, Entry::Ready);
+        }
+    }
+
+    #[test]
+    fn keep_beyond_max_is_infeasible() {
+        let input = test_input(vec![0, 4_000_000_000]);
+        let ctx = FnCtx::new(&input, &input.functions[0]);
+        assert!(ctx
+            .gap_cost(
+                0,
+                Arch::X86,
+                Entry::Cold,
+                4_000_000_000,
+                GapChoice::KeepUncompressed
+            )
+            .is_none());
+        assert!(ctx
+            .gap_cost(
+                0,
+                Arch::X86,
+                Entry::Cold,
+                4_000_000_000,
+                GapChoice::Cold(Arch::Arm)
+            )
+            .is_some());
+    }
+
+    #[test]
+    fn compressed_reuse_before_compression_point_skips_decompression() {
+        let input = test_input(vec![0, 2_000_000]);
+        let ctx = FnCtx::new(&input, &input.functions[0]);
+        // Completion of a Ready start at 0 = exec (1s); compress takes 0.2s.
+        let (_, _, early) = ctx
+            .gap_cost(
+                0,
+                Arch::X86,
+                Entry::Ready,
+                1_100_000,
+                GapChoice::KeepCompressed,
+            )
+            .unwrap();
+        assert_eq!(early, Entry::Ready);
+        let (_, _, late) = ctx
+            .gap_cost(
+                0,
+                Arch::X86,
+                Entry::Ready,
+                2_000_000,
+                GapChoice::KeepCompressed,
+            )
+            .unwrap();
+        assert_eq!(late, Entry::Decompress);
+    }
+
+    #[test]
+    fn prewarm_residual_follows_tick_grid() {
+        let input = test_input(vec![0]);
+        let ctx = FnCtx::new(&input, &input.functions[0]);
+        // Cold on x86 = 0.5s. Arrival at 61s: latest tick with readiness
+        // before arrival is t=60s, ready at 60.5s, residual 0.5s.
+        assert_eq!(ctx.prewarm_residual(Arch::X86, 61_000_000), Some(500_000));
+        // Arrival before the first possible readiness: infeasible.
+        assert_eq!(ctx.prewarm_residual(Arch::X86, 400_000), None);
+        // Arrival exactly at readiness: zero residual.
+        assert_eq!(ctx.prewarm_residual(Arch::X86, 60_500_000), Some(0));
+    }
+
+    #[test]
+    fn state_roundtrip() {
+        for i in 0..STATES {
+            let (arch, entry) = state_of(i);
+            assert_eq!(state_index(arch, entry), i);
+        }
+    }
+
+    #[test]
+    fn dollar_slack_floors_each_charge() {
+        let input = test_input(vec![0]);
+        let ctx = FnCtx::new(&input, &input.functions[0]);
+        // A 1 µs keep rounds to zero picodollars and the slack keeps it there.
+        assert_eq!(ctx.keep_nanos(Arch::X86, MemoryMb::new(256), 1), 0);
+        let full = input.rates[0]
+            .keep_alive_cost(MemoryMb::new(256), SimDuration::from_secs(10))
+            .as_picodollars();
+        assert_eq!(
+            ctx.keep_nanos(Arch::X86, MemoryMb::new(256), 10_000_000),
+            (full - 1) as NanoCost
+        );
+    }
+}

@@ -31,6 +31,7 @@ mod fig3;
 mod fig7;
 mod fig8;
 mod fig9;
+mod gap;
 mod tab_codec_choice;
 mod tab_microvm;
 mod tab_overhead;
@@ -73,6 +74,7 @@ pub fn all_experiments() -> Vec<Box<dyn Experiment>> {
         Box::new(tab_short_fns::TabShortFns),
         Box::new(tab_pest_window::TabPestWindow),
         Box::new(tab_codec_choice::TabCodecChoice),
+        Box::new(gap::GapAnalysis),
     ]
 }
 
@@ -89,10 +91,10 @@ mod tests {
     fn registry_ids_are_unique_and_resolvable() {
         let experiments = all_experiments();
         let mut ids: Vec<&str> = experiments.iter().map(|e| e.id()).collect();
-        assert_eq!(ids.len(), 19);
+        assert_eq!(ids.len(), 20);
         ids.sort_unstable();
         ids.dedup();
-        assert_eq!(ids.len(), 19, "duplicate experiment ids");
+        assert_eq!(ids.len(), 20, "duplicate experiment ids");
         for id in ids {
             assert!(experiment_by_id(id).is_some());
             assert!(!experiment_by_id(id).unwrap().title().is_empty());

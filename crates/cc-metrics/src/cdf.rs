@@ -48,10 +48,20 @@ impl Cdf {
         idx as f64 / self.sorted.len() as f64
     }
 
-    /// The smallest sample `v` such that at least a fraction `q` of samples
-    /// are `≤ v` (nearest-rank quantile), `q ∈ [0, 1]`.
+    /// Nearest-rank quantile on the **0–1 scale**: for `q > 0`, the
+    /// smallest sample `v` such that at least a fraction `q` of samples
+    /// are `≤ v`. For `q = 0` that definition has no smallest witness
+    /// (any value below the support satisfies it vacuously), so by
+    /// convention the minimum sample is returned — the same value as any
+    /// `q ≤ 1/n`.
     ///
     /// Returns `0.0` if empty.
+    ///
+    /// Note the scale: this takes fractions in `[0, 1]`, while
+    /// [`Summary::percentile`](crate::Summary::percentile) takes
+    /// percentages in `[0, 100]`. `cdf.quantile(q)` agrees with
+    /// `summary.percentile(q * 100.0)` over the same samples; don't mix
+    /// the scales when building gap or latency tables.
     ///
     /// # Panics
     ///
@@ -60,6 +70,11 @@ impl Cdf {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
         if self.sorted.is_empty() {
             return 0.0;
+        }
+        if q == 0.0 {
+            // Explicit convention, not a clamp artifact: the 0-quantile
+            // is the minimum sample (the support's lower edge).
+            return self.sorted[0];
         }
         let n = self.sorted.len();
         let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
@@ -123,6 +138,37 @@ mod tests {
         assert_eq!(cdf.quantile(0.25), 10.0);
         assert_eq!(cdf.quantile(0.26), 20.0);
         assert_eq!(cdf.quantile(1.0), 40.0);
+    }
+
+    #[test]
+    fn quantile_edges_q0_one_over_n_and_one() {
+        // q = 0 is the documented minimum-sample convention; q = 1/n is
+        // the smallest fraction with a genuine nearest-rank witness and
+        // must agree with it; q = 1 is the maximum.
+        let cdf = Cdf::from_samples(vec![5.0, 7.0, 11.0]);
+        let n = cdf.len() as f64;
+        assert_eq!(cdf.quantile(0.0), 5.0);
+        assert_eq!(cdf.quantile(1.0 / n), 5.0);
+        assert_eq!(cdf.quantile(1.0), 11.0);
+        // A single sample: all three edges coincide.
+        let one = Cdf::from_samples(vec![42.0]);
+        assert_eq!(one.quantile(0.0), 42.0);
+        assert_eq!(one.quantile(1.0), 42.0);
+    }
+
+    #[test]
+    fn quantile_agrees_with_summary_percentile_across_scales() {
+        // The 0–1 scale here and Summary's 0–100 scale must name the
+        // same nearest-rank values, q ↔ p = 100q.
+        let samples = vec![3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let cdf = Cdf::from_samples(samples.clone());
+        let mut summary = crate::Summary::new();
+        for s in &samples {
+            summary.record(*s);
+        }
+        for q in [0.125, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(cdf.quantile(q), summary.percentile(q * 100.0));
+        }
     }
 
     #[test]

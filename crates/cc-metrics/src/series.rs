@@ -213,6 +213,35 @@ mod tests {
     }
 
     #[test]
+    fn horizon_stamped_sample_matches_engine_interval_count() {
+        // The engine schedules ticks while `next <= ZERO + horizon`, so a
+        // run over H = k·interval produces exactly k + 1 per-interval
+        // samples (indices 0..=k; the final tick fires at the horizon
+        // itself). A record stamped exactly at the horizon must land in
+        // bucket k — the same index as that final tick — and not open a
+        // phantom bucket k + 1 that would disagree with the report's
+        // interval count.
+        let interval = minutes();
+        let k = 20u64;
+        let horizon = SimTime::ZERO + SimDuration::from_mins(k);
+        let mut s = TimeSeries::new(interval);
+        s.record(horizon, 1.0);
+        assert_eq!(horizon.interval_index(interval), k);
+        assert_eq!(s.len() as u64, k + 1, "no phantom trailing interval");
+        assert_eq!(s.bucket_count(k as usize), 1);
+        assert_eq!(s.bucket_count(k as usize + 1), 0);
+        // The horizon stamp opens bucket k, not a later one: anything up
+        // to one full interval past it still shares that bucket, and only
+        // the next edge (horizon + interval) opens bucket k + 1.
+        let mut late = TimeSeries::new(interval);
+        late.record(SimTime::from_micros(horizon.as_micros() + 1), 1.0);
+        assert_eq!(late.len() as u64, k + 1);
+        let mut next_edge = TimeSeries::new(interval);
+        next_edge.record(horizon + interval, 1.0);
+        assert_eq!(next_edge.len() as u64, k + 2);
+    }
+
+    #[test]
     #[should_panic(expected = "bucket interval must be non-zero")]
     fn zero_interval_rejected() {
         let _ = TimeSeries::new(SimDuration::ZERO);

@@ -107,7 +107,11 @@ impl Summary {
         var.sqrt()
     }
 
-    /// Nearest-rank percentile `p ∈ [0, 100]` of the recorded samples.
+    /// Nearest-rank percentile on the **0–100 scale** (`p ∈ [0, 100]`) of
+    /// the recorded samples. [`Cdf::quantile`](crate::Cdf::quantile) is
+    /// the same statistic on the 0–1 scale: `percentile(p)` agrees with
+    /// `quantile(p / 100.0)` over the same samples; don't mix the scales
+    /// when building gap or latency tables.
     ///
     /// Returns `0.0` if empty. Requires `&mut self` because it sorts the
     /// retained samples lazily; repeated calls are cheap.

@@ -34,11 +34,19 @@ impl SitW {
     /// Creates the policy with the paper's parameters (5th/99th
     /// percentiles, 10-minute fallback).
     pub fn new() -> SitW {
+        SitW::with_percentiles(5.0, 99.0)
+    }
+
+    /// Creates the policy with custom head/tail percentiles (each clamped
+    /// to `[0, 100]`). The pre-warm schedule normalizes the resulting gap
+    /// estimates, so an inverted pair degrades gracefully instead of
+    /// collapsing the keep window (see [`prewarm_schedule`]).
+    pub fn with_percentiles(head: f64, tail: f64) -> SitW {
         SitW {
             histograms: FxHashMap::default(),
             scheduled: Vec::new(),
-            head_percentile: 5.0,
-            tail_percentile: 99.0,
+            head_percentile: head.clamp(0.0, 100.0),
+            tail_percentile: tail.clamp(0.0, 100.0),
             fallback: SimDuration::from_mins(10),
         }
     }
@@ -46,6 +54,25 @@ impl SitW {
     fn histogram(&mut self, function: FunctionId) -> &mut GapHistogram {
         self.histograms.entry(function).or_default()
     }
+}
+
+/// The pre-warm schedule for a patterned long-idle function, from its
+/// head/tail percentile gap estimates in minutes: `(delay after the last
+/// arrival, keep-alive window)`. The instance is re-warmed one minute
+/// before the earlier estimate and kept until one minute past the later
+/// one.
+///
+/// The estimates are normalized (`min`/`max`) before use: with an
+/// inverted pair — reachable through [`SitW::with_percentiles`], or any
+/// future data-driven percentile source — the former
+/// `tail.saturating_sub(head) + 2` silently collapsed every window to
+/// 2 minutes, expiring the pre-warmed instance *before* the
+/// distribution's actual tail it was meant to cover.
+fn prewarm_schedule(head: u64, tail: u64) -> (SimDuration, SimDuration) {
+    let (lo, hi) = (head.min(tail), head.max(tail));
+    let delay = SimDuration::from_mins(lo.saturating_sub(1).max(1));
+    let window = SimDuration::from_mins(hi - lo + 2);
+    (delay, window)
 }
 
 impl Default for SitW {
@@ -84,17 +111,16 @@ impl Scheduler for SitW {
         }
         let head = hist.percentile_minutes(head_p).unwrap_or(0);
         let tail = hist.percentile_minutes(tail_p).unwrap_or(10);
-        if head >= 3 {
+        if head.min(tail) >= 3 {
             // Long predicted idle: drop now, pre-warm shortly before the
             // head of the distribution, keep until the tail.
             if let Some(last) = now {
-                let due = last + SimDuration::from_mins(head.saturating_sub(1).max(1));
-                let window = SimDuration::from_mins(tail.saturating_sub(head) + 2);
-                self.scheduled.push((due, function, window));
+                let (delay, window) = prewarm_schedule(head, tail);
+                self.scheduled.push((last + delay, function, window));
             }
             KeepDecision::DROP
         } else {
-            KeepDecision::uncompressed(SimDuration::from_mins(tail))
+            KeepDecision::uncompressed(SimDuration::from_mins(head.max(tail)))
         }
     }
 
@@ -170,6 +196,49 @@ mod tests {
             fixed.keep_alive_spend.as_dollars(),
             fixed.mean_service_time_secs()
         );
+    }
+
+    #[test]
+    fn prewarm_schedule_survives_inverted_estimates() {
+        // Ordered estimates: pre-warm at head−1, keep through tail+1.
+        assert_eq!(
+            prewarm_schedule(5, 30),
+            (SimDuration::from_mins(4), SimDuration::from_mins(27))
+        );
+        // Inverted estimates must produce the same honest window, not a
+        // 2-minute stub that expires before the distribution's tail.
+        assert_eq!(prewarm_schedule(30, 5), prewarm_schedule(5, 30));
+        // Degenerate pair: minimal slack window around the single estimate.
+        assert_eq!(
+            prewarm_schedule(3, 3),
+            (SimDuration::from_mins(2), SimDuration::from_mins(2))
+        );
+    }
+
+    #[test]
+    fn inverted_percentile_pair_matches_ordered_schedule() {
+        // Drive two policies over the same strongly-patterned arrivals:
+        // one with the paper's (5th, 99th) pair, one deliberately
+        // inverted (99th, 5th). The pre-warm schedules they emit must be
+        // identical — the inverted pair used to collapse every window to
+        // 2 minutes via `tail.saturating_sub(head) + 2`.
+        let mut ordered = SitW::new();
+        let mut inverted = SitW::with_percentiles(99.0, 5.0);
+        let f = cc_types::FunctionId::new(0);
+        let mut t = SimTime::ZERO;
+        for _ in 0..12 {
+            ordered.on_arrival(f, t);
+            inverted.on_arrival(f, t);
+            t += SimDuration::from_mins(20);
+        }
+        // Both histograms are patterned with every gap in the 20-minute
+        // bin, so head and tail percentiles agree pairwise (just swapped).
+        let hist = ordered.histogram(f).clone();
+        assert!(hist.is_patterned());
+        let head = hist.percentile_minutes(5.0).unwrap();
+        let tail = hist.percentile_minutes(99.0).unwrap();
+        assert!(head >= 3);
+        assert_eq!(prewarm_schedule(tail, head), prewarm_schedule(head, tail));
     }
 
     #[test]

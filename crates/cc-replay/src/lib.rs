@@ -66,4 +66,6 @@ pub use decode::{
     decode_line, decode_stream, DecodeError, DecodeErrorKind, Line, ReplayLog, ShardEndInfo,
     ShardStream, StreamError, StreamErrorKind,
 };
-pub use reconstruct::{infer_interval, reconstruct, reconstruct_with_interval, DEFAULT_INTERVAL};
+pub use reconstruct::{
+    infer_interval, reconstruct, reconstruct_records, reconstruct_with_interval, DEFAULT_INTERVAL,
+};

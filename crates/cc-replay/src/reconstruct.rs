@@ -11,7 +11,7 @@
 //! interval samples themselves (tick `k` lands at `k · interval`).
 
 use cc_obs::{Event, EventSink, Telemetry};
-use cc_types::SimDuration;
+use cc_types::{Cost, ServiceRecord, SimDuration};
 
 use crate::decode::ShardStream;
 
@@ -50,6 +50,56 @@ pub fn reconstruct_with_interval(shard: &ShardStream, interval: SimDuration) -> 
         telemetry.record(event);
     }
     telemetry
+}
+
+/// Rebuilds one shard's per-invocation [`ServiceRecord`]s and its net
+/// keep-alive spend purely from the log — the inputs the `cc-bound`
+/// estimators need for post-hoc gap analysis without re-simulating.
+///
+/// Every `exec_start` event carries the full record tuple (its `at` is
+/// `arrival + wait`, so the arrival is recovered exactly), and the net
+/// spend is the budget debits granted minus the credits refunded — the
+/// same quantity the live report's `keep_alive_spend` exposes. Lossy or
+/// sampled captures under-report both; audit the stream first if exact
+/// accounting matters.
+pub fn reconstruct_records(shard: &ShardStream) -> (Vec<ServiceRecord>, Cost) {
+    let mut records = Vec::new();
+    let mut debits = Cost::ZERO;
+    let mut credits = Cost::ZERO;
+    for (_, event) in &shard.events {
+        match event {
+            Event::ExecutionStarted {
+                at,
+                function,
+                arch,
+                kind,
+                wait,
+                start_penalty,
+                execution,
+                ..
+            } => records.push(ServiceRecord {
+                function: *function,
+                // `at` is arrival + wait; saturate rather than trust an
+                // arbitrary (possibly hand-edited) log not to underflow.
+                arrival: cc_types::SimTime::from_micros(
+                    at.as_micros().saturating_sub(wait.as_micros()),
+                ),
+                wait: *wait,
+                start_penalty: *start_penalty,
+                execution: *execution,
+                kind: *kind,
+                arch: *arch,
+            }),
+            Event::BudgetDebit { granted, .. } => {
+                debits = debits.saturating_add(*granted);
+            }
+            Event::BudgetCredit { amount, .. } => {
+                credits = credits.saturating_add(*amount);
+            }
+            _ => {}
+        }
+    }
+    (records, debits.saturating_sub(credits))
 }
 
 #[cfg(test)]
@@ -119,5 +169,56 @@ mod tests {
         assert_eq!(replayed.digest(), live.digest());
         assert_eq!(replayed.report(), live.report());
         assert_eq!(replayed.snapshot_line(), live.snapshot_line());
+    }
+
+    #[test]
+    fn records_and_spend_recovered_from_events() {
+        use cc_types::{Arch, NodeId, StartKind};
+        let events = vec![
+            (
+                1,
+                Event::ExecutionStarted {
+                    at: SimTime::from_micros(150),
+                    function: FunctionId::new(4),
+                    node: NodeId::new(0),
+                    arch: Arch::Arm,
+                    kind: StartKind::Cold,
+                    wait: SimDuration::from_micros(50),
+                    start_penalty: SimDuration::from_micros(700),
+                    execution: SimDuration::from_micros(9_000),
+                },
+            ),
+            (
+                2,
+                Event::BudgetDebit {
+                    at: SimTime::from_micros(200),
+                    requested: Cost::from_picodollars(90),
+                    granted: Cost::from_picodollars(70),
+                },
+            ),
+            (
+                3,
+                Event::BudgetCredit {
+                    at: SimTime::from_micros(300),
+                    amount: Cost::from_picodollars(30),
+                },
+            ),
+        ];
+        let shard = ShardStream {
+            shard: 0,
+            events,
+            end: None,
+        };
+        let (records, spend) = reconstruct_records(&shard);
+        assert_eq!(records.len(), 1);
+        let r = &records[0];
+        assert_eq!(r.arrival, SimTime::from_micros(100));
+        assert_eq!(r.wait, SimDuration::from_micros(50));
+        assert_eq!(r.start_penalty, SimDuration::from_micros(700));
+        assert_eq!(r.kind, StartKind::Cold);
+        assert_eq!(r.arch, Arch::Arm);
+        // Net spend = granted − credited (the requested amount is what the
+        // policy asked for, not what the ledger charged).
+        assert_eq!(spend, Cost::from_picodollars(40));
     }
 }

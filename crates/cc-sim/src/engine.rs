@@ -1249,6 +1249,29 @@ mod tests {
     }
 
     #[test]
+    fn interval_series_cover_the_horizon_inclusively() {
+        // Ticks are scheduled while `next <= ZERO + horizon`, so a run over
+        // H = k·interval samples k + 1 intervals (indices 0..=k) — the
+        // final tick fires at the horizon itself. Downstream bucketing
+        // (`TimeSeries`) stamps a horizon-aligned record into bucket k,
+        // the same index, so the report's interval count and a series
+        // built from its events can never disagree by a phantom bucket.
+        let minutes = 45u64;
+        let (trace, workload) = setup(15, minutes, 9);
+        let config = ClusterConfig::small(2, 2);
+        let intervals = trace.duration().as_micros() / config.interval.as_micros() + 1;
+        let mut policy = FixedKeepAlive::ten_minutes();
+        let report = Simulation::new(config, &trace, &workload).run(&mut policy);
+        assert_eq!(report.spend_per_interval.len() as u64, intervals);
+        assert_eq!(report.warm_pool_series.len() as u64, intervals);
+        assert_eq!(report.utilization_series.len() as u64, intervals);
+        assert_eq!(
+            report.compression_events_per_interval.len() as u64,
+            intervals
+        );
+    }
+
+    #[test]
     fn determinism() {
         let (trace, workload) = setup(20, 60, 2);
         let run = || {

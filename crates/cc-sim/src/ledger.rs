@@ -93,9 +93,13 @@ impl BudgetLedger {
         // for `now` covers intervals 0 ..= floor(now/interval).
         let due = now.interval_index(self.interval) + 1;
         if due > self.credited_intervals {
+            // The accrual product saturates (u128 intermediate): a long
+            // idle gap under a high rate must cap the credit at
+            // `Cost::MAX`-equivalent, not panic (debug) or wrap (release).
             let missing = due - self.credited_intervals;
-            self.balance = self.balance.saturating_add(rate * missing);
-            self.accrued = self.accrued.saturating_add(rate * missing);
+            let credit = rate.saturating_mul(missing);
+            self.balance = self.balance.saturating_add(credit);
+            self.accrued = self.accrued.saturating_add(credit);
             self.credited_intervals = due;
         }
     }
@@ -188,6 +192,24 @@ mod tests {
         // Idempotent.
         l.accrue(at_min(5));
         assert_eq!(l.balance(), Cost::from_picodollars(600));
+    }
+
+    #[test]
+    fn accrual_saturates_instead_of_overflowing() {
+        // A rate high enough that two intervals of credit overflow u64:
+        // the unchecked `rate * missing` product used to panic in debug
+        // (wrap in release) as soon as the engine crossed a long idle gap.
+        let rate = Cost::from_picodollars(u64::MAX / 2 + 1);
+        let mut l = BudgetLedger::budgeted(rate, minute());
+        l.accrue(at_min(1)); // two intervals due at once
+        assert_eq!(l.balance(), Cost::from_picodollars(u64::MAX));
+        assert_eq!(l.accrued(), Cost::from_picodollars(u64::MAX));
+        // Still functional past the clamp: reservations draw from the
+        // saturated balance and later accruals stay saturated.
+        let granted = l.reserve(at_min(1), Cost::from_picodollars(10));
+        assert_eq!(granted, Cost::from_picodollars(10));
+        l.accrue(at_min(1_000_000));
+        assert_eq!(l.accrued(), Cost::from_picodollars(u64::MAX));
     }
 
     #[test]

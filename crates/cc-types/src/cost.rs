@@ -69,6 +69,15 @@ impl Cost {
         Cost(self.0.saturating_add(other.0))
     }
 
+    /// Multiplies by an integer count, saturating at `u64::MAX`
+    /// pico-dollars (the product is formed in `u128`, so it cannot wrap
+    /// before the clamp). Use this instead of `cost * n` wherever the
+    /// count is unbounded — e.g. crediting a budget across an arbitrarily
+    /// long idle gap.
+    pub fn saturating_mul(self, count: u64) -> Cost {
+        Cost((self.0 as u128 * count as u128).min(u64::MAX as u128) as u64)
+    }
+
     /// Multiplies by a floating-point factor (e.g. a budget multiplier),
     /// rounding to the nearest pico-dollar and saturating negatives to zero.
     pub fn scale(self, factor: f64) -> Cost {
@@ -220,6 +229,21 @@ impl fmt::Display for CostRate {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn saturating_mul_clamps_at_max() {
+        let c = Cost::from_picodollars(u64::MAX / 2 + 1);
+        assert_eq!(c.saturating_mul(2), Cost::from_picodollars(u64::MAX));
+        assert_eq!(c.saturating_mul(0), Cost::ZERO);
+        assert_eq!(
+            Cost::from_picodollars(3).saturating_mul(4),
+            Cost::from_picodollars(12)
+        );
+        assert_eq!(
+            Cost::from_picodollars(u64::MAX).saturating_mul(u64::MAX),
+            Cost::from_picodollars(u64::MAX)
+        );
+    }
 
     #[test]
     fn paper_rates_match_hand_calculation() {

@@ -66,6 +66,10 @@ pub use codecrunch;
 
 /// The most common imports for driving experiments.
 pub mod prelude {
+    pub use cc_bound::{
+        dp_lower_bound, exhaustive_reference, local_search_upper_bound, measured_cost_of_records,
+        measured_cost_of_report, segment_lower_bound, GapReport, HindsightInput, PolicyGap,
+    };
     pub use cc_compress::{Codec, CompressionModel, CrunchFast, EntropyClass, FsImage};
     pub use cc_policies::{Enhanced, FaasCache, IceBreaker, Oracle, SitW};
     pub use cc_replay::{
