@@ -44,6 +44,7 @@ mod event;
 mod instruments;
 mod jsonl;
 mod sampling;
+mod shared;
 mod telemetry;
 
 pub use batch::{BatchSink, EventBatch};
@@ -55,4 +56,5 @@ pub use event::{
 pub use instruments::{Counter, Gauge, LogHistogram};
 pub use jsonl::{event_line, JsonlSink};
 pub use sampling::SamplingSink;
+pub use shared::SharedTelemetry;
 pub use telemetry::Telemetry;

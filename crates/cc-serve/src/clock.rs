@@ -1,0 +1,367 @@
+//! The service clock: one trait, two implementations.
+//!
+//! The service loop never calls `Instant::now` or `sleep` directly — all
+//! pacing goes through a [`Clock`], so the *identical* loop runs against
+//! wall time in production ([`RealClock`], optionally time-compressed) or
+//! against a manually driven [`VirtualClock`] in tests, where a 48-hour
+//! soak finishes in seconds and every interleaving is deterministic.
+//!
+//! [`VirtualClock`] additionally carries a waker list: tests (and
+//! monitors) register instants of interest and every `advance` reports
+//! exactly which wakers fired, in a deterministic order — `(deadline,
+//! registration order)` — even when several share a deadline. That
+//! determinism is what the whole batch-equivalence suite rests on.
+
+use std::collections::BTreeSet;
+use std::fmt;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use cc_types::{SimDuration, SimTime};
+
+/// A source of simulated time for the service loop.
+///
+/// Implementations are shared across threads (`Arc<dyn Clock>`): the
+/// pacer consults it to release arrivals and bound internal-event waits,
+/// and drain handlers read it to timestamp shutdown.
+pub trait Clock: Send + Sync + fmt::Debug {
+    /// The current instant on the simulation timeline.
+    fn now(&self) -> SimTime;
+
+    /// Wall-clock time remaining until `t`, or `None` once `t` has been
+    /// reached. Manual clocks never reach an instant by waiting — callers
+    /// must check [`Clock::is_manual`] and drive them via
+    /// [`Clock::advance_to`] instead of sleeping on this.
+    fn until(&self, t: SimTime) -> Option<Duration>;
+
+    /// Advances a manually driven clock to `t` (monotone: an instant in
+    /// the past is a no-op) and returns the wakers that fired, in
+    /// deterministic `(deadline, registration)` order. Real clocks cannot
+    /// be driven and return an empty list.
+    fn advance_to(&self, t: SimTime) -> Vec<WakerId>;
+
+    /// Whether this clock must be driven via [`Clock::advance_to`]
+    /// (virtual) rather than waited on (real).
+    fn is_manual(&self) -> bool;
+}
+
+/// A waker registered on a [`VirtualClock`], identified by registration
+/// order (the second component of the deterministic firing order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct WakerId(u64);
+
+impl WakerId {
+    /// The registration ordinal (0 for the first waker registered).
+    pub fn ordinal(self) -> u64 {
+        self.0
+    }
+}
+
+/// Wall-clock time, mapped onto the simulation timeline.
+///
+/// The epoch is captured at construction: simulated instant `t`
+/// corresponds to wall instant `epoch + t / speed`. A `speed` of 60 runs
+/// the service 60× faster than real time (one simulated minute per wall
+/// second); 1.0 is real time.
+#[derive(Debug)]
+pub struct RealClock {
+    epoch: Instant,
+    speed: f64,
+}
+
+impl RealClock {
+    /// A real-time clock (speed 1.0) whose epoch is now.
+    pub fn new() -> RealClock {
+        RealClock::with_speed(1.0)
+    }
+
+    /// A time-compressed clock: `speed` simulated seconds per wall
+    /// second.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `speed` is finite and positive.
+    pub fn with_speed(speed: f64) -> RealClock {
+        assert!(
+            speed.is_finite() && speed > 0.0,
+            "clock speed must be finite and positive, got {speed}"
+        );
+        RealClock {
+            epoch: Instant::now(),
+            speed,
+        }
+    }
+}
+
+impl Default for RealClock {
+    fn default() -> RealClock {
+        RealClock::new()
+    }
+}
+
+impl Clock for RealClock {
+    fn now(&self) -> SimTime {
+        let micros = self.epoch.elapsed().as_secs_f64() * self.speed * 1e6;
+        SimTime::from_micros(micros as u64)
+    }
+
+    fn until(&self, t: SimTime) -> Option<Duration> {
+        let target_wall = t.as_micros() as f64 / self.speed;
+        let elapsed = self.epoch.elapsed().as_secs_f64() * 1e6;
+        let remaining = target_wall - elapsed;
+        if remaining <= 0.0 {
+            return None;
+        }
+        // Round up so a wait that returns by timeout has really reached
+        // the target (avoids a busy re-check at the boundary).
+        Some(Duration::from_micros(remaining as u64 + 1))
+    }
+
+    fn advance_to(&self, _t: SimTime) -> Vec<WakerId> {
+        Vec::new()
+    }
+
+    fn is_manual(&self) -> bool {
+        false
+    }
+}
+
+#[derive(Debug)]
+struct VirtualState {
+    now: SimTime,
+    /// Pending wakers keyed by `(deadline, registration ordinal)` — the
+    /// deterministic firing order.
+    sleepers: BTreeSet<(SimTime, u64)>,
+    next_waker: u64,
+}
+
+/// A manually driven, deterministic clock.
+///
+/// Time moves only through [`VirtualClock::advance`] /
+/// [`Clock::advance_to`]; both return the wakers whose deadlines were
+/// reached, sorted by `(deadline, registration order)`. Threads blocked
+/// in [`VirtualClock::sleep_until`] are released whenever time passes
+/// their instant; a sleep until the present (or the past) is a
+/// zero-duration sleep and returns immediately without blocking.
+#[derive(Debug)]
+pub struct VirtualClock {
+    state: Mutex<VirtualState>,
+    moved: Condvar,
+}
+
+impl VirtualClock {
+    /// A virtual clock starting at the simulation origin.
+    pub fn new() -> VirtualClock {
+        VirtualClock::starting_at(SimTime::ZERO)
+    }
+
+    /// A virtual clock starting at an arbitrary instant.
+    pub fn starting_at(at: SimTime) -> VirtualClock {
+        VirtualClock {
+            state: Mutex::new(VirtualState {
+                now: at,
+                sleepers: BTreeSet::new(),
+                next_waker: 0,
+            }),
+            moved: Condvar::new(),
+        }
+    }
+
+    /// Registers a waker that fires when the clock reaches `at`. A
+    /// deadline already in the past fires on the next advance, even a
+    /// zero-duration one.
+    pub fn register(&self, at: SimTime) -> WakerId {
+        let mut state = self.state.lock().expect("clock lock");
+        let id = state.next_waker;
+        state.next_waker += 1;
+        state.sleepers.insert((at, id));
+        WakerId(id)
+    }
+
+    /// Advances the clock by `d` (which may be zero) and returns the
+    /// wakers that fired, in deterministic order.
+    pub fn advance(&self, d: SimDuration) -> Vec<WakerId> {
+        let target = {
+            let state = self.state.lock().expect("clock lock");
+            state.now + d
+        };
+        self.advance_to(target)
+    }
+
+    /// Blocks the calling thread until the clock reaches `at`. Returns
+    /// immediately (a zero-duration sleep) if it already has.
+    pub fn sleep_until(&self, at: SimTime) {
+        let mut state = self.state.lock().expect("clock lock");
+        while state.now < at {
+            state = self.moved.wait(state).expect("clock lock");
+        }
+    }
+
+    /// The number of wakers registered but not yet fired.
+    pub fn pending_wakers(&self) -> usize {
+        self.state.lock().expect("clock lock").sleepers.len()
+    }
+}
+
+impl Default for VirtualClock {
+    fn default() -> VirtualClock {
+        VirtualClock::new()
+    }
+}
+
+impl Clock for VirtualClock {
+    fn now(&self) -> SimTime {
+        self.state.lock().expect("clock lock").now
+    }
+
+    fn until(&self, t: SimTime) -> Option<Duration> {
+        let state = self.state.lock().expect("clock lock");
+        if state.now >= t {
+            None
+        } else {
+            // Waiting cannot move a manual clock; report a zero budget so
+            // a caller that ignores `is_manual` spins visibly instead of
+            // deadlocking silently.
+            Some(Duration::ZERO)
+        }
+    }
+
+    fn advance_to(&self, t: SimTime) -> Vec<WakerId> {
+        let mut state = self.state.lock().expect("clock lock");
+        if t > state.now {
+            state.now = t;
+        }
+        let now = state.now;
+        let mut fired = Vec::new();
+        // BTreeSet iterates in (deadline, registration) order, which is
+        // exactly the documented firing order.
+        while let Some(&(at, id)) = state.sleepers.iter().next() {
+            if at > now {
+                break;
+            }
+            state.sleepers.remove(&(at, id));
+            fired.push(WakerId(id));
+        }
+        drop(state);
+        if !fired.is_empty() || t > SimTime::ZERO {
+            self.moved.notify_all();
+        }
+        fired
+    }
+
+    fn is_manual(&self) -> bool {
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn virtual_clock_starts_at_origin_and_advances_monotonically() {
+        let clock = VirtualClock::new();
+        assert_eq!(clock.now(), SimTime::ZERO);
+        clock.advance(SimDuration::from_secs(5));
+        assert_eq!(clock.now(), SimTime::from_micros(5_000_000));
+        // Advancing to the past is a no-op, not a rewind.
+        clock.advance_to(SimTime::from_micros(3));
+        assert_eq!(clock.now(), SimTime::from_micros(5_000_000));
+    }
+
+    #[test]
+    fn zero_duration_advance_fires_due_wakers() {
+        let clock = VirtualClock::new();
+        clock.advance(SimDuration::from_secs(10));
+        // Registered in the past: due immediately, but only delivered by
+        // an advance — including a zero-duration one.
+        let past = clock.register(SimTime::from_micros(1));
+        let now = clock.register(clock.now());
+        assert_eq!(clock.pending_wakers(), 2);
+        let fired = clock.advance(SimDuration::ZERO);
+        assert_eq!(fired, vec![past, now], "past fires before present");
+        assert_eq!(clock.pending_wakers(), 0);
+        assert_eq!(clock.advance(SimDuration::ZERO), vec![], "no re-fire");
+    }
+
+    #[test]
+    fn simultaneous_wakers_fire_in_registration_order() {
+        let clock = VirtualClock::new();
+        let at = SimTime::from_micros(500);
+        let a = clock.register(at);
+        let b = clock.register(at);
+        let c = clock.register(at);
+        let fired = clock.advance_to(at);
+        assert_eq!(
+            fired,
+            vec![a, b, c],
+            "equal deadlines must fire in registration order"
+        );
+        assert!(a.ordinal() < b.ordinal() && b.ordinal() < c.ordinal());
+    }
+
+    #[test]
+    fn advance_past_multiple_deadlines_fires_all_in_deadline_order() {
+        let clock = VirtualClock::new();
+        // Register out of deadline order to prove sorting.
+        let late = clock.register(SimTime::from_micros(300));
+        let early = clock.register(SimTime::from_micros(100));
+        let mid_b = clock.register(SimTime::from_micros(200));
+        let mid_a = clock.register(SimTime::from_micros(200));
+        let future = clock.register(SimTime::from_micros(10_000));
+        let fired = clock.advance(SimDuration::from_micros(5_000));
+        assert_eq!(
+            fired,
+            vec![early, mid_b, mid_a, late],
+            "deadline order first, then registration order within a deadline"
+        );
+        assert_eq!(clock.pending_wakers(), 1);
+        let rest = clock.advance(SimDuration::from_micros(5_000));
+        assert_eq!(rest, vec![future]);
+    }
+
+    #[test]
+    fn sleep_until_the_past_is_a_zero_duration_sleep() {
+        let clock = VirtualClock::new();
+        clock.advance(SimDuration::from_secs(1));
+        // Must return immediately without anyone advancing the clock.
+        clock.sleep_until(SimTime::from_micros(1));
+        clock.sleep_until(clock.now());
+    }
+
+    #[test]
+    fn sleep_until_blocks_until_an_advance_crosses_the_instant() {
+        let clock = Arc::new(VirtualClock::new());
+        let sleeper = Arc::clone(&clock);
+        let handle = std::thread::spawn(move || {
+            sleeper.sleep_until(SimTime::from_micros(750));
+            sleeper.now()
+        });
+        // Two advances: the first leaves the sleeper blocked.
+        clock.advance(SimDuration::from_micros(500));
+        std::thread::sleep(Duration::from_millis(10));
+        clock.advance(SimDuration::from_micros(500));
+        let woke_at = handle.join().expect("sleeper thread");
+        assert!(woke_at >= SimTime::from_micros(750));
+    }
+
+    #[test]
+    fn real_clock_reports_remaining_and_reaches() {
+        let clock = RealClock::with_speed(1000.0); // 1 sim ms per wall µs
+        let target = SimTime::from_micros(2_000);
+        // Immediately after construction the target is (almost surely)
+        // unreached; a 2ms wall sleep at 1000x covers 2s of sim time.
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(clock.until(target), None, "target must be reached");
+        assert!(clock.now() >= target);
+        assert!(!clock.is_manual());
+        assert_eq!(clock.advance_to(SimTime::from_micros(u64::MAX)), vec![]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock speed must be finite")]
+    fn real_clock_rejects_nonpositive_speed() {
+        let _ = RealClock::with_speed(0.0);
+    }
+}

@@ -1,0 +1,417 @@
+//! Bounded ingestion with explicit backpressure and lossless catch-up.
+//!
+//! The [`IngestQueue`] sits between the producer (a live front door, or a
+//! trace generator replayed as one) and the single-threaded decision core.
+//! It is deliberately small and explicit:
+//!
+//! - **Bounded**: [`IngestQueue::push`] blocks once `capacity` arrivals
+//!   are queued — backpressure, not silent dropping. Every accepted
+//!   arrival is eventually delivered (lossless burst catch-up): a burst
+//!   deeper than the queue merely stalls the producer while the consumer
+//!   drains at full speed, and late deliveries carry their *recorded*
+//!   arrival timestamps so queueing delay is charged to wait time exactly
+//!   as the batch engine would.
+//! - **Closable**: the producer calls [`IngestQueue::close`] with the
+//!   final stream horizon; the consumer sees `Exhausted` once the last
+//!   queued arrival is out.
+//! - **Drainable**: graceful shutdown picks an *effective drain instant*
+//!   and cuts the timeline there — arrivals strictly before it are still
+//!   delivered, arrivals at or after it are refused/discarded, and the
+//!   instant is chosen so that nothing already delivered or paced past is
+//!   ever contradicted (see [`IngestQueue::drain_at`]).
+//!
+//! Pacing itself (consulting the [`Clock`]) lives in
+//! [`IngestQueue::fetch`], which the [`PacedSource`](crate::PacedSource)
+//! adapter exposes to the engine as an
+//! [`ArrivalSource`](cc_sim::ArrivalSource).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+use cc_sim::Fetch;
+use cc_types::{Invocation, SimDuration, SimTime};
+
+use crate::clock::Clock;
+
+/// The open-horizon sentinel a live source reports until its stream
+/// closes (the engine re-reads the horizon at every interval tick).
+pub const OPEN_HORIZON: SimDuration = SimDuration::from_micros(u64::MAX);
+
+/// Why [`IngestQueue::push`] refused an arrival.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushRejected {
+    /// The stream was already closed (producer bug, or a second producer).
+    Closed,
+    /// A drain is in effect and the arrival is at or after the drain
+    /// instant. The producer should stop and [`IngestQueue::close`].
+    Drained,
+}
+
+/// Counters describing one queue's lifetime, for reports and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct QueueStats {
+    /// Arrivals accepted by [`IngestQueue::push`].
+    pub pushed: u64,
+    /// Arrivals handed to the consumer.
+    pub delivered: u64,
+    /// Queued arrivals discarded because a drain instant cut them off.
+    pub dropped_at_drain: u64,
+    /// High-water mark of the queue depth.
+    pub peak_depth: usize,
+    /// Current depth.
+    pub depth: usize,
+}
+
+#[derive(Debug)]
+struct QueueState {
+    items: VecDeque<Invocation>,
+    closed: bool,
+    horizon: Option<SimDuration>,
+    drain_at: Option<SimTime>,
+    /// Watermark: the consumer has paced (delivered arrivals or conceded
+    /// `NotBefore`) up to this instant. A drain instant is always chosen
+    /// strictly after it, so the cut never contradicts delivered work.
+    paced_to: SimTime,
+    pushed: u64,
+    delivered: u64,
+    dropped_at_drain: u64,
+    peak_depth: usize,
+}
+
+/// Bounded, closable, drainable arrival queue (see module docs).
+#[derive(Debug)]
+pub struct IngestQueue {
+    capacity: usize,
+    state: Mutex<QueueState>,
+    not_full: Condvar,
+    not_empty: Condvar,
+}
+
+impl IngestQueue {
+    /// A queue admitting at most `capacity` undelivered arrivals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (the consumer could never see an
+    /// arrival the producer is still blocked pushing).
+    pub fn new(capacity: usize) -> IngestQueue {
+        assert!(capacity > 0, "ingestion queue capacity must be positive");
+        IngestQueue {
+            capacity,
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+                horizon: None,
+                drain_at: None,
+                paced_to: SimTime::ZERO,
+                pushed: 0,
+                delivered: 0,
+                dropped_at_drain: 0,
+                peak_depth: 0,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+        }
+    }
+
+    /// Enqueues an arrival, blocking while the queue is full
+    /// (backpressure). Arrivals must be pushed in nondecreasing arrival
+    /// order — the queue debug-asserts it.
+    pub fn push(&self, inv: Invocation) -> Result<(), PushRejected> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.closed {
+                return Err(PushRejected::Closed);
+            }
+            if let Some(cut) = state.drain_at {
+                if inv.arrival >= cut {
+                    return Err(PushRejected::Drained);
+                }
+            }
+            if state.items.len() < self.capacity {
+                if let Some(back) = state.items.back() {
+                    debug_assert!(
+                        back.arrival <= inv.arrival,
+                        "arrivals must be pushed in order"
+                    );
+                }
+                state.items.push_back(inv);
+                state.pushed += 1;
+                state.peak_depth = state.peak_depth.max(state.items.len());
+                self.not_empty.notify_all();
+                return Ok(());
+            }
+            state = self.not_full.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the stream with its final horizon. If a drain already
+    /// imposed a shorter horizon, the shorter one wins. Idempotent.
+    pub fn close(&self, horizon: SimDuration) {
+        let mut state = self.state.lock().expect("queue lock");
+        state.closed = true;
+        state.horizon = Some(match state.horizon {
+            Some(existing) => existing.min(horizon),
+            None => horizon,
+        });
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Emergency close for a producer unwinding mid-stream: freezes the
+    /// horizon at the pacing watermark so the consumer can finish what was
+    /// delivered instead of blocking forever on a feed that died.
+    pub(crate) fn close_abandoned(&self) {
+        let watermark = {
+            let state = self.state.lock().expect("queue lock");
+            SimDuration::from_micros(state.paced_to.as_micros())
+        };
+        self.close(watermark);
+    }
+
+    /// Requests a graceful drain at `at` and returns the *effective* drain
+    /// instant actually used.
+    ///
+    /// The effective instant is `max(at, paced_to + 1µs)` — strictly after
+    /// everything the consumer has already delivered or paced past — then
+    /// merged (min) with any earlier drain. The timeline is cut there:
+    /// queued arrivals at or after it are discarded, future pushes of such
+    /// arrivals are refused, and the stream horizon collapses to it so the
+    /// tick chain stops. Earlier arrivals still flow — a drain is
+    /// lossless for everything before the cut.
+    ///
+    /// A drain that lands after the stream already finished (closed and
+    /// fully delivered) has nothing left to cut: past the last fetch the
+    /// engine runs out its remaining events unpaced, so the watermark no
+    /// longer bounds its progress and shrinking the horizon could
+    /// contradict ticks that already fired. The request is then a no-op
+    /// returning the final horizon's end.
+    pub fn drain_at(&self, at: SimTime) -> SimTime {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed && state.items.is_empty() {
+            let final_horizon = state.horizon.expect("closed stream has a horizon");
+            return SimTime::ZERO + final_horizon;
+        }
+        let floor = SimTime::from_micros(state.paced_to.as_micros().saturating_add(1));
+        let mut eff = at.max(floor);
+        if let Some(prev) = state.drain_at {
+            eff = eff.min(prev);
+        }
+        state.drain_at = Some(eff);
+        let cut_horizon = SimDuration::from_micros(eff.as_micros());
+        state.horizon = Some(match state.horizon {
+            Some(existing) => existing.min(cut_horizon),
+            None => cut_horizon,
+        });
+        while let Some(back) = state.items.back() {
+            if back.arrival >= eff {
+                state.items.pop_back();
+                state.dropped_at_drain += 1;
+            } else {
+                break;
+            }
+        }
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+        eff
+    }
+
+    /// The stream horizon: `None` while the stream is live and uncut.
+    pub fn horizon(&self) -> Option<SimDuration> {
+        self.state.lock().expect("queue lock").horizon
+    }
+
+    /// Whether [`IngestQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().expect("queue lock").closed
+    }
+
+    /// Lifetime counters (racy snapshot while the service is running;
+    /// exact once it has finished).
+    pub fn stats(&self) -> QueueStats {
+        let state = self.state.lock().expect("queue lock");
+        QueueStats {
+            pushed: state.pushed,
+            delivered: state.delivered,
+            dropped_at_drain: state.dropped_at_drain,
+            peak_depth: state.peak_depth,
+            depth: state.items.len(),
+        }
+    }
+
+    /// The consumer-side deadline-bounded pull implementing the
+    /// [`ArrivalSource::fetch`](cc_sim::ArrivalSource::fetch) contract.
+    ///
+    /// Pacing rules:
+    /// - An arrival is never delivered before its recorded timestamp on
+    ///   the [`Clock`] (release gating) — but one already *late* (a burst
+    ///   being caught up) is delivered immediately.
+    /// - `NotBefore(d)` is returned only once the clock has reached `d`,
+    ///   so the engine never processes an internal event ahead of time.
+    /// - On a manual clock the queue advances the clock itself (under the
+    ///   queue lock, hence deterministically) instead of sleeping; the
+    ///   producer must then push promptly without consulting the clock,
+    ///   or producer and consumer deadlock waiting for each other.
+    pub(crate) fn fetch(&self, clock: &dyn Clock, deadline: Option<SimTime>) -> Fetch {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(head) = state.items.front().map(|inv| inv.arrival) {
+                // Wait until the earlier of the head's release instant and
+                // the engine's deadline, then deliver or concede.
+                let target = match deadline {
+                    Some(d) => head.min(d),
+                    None => head,
+                };
+                if clock.is_manual() {
+                    state.paced_to = state.paced_to.max(target);
+                    clock.advance_to(target);
+                } else if let Some(wait) = clock.until(target) {
+                    let (guard, _timeout) = self
+                        .not_empty
+                        .wait_timeout(state, wait)
+                        .expect("queue lock");
+                    // Nothing to learn from a notify here (the head can't
+                    // change while we hold delivery rights), but re-check
+                    // the clock either way.
+                    state = guard;
+                    continue;
+                } else {
+                    state.paced_to = state.paced_to.max(target);
+                }
+                return if head <= target {
+                    let inv = state.items.pop_front().expect("head checked above");
+                    state.delivered += 1;
+                    self.not_full.notify_all();
+                    Fetch::Ready(inv)
+                } else {
+                    Fetch::NotBefore(target)
+                };
+            }
+            if state.closed {
+                return Fetch::Exhausted;
+            }
+            match deadline {
+                Some(d) => {
+                    if clock.is_manual() {
+                        // An empty live queue on a manual clock: the only
+                        // way forward is a producer push or close — wait
+                        // for it rather than advancing time past arrivals
+                        // that are still in flight.
+                        state = self.not_empty.wait(state).expect("queue lock");
+                    } else {
+                        match clock.until(d) {
+                            Some(wait) => {
+                                let (guard, _timeout) = self
+                                    .not_empty
+                                    .wait_timeout(state, wait)
+                                    .expect("queue lock");
+                                state = guard;
+                            }
+                            None => {
+                                state.paced_to = state.paced_to.max(d);
+                                return Fetch::NotBefore(d);
+                            }
+                        }
+                    }
+                }
+                None => {
+                    // Deadline-free pull must block until Ready/Exhausted.
+                    state = self.not_empty.wait(state).expect("queue lock");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+    use cc_types::FunctionId;
+    use std::sync::Arc;
+
+    fn inv(at: u64) -> Invocation {
+        Invocation::new(FunctionId::new(0), SimTime::from_micros(at))
+    }
+
+    #[test]
+    fn push_blocks_at_capacity_and_resumes_after_delivery() {
+        let queue = Arc::new(IngestQueue::new(2));
+        let clock = VirtualClock::new();
+        queue.push(inv(10)).unwrap();
+        queue.push(inv(20)).unwrap();
+        let producer = {
+            let queue = Arc::clone(&queue);
+            std::thread::spawn(move || queue.push(inv(30)))
+        };
+        // The producer is blocked: queue full.
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        assert!(!producer.is_finished(), "push must backpressure when full");
+        assert_eq!(queue.fetch(&clock, None), Fetch::Ready(inv(10)));
+        producer.join().unwrap().unwrap();
+        let stats = queue.stats();
+        assert_eq!(stats.pushed, 3);
+        assert_eq!(stats.peak_depth, 2);
+    }
+
+    #[test]
+    fn fetch_paces_deliveries_on_the_manual_clock() {
+        let queue = IngestQueue::new(8);
+        let clock = VirtualClock::new();
+        queue.push(inv(500)).unwrap();
+        queue.push(inv(900)).unwrap();
+        queue.close(SimDuration::from_micros(900));
+        // Release gating: delivery advances the clock to the arrival.
+        assert_eq!(queue.fetch(&clock, None), Fetch::Ready(inv(500)));
+        assert_eq!(clock.now(), SimTime::from_micros(500));
+        // An engine deadline before the next arrival defers to it.
+        let deadline = SimTime::from_micros(700);
+        assert_eq!(
+            queue.fetch(&clock, Some(deadline)),
+            Fetch::NotBefore(deadline)
+        );
+        assert_eq!(clock.now(), deadline);
+        assert_eq!(
+            queue.fetch(&clock, Some(SimTime::from_micros(2_000))),
+            Fetch::Ready(inv(900))
+        );
+        assert_eq!(
+            queue.fetch(&clock, Some(SimTime::from_micros(2_000))),
+            Fetch::Exhausted
+        );
+    }
+
+    #[test]
+    fn close_then_drain_keeps_the_shorter_horizon() {
+        let queue = IngestQueue::new(8);
+        queue.push(inv(100)).unwrap();
+        queue.push(inv(300)).unwrap();
+        let eff = queue.drain_at(SimTime::from_micros(200));
+        assert_eq!(eff, SimTime::from_micros(200));
+        assert_eq!(
+            queue.stats().dropped_at_drain,
+            1,
+            "inv(300) is past the cut"
+        );
+        // Arrivals before the cut still flow; at/after are refused.
+        assert_eq!(queue.push(inv(150)), Ok(()));
+        assert_eq!(queue.push(inv(200)), Err(PushRejected::Drained));
+        queue.close(SimDuration::from_mins(60));
+        assert_eq!(queue.horizon(), Some(SimDuration::from_micros(200)));
+        assert_eq!(queue.push(inv(199)), Err(PushRejected::Closed));
+    }
+
+    #[test]
+    fn drain_never_cuts_before_the_pacing_watermark() {
+        let queue = IngestQueue::new(8);
+        let clock = VirtualClock::new();
+        queue.push(inv(1_000)).unwrap();
+        assert_eq!(queue.fetch(&clock, None), Fetch::Ready(inv(1_000)));
+        // Requesting a drain in the past lands strictly after the
+        // delivered arrival instead.
+        let eff = queue.drain_at(SimTime::from_micros(400));
+        assert_eq!(eff, SimTime::from_micros(1_001));
+        // A second, later request cannot push the cut back out.
+        assert_eq!(queue.drain_at(SimTime::from_micros(9_999)), eff);
+    }
+}

@@ -1,0 +1,211 @@
+//! The always-on service: producer feed, paced decision core, graceful
+//! drain.
+//!
+//! [`Server::serve`] wires the pieces together: a producer thread pulls
+//! arrivals from any [`ArrivalSource`] (a recorded trace, a streaming
+//! generator, a real front door) and pushes them into the bounded
+//! [`IngestQueue`]; the calling thread runs the *batch* decision core
+//! (`cc_sim::run_streaming`) over a [`PacedSource`] so arrivals are
+//! released on the service [`Clock`]. The optimizer's interval ticks are
+//! the engine's own tick chain — on a real clock they fire wall-aligned;
+//! on a [`VirtualClock`](crate::VirtualClock) the queue advances time
+//! itself and the whole service runs at millions-of-x speed, bit-identical
+//! to the batch run (`tests/serve_parity.rs` pins that contract).
+//!
+//! Shutdown is a [`ServeHandle::drain_now`] (or `drain_at`): the timeline
+//! is cut at an effective instant strictly after everything already
+//! processed, in-flight arrivals before the cut still flow, the final
+//! partial telemetry interval is flushed by the engine's normal
+//! end-of-run path, and `serve` returns the same [`SimReport`] a batch
+//! run truncated at that instant would produce.
+
+use std::sync::Arc;
+
+use cc_sim::{run_streaming, ArrivalSource, ClusterConfig, EventSink, Scheduler, SimReport};
+use cc_types::{SimDuration, SimTime};
+use cc_workload::Workload;
+
+use crate::clock::Clock;
+use crate::pace::PacedSource;
+use crate::queue::{IngestQueue, QueueStats};
+
+/// Configuration for one [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServeOptions {
+    /// Bound on undelivered queued arrivals before the producer blocks
+    /// (backpressure). Default 1024.
+    pub queue_capacity: usize,
+    /// Whether the decision core keeps per-invocation records (needed for
+    /// JSONL export digests; costs memory on long soaks). Default true.
+    pub collect_records: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            queue_capacity: 1024,
+            collect_records: true,
+        }
+    }
+}
+
+/// Everything one service run produced.
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The decision core's report — same type, same digests, as a batch
+    /// [`Simulation`](cc_sim::Simulation) run.
+    pub report: SimReport,
+    /// Ingestion counters (losslessness: `pushed == delivered` unless a
+    /// drain cut queued arrivals, which `dropped_at_drain` counts).
+    pub queue: QueueStats,
+    /// The final stream horizon (trace end, or the drain cut).
+    pub horizon: SimDuration,
+}
+
+/// A cloneable handle for steering a running service from other threads:
+/// graceful drain and queue introspection.
+#[derive(Debug, Clone)]
+pub struct ServeHandle {
+    clock: Arc<dyn Clock>,
+    queue: Arc<IngestQueue>,
+}
+
+impl ServeHandle {
+    /// Initiates a graceful drain at the clock's current instant and
+    /// returns the effective drain instant (see
+    /// [`IngestQueue::drain_at`]).
+    pub fn drain_now(&self) -> SimTime {
+        self.queue.drain_at(self.clock.now())
+    }
+
+    /// Initiates a graceful drain at a chosen instant and returns the
+    /// effective one.
+    pub fn drain_at(&self, at: SimTime) -> SimTime {
+        self.queue.drain_at(at)
+    }
+
+    /// The service clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Racy snapshot of the ingestion counters.
+    pub fn queue_stats(&self) -> QueueStats {
+        self.queue.stats()
+    }
+}
+
+/// One always-on service instance: a clock, a bounded ingestion queue,
+/// and (once [`Server::serve`] is called) a producer thread feeding the
+/// batch decision core. Single-use: one `serve` per `Server`.
+#[derive(Debug)]
+pub struct Server {
+    clock: Arc<dyn Clock>,
+    queue: Arc<IngestQueue>,
+    options: ServeOptions,
+}
+
+impl Server {
+    /// A server on the given clock.
+    pub fn new(clock: Arc<dyn Clock>, options: ServeOptions) -> Server {
+        let queue = Arc::new(IngestQueue::new(options.queue_capacity));
+        Server {
+            clock,
+            queue,
+            options,
+        }
+    }
+
+    /// A handle for drain/introspection from other threads (e.g. a signal
+    /// handler or a test harness). May be taken before `serve` starts.
+    pub fn handle(&self) -> ServeHandle {
+        ServeHandle {
+            clock: Arc::clone(&self.clock),
+            queue: Arc::clone(&self.queue),
+        }
+    }
+
+    /// The service clock.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// Runs the service to completion on the calling thread: spawns the
+    /// producer feed over `source`, consumes arrivals paced by the clock,
+    /// and returns once the stream ends (naturally or by drain) and every
+    /// queued pre-cut arrival has been decided.
+    ///
+    /// On a manual ([`VirtualClock`](crate::VirtualClock)) clock the
+    /// consumer advances time itself; the producer must push promptly
+    /// without consulting the clock (any `ArrivalSource` does) or the two
+    /// deadlock waiting on each other.
+    pub fn serve<Src, S>(
+        &self,
+        config: &ClusterConfig,
+        source: Src,
+        workload: &Workload,
+        policy: &mut dyn Scheduler,
+        sink: &mut S,
+    ) -> ServeOutcome
+    where
+        Src: ArrivalSource + Send,
+        S: EventSink,
+    {
+        assert!(
+            !self.queue.is_closed(),
+            "a Server is single-use: this one already served a stream"
+        );
+        let report = std::thread::scope(|scope| {
+            let feed_queue = Arc::clone(&self.queue);
+            scope.spawn(move || feed(source, &feed_queue));
+            let paced = PacedSource::new(Arc::clone(&self.queue), Arc::clone(&self.clock));
+            run_streaming(
+                config,
+                paced,
+                workload,
+                policy,
+                sink,
+                self.options.collect_records,
+            )
+        });
+        ServeOutcome {
+            report,
+            queue: self.queue.stats(),
+            horizon: self
+                .queue
+                .horizon()
+                .expect("horizon is final once the feed closed"),
+        }
+    }
+}
+
+/// Closes the queue at the pacing watermark if the feed unwinds without
+/// reaching its normal close — otherwise the consumer would block forever
+/// on a stream that will never end.
+struct FeedGuard<'a> {
+    queue: &'a IngestQueue,
+    done: bool,
+}
+
+impl Drop for FeedGuard<'_> {
+    fn drop(&mut self) {
+        if !self.done {
+            self.queue.close_abandoned();
+        }
+    }
+}
+
+fn feed<Src: ArrivalSource>(mut source: Src, queue: &IngestQueue) {
+    let mut guard = FeedGuard { queue, done: false };
+    while let Some(inv) = source.next_invocation() {
+        // A refused push means a drain (or close) cut the stream:
+        // everything at or after the cut is discarded by design.
+        if queue.push(inv).is_err() {
+            break;
+        }
+    }
+    // Natural end and drain both land here; close() min-merges the
+    // source horizon with any drain cut, so the shorter wins.
+    queue.close(source.horizon());
+    guard.done = true;
+}

@@ -16,7 +16,7 @@ use cc_workload::Workload;
 
 use crate::node::{NodeState, WarmInstance};
 use crate::pool::WarmPool;
-use crate::source::{ArrivalSource, SliceSource};
+use crate::source::{ArrivalSource, Fetch, SliceSource};
 use crate::{BudgetLedger, ClusterConfig, ClusterView, Command, Scheduler, SimReport};
 
 /// Placement-order key for one node: least busy first, most free memory
@@ -218,13 +218,19 @@ enum EventKind {
 /// between ticks (class 0) and completions (class 2) at equal timestamps.
 const EXPIRY_CLASS: u8 = 1;
 
+/// The event class of an arrival — the highest, so it doubles as the
+/// ceiling for paced internal processing: when a live source concedes
+/// time up to `t` (`Fetch::NotBefore`), internal events at exactly `t`
+/// still order before any arrival that may land at `t`.
+const ARRIVAL_CLASS: u8 = 4;
+
 impl EventKind {
     fn class(&self) -> u8 {
         match self {
             EventKind::Tick => 0,
             EventKind::Completion { .. } => 2,
             EventKind::PrewarmReady { .. } => 3,
-            EventKind::Arrival(_) => 4,
+            EventKind::Arrival(_) => ARRIVAL_CLASS,
         }
     }
 }
@@ -256,9 +262,14 @@ struct Engine<'a, Src: ArrivalSource, S: EventSink, P: Profiler> {
     config: &'a ClusterConfig,
     source: Src,
     /// The invocation behind the next `Arrival` heap event, pulled from
-    /// the source when its predecessor was handled. The engine never needs
+    /// the source at the top of the main loop. The engine never needs
     /// more lookahead than this one slot.
     upcoming: Option<Invocation>,
+    /// Whether the source reported [`Fetch::Exhausted`].
+    exhausted: bool,
+    /// Arrival timestamp of the last pulled invocation (source-order
+    /// monotonicity debug check).
+    last_pulled: SimTime,
     /// Invocations pulled from the source so far.
     arrived: usize,
     workload: &'a Workload,
@@ -352,6 +363,8 @@ impl<'a, Src: ArrivalSource, S: EventSink, P: Profiler> Engine<'a, Src, S, P> {
             config,
             source,
             upcoming: None,
+            exhausted: false,
+            last_pulled: SimTime::ZERO,
             arrived: 0,
             workload,
             perturbations,
@@ -438,36 +451,99 @@ impl<'a, Src: ArrivalSource, S: EventSink, P: Profiler> Engine<'a, Src, S, P> {
         result
     }
 
+    /// The instant of the engine's next internal event (heap head or
+    /// expiry-calendar head), used as the deadline for a live source pull.
+    fn next_internal_at(&self) -> Option<SimTime> {
+        let heap = self.events.peek().map(|e| e.at);
+        let expiry = self.pool.next_expiry().map(|(at, _, _)| at);
+        match (heap, expiry) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
     fn run(&mut self, policy: &mut dyn Scheduler) -> SimReport {
         // Root span: everything below (arrivals, completions, ticks,
         // expiry drains) nests under it, so a profile's self-time sum
         // covers the whole run by construction.
         let _run_span = P::scope(Phase::EngineRun);
-        let horizon = self.source.horizon();
         if S::ENABLED {
             // Introspection recording must not change policy decisions
             // (golden-tested), only make round telemetry available.
             policy.enable_introspection(true);
         }
         self.push(SimTime::ZERO, EventKind::Tick);
-        if let Some(first) = self.source.next_invocation() {
-            self.push(first.arrival, EventKind::Arrival(0));
-            self.upcoming = Some(first);
-        }
 
         loop {
+            // Keep the next arrival (if any) represented in the heap. For
+            // batch sources the fetch is always ready, so this is the old
+            // one-slot lookahead; a live source may instead answer
+            // `NotBefore` (process internal events up to the deadline and
+            // ask again) once time-paces the stream.
+            let mut paced_limit: Option<SimTime> = None;
+            if self.upcoming.is_none() && !self.exhausted {
+                match self.source.fetch(self.next_internal_at()) {
+                    Fetch::Ready(inv) => {
+                        debug_assert!(
+                            inv.arrival >= self.last_pulled,
+                            "source must be time-sorted"
+                        );
+                        self.last_pulled = inv.arrival;
+                        // A live source can deliver an arrival late (burst
+                        // catch-up); schedule it for immediate processing
+                        // without letting heap time run backwards.
+                        let at = if inv.arrival > self.now {
+                            inv.arrival
+                        } else {
+                            self.now
+                        };
+                        self.push(at, EventKind::Arrival(self.arrived));
+                        self.upcoming = Some(inv);
+                    }
+                    Fetch::NotBefore(t) => paced_limit = Some(t),
+                    Fetch::Exhausted => self.exhausted = true,
+                }
+            }
             // The expiry calendar is the heap's class-1 lane: drain every
             // expiration strictly ordered before the next heap event (by
             // the usual `(at, class)` key) in one pass, then pop the heap.
+            //
+            // `NotBefore(limit)` only licenses internal processing up to
+            // `limit` — an arrival may land anywhere after it, so both the
+            // expiry drain and the heap pop are capped there and the loop
+            // re-fetches before touching anything later. Events exactly AT
+            // the limit are safe: arrivals carry the highest class, so
+            // every internal event at `limit` orders before an arrival
+            // that shows up at the same instant.
             let next_heap = self.events.peek().map(|e| (e.at, e.kind.class()));
-            self.drain_due_expiries(next_heap);
-            let Some(event) = self.events.pop() else {
-                break;
+            let expiry_barrier = match paced_limit {
+                Some(limit) => {
+                    let cap = (limit, ARRIVAL_CLASS);
+                    Some(next_heap.map_or(cap, |next| next.min(cap)))
+                }
+                None => next_heap,
             };
+            self.drain_due_expiries(expiry_barrier);
+            let poppable = match (paced_limit, self.events.peek()) {
+                (Some(limit), Some(event)) => event.at <= limit,
+                (None, Some(_)) => true,
+                (_, None) => false,
+            };
+            if !poppable {
+                if self.events.peek().is_none() && self.exhausted {
+                    break;
+                }
+                // Either a live source with nothing scheduled (block in
+                // the next fetch — deadline-free fetch never returns
+                // `NotBefore`), or everything left lies beyond the paced
+                // limit: ask the source again with a fresh deadline.
+                continue;
+            }
+            let event = self.events.pop().expect("poppable event");
             debug_assert!(event.at >= self.now, "time must not run backwards");
             self.now = event.at;
             match event.kind {
-                EventKind::Tick => self.handle_tick(horizon, policy),
+                EventKind::Tick => self.handle_tick(policy),
                 EventKind::Completion {
                     function,
                     node,
@@ -518,14 +594,11 @@ impl<'a, Src: ArrivalSource, S: EventSink, P: Profiler> Engine<'a, Src, S, P> {
             .upcoming
             .take()
             .expect("arrival event without a pulled invocation");
-        debug_assert_eq!(inv.arrival, self.now, "arrival event out of step");
+        // Equality in batch mode; a live source delivering late (burst
+        // catch-up) processes the arrival at delivery time while `wait`
+        // still measures from the recorded arrival instant.
+        debug_assert!(inv.arrival <= self.now, "arrival event out of step");
         self.arrived += 1;
-        // Chain the next arrival.
-        if let Some(next) = self.source.next_invocation() {
-            debug_assert!(next.arrival >= inv.arrival, "source must be time-sorted");
-            self.push(next.arrival, EventKind::Arrival(index + 1));
-            self.upcoming = Some(next);
-        }
         let function = inv.function;
         if S::ENABLED {
             self.sink.record(&ObsEvent::Arrival {
@@ -1070,7 +1143,16 @@ impl<'a, Src: ArrivalSource, S: EventSink, P: Profiler> Engine<'a, Src, S, P> {
         self.drain_pending(policy);
     }
 
-    fn handle_tick(&mut self, horizon: SimDuration, policy: &mut dyn Scheduler) {
+    fn handle_tick(&mut self, policy: &mut dyn Scheduler) {
+        // Re-read the horizon every tick: live sources report an open
+        // horizon until they close (end of stream or drain), at which
+        // point ticks already scheduled beyond it must be dropped — batch
+        // never schedules one past its (constant) horizon, so for batch
+        // sources neither the re-read nor the guard changes anything.
+        let horizon = self.source.horizon();
+        if self.now > SimTime::ZERO + horizon {
+            return;
+        }
         let _span = P::scope(Phase::Tick);
         self.ledger.accrue(self.now);
 

@@ -62,7 +62,8 @@ mod view;
 
 pub use cc_obs::{
     BufferSink, ChannelSink, ChannelStats, ChromeTraceSink, Event, EventSink, IntervalSample,
-    JsonlSink, NullSink, OptimizerRound, ReleaseReason, SamplingSink, ShardMsg, Tee, Telemetry,
+    JsonlSink, NullSink, OptimizerRound, ReleaseReason, SamplingSink, ShardMsg, SharedTelemetry,
+    Tee, Telemetry,
 };
 pub use cc_prof::{NullProfiler, Phase, Profiler, WallProfiler};
 pub use cc_types::WarmId;
@@ -74,5 +75,5 @@ pub use node::{NodeState, WarmInstance};
 pub use parallel::{run_parallel, run_parallel_profiled, ParallelOptions, ParallelOutcome};
 pub use report::{fnv1a, SimReport};
 pub use scheduler::{Command, KeepDecision, Scheduler};
-pub use source::{ArrivalSource, SliceSource};
+pub use source::{ArrivalSource, Fetch, SliceSource};
 pub use view::ClusterView;

@@ -11,16 +11,37 @@
 //! replays possible without materializing the invocation stream in RAM.
 
 use cc_trace::{StreamingTrace, Trace};
-use cc_types::{Invocation, SimDuration};
+use cc_types::{Invocation, SimDuration, SimTime};
+
+/// Outcome of a deadline-bounded pull ([`ArrivalSource::fetch`]).
+///
+/// Batch sources only ever produce `Ready` or `Exhausted`; `NotBefore` is
+/// how a *live* source (e.g. `cc-serve`'s paced ingestion queue) tells the
+/// engine "nothing will arrive before this instant — go process your own
+/// events up to it and ask again".
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fetch {
+    /// The next invocation, in nondecreasing arrival order.
+    Ready(Invocation),
+    /// No arrival will be delivered strictly before the given instant
+    /// (which is at least the deadline the caller passed). The caller may
+    /// process internal work up to it, then fetch again.
+    NotBefore(SimTime),
+    /// The stream has ended; [`ArrivalSource::horizon`] is now final.
+    Exhausted,
+}
 
 /// A strictly-ordered stream of invocations driving one simulation.
 ///
 /// Implementations must yield invocations in nondecreasing arrival order;
 /// the engine debug-asserts this. [`ArrivalSource::horizon`] is the
-/// logical trace length that bounds the interval-tick chain and must not
-/// change across calls.
+/// logical trace length that bounds the interval-tick chain. Batch sources
+/// keep it constant; a live source may report an open horizon
+/// (`SimDuration::from_micros(u64::MAX)`) that collapses to the final
+/// value once the stream closes — the engine re-reads it at every tick.
 pub trait ArrivalSource {
-    /// The next invocation, or `None` when the stream is exhausted.
+    /// The next invocation, or `None` when the stream is exhausted. May
+    /// block until one is available.
     fn next_invocation(&mut self) -> Option<Invocation>;
 
     /// The logical trace duration (last arrival offset). Ticks stop after
@@ -31,6 +52,23 @@ pub trait ArrivalSource {
     /// pre-size the record buffer; `0` is always safe.
     fn len_hint(&self) -> usize {
         0
+    }
+
+    /// Deadline-bounded pull for live sources. `deadline` is the engine's
+    /// next internal event instant (`None` when it has none pending):
+    /// a live source blocks until an arrival is available, the stream
+    /// closes, or time reaches the deadline — whichever comes first —
+    /// and with `deadline == None` it must block until `Ready` or
+    /// `Exhausted` (never returning `NotBefore`).
+    ///
+    /// Batch sources are always ready, so the default forwards to
+    /// [`ArrivalSource::next_invocation`] and never waits.
+    fn fetch(&mut self, deadline: Option<SimTime>) -> Fetch {
+        let _ = deadline;
+        match self.next_invocation() {
+            Some(inv) => Fetch::Ready(inv),
+            None => Fetch::Exhausted,
+        }
     }
 }
 

@@ -71,6 +71,7 @@ pub struct StreamingTraceBuilder {
     mean_gap_median: SimDuration,
     exec_median: SimDuration,
     memory_median: MemoryMb,
+    rate_scale: f64,
 }
 
 impl Default for StreamingTraceBuilder {
@@ -82,6 +83,7 @@ impl Default for StreamingTraceBuilder {
             mean_gap_median: SimDuration::from_mins(60),
             exec_median: SimDuration::from_millis(2_500),
             memory_median: MemoryMb::new(300),
+            rate_scale: 1.0,
         }
     }
 }
@@ -117,6 +119,24 @@ impl StreamingTraceBuilder {
         self
     }
 
+    /// Scales every function's arrival rate by `scale` (mean gaps divide
+    /// by it) without re-drawing the function table — the load knob for
+    /// service-mode stress runs. `1.0` is a no-op: the stream is
+    /// bit-identical to the unscaled one, because the scaled gap is the
+    /// *same* float expression (`x / 1.0 == x` exactly).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `scale` is finite and positive.
+    pub fn rate_scale(&mut self, scale: f64) -> &mut Self {
+        assert!(
+            scale.is_finite() && scale > 0.0,
+            "rate scale must be finite and positive, got {scale}"
+        );
+        self.rate_scale = scale;
+        self
+    }
+
     /// Builds the streaming trace: samples the function table and primes
     /// every stream's first arrival. O(#functions) time and memory.
     pub fn build(&self) -> StreamingTrace {
@@ -139,7 +159,10 @@ impl StreamingTraceBuilder {
             let mut rng = StdRng::seed_from_u64(fn_seed);
             let exec_secs = exec_dist.sample(&mut rng).clamp(0.05, 300.0);
             let mem_mb = mem_dist.sample(&mut rng).clamp(64.0, 4096.0) as u32;
-            let mean_gap_secs = gap_dist.sample(&mut rng).clamp(10.0, 4.0 * 86_400.0);
+            // The scale divides the *clamped* gap so the clamp keeps its
+            // meaning (a per-function floor on the unscaled rate).
+            let mean_gap_secs =
+                gap_dist.sample(&mut rng).clamp(10.0, 4.0 * 86_400.0) / self.rate_scale;
             functions.push(TraceFunction::new(
                 FunctionId::new(i as u32),
                 SimDuration::from_secs_f64(exec_secs),
@@ -306,6 +329,36 @@ mod tests {
             assert!(f.mean_exec >= SimDuration::from_millis(50));
             assert!(f.memory.as_mb() >= 64 && f.memory.as_mb() <= 4096);
         }
+    }
+
+    #[test]
+    fn rate_scale_one_is_bit_identical_and_higher_scales_densify() {
+        let base = drain(build(7));
+        let unit = drain(
+            StreamingTrace::builder()
+                .functions(50)
+                .duration(SimDuration::from_mins(240))
+                .seed(7)
+                .mean_gap_median(SimDuration::from_mins(10))
+                .rate_scale(1.0)
+                .build(),
+        );
+        assert_eq!(base, unit, "rate_scale(1.0) must be a no-op");
+        let dense = drain(
+            StreamingTrace::builder()
+                .functions(50)
+                .duration(SimDuration::from_mins(240))
+                .seed(7)
+                .mean_gap_median(SimDuration::from_mins(10))
+                .rate_scale(4.0)
+                .build(),
+        );
+        assert!(
+            dense.len() > base.len() * 2,
+            "4x rate should far more than double arrivals ({} vs {})",
+            dense.len(),
+            base.len()
+        );
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //! - [`opt`] — discrete optimizers including Sequential Random Embedding.
 //! - [`replay`] — offline event-log replay: JSONL decoding, stream
 //!   invariant auditing, and exact telemetry reconstruction.
+//! - [`serve`] — always-on streaming service mode: clock-paced ingestion
+//!   with backpressure and graceful drain, proven batch-equivalent.
 //! - [`fft`] — the FFT substrate behind the IceBreaker baseline.
 //! - [`metrics`] / [`types`] — measurement and vocabulary types.
 //!
@@ -57,6 +59,7 @@ pub use cc_obs as obs;
 pub use cc_opt as opt;
 pub use cc_policies as policies;
 pub use cc_replay as replay;
+pub use cc_serve as serve;
 pub use cc_shard as shard;
 pub use cc_sim as sim;
 pub use cc_trace as trace;
@@ -76,18 +79,24 @@ pub mod prelude {
         audit_log, audit_shard, decode_line, decode_stream, reconstruct, reconstruct_with_interval,
         AuditReport, ReplayLog, ShardStream,
     };
+    pub use cc_serve::{
+        Clock, IngestQueue, PacedSource, RealClock, ServeHandle, ServeOptions, ServeOutcome,
+        Server, VirtualClock,
+    };
     pub use cc_shard::{
         mux_jsonl, run_sharded, run_sharded_jsonl, ChannelSinkFactory, MuxReport, NullSinkFactory,
         ShardResult, ShardedRunConfig, SinkFactory,
     };
     pub use cc_sim::{
         fnv1a, run_parallel, run_streaming, ArrivalSource, BufferSink, ChannelSink,
-        ChromeTraceSink, ClusterConfig, Event, EventSink, FixedKeepAlive, JsonlSink, NullSink,
-        ParallelOptions, ParallelOutcome, RuntimeKind, SamplingSink, Scheduler, SimReport,
-        Simulation, SliceSource, Tee, Telemetry,
+        ChromeTraceSink, ClusterConfig, Event, EventSink, Fetch, FixedKeepAlive, JsonlSink,
+        NullSink, ParallelOptions, ParallelOutcome, RuntimeKind, SamplingSink, Scheduler,
+        SharedTelemetry, SimReport, Simulation, SliceSource, Tee, Telemetry,
     };
     pub use cc_trace::{Perturbation, StreamingTrace, SyntheticTrace, Trace};
-    pub use cc_types::{Arch, Cost, FunctionId, MemoryMb, SimDuration, SimTime, StartKind};
+    pub use cc_types::{
+        Arch, Cost, FunctionId, Invocation, MemoryMb, SimDuration, SimTime, StartKind,
+    };
     pub use cc_workload::{Catalog, Workload};
     pub use codecrunch::{ArchPolicy, CodeCrunch, CodeCrunchConfig};
 }
